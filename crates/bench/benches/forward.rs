@@ -1,0 +1,70 @@
+//! Real forward-pass benchmarks on the CPU substrate: the functional
+//! counterpart of the paper's CPU baseline. Demonstrates the batching
+//! amortization on real math (MNIST and SENNA are small enough to bench;
+//! AlexNet-scale timing comes from the calibrated model instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dnn::zoo::{self, App};
+use std::hint::black_box;
+use tensor::{Shape, Tensor};
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward");
+    group.sample_size(15);
+
+    let dig = zoo::network(App::Dig).unwrap();
+    for &batch in &[1usize, 16] {
+        let input = Tensor::random_uniform(Shape::nchw(batch, 1, 28, 28), 0.5, 3);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("mnist", batch), &batch, |b, _| {
+            b.iter(|| black_box(dig.forward(&input).unwrap()));
+        });
+    }
+
+    let pos = zoo::network(App::Pos).unwrap();
+    for &words in &[28usize, 28 * 16] {
+        let input = Tensor::random_uniform(Shape::mat(words, 350), 0.5, 4);
+        group.throughput(Throughput::Elements(words as u64));
+        group.bench_with_input(BenchmarkId::new("senna", words), &words, |b, _| {
+            b.iter(|| black_box(pos.forward(&input).unwrap()));
+        });
+    }
+
+    // One ASR frame batch: 16 frames through the 29M-parameter DNN.
+    let asr = zoo::network(App::Asr).unwrap();
+    let frames = Tensor::random_uniform(Shape::mat(16, 440), 0.5, 5);
+    group.throughput(Throughput::Elements(16));
+    group.bench_function("kaldi/16frames", |b| {
+        b.iter(|| black_box(asr.forward(&frames).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pre_post");
+    group.sample_size(15);
+
+    // ASR preprocessing: filterbank + splice for a 0.5 s utterance.
+    let wav = tonic_suite::speech::synth_utterance(0.5, 6);
+    group.bench_function("asr_filterbank_0.5s", |b| {
+        b.iter(|| {
+            let frames = tonic_suite::speech::filterbank(&wav);
+            black_box(tonic_suite::speech::splice(&frames))
+        });
+    });
+
+    // NLP pre + post: window features and Viterbi for a 28-word sentence.
+    let sentence = tonic_suite::text::synth_sentence(28, 7);
+    group.bench_function("nlp_window_features_28w", |b| {
+        b.iter(|| black_box(tonic_suite::text::window_features(&sentence, None)));
+    });
+    let model = tonic_suite::text::TagModel::new(45);
+    let scores = Tensor::random_uniform(Shape::mat(28, 45), 1.0, 8);
+    group.bench_function("nlp_viterbi_28w_45tags", |b| {
+        b.iter(|| black_box(model.decode(&scores)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! SGEMM microbenchmarks: the compute substrate every forward pass runs
+//! on. Compares the naive reference, the blocked kernel, and the parallel
+//! driver — the `tensor` crate's design-choice ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tensor::{gemm_naive, sgemm, GemmOptions, Shape, Tensor};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgemm");
+    group.sample_size(20);
+    for &(m, n, k) in &[(64usize, 64usize, 64usize), (256, 256, 256), (28, 450, 350)] {
+        let a = Tensor::random_uniform(Shape::mat(m, k), 1.0, 1).into_vec();
+        let b = Tensor::random_uniform(Shape::mat(k, n), 1.0, 2).into_vec();
+        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("{m}x{n}x{k}")),
+            &(m, n, k),
+            |bench, _| {
+                bench.iter(|| {
+                    let mut cbuf = vec![0.0f32; m * n];
+                    gemm_naive(m, n, k, 1.0, &a, &b, &mut cbuf);
+                    black_box(cbuf)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("blocked", format!("{m}x{n}x{k}")),
+            &(m, n, k),
+            |bench, _| {
+                bench.iter(|| {
+                    let mut cbuf = vec![0.0f32; m * n];
+                    sgemm(m, n, k, 1.0, &a, &b, 0.0, &mut cbuf, GemmOptions::default()).unwrap();
+                    black_box(cbuf)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel4", format!("{m}x{n}x{k}")),
+            &(m, n, k),
+            |bench, _| {
+                bench.iter(|| {
+                    let mut cbuf = vec![0.0f32; m * n];
+                    sgemm(
+                        m,
+                        n,
+                        k,
+                        1.0,
+                        &a,
+                        &b,
+                        0.0,
+                        &mut cbuf,
+                        GemmOptions {
+                            threads: 4,
+                            ..GemmOptions::default()
+                        },
+                    )
+                    .unwrap();
+                    black_box(cbuf)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

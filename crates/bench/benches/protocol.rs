@@ -1,0 +1,45 @@
+//! Wire-protocol benchmarks: encode/decode throughput for the payload
+//! sizes of Table 3 (the serialization cost every DjiNN query pays).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use djinn::protocol::{Request, Response};
+use std::hint::black_box;
+use tensor::{Shape, Tensor};
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(30);
+    // Representative payloads: an NLP sentence (28x350 floats ≈ 38 KB)
+    // and a DIG batch (100 MNIST images ≈ 307 KB).
+    let cases = [
+        ("nlp_38KB", Tensor::random_uniform(Shape::mat(28, 350), 1.0, 1)),
+        (
+            "dig_307KB",
+            Tensor::random_uniform(Shape::nchw(100, 1, 28, 28), 1.0, 2),
+        ),
+    ];
+    for (name, tensor) in cases {
+        let bytes = tensor.byte_len() as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        let req = Request::Infer {
+            model: "m".into(),
+            input: tensor.clone(),
+        };
+        group.bench_with_input(BenchmarkId::new("encode", name), &req, |b, req| {
+            b.iter(|| black_box(req.encode()));
+        });
+        let encoded = req.encode();
+        group.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, enc| {
+            b.iter(|| black_box(Request::decode(enc).unwrap()));
+        });
+        let rsp = Response::Output(tensor);
+        let rsp_enc = rsp.encode();
+        group.bench_with_input(BenchmarkId::new("decode_rsp", name), &rsp_enc, |b, enc| {
+            b.iter(|| black_box(Response::decode(enc).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

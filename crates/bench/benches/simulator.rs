@@ -1,0 +1,49 @@
+//! Simulator benchmarks: cost of the discrete-event engine itself (the
+//! tool every figure is generated with) and of workload profiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dnn::profile::WorkloadProfile;
+use dnn::zoo::{self, App};
+use gpusim::{simulate, ServerConfig, ServiceWorkload};
+use perf::GpuSpec;
+use std::hint::black_box;
+
+fn bench_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_profile");
+    for app in [App::Imc, App::Asr, App::Pos] {
+        let def = zoo::netdef(app);
+        let items = app.service_meta().inputs_per_query;
+        group.bench_with_input(BenchmarkId::new("of", app.name()), &def, |b, def| {
+            b.iter(|| black_box(WorkloadProfile::of(def, items).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_engine");
+    group.sample_size(15);
+    let gpu = GpuSpec::k40();
+    for &(gpus, inst_per_gpu) in &[(1usize, 4usize), (8, 4)] {
+        let cfg = ServerConfig::k40_server(gpus);
+        let instances: Vec<(ServiceWorkload, usize)> = (0..gpus * inst_per_gpu)
+            .map(|i| {
+                (
+                    ServiceWorkload::for_app(&gpu, App::Pos, 64).unwrap(),
+                    i / inst_per_gpu,
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("pos64_30batches", format!("{gpus}gpu")),
+            &instances,
+            |b, instances| {
+                b.iter(|| black_box(simulate(&cfg, instances, 30)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! Design-choice ablations (DESIGN.md §5): each section removes one
+//! mechanism and reports the metric the paper's figures are built on.
+//!
+//! ```text
+//! cargo run -p bench --bin ablations --release
+//! ```
+
+use bench::render::{num, Table};
+use dnn::zoo::App;
+use gpusim::{simulate, ConcurrencyMode, ServerConfig, ServiceWorkload};
+use std::process::ExitCode;
+use wsc::{provision, provision_with, AppPerfDb, Mix, NetworkTech, TcoParams, WscDesign};
+
+fn main() -> ExitCode {
+    eprintln!("building models…");
+    let db = match AppPerfDb::build() {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("failed to build performance database: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for table in [
+        ablation_batching(),
+        ablation_mps(),
+        ablation_colocation(),
+        ablation_host_bandwidth(),
+        ablation_rightsizing(&db),
+        ablation_provisioning(&db),
+    ] {
+        println!("{}", table.to_text());
+        if let Err(e) = table.write_csv(std::path::Path::new("results")) {
+            eprintln!("warning: could not write {}: {e}", table.id);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn workload(app: App, batch: usize) -> ServiceWorkload {
+    ServiceWorkload::for_app(&perf::GpuSpec::k40(), app, batch)
+        .expect("zoo networks always profile")
+}
+
+/// Remove query batching: run every app at batch 1 vs its Table 3 batch.
+fn ablation_batching() -> Table {
+    let mut t = Table::new(
+        "ablation_batching",
+        "Batching off vs on (single GPU, single instance)",
+        &["App", "QPS batch=1", "QPS batch=N", "Gain"],
+    );
+    let cfg = ServerConfig::k40_server(1);
+    for app in App::ALL {
+        let b = app.service_meta().batch_size;
+        let q1 = simulate(&cfg, &[(workload(app, 1), 0)], 30).qps;
+        let qn = simulate(&cfg, &[(workload(app, b), 0)], 30).qps;
+        t.push(vec![
+            app.name().into(),
+            num(q1),
+            num(qn),
+            num(qn / q1),
+        ]);
+    }
+    t
+}
+
+/// Remove MPS: 4 concurrent instances with kernel co-scheduling vs
+/// time-sliced context switching.
+fn ablation_mps() -> Table {
+    let mut t = Table::new(
+        "ablation_mps",
+        "MPS vs time-sliced GPU sharing (4 instances, Table 3 batches)",
+        &["App", "MPS QPS", "Timeshared QPS", "MPS latency ms", "TS latency ms"],
+    );
+    for app in App::ALL {
+        let b = app.service_meta().batch_size;
+        let run = |mode| {
+            let cfg = ServerConfig::k40_server(1).with_mode(mode);
+            let v: Vec<_> = (0..4).map(|_| (workload(app, b), 0)).collect();
+            simulate(&cfg, &v, 25)
+        };
+        let mps = run(ConcurrencyMode::Mps);
+        let ts = run(ConcurrencyMode::Timeshared);
+        t.push(vec![
+            app.name().into(),
+            num(mps.qps),
+            num(ts.qps),
+            num(mps.mean_latency_s * 1e3),
+            num(ts.mean_latency_s * 1e3),
+        ]);
+    }
+    t
+}
+
+/// Co-locate *different* services on one GPU under MPS: complementary
+/// resource profiles (compute-bound ASR beside memory-bound FACE beside
+/// latency-bound NLP) should overlap better than homogeneous pairs — the
+/// centralized-service consolidation argument of §1.
+fn ablation_colocation() -> Table {
+    let mut t = Table::new(
+        "ablation_colocation",
+        "Heterogeneous MPS colocation: paired QPS vs half of each app's solo 2-instance QPS",
+        &["Pair", "QPS A", "QPS B", "Colocation efficiency"],
+    );
+    let cfg = ServerConfig::k40_server(1);
+    let solo_share = |app: App| {
+        let b = app.service_meta().batch_size;
+        let v: Vec<_> = (0..2).map(|_| (workload(app, b), 0)).collect();
+        simulate(&cfg, &v, 25).qps / 2.0
+    };
+    for (a, b) in [
+        (App::Asr, App::Face),
+        (App::Asr, App::Pos),
+        (App::Imc, App::Pos),
+        (App::Face, App::Pos),
+    ] {
+        let pair = vec![
+            (workload(a, a.service_meta().batch_size), 0usize),
+            (workload(b, b.service_meta().batch_size), 0usize),
+        ];
+        let r = simulate(&cfg, &pair, 25);
+        let qa = r.per_instance[0].qps;
+        let qb = r.per_instance[1].qps;
+        // Efficiency: achieved share relative to running alone with a
+        // same-app sibling (1.0 = colocation costs nothing).
+        let eff = 0.5 * (qa / solo_share(a) + qb / solo_share(b));
+        t.push(vec![
+            format!("{}+{}", a.name(), b.name()),
+            num(qa),
+            num(qb),
+            num(eff),
+        ]);
+    }
+    t
+}
+
+/// Remove the host-bandwidth ceiling: the Fig 11 vs Fig 12 mechanism.
+fn ablation_host_bandwidth() -> Table {
+    let mut t = Table::new(
+        "ablation_host_bw",
+        "8-GPU scaling with the shared-host bandwidth model on vs off",
+        &["App", "Scaling (limited)", "Scaling (pinned)"],
+    );
+    let base = ServerConfig::k40_server(1);
+    for app in App::ALL {
+        let lim = gpusim::server_sweep(&base, app, &[1, 8], 4, false)
+            .expect("zoo networks always profile");
+        let pin = gpusim::server_sweep(&base, app, &[1, 8], 4, true)
+            .expect("zoo networks always profile");
+        t.push(vec![
+            app.name().into(),
+            num(lim[1].1 / lim[0].1),
+            num(pin[1].1 / pin[0].1),
+        ]);
+    }
+    t
+}
+
+/// Remove disaggregation's GPU right-sizing: force every GPU box to carry
+/// 12 GPUs like an integrated server.
+fn ablation_rightsizing(db: &AppPerfDb) -> Table {
+    let mut t = Table::new(
+        "ablation_rightsizing",
+        "Disaggregated right-sized GPUs vs fixed 12-GPU boxes (100% DNN)",
+        &["Mix", "Right-sized TCO $", "Fixed-12 TCO $", "Penalty"],
+    );
+    let tech = NetworkTech::pcie_v3_10gbe();
+    let params = TcoParams::paper();
+    for mix in [Mix::Mixed, Mix::Image, Mix::Nlp] {
+        let right = provision(WscDesign::DisaggregatedGpu, mix, 1.0, db, &tech, &params);
+        // Fixed-12: same box count, 12 GPUs in every box.
+        let fixed_gpus = right.wimpy_servers * 12.0;
+        let fixed_breakdown = wsc::CostBreakdown::from_bom(
+            &params,
+            right.beefy_servers,
+            right.wimpy_servers,
+            fixed_gpus,
+            right.nic_units,
+            right.extra_hw,
+        );
+        t.push(vec![
+            mix.name().into(),
+            num(right.tco_total()),
+            num(fixed_breakdown.total()),
+            num(fixed_breakdown.total() / right.tco_total()),
+        ]);
+    }
+    t
+}
+
+/// Include pre/post-processing capacity in the GPU designs: the paper's
+/// headline gains assume the DNN service is the provisioning target; this
+/// shows how ASR's decode stage and SENNA's per-word features compress
+/// the TCO advantage when charged.
+fn ablation_provisioning(db: &AppPerfDb) -> Table {
+    let mut t = Table::new(
+        "ablation_provisioning",
+        "Disaggregated TCO gain vs CPU-only, with/without pre/post provisioning (100% DNN)",
+        &["Mix", "Gain (DNN only)", "Gain (with pre/post)"],
+    );
+    let tech = NetworkTech::pcie_v3_10gbe();
+    let params = TcoParams::paper();
+    for mix in [Mix::Mixed, Mix::Image, Mix::Nlp] {
+        let cpu = provision(WscDesign::CpuOnly, mix, 1.0, db, &tech, &params);
+        let dnn_only = provision(WscDesign::DisaggregatedGpu, mix, 1.0, db, &tech, &params);
+        let with_pp = provision_with(
+            WscDesign::DisaggregatedGpu,
+            mix,
+            1.0,
+            db,
+            &tech,
+            &params,
+            true,
+        );
+        t.push(vec![
+            mix.name().into(),
+            num(cpu.tco_total() / dnn_only.tco_total()),
+            num(cpu.tco_total() / with_pp.tco_total()),
+        ]);
+    }
+    t
+}

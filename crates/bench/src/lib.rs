@@ -1,0 +1,14 @@
+//! The benchmark harness: regenerates every table and figure of the
+//! paper's evaluation from the workspace's models and simulators.
+//!
+//! Each `figN`/`tableN` function in [`experiments`] returns structured
+//! rows; [`render`] turns them into aligned text tables and CSV files.
+//! The `figures` binary drives everything:
+//!
+//! ```text
+//! cargo run -p bench --bin figures --release            # all experiments
+//! cargo run -p bench --bin figures --release -- fig7    # one experiment
+//! ```
+
+pub mod experiments;
+pub mod render;

@@ -1,0 +1,159 @@
+//! Plain-text table and CSV rendering for the experiment harness.
+
+use std::fs;
+use std::path::Path;
+
+/// A rendered experiment: a caption, column headers, and rows of cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment id, e.g. `fig7a`.
+    pub id: String,
+    /// One-line caption echoing the paper's figure/table caption.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table; `headers` fixes the column count.
+    pub fn new(id: &str, caption: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            caption: caption.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n", self.id, self.caption));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV form under `dir/<id>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.1 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("fig0", "sample", &["a", "bee"]);
+        t.push(vec!["1".into(), "2".into()]);
+        t
+    }
+
+    #[test]
+    fn text_render_contains_everything() {
+        let txt = sample().to_text();
+        assert!(txt.contains("fig0"));
+        assert!(txt.contains("bee"));
+        assert!(txt.contains('1'));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", "c", &["h"]);
+        t.push(vec!["a,b".into()]);
+        assert!(t.to_csv().contains("\"a,b\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_rejects_wrong_width() {
+        let mut t = sample();
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn num_formats_by_magnitude() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(12345.6), "12346");
+        assert_eq!(num(12.34), "12.3");
+        assert_eq!(num(1.234), "1.23");
+        assert_eq!(num(0.01234), "0.0123");
+    }
+}

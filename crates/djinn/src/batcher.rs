@@ -1,0 +1,256 @@
+//! Server-side query batching (§5.1 of the paper).
+//!
+//! Multiple in-flight queries for the same model are stacked along the
+//! batch axis into one larger input, executed as a single forward pass,
+//! and the output rows are scattered back to the waiting clients. Batching
+//! is what turns the GPU's skinny, low-occupancy NLP matrices into full
+//! ones (Fig 7).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use dnn::Network;
+use tensor::Tensor;
+
+use crate::{DjinnError, Executor, Result};
+
+/// Batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum queries folded into one forward pass (Table 3's last
+    /// column gives the per-app sweet spots).
+    pub max_batch: usize,
+    /// Longest a query may wait for co-batched company before the batch is
+    /// dispatched anyway.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+struct Job {
+    input: Tensor,
+    reply: Sender<Result<Tensor>>,
+}
+
+/// A per-model batching worker.
+///
+/// [`Batcher::submit`] blocks the calling worker thread until the batched
+/// forward pass containing its query completes.
+pub struct Batcher {
+    tx: Sender<Job>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Batcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("alive", &self.worker.is_some())
+            .finish()
+    }
+}
+
+impl Batcher {
+    /// Spawns the batching worker for one model.
+    pub fn new(network: Arc<Network>, executor: Arc<dyn Executor>, config: BatchConfig) -> Self {
+        let (tx, rx) = bounded::<Job>(config.max_batch * 8);
+        let worker = std::thread::Builder::new()
+            .name(format!("djinn-batcher-{}", network.def().name()))
+            .spawn(move || batch_loop(&network, executor.as_ref(), config, &rx))
+            .expect("spawning batcher thread");
+        Batcher {
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submits one query and waits for its slice of the batched output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::Shutdown`] if the worker is gone, or the
+    /// inference error that failed the batch.
+    pub fn submit(&self, input: Tensor) -> Result<Tensor> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Job {
+                input,
+                reply: reply_tx,
+            })
+            .map_err(|_| DjinnError::Shutdown)?;
+        reply_rx.recv().map_err(|_| DjinnError::Shutdown)?
+    }
+
+    /// Stops the worker after it drains queued jobs.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        // Closing the channel makes the worker loop exit.
+        let (dead_tx, _) = bounded(0);
+        let _ = std::mem::replace(&mut self.tx, dead_tx);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        // Non-blocking teardown is impossible here by design: dropping a
+        // batcher waits for in-flight replies so no client hangs forever.
+        if self.worker.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn batch_loop(
+    network: &Arc<Network>,
+    executor: &dyn Executor,
+    config: BatchConfig,
+    rx: &Receiver<Job>,
+) {
+    loop {
+        // Block for the first job of the next batch.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed: shut down
+        };
+        let deadline = Instant::now() + config.max_delay;
+        let mut jobs = vec![first];
+        let mut queries: usize = jobs[0].input.shape().batch();
+        while queries < config.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => {
+                    queries += job.input.shape().batch();
+                    jobs.push(job);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        dispatch(network, executor, jobs);
+    }
+}
+
+fn dispatch(network: &Arc<Network>, executor: &dyn Executor, jobs: Vec<Job>) {
+    let inputs: Vec<Tensor> = jobs.iter().map(|j| j.input.clone()).collect();
+    let counts: Vec<usize> = inputs.iter().map(|t| t.shape().batch()).collect();
+    let result = Tensor::stack_batch(&inputs)
+        .map_err(dnn::DnnError::from)
+        .map_err(DjinnError::from)
+        .and_then(|stacked| executor.infer(network, &stacked))
+        .and_then(|outcome| {
+            outcome
+                .output
+                .split_batch(&counts)
+                .map_err(dnn::DnnError::from)
+                .map_err(DjinnError::from)
+        });
+    match result {
+        Ok(parts) => {
+            for (job, part) in jobs.into_iter().zip(parts) {
+                let _ = job.reply.send(Ok(part));
+            }
+        }
+        Err(e) => {
+            let message = e.to_string();
+            for job in jobs {
+                let _ = job.reply.send(Err(DjinnError::Remote {
+                    message: message.clone(),
+                }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpuExecutor;
+    use dnn::zoo::App;
+    use tensor::Shape;
+
+    fn setup(config: BatchConfig) -> (Arc<Network>, Batcher) {
+        let net = Arc::new(dnn::zoo::network(App::Dig).unwrap());
+        let batcher = Batcher::new(net.clone(), Arc::new(CpuExecutor), config);
+        (net, batcher)
+    }
+
+    #[test]
+    fn single_query_roundtrip() {
+        let (net, batcher) = setup(BatchConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+        });
+        let input = Tensor::random_uniform(Shape::nchw(1, 1, 28, 28), 1.0, 7);
+        let got = batcher.submit(input.clone()).unwrap();
+        let want = net.forward(&input).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-5);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn concurrent_queries_get_their_own_rows() {
+        let (net, batcher) = setup(BatchConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(20),
+        });
+        let batcher = Arc::new(batcher);
+        let net = Arc::new(net);
+        let mut handles = Vec::new();
+        for seed in 0..6u64 {
+            let b = Arc::clone(&batcher);
+            let n = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                let input = Tensor::random_uniform(Shape::nchw(1, 1, 28, 28), 1.0, seed);
+                let got = b.submit(input.clone()).unwrap();
+                let want = n.forward(&input).unwrap();
+                assert!(got.max_abs_diff(&want).unwrap() < 1e-4, "seed {seed}");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn oversized_inputs_fail_cleanly() {
+        let (_, batcher) = setup(BatchConfig::default());
+        let wrong = Tensor::zeros(Shape::nchw(1, 1, 10, 10));
+        assert!(matches!(
+            batcher.submit(wrong),
+            Err(DjinnError::Remote { .. })
+        ));
+        // The worker survives a failed batch.
+        let ok = Tensor::zeros(Shape::nchw(1, 1, 28, 28));
+        assert!(batcher.submit(ok).is_ok());
+    }
+
+    #[test]
+    fn multi_query_inputs_count_toward_batch() {
+        let (net, batcher) = setup(BatchConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+        });
+        let input = Tensor::random_uniform(Shape::nchw(3, 1, 28, 28), 1.0, 9);
+        let got = batcher.submit(input.clone()).unwrap();
+        assert_eq!(got.shape().dims(), &[3, 10]);
+        let want = net.forward(&input).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-5);
+    }
+}

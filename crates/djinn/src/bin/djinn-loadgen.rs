@@ -1,0 +1,158 @@
+//! Closed-loop load generator for a DjiNN service: measures end-to-end
+//! throughput and latency from the client side, per model.
+//!
+//! ```text
+//! djinn-loadgen --addr HOST:PORT --model NAME
+//!               [--threads N] [--requests R] [--queries Q]
+//! ```
+//!
+//! Input shapes are discovered from the seven Tonic models by name; for
+//! other models, pass nothing and the tool reports the server's model
+//! list.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use djinn::DjinnClient;
+use dnn::zoo::App;
+use tensor::Tensor;
+
+struct Args {
+    addr: String,
+    model: Option<String>,
+    threads: usize,
+    requests: usize,
+    queries: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7400".into(),
+        model: None,
+        threads: 4,
+        requests: 50,
+        queries: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--model" => args.model = Some(value("--model")?),
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--requests" => {
+                args.requests = value("--requests")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--queries" => {
+                args.queries = value("--queries")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--help" | "-h" => {
+                return Err("usage: djinn-loadgen --addr HOST:PORT --model NAME \
+                            [--threads N] [--requests R] [--queries Q]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Builds an input carrying `queries` stacked queries for a Tonic model.
+fn input_for(model: &str, queries: usize) -> Option<Tensor> {
+    let app = App::from_name(model)?;
+    let def = dnn::zoo::netdef(app);
+    let items = app.service_meta().inputs_per_query * queries;
+    let shape = def.input_shape().with_batch(items);
+    Some(Tensor::random_uniform(shape, 0.5, 99))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr: std::net::SocketAddr = match args.addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad --addr {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(model) = args.model else {
+        // No model: just show what the server offers.
+        match DjinnClient::connect(addr).and_then(|mut c| c.list_models()) {
+            Ok(names) => {
+                println!("models: {}", names.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("cannot reach server: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let Some(input) = input_for(&model, args.queries) else {
+        eprintln!("unknown Tonic model `{model}` (known: imc dig face asr pos chk ner)");
+        return ExitCode::FAILURE;
+    };
+
+    let total_us = Arc::new(AtomicU64::new(0));
+    let max_us = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..args.threads {
+        let input = input.clone();
+        let model = model.clone();
+        let total_us = Arc::clone(&total_us);
+        let max_us = Arc::clone(&max_us);
+        let errors = Arc::clone(&errors);
+        let requests = args.requests;
+        handles.push(std::thread::spawn(move || {
+            let mut client = match DjinnClient::connect(addr) {
+                Ok(c) => c,
+                Err(_) => {
+                    errors.fetch_add(requests as u64, Ordering::Relaxed);
+                    return;
+                }
+            };
+            for _ in 0..requests {
+                let t0 = Instant::now();
+                match client.infer(&model, &input) {
+                    Ok(_) => {
+                        let us = t0.elapsed().as_micros() as u64;
+                        total_us.fetch_add(us, Ordering::Relaxed);
+                        max_us.fetch_max(us, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let sent = (args.threads * args.requests) as u64;
+    let failed = errors.load(Ordering::Relaxed);
+    let ok = sent - failed.min(sent);
+    println!(
+        "{model}: {ok}/{sent} ok in {elapsed:.2}s  ->  {:.1} req/s ({:.1} q/s), \
+         mean {:.2} ms, max {:.2} ms",
+        ok as f64 / elapsed,
+        ok as f64 * args.queries as f64 / elapsed,
+        total_us.load(Ordering::Relaxed) as f64 / ok.max(1) as f64 / 1e3,
+        max_us.load(Ordering::Relaxed) as f64 / 1e3,
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,70 @@
+//! Inspect a `.djnm` model file (or a built-in Tonic model): architecture
+//! summary, parameter count and estimated single-GPU latency.
+//!
+//! ```text
+//! djinn-model-info PATH.djnm | TONIC_NAME [--batch N]
+//! ```
+
+use std::process::ExitCode;
+
+use djinn::SimGpuExecutor;
+use dnn::zoo::App;
+
+fn main() -> ExitCode {
+    let mut target = None;
+    let mut batch = 1usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(b) => batch = b,
+                None => {
+                    eprintln!("--batch needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: djinn-model-info PATH.djnm | imc|dig|face|asr|pos|chk|ner [--batch N]");
+                return ExitCode::SUCCESS;
+            }
+            other => target = Some(other.to_string()),
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("need a model file path or a Tonic model name");
+        return ExitCode::FAILURE;
+    };
+
+    let network = if let Some(app) = App::from_name(&target) {
+        match dnn::zoo::network(app) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("building {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match std::fs::File::open(&target)
+            .map_err(|e| e.to_string())
+            .and_then(|f| {
+                dnn::modelfile::load(std::io::BufReader::new(f)).map_err(|e| e.to_string())
+            }) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("loading {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    print!("{}", network.def().summary());
+    let gpu = SimGpuExecutor::default();
+    match gpu.modeled_latency(&network, batch) {
+        Ok(lat) => println!(
+            "\nmodeled K40 forward latency at batch {batch}: {:.3} ms",
+            lat.as_secs_f64() * 1e3
+        ),
+        Err(e) => eprintln!("latency model failed: {e}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,158 @@
+//! The DjiNN service daemon.
+//!
+//! ```text
+//! djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu]
+//!              [--batch N] [--models DIR] [--export DIR]
+//! ```
+//!
+//! With `--models DIR`, every `*.djnm` model file in the directory is
+//! served under its file stem; otherwise the seven built-in Tonic models
+//! are served. `--export DIR` writes the built-in models as `.djnm` files
+//! and exits (a way to bootstrap a model repository).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use djinn::{Backend, BatchConfig, DjinnServer, ModelRegistry, ServerConfig};
+
+struct Args {
+    addr: String,
+    backend: Backend,
+    batch: Option<usize>,
+    models: Option<PathBuf>,
+    export: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7400".into(),
+        backend: Backend::Cpu,
+        batch: None,
+        models: None,
+        export: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--backend" => {
+                args.backend = match value("--backend")?.as_str() {
+                    "cpu" => Backend::Cpu,
+                    "sim-gpu" => Backend::SimGpu,
+                    other => return Err(format!("unknown backend `{other}`")),
+                }
+            }
+            "--batch" => {
+                args.batch = Some(
+                    value("--batch")?
+                        .parse()
+                        .map_err(|e| format!("bad --batch: {e}"))?,
+                )
+            }
+            "--models" => args.models = Some(PathBuf::from(value("--models")?)),
+            "--export" => args.export = Some(PathBuf::from(value("--export")?)),
+            "--help" | "-h" => {
+                return Err("usage: djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu] \
+                            [--batch N] [--models DIR] [--export DIR]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(dir) = args.export {
+        return export_models(&dir);
+    }
+
+    let registry = match &args.models {
+        Some(dir) => match ModelRegistry::from_dir(dir) {
+            Ok(reg) if !reg.is_empty() => reg,
+            Ok(_) => {
+                eprintln!("no .djnm model files found in {}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("failed to load models from {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match ModelRegistry::with_tonic_models() {
+            Ok(reg) => reg,
+            Err(e) => {
+                eprintln!("failed to build Tonic models: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    eprintln!(
+        "loaded {} models ({:.1} MB resident): {}",
+        registry.len(),
+        registry.resident_bytes() as f64 / 1e6,
+        registry.names().join(", ")
+    );
+
+    let config = ServerConfig {
+        bind_addr: args.addr,
+        backend: args.backend,
+        batching: args.batch.map(|max_batch| BatchConfig {
+            max_batch,
+            max_delay: Duration::from_millis(2),
+        }),
+        ..ServerConfig::default()
+    };
+    let server = match DjinnServer::start(registry, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("DjiNN serving on {}", server.local_addr());
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn export_models(dir: &std::path::Path) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for app in dnn::zoo::App::ALL {
+        let net = match dnn::zoo::network(app) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("building {app}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = dir.join(format!("{}.djnm", app.name().to_lowercase()));
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("creating {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = dnn::modelfile::save(&net, std::io::BufWriter::new(file)) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,90 @@
+//! Client library for the DjiNN service.
+
+use std::net::{SocketAddr, TcpStream};
+
+use tensor::Tensor;
+
+use crate::protocol::{read_frame, write_frame, ModelStats, Request, Response};
+use crate::{DjinnError, Result};
+
+/// A synchronous client holding one TCP connection to a DjiNN server.
+///
+/// Tonic Suite applications use this to send preprocessed inputs and
+/// receive predictions; each client owns its connection, so one client per
+/// thread.
+#[derive(Debug)]
+pub struct DjinnClient {
+    stream: TcpStream,
+}
+
+impl DjinnClient {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(DjinnClient { stream })
+    }
+
+    /// Sends one inference request and waits for the prediction.
+    ///
+    /// The input's batch axis carries the number of stacked queries; the
+    /// response preserves it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::Remote`] for server-reported failures and
+    /// protocol/I/O errors otherwise.
+    pub fn infer(&mut self, model: &str, input: &Tensor) -> Result<Tensor> {
+        let req = Request::Infer {
+            model: model.to_string(),
+            input: input.clone(),
+        };
+        match self.roundtrip(&req)? {
+            Response::Output(t) => Ok(t),
+            Response::Error(message) => Err(DjinnError::Remote { message }),
+            other => Err(DjinnError::Protocol {
+                reason: format!("unexpected response {other:?}"),
+            }),
+        }
+    }
+
+    /// Asks the server which models it serves.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DjinnClient::infer`].
+    pub fn list_models(&mut self) -> Result<Vec<String>> {
+        match self.roundtrip(&Request::ListModels)? {
+            Response::Models(names) => Ok(names),
+            Response::Error(message) => Err(DjinnError::Remote { message }),
+            other => Err(DjinnError::Protocol {
+                reason: format!("unexpected response {other:?}"),
+            }),
+        }
+    }
+
+    /// Fetches per-model service statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DjinnClient::infer`].
+    pub fn stats(&mut self) -> Result<Vec<ModelStats>> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(message) => Err(DjinnError::Remote { message }),
+            other => Err(DjinnError::Protocol {
+                reason: format!("unexpected response {other:?}"),
+            }),
+        }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        Response::decode(&payload)
+    }
+}

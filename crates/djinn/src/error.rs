@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Error type for the DjiNN service and client.
+#[derive(Debug)]
+pub enum DjinnError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The wire payload violates the protocol.
+    Protocol {
+        /// What is wrong.
+        reason: String,
+    },
+    /// The requested model is not registered.
+    UnknownModel {
+        /// Name the client asked for.
+        name: String,
+    },
+    /// The DNN rejected the input or failed internally.
+    Dnn(dnn::DnnError),
+    /// The server reported an application-level error.
+    Remote {
+        /// Server-provided message.
+        message: String,
+    },
+    /// The server or a worker is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for DjinnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DjinnError::Io(e) => write!(f, "i/o error: {e}"),
+            DjinnError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            DjinnError::UnknownModel { name } => write!(f, "unknown model `{name}`"),
+            DjinnError::Dnn(e) => write!(f, "inference failed: {e}"),
+            DjinnError::Remote { message } => write!(f, "server error: {message}"),
+            DjinnError::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for DjinnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DjinnError::Io(e) => Some(e),
+            DjinnError::Dnn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DjinnError {
+    fn from(e: std::io::Error) -> Self {
+        DjinnError::Io(e)
+    }
+}
+
+impl From<dnn::DnnError> for DjinnError {
+    fn from(e: dnn::DnnError) -> Self {
+        DjinnError::Dnn(e)
+    }
+}
+
+impl From<tensor::TensorError> for DjinnError {
+    fn from(e: tensor::TensorError) -> Self {
+        DjinnError::Dnn(dnn::DnnError::Tensor(e))
+    }
+}

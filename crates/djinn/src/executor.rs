@@ -1,0 +1,177 @@
+//! Compute backends for the service.
+//!
+//! Both executors produce *real* predictions with real math on the
+//! `tensor` substrate. They differ in the latency they report:
+//! [`CpuExecutor`] reports measured wall-clock time (it *is* the CPU
+//! baseline), while [`SimGpuExecutor`] reports the latency the paper's
+//! K40 would exhibit for the same forward pass, taken from the calibrated
+//! `perf` model — the GPU-hardware substitution of DESIGN.md §2.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dnn::profile::WorkloadProfile;
+use dnn::Network;
+use perf::GpuSpec;
+use tensor::Tensor;
+
+use crate::Result;
+
+/// The result of one inference call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceOutcome {
+    /// The network output (softmax scores or logits, batched like the
+    /// input).
+    pub output: Tensor,
+    /// The device latency attributed to the forward pass: measured for the
+    /// CPU backend, modeled for the simulated-GPU backend.
+    pub device_latency: Duration,
+}
+
+/// A compute backend executing forward passes.
+///
+/// Implementations must be thread-safe: DjiNN worker threads call
+/// [`Executor::infer`] concurrently against shared read-only models.
+pub trait Executor: Send + Sync {
+    /// Runs the forward pass of `network` on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches and layer failures.
+    fn infer(&self, network: &Arc<Network>, input: &Tensor) -> Result<InferenceOutcome>;
+
+    /// Short backend name for logs and stats.
+    fn backend_name(&self) -> &'static str;
+}
+
+/// Executes on the host CPU (the paper's Caffe+ATLAS baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuExecutor;
+
+impl Executor for CpuExecutor {
+    fn infer(&self, network: &Arc<Network>, input: &Tensor) -> Result<InferenceOutcome> {
+        let start = Instant::now();
+        let output = network.forward(input)?;
+        Ok(InferenceOutcome {
+            output,
+            device_latency: start.elapsed(),
+        })
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "cpu"
+    }
+}
+
+/// Executes the same real math as [`CpuExecutor`] but attributes the
+/// latency a K40 running the equivalent cuDNN kernels would take.
+#[derive(Debug, Clone)]
+pub struct SimGpuExecutor {
+    gpu: GpuSpec,
+}
+
+impl SimGpuExecutor {
+    /// Creates a simulated-GPU executor for the given device.
+    pub fn new(gpu: GpuSpec) -> Self {
+        SimGpuExecutor { gpu }
+    }
+
+    /// The simulated device.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Models the forward latency for `network` at `batch` input items
+    /// without executing any math (used by benchmarks that only need
+    /// timing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures.
+    pub fn modeled_latency(&self, network: &Network, batch: usize) -> Result<Duration> {
+        let profile = WorkloadProfile::of(network.def(), batch)?;
+        let timing = perf::gpu_forward(&self.gpu, &profile);
+        Ok(Duration::from_secs_f64(timing.seconds))
+    }
+}
+
+impl Default for SimGpuExecutor {
+    fn default() -> Self {
+        SimGpuExecutor::new(GpuSpec::k40())
+    }
+}
+
+impl Executor for SimGpuExecutor {
+    fn infer(&self, network: &Arc<Network>, input: &Tensor) -> Result<InferenceOutcome> {
+        let output = network.forward(input)?;
+        let device_latency = self.modeled_latency(network, input.shape().batch())?;
+        Ok(InferenceOutcome {
+            output,
+            device_latency,
+        })
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "sim-gpu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::zoo::App;
+    use tensor::Shape;
+
+    fn mnist() -> Arc<Network> {
+        Arc::new(dnn::zoo::network(App::Dig).unwrap())
+    }
+
+    #[test]
+    fn both_backends_agree_on_outputs() {
+        let net = mnist();
+        let input = Tensor::random_uniform(Shape::nchw(2, 1, 28, 28), 1.0, 3);
+        let cpu = CpuExecutor.infer(&net, &input).unwrap();
+        let gpu = SimGpuExecutor::default().infer(&net, &input).unwrap();
+        assert_eq!(cpu.output, gpu.output);
+    }
+
+    #[test]
+    fn sim_gpu_latency_is_modeled_not_measured() {
+        let net = mnist();
+        let d1 = SimGpuExecutor::default().modeled_latency(&net, 1).unwrap();
+        let d2 = SimGpuExecutor::default().modeled_latency(&net, 1).unwrap();
+        assert_eq!(d1, d2, "modeled latency must be deterministic");
+        assert!(d1 > Duration::ZERO);
+    }
+
+    #[test]
+    fn modeled_latency_grows_sublinearly_with_batch() {
+        // The whole point of batching: 16x the work costs far less than
+        // 16x the time.
+        let net = mnist();
+        let exec = SimGpuExecutor::default();
+        let b1 = exec.modeled_latency(&net, 100).unwrap();
+        let b16 = exec.modeled_latency(&net, 1600).unwrap();
+        assert!(b16 < b1 * 16);
+        assert!(b16 > b1);
+    }
+
+    #[test]
+    fn cpu_latency_is_positive() {
+        let net = mnist();
+        let input = Tensor::zeros(Shape::nchw(1, 1, 28, 28));
+        let out = CpuExecutor.infer(&net, &input).unwrap();
+        assert!(out.device_latency > Duration::ZERO);
+        assert_eq!(out.output.shape().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn executors_are_object_safe() {
+        let backends: Vec<Box<dyn Executor>> = vec![
+            Box::new(CpuExecutor),
+            Box::new(SimGpuExecutor::default()),
+        ];
+        assert_eq!(backends[0].backend_name(), "cpu");
+        assert_eq!(backends[1].backend_name(), "sim-gpu");
+    }
+}

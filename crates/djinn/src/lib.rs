@@ -1,0 +1,57 @@
+//! DjiNN: DNN as a service.
+//!
+//! This crate is the paper's primary artifact: a standalone service that
+//! accepts inference requests over a custom socket protocol on TCP/IP,
+//! holds every registered model in memory once (worker threads share them
+//! read-only), executes the DNN forward pass, and returns the prediction.
+//!
+//! Components:
+//!
+//! * [`protocol`] — the length-prefixed binary wire format;
+//! * [`ModelRegistry`] — load-once, share-read-only model store;
+//! * [`Executor`] — the compute backend: [`CpuExecutor`] runs real math on
+//!   the `tensor` substrate; [`SimGpuExecutor`] runs the same real math for
+//!   functional results while *modeling* the latency a K40 would exhibit
+//!   (the GPU-hardware substitution, see DESIGN.md §2);
+//! * [`Batcher`] — server-side query batching (§5.1 of the paper);
+//! * [`DjinnServer`]/[`DjinnClient`] — the TCP service and its client.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use djinn::{DjinnServer, DjinnClient, ServerConfig};
+//! use tensor::{Tensor, Shape};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut config = ServerConfig::default();
+//! config.bind_addr = "127.0.0.1:0".into();
+//! let server = DjinnServer::start_with_tonic_models(config)?;
+//! let addr = server.local_addr();
+//!
+//! let mut client = DjinnClient::connect(addr)?;
+//! let digit = Tensor::zeros(Shape::nchw(1, 1, 28, 28));
+//! let probs = client.infer("dig", &digit)?;
+//! assert_eq!(probs.shape().as_matrix().1, 10);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+mod batcher;
+mod client;
+mod error;
+mod executor;
+pub mod protocol;
+mod registry;
+mod server;
+
+pub use batcher::{BatchConfig, Batcher};
+pub use client::DjinnClient;
+pub use error::DjinnError;
+pub use executor::{CpuExecutor, Executor, InferenceOutcome, SimGpuExecutor};
+pub use protocol::ModelStats;
+pub use registry::ModelRegistry;
+pub use server::{Backend, DjinnServer, ServerConfig};
+
+/// Result alias used across this crate.
+pub type Result<T> = std::result::Result<T, DjinnError>;

@@ -1,0 +1,478 @@
+//! The DjiNN wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message is `[u32 length | payload]` (little-endian length of the
+//! payload). Payloads begin with the 4-byte magic `DJNN` and a version
+//! byte, then an opcode:
+//!
+//! ```text
+//! request  := magic version opcode=1 name:str tensor
+//! response := magic version opcode=2 status:u8 (tensor | str)
+//! list_req := magic version opcode=3
+//! list_rsp := magic version opcode=4 count:u16 (str)*
+//! str      := u16 len, utf-8 bytes
+//! tensor   := u8 rank, u32 dim*, f32 data* (little endian)
+//! ```
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{Read, Write};
+
+use tensor::{Shape, Tensor};
+
+use crate::{DjinnError, Result};
+
+/// Protocol magic bytes.
+pub const MAGIC: &[u8; 4] = b"DJNN";
+/// Protocol version this implementation speaks.
+pub const VERSION: u8 = 1;
+/// Upper bound on a frame, to reject hostile lengths (64 MiB holds the
+/// largest Tonic batch comfortably).
+pub const MAX_FRAME: usize = 64 << 20;
+
+const OP_INFER: u8 = 1;
+const OP_RESULT: u8 = 2;
+const OP_LIST: u8 = 3;
+const OP_LIST_RESULT: u8 = 4;
+const OP_STATS: u8 = 5;
+const OP_STATS_RESULT: u8 = 6;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run inference on `model` with the given input tensor.
+    Infer {
+        /// Registered model name.
+        model: String,
+        /// Input tensor (batch axis = queries stacked by the client).
+        input: Tensor,
+    },
+    /// List registered model names.
+    ListModels,
+    /// Fetch per-model service statistics.
+    Stats,
+}
+
+/// Service statistics for one model, as reported by the `Stats` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Model name.
+    pub model: String,
+    /// Successful inference requests served.
+    pub requests: u64,
+    /// Failed inference requests.
+    pub errors: u64,
+    /// Total device latency attributed to this model, microseconds.
+    pub total_latency_us: u64,
+    /// Maximum single-request device latency, microseconds.
+    pub max_latency_us: u64,
+}
+
+impl ModelStats {
+    /// Mean device latency per successful request, microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency_us as f64 / self.requests as f64
+        }
+    }
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful inference: the output tensor.
+    Output(Tensor),
+    /// Application-level failure.
+    Error(String),
+    /// Registered model names.
+    Models(Vec<String>),
+    /// Per-model service statistics.
+    Stats(Vec<ModelStats>),
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+    buf.put_u8(t.shape().rank() as u8);
+    for &d in t.shape().dims() {
+        buf.put_u32_le(d as u32);
+    }
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String> {
+    if buf.remaining() < 2 {
+        return Err(err("truncated string length"));
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return Err(err("truncated string body"));
+    }
+    let bytes = buf[..len].to_vec();
+    buf.advance(len);
+    String::from_utf8(bytes).map_err(|_| err("string is not utf-8"))
+}
+
+fn get_tensor(buf: &mut &[u8]) -> Result<Tensor> {
+    if buf.remaining() < 1 {
+        return Err(err("truncated tensor rank"));
+    }
+    let rank = buf.get_u8() as usize;
+    if rank == 0 || rank > 4 {
+        return Err(err(&format!("tensor rank {rank} out of 1..=4")));
+    }
+    if buf.remaining() < rank * 4 {
+        return Err(err("truncated tensor dims"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u32_le() as usize);
+    }
+    let shape = Shape::new(&dims).map_err(|e| err(&format!("bad tensor shape: {e}")))?;
+    let n = shape.volume();
+    if buf.remaining() < n * 4 {
+        return Err(err("truncated tensor data"));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Tensor::from_vec(shape, data).expect("volume matches by construction"))
+}
+
+fn err(reason: &str) -> DjinnError {
+    DjinnError::Protocol {
+        reason: reason.to_string(),
+    }
+}
+
+fn header(buf: &mut BytesMut, opcode: u8) {
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(opcode);
+}
+
+fn check_header(buf: &mut &[u8]) -> Result<u8> {
+    if buf.remaining() < 6 {
+        return Err(err("frame shorter than header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(err(&format!("unsupported version {version}")));
+    }
+    Ok(buf.get_u8())
+}
+
+impl Request {
+    /// Serializes the request into a payload (without the frame length).
+    pub fn encode(&self) -> BytesMut {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Infer { model, input } => {
+                header(&mut buf, OP_INFER);
+                put_str(&mut buf, model);
+                put_tensor(&mut buf, input);
+            }
+            Request::ListModels => header(&mut buf, OP_LIST),
+            Request::Stats => header(&mut buf, OP_STATS),
+        }
+        buf
+    }
+
+    /// Parses a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::Protocol`] for any malformed frame.
+    pub fn decode(mut payload: &[u8]) -> Result<Self> {
+        let buf = &mut payload;
+        match check_header(buf)? {
+            OP_INFER => {
+                let model = get_str(buf)?;
+                let input = get_tensor(buf)?;
+                Ok(Request::Infer { model, input })
+            }
+            OP_LIST => Ok(Request::ListModels),
+            OP_STATS => Ok(Request::Stats),
+            other => Err(err(&format!("unexpected request opcode {other}"))),
+        }
+    }
+}
+
+impl Response {
+    /// Serializes the response into a payload (without the frame length).
+    pub fn encode(&self) -> BytesMut {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::Output(t) => {
+                header(&mut buf, OP_RESULT);
+                buf.put_u8(STATUS_OK);
+                put_tensor(&mut buf, t);
+            }
+            Response::Error(msg) => {
+                header(&mut buf, OP_RESULT);
+                buf.put_u8(STATUS_ERR);
+                put_str(&mut buf, msg);
+            }
+            Response::Models(names) => {
+                header(&mut buf, OP_LIST_RESULT);
+                buf.put_u16_le(names.len() as u16);
+                for n in names {
+                    put_str(&mut buf, n);
+                }
+            }
+            Response::Stats(stats) => {
+                header(&mut buf, OP_STATS_RESULT);
+                buf.put_u16_le(stats.len() as u16);
+                for s in stats {
+                    put_str(&mut buf, &s.model);
+                    buf.put_u64_le(s.requests);
+                    buf.put_u64_le(s.errors);
+                    buf.put_u64_le(s.total_latency_us);
+                    buf.put_u64_le(s.max_latency_us);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Parses a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::Protocol`] for any malformed frame.
+    pub fn decode(mut payload: &[u8]) -> Result<Self> {
+        let buf = &mut payload;
+        match check_header(buf)? {
+            OP_RESULT => {
+                if buf.remaining() < 1 {
+                    return Err(err("truncated status"));
+                }
+                match buf.get_u8() {
+                    STATUS_OK => Ok(Response::Output(get_tensor(buf)?)),
+                    STATUS_ERR => Ok(Response::Error(get_str(buf)?)),
+                    s => Err(err(&format!("unknown status {s}"))),
+                }
+            }
+            OP_LIST_RESULT => {
+                if buf.remaining() < 2 {
+                    return Err(err("truncated model count"));
+                }
+                let count = buf.get_u16_le() as usize;
+                let mut names = Vec::with_capacity(count);
+                for _ in 0..count {
+                    names.push(get_str(buf)?);
+                }
+                Ok(Response::Models(names))
+            }
+            OP_STATS_RESULT => {
+                if buf.remaining() < 2 {
+                    return Err(err("truncated stats count"));
+                }
+                let count = buf.get_u16_le() as usize;
+                let mut stats = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let model = get_str(buf)?;
+                    if buf.remaining() < 32 {
+                        return Err(err("truncated stats entry"));
+                    }
+                    stats.push(ModelStats {
+                        model,
+                        requests: buf.get_u64_le(),
+                        errors: buf.get_u64_le(),
+                        total_latency_us: buf.get_u64_le(),
+                        max_latency_us: buf.get_u64_le(),
+                    });
+                }
+                Ok(Response::Stats(stats))
+            }
+            other => Err(err(&format!("unexpected response opcode {other}"))),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame. The writer may be a `&mut` reference.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame. The reader may be a `&mut` reference.
+///
+/// # Errors
+///
+/// Returns [`DjinnError::Protocol`] if the advertised length exceeds
+/// [`MAX_FRAME`]; propagates I/O failures (including clean EOF as
+/// `UnexpectedEof`).
+pub fn read_frame<R: Read>(mut r: R) -> Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(err(&format!("frame length {len} exceeds cap {MAX_FRAME}")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::Infer {
+            model: "imc".into(),
+            input: Tensor::random_uniform(Shape::nchw(2, 3, 4, 4), 1.0, 1),
+        };
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+        let list = Request::ListModels;
+        assert_eq!(Request::decode(&list.encode()).unwrap(), list);
+        let stats = Request::Stats;
+        assert_eq!(Request::decode(&stats.encode()).unwrap(), stats);
+    }
+
+    #[test]
+    fn stats_response_roundtrip() {
+        let rsp = Response::Stats(vec![
+            ModelStats {
+                model: "dig".into(),
+                requests: 42,
+                errors: 1,
+                total_latency_us: 10_000,
+                max_latency_us: 900,
+            },
+            ModelStats {
+                model: "pos".into(),
+                requests: 0,
+                errors: 0,
+                total_latency_us: 0,
+                max_latency_us: 0,
+            },
+        ]);
+        assert_eq!(Response::decode(&rsp.encode()).unwrap(), rsp);
+    }
+
+    #[test]
+    fn mean_latency_handles_zero_requests() {
+        let s = ModelStats {
+            model: "m".into(),
+            requests: 0,
+            errors: 0,
+            total_latency_us: 0,
+            max_latency_us: 0,
+        };
+        assert_eq!(s.mean_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for rsp in [
+            Response::Output(Tensor::random_uniform(Shape::mat(3, 5), 1.0, 2)),
+            Response::Error("nope".into()),
+            Response::Models(vec!["a".into(), "b".into()]),
+        ] {
+            assert_eq!(Response::decode(&rsp.encode()).unwrap(), rsp);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut buf = Request::ListModels.encode().to_vec();
+        buf[0] = b'X';
+        assert!(Request::decode(&buf).is_err());
+        let mut buf2 = Request::ListModels.encode().to_vec();
+        buf2[4] = 99;
+        assert!(Request::decode(&buf2).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix() {
+        let full = Request::Infer {
+            model: "m".into(),
+            input: Tensor::zeros(Shape::mat(2, 2)),
+        }
+        .encode()
+        .to_vec();
+        for cut in 0..full.len() {
+            assert!(
+                Request::decode(&full[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_io_roundtrip() {
+        let payload = b"hello djinn".to_vec();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let got = read_frame(&wire[..]).unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn frame_rejects_hostile_length() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            read_frame(&wire[..]),
+            Err(DjinnError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_and_overlong_rank() {
+        // Handcraft a tensor with rank 0.
+        let mut buf = BytesMut::new();
+        header(&mut buf, OP_RESULT);
+        buf.put_u8(STATUS_OK);
+        buf.put_u8(0);
+        assert!(Response::decode(&buf).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_tensor_roundtrips(
+            rank in 1usize..=4,
+            seed in 0u64..500,
+        ) {
+            let dims: Vec<usize> = (0..rank).map(|i| 1 + (seed as usize + i * 3) % 5).collect();
+            let shape = Shape::new(&dims).unwrap();
+            let t = Tensor::random_uniform(shape, 10.0, seed);
+            let rsp = Response::Output(t.clone());
+            let back = Response::decode(&rsp.encode()).unwrap();
+            prop_assert_eq!(back, rsp);
+        }
+
+        #[test]
+        fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // Decoding hostile bytes must fail cleanly, never panic.
+            let _ = Request::decode(&data);
+            let _ = Response::decode(&data);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The model registry: load models once at initialization, share them
+//! read-only with every worker thread (§3.1 "Request Processing").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dnn::zoo::App;
+use dnn::Network;
+
+use crate::{DjinnError, Result};
+
+/// A read-only store of named, executable networks.
+///
+/// The registry is immutable after construction (interior `Arc`s only), so
+/// it is freely shared across worker threads without locking — exactly the
+/// paper's design: "incoming requests using the same model are accepted
+/// without needing to load their own copy of the model into memory".
+#[derive(Debug, Clone, Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, Arc<Network>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with all seven Tonic Suite models, keyed by
+    /// their lower-case app names (`imc`, `dig`, `face`, `asr`, `pos`,
+    /// `chk`, `ner`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn with_tonic_models() -> Result<Self> {
+        let mut reg = ModelRegistry::new();
+        for app in App::ALL {
+            reg.register(app.name().to_lowercase(), dnn::zoo::network(app)?);
+        }
+        Ok(reg)
+    }
+
+    /// Loads every `*.djnm` model file in a directory, registering each
+    /// under its file stem — how a production DjiNN instance is pointed at
+    /// a model repository.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory/file I/O and model-format failures.
+    pub fn from_dir(dir: &std::path::Path) -> Result<Self> {
+        let mut reg = ModelRegistry::new();
+        let entries = std::fs::read_dir(dir).map_err(DjinnError::Io)?;
+        for entry in entries {
+            let path = entry.map_err(DjinnError::Io)?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("djnm") {
+                continue;
+            }
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("model")
+                .to_lowercase();
+            let file = std::fs::File::open(&path).map_err(DjinnError::Io)?;
+            let network = dnn::modelfile::load(std::io::BufReader::new(file))?;
+            reg.register(name, network);
+        }
+        Ok(reg)
+    }
+
+    /// Registers (or replaces) a model under `name`. Registration happens
+    /// at service initialization, before worker threads exist.
+    pub fn register(&mut self, name: impl Into<String>, network: Network) {
+        self.models.insert(name.into(), Arc::new(network));
+    }
+
+    /// Looks up a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::UnknownModel`] when absent.
+    pub fn get(&self, name: &str) -> Result<Arc<Network>> {
+        self.models
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DjinnError::UnknownModel {
+                name: name.to_string(),
+            })
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Total bytes of model weights held in memory — what the paper's
+    /// DjiNN instance keeps resident for its applications.
+    pub fn resident_bytes(&self) -> usize {
+        self.models
+            .values()
+            .map(|n| n.param_count() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tonic_registry_has_all_seven() {
+        let reg = ModelRegistry::with_tonic_models().unwrap();
+        assert_eq!(reg.len(), 7);
+        for app in App::ALL {
+            assert!(reg.get(&app.name().to_lowercase()).is_ok());
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_reported() {
+        let reg = ModelRegistry::new();
+        assert!(matches!(
+            reg.get("nope"),
+            Err(DjinnError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn models_are_shared_not_copied() {
+        let reg = ModelRegistry::with_tonic_models().unwrap();
+        let a = reg.get("imc").unwrap();
+        let b = reg.get("imc").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn from_dir_loads_saved_models() {
+        let dir = std::env::temp_dir().join(format!("djinn-models-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let net = dnn::zoo::network(App::Pos).unwrap();
+        let file = std::fs::File::create(dir.join("POS.djnm")).unwrap();
+        dnn::modelfile::save(&net, std::io::BufWriter::new(file)).unwrap();
+        std::fs::write(dir.join("ignore.txt"), "not a model").unwrap();
+        let reg = ModelRegistry::from_dir(&dir).unwrap();
+        assert_eq!(reg.names(), vec!["pos".to_string()]);
+        assert_eq!(*reg.get("pos").unwrap(), net);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resident_bytes_counts_weights() {
+        let reg = ModelRegistry::with_tonic_models().unwrap();
+        // The seven Tonic models total roughly 193M params x 4 bytes.
+        let gb = reg.resident_bytes() as f64 / 1e9;
+        assert!((0.5..1.5).contains(&gb), "resident {gb} GB");
+    }
+}

@@ -1,0 +1,381 @@
+//! The DjiNN TCP server: accept loop, one worker thread per connection,
+//! shared read-only model registry, optional per-model batching.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::protocol::{read_frame, write_frame, ModelStats, Request, Response};
+use crate::{
+    BatchConfig, Batcher, CpuExecutor, DjinnError, Executor, ModelRegistry, Result,
+    SimGpuExecutor,
+};
+
+/// Which compute backend the server uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Real math, measured CPU latency (the paper's baseline).
+    #[default]
+    Cpu,
+    /// Real math, modeled K40 latency (the GPU substitution).
+    SimGpu,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; use port 0 for an ephemeral port in tests.
+    pub bind_addr: String,
+    /// Compute backend.
+    pub backend: Backend,
+    /// Per-model batching; `None` executes each request alone.
+    pub batching: Option<BatchConfig>,
+    /// Per-model `max_batch` overrides on top of `batching` — how the
+    /// Table 3 per-application batch sizes are deployed (e.g. 64 for the
+    /// NLP models but only 2 for FACE).
+    pub batch_overrides: BTreeMap<String, usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind_addr: "127.0.0.1:0".into(),
+            backend: Backend::Cpu,
+            batching: None,
+            batch_overrides: BTreeMap::new(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The paper's deployment: batching on, with each Tonic model's
+    /// Table 3 batch size.
+    pub fn tonic_batching() -> Self {
+        let mut batch_overrides = BTreeMap::new();
+        for app in dnn::zoo::App::ALL {
+            batch_overrides.insert(
+                app.name().to_lowercase(),
+                app.service_meta().batch_size,
+            );
+        }
+        ServerConfig {
+            batching: Some(BatchConfig::default()),
+            batch_overrides,
+            ..ServerConfig::default()
+        }
+    }
+}
+
+/// A running DjiNN service.
+///
+/// Dropping the handle (or calling [`DjinnServer::shutdown`]) stops the
+/// accept loop; in-flight connections finish their current request.
+#[derive(Debug)]
+pub struct DjinnServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+#[derive(Default)]
+struct StatsAcc {
+    requests: u64,
+    errors: u64,
+    total_latency_us: u64,
+    max_latency_us: u64,
+}
+
+struct Shared {
+    registry: ModelRegistry,
+    executor: Arc<dyn Executor>,
+    batchers: BTreeMap<String, Batcher>,
+    stats: Mutex<BTreeMap<String, StatsAcc>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl DjinnServer {
+    /// Starts the service with the given registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn start(registry: ModelRegistry, config: ServerConfig) -> Result<Self> {
+        let listener = TcpListener::bind(&config.bind_addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let executor: Arc<dyn Executor> = match config.backend {
+            Backend::Cpu => Arc::new(CpuExecutor),
+            Backend::SimGpu => Arc::new(SimGpuExecutor::default()),
+        };
+        // Batchers are created eagerly at initialization, one per model,
+        // mirroring DjiNN's load-everything-up-front design.
+        let mut batchers = BTreeMap::new();
+        if let Some(bc) = config.batching {
+            for name in registry.names() {
+                let net = registry.get(&name)?;
+                let mut model_bc = bc;
+                if let Some(&max_batch) = config.batch_overrides.get(&name) {
+                    model_bc.max_batch = max_batch;
+                }
+                batchers.insert(name, Batcher::new(net, Arc::clone(&executor), model_bc));
+            }
+        }
+        let shared = Arc::new(Shared {
+            registry,
+            executor,
+            batchers,
+            stats: Mutex::new(BTreeMap::new()),
+            stop: Arc::clone(&stop),
+        });
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("djinn-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_stop, &shared))
+            .expect("spawning accept thread");
+        Ok(DjinnServer {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Starts the service pre-loaded with all seven Tonic models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and model-construction failures.
+    pub fn start_with_tonic_models(config: ServerConfig) -> Result<Self> {
+        Self::start(ModelRegistry::with_tonic_models()?, config)
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DjinnServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, shared: &Arc<Shared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // One worker thread per connection — the paper's request model.
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("djinn-worker".into())
+            .spawn(move || connection_loop(stream, &shared));
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Shared) {
+    // Bounded reads so worker threads drain after shutdown even if a
+    // client goes quiet.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut stream = stream;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(DjinnError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // idle; poll the stop flag again
+            }
+            Err(_) => return, // EOF or protocol break: drop the connection
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => handle(req, shared),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle(req: Request, shared: &Shared) -> Response {
+    match req {
+        Request::ListModels => Response::Models(shared.registry.names()),
+        Request::Stats => {
+            let stats = shared.stats.lock();
+            Response::Stats(
+                stats
+                    .iter()
+                    .map(|(model, acc)| ModelStats {
+                        model: model.clone(),
+                        requests: acc.requests,
+                        errors: acc.errors,
+                        total_latency_us: acc.total_latency_us,
+                        max_latency_us: acc.max_latency_us,
+                    })
+                    .collect(),
+            )
+        }
+        Request::Infer { model, input } => {
+            let started = std::time::Instant::now();
+            let result = (|| -> Result<tensor::Tensor> {
+                if let Some(batcher) = shared.batchers.get(&model) {
+                    batcher.submit(input)
+                } else {
+                    let net = shared.registry.get(&model)?;
+                    Ok(shared.executor.infer(&net, &input)?.output)
+                }
+            })();
+            let elapsed_us = started.elapsed().as_micros() as u64;
+            {
+                let mut stats = shared.stats.lock();
+                let acc = stats.entry(model).or_default();
+                match &result {
+                    Ok(_) => {
+                        acc.requests += 1;
+                        acc.total_latency_us += elapsed_us;
+                        acc.max_latency_us = acc.max_latency_us.max(elapsed_us);
+                    }
+                    Err(_) => acc.errors += 1,
+                }
+            }
+            match result {
+                Ok(output) => Response::Output(output),
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DjinnClient;
+    use tensor::{Shape, Tensor};
+
+    fn small_registry() -> ModelRegistry {
+        // A tiny model keeps tests fast.
+        let def = dnn::parser::parse_netdef(
+            "name: tiny\ninput: 8\nlayer fc1 fc out=4\nlayer prob softmax\n",
+        )
+        .unwrap();
+        let net = dnn::Network::with_random_weights(def, 1).unwrap();
+        let mut reg = ModelRegistry::new();
+        reg.register("tiny", net);
+        reg
+    }
+
+    #[test]
+    fn end_to_end_inference_over_tcp() {
+        let server = DjinnServer::start(small_registry(), ServerConfig::default()).unwrap();
+        let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 2);
+        let out = client.infer("tiny", &input).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4]);
+        let sum: f32 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_returns_remote_error() {
+        let server = DjinnServer::start(small_registry(), ServerConfig::default()).unwrap();
+        let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+        let input = Tensor::zeros(Shape::mat(1, 8));
+        let err = client.infer("nope", &input).unwrap_err();
+        assert!(matches!(err, DjinnError::Remote { .. }), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn list_models_reports_registry() {
+        let server = DjinnServer::start(small_registry(), ServerConfig::default()).unwrap();
+        let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.list_models().unwrap(), vec!["tiny".to_string()]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_server_matches_unbatched_results() {
+        let config = ServerConfig {
+            batching: Some(BatchConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(1),
+            }),
+            ..ServerConfig::default()
+        };
+        let server = DjinnServer::start(small_registry(), config).unwrap();
+        let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 5);
+        let batched = client.infer("tiny", &input).unwrap();
+        // Compare with a locally-executed reference.
+        let reg = small_registry();
+        let want = reg.get("tiny").unwrap().forward(&input).unwrap();
+        assert!(batched.max_abs_diff(&want).unwrap() < 1e-5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tonic_batching_config_carries_table3_sizes() {
+        let cfg = ServerConfig::tonic_batching();
+        assert_eq!(cfg.batch_overrides["pos"], 64);
+        assert_eq!(cfg.batch_overrides["face"], 2);
+        assert_eq!(cfg.batch_overrides["imc"], 16);
+        assert!(cfg.batching.is_some());
+    }
+
+    #[test]
+    fn multiple_clients_are_served_concurrently() {
+        let server =
+            Arc::new(DjinnServer::start(small_registry(), ServerConfig::default()).unwrap());
+        let addr = server.local_addr();
+        let mut handles = Vec::new();
+        for seed in 0..4u64 {
+            handles.push(std::thread::spawn(move || {
+                let mut client = DjinnClient::connect(addr).unwrap();
+                for i in 0..5 {
+                    let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, seed * 10 + i);
+                    let out = client.infer("tiny", &input).unwrap();
+                    assert_eq!(out.shape().dims(), &[1, 4]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

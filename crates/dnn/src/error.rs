@@ -1,0 +1,66 @@
+use std::fmt;
+
+use tensor::TensorError;
+
+/// Error type for network construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DnnError {
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// A layer's parameters are inconsistent with its input shape.
+    BadLayer {
+        /// Layer name from the network definition.
+        layer: String,
+        /// What is wrong.
+        reason: String,
+    },
+    /// The network definition itself is malformed (no layers, no classifier,
+    /// duplicate names, ...).
+    BadNetwork {
+        /// What is wrong.
+        reason: String,
+    },
+    /// The supplied input does not match the network's input shape.
+    BadInput {
+        /// Expected per-item dims (ignoring batch).
+        expected: Vec<usize>,
+        /// Actual dims.
+        actual: Vec<usize>,
+    },
+    /// A network text description could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What is wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DnnError::BadLayer { layer, reason } => write!(f, "bad layer `{layer}`: {reason}"),
+            DnnError::BadNetwork { reason } => write!(f, "bad network: {reason}"),
+            DnnError::BadInput { expected, actual } => {
+                write!(f, "input shape {actual:?} incompatible with {expected:?}")
+            }
+            DnnError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DnnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DnnError {
+    fn from(e: TensorError) -> Self {
+        DnnError::Tensor(e)
+    }
+}

@@ -1,0 +1,229 @@
+//! A network definition paired with weights: the executable model.
+
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+use crate::{DnnError, LayerWeights, NetDef, Result};
+
+/// An executable network: a [`NetDef`] plus one [`LayerWeights`] per layer.
+///
+/// This is what DjiNN loads into memory once per application at service
+/// start-up; worker threads share it read-only (it is `Sync` because all
+/// state is immutable after construction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    def: NetDef,
+    weights: Vec<LayerWeights>,
+}
+
+impl Network {
+    /// Creates a network with deterministic, architecture-correct random
+    /// weights (see DESIGN.md §2 for why untrained weights suffice).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-validation failures from the definition.
+    pub fn with_random_weights(def: NetDef, seed: u64) -> Result<Self> {
+        let shapes = def.layer_shapes(1)?;
+        let weights = def
+            .layers()
+            .iter()
+            .zip(&shapes)
+            .enumerate()
+            .map(|(i, (l, s))| LayerWeights::init(&l.spec, s, seed.wrapping_add(i as u64)))
+            .collect();
+        Ok(Network { def, weights })
+    }
+
+    /// Creates a network from explicit weights (e.g. deserialized from a
+    /// model file).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::BadNetwork`] if the weight count does not match
+    /// the layer count or any parameterized layer's weight volume is wrong.
+    pub fn with_weights(def: NetDef, weights: Vec<LayerWeights>) -> Result<Self> {
+        if weights.len() != def.layers().len() {
+            return Err(DnnError::BadNetwork {
+                reason: format!(
+                    "{} weight entries for {} layers",
+                    weights.len(),
+                    def.layers().len()
+                ),
+            });
+        }
+        let shapes = def.layer_shapes(1)?;
+        for ((l, s), w) in def.layers().iter().zip(&shapes).zip(&weights) {
+            let want = l.spec.param_count(s);
+            if w.param_count() != want {
+                return Err(DnnError::BadNetwork {
+                    reason: format!(
+                        "layer `{}` expects {} params, got {}",
+                        l.name,
+                        want,
+                        w.param_count()
+                    ),
+                });
+            }
+        }
+        Ok(Network { def, weights })
+    }
+
+    /// The underlying definition.
+    pub fn def(&self) -> &NetDef {
+        &self.def
+    }
+
+    /// Per-layer weights, aligned with `def().layers()`.
+    pub fn weights(&self) -> &[LayerWeights] {
+        &self.weights
+    }
+
+    /// Mutable per-layer weights (used by [`crate::train::Trainer`]).
+    pub fn weights_mut(&mut self) -> &mut [LayerWeights] {
+        &mut self.weights
+    }
+
+    /// Total learned parameters.
+    pub fn param_count(&self) -> usize {
+        self.weights.iter().map(LayerWeights::param_count).sum()
+    }
+
+    /// Runs the inference (forward) pass on a batched input.
+    ///
+    /// The input's non-batch dimensions must match the definition's input
+    /// shape; the batch axis may be any size — this is exactly the batching
+    /// lever of §5.1 of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::BadInput`] on shape mismatch; propagates layer
+    /// execution failures.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let want = self.def.input_shape();
+        if input.shape().dims()[1..] != want.dims()[1..]
+            || input.shape().rank() != want.rank()
+        {
+            return Err(DnnError::BadInput {
+                expected: want.dims().to_vec(),
+                actual: input.shape().dims().to_vec(),
+            });
+        }
+        let mut cur = input.clone();
+        for (l, w) in self.def.layers().iter().zip(&self.weights) {
+            cur = l.spec.forward(&cur, w).map_err(|e| match e {
+                DnnError::BadLayer { reason, .. } => DnnError::BadLayer {
+                    layer: l.name.clone(),
+                    reason,
+                },
+                other => other,
+            })?;
+        }
+        Ok(cur)
+    }
+
+    /// Runs the forward pass, returning every intermediate activation
+    /// (index `i` holds layer `i`'s output). Exposes intermediate results
+    /// per C-INTERMEDIATE for users that need feature maps.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::forward`].
+    pub fn forward_all(&self, input: &Tensor) -> Result<Vec<Tensor>> {
+        let mut acts = Vec::with_capacity(self.def.depth());
+        let mut cur = input.clone();
+        for (l, w) in self.def.layers().iter().zip(&self.weights) {
+            cur = l.spec.forward(&cur, w)?;
+            acts.push(cur.clone());
+        }
+        Ok(acts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ActivationKind, LayerDef, LayerSpec};
+    use tensor::Shape;
+
+    fn mlp() -> NetDef {
+        NetDef::new(
+            "mlp",
+            Shape::mat(1, 8),
+            vec![
+                LayerDef {
+                    name: "fc1".into(),
+                    spec: LayerSpec::InnerProduct { out: 16 },
+                },
+                LayerDef {
+                    name: "act1".into(),
+                    spec: LayerSpec::Activation(ActivationKind::Relu),
+                },
+                LayerDef {
+                    name: "fc2".into(),
+                    spec: LayerSpec::InnerProduct { out: 4 },
+                },
+                LayerDef {
+                    name: "prob".into(),
+                    spec: LayerSpec::Softmax,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_produces_probabilities() {
+        let net = Network::with_random_weights(mlp(), 1).unwrap();
+        let input = Tensor::random_uniform(Shape::mat(3, 8), 1.0, 2);
+        let out = net.forward(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[3, 4]);
+        for r in 0..3 {
+            let sum: f32 = out.data()[r * 4..(r + 1) * 4].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn forward_batch_equals_itemwise() {
+        // Batching must not change per-item results — the correctness
+        // precondition for the paper's batching optimization.
+        let net = Network::with_random_weights(mlp(), 7).unwrap();
+        let a = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 3);
+        let b = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 4);
+        let batched = Tensor::stack_batch(&[a.clone(), b.clone()]).unwrap();
+        let out_batched = net.forward(&batched).unwrap();
+        let parts = out_batched.split_batch(&[1, 1]).unwrap();
+        let out_a = net.forward(&a).unwrap();
+        let out_b = net.forward(&b).unwrap();
+        assert!(parts[0].max_abs_diff(&out_a).unwrap() < 1e-5);
+        assert!(parts[1].max_abs_diff(&out_b).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_shape() {
+        let net = Network::with_random_weights(mlp(), 1).unwrap();
+        let bad = Tensor::zeros(Shape::mat(1, 9));
+        assert!(matches!(net.forward(&bad), Err(DnnError::BadInput { .. })));
+    }
+
+    #[test]
+    fn with_weights_validates_counts() {
+        let def = mlp();
+        let too_few = Network::with_weights(def.clone(), vec![LayerWeights::none()]);
+        assert!(too_few.is_err());
+        let net = Network::with_random_weights(def.clone(), 1).unwrap();
+        let rebuilt = Network::with_weights(def, net.weights().to_vec()).unwrap();
+        assert_eq!(rebuilt.param_count(), net.param_count());
+    }
+
+    #[test]
+    fn forward_all_exposes_intermediates() {
+        let net = Network::with_random_weights(mlp(), 1).unwrap();
+        let input = Tensor::zeros(Shape::mat(1, 8));
+        let acts = net.forward_all(&input).unwrap();
+        assert_eq!(acts.len(), 4);
+        assert_eq!(acts[0].shape().dims(), &[1, 16]);
+        assert_eq!(acts[3].shape().dims(), &[1, 4]);
+    }
+}

@@ -1,0 +1,467 @@
+//! The fluid-flow discrete-event engine.
+//!
+//! Every service instance cycles through `Prep → H2D → Kernel* → D2H`.
+//! At any instant each active flow has a *rate* determined by resource
+//! sharing; the engine repeatedly advances to the next flow completion.
+
+use crate::server::{ConcurrencyMode, ServerConfig};
+use crate::workload::ServiceWorkload;
+
+/// Per-instance statistics from a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Workload name.
+    pub name: String,
+    /// GPU the instance ran on.
+    pub gpu: usize,
+    /// Batches completed.
+    pub batches: usize,
+    /// Queries per second achieved by this instance alone.
+    pub qps: f64,
+    /// Mean batch latency (prep start → D2H completion), seconds.
+    pub mean_latency_s: f64,
+}
+
+/// Aggregate result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Total queries per second across all instances.
+    pub qps: f64,
+    /// Simulated wall-clock span, seconds.
+    pub elapsed_s: f64,
+    /// Mean batch latency across all completed batches, seconds.
+    pub mean_latency_s: f64,
+    /// Maximum observed batch latency, seconds.
+    pub max_latency_s: f64,
+    /// Per-instance breakdown.
+    pub per_instance: Vec<InstanceStats>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Prep,
+    H2d,
+    Kernel(usize),
+    D2h,
+}
+
+struct Instance {
+    workload: ServiceWorkload,
+    gpu: usize,
+    phase: Phase,
+    /// Remaining work in the current phase: seconds for Prep/Kernel flows,
+    /// bytes for transfers.
+    remaining: f64,
+    batch_start: f64,
+    batches_done: usize,
+    latency_sum: f64,
+    latency_max: f64,
+    /// FIFO ticket for time-shared GPU arbitration.
+    enqueued_at: u64,
+}
+
+impl Instance {
+    fn begin_phase(&mut self, phase: Phase, ticket: &mut u64) {
+        self.phase = phase;
+        self.remaining = match phase {
+            Phase::Prep => self.workload.host_prep_s.max(0.0),
+            Phase::H2d => self.workload.h2d_bytes,
+            Phase::Kernel(i) => self.workload.kernels[i].seconds,
+            Phase::D2h => self.workload.d2h_bytes,
+        };
+        if matches!(phase, Phase::Kernel(_)) {
+            *ticket += 1;
+            self.enqueued_at = *ticket;
+        }
+    }
+}
+
+/// Runs the closed-loop simulation until `batches_per_instance` batches
+/// have completed per instance on average, then reports throughput and
+/// latency.
+///
+/// `instances` pairs each [`ServiceWorkload`] with the index of the GPU it
+/// runs on (must be `< cfg.num_gpus`).
+///
+/// # Panics
+///
+/// Panics if `instances` is empty, a GPU index is out of range, or a
+/// workload has no kernels.
+pub fn simulate(
+    cfg: &ServerConfig,
+    instances: &[(ServiceWorkload, usize)],
+    batches_per_instance: usize,
+) -> SimResult {
+    assert!(!instances.is_empty(), "no instances to simulate");
+    for (w, g) in instances {
+        assert!(*g < cfg.num_gpus, "gpu index {g} out of {}", cfg.num_gpus);
+        assert!(!w.kernels.is_empty(), "workload {} has no kernels", w.name);
+    }
+    let mut ticket: u64 = 0;
+    let mut insts: Vec<Instance> = instances
+        .iter()
+        .map(|(w, g)| {
+            let mut inst = Instance {
+                workload: w.clone(),
+                gpu: *g,
+                phase: Phase::Prep,
+                remaining: 0.0,
+                batch_start: 0.0,
+                batches_done: 0,
+                latency_sum: 0.0,
+                latency_max: 0.0,
+                enqueued_at: 0,
+            };
+            inst.begin_phase(Phase::Prep, &mut ticket);
+            inst
+        })
+        .collect();
+    // Desynchronize instance start times: identical closed-loop instances
+    // would otherwise phase-lock and convoy on the shared host link, an
+    // artifact real deployments (with jittered arrivals) do not show. The
+    // stagger is absorbed into each instance's first prep phase; the first
+    // batch per instance is excluded from latency statistics below.
+    for (idx, inst) in insts.iter_mut().enumerate() {
+        let transfer_s =
+            (inst.workload.h2d_bytes + inst.workload.d2h_bytes) / (cfg.gpu.pcie_gbps * 1e9);
+        inst.remaining += idx as f64 * (inst.workload.host_prep_s + transfer_s);
+    }
+
+    let target_total = batches_per_instance * insts.len();
+    let pcie_bps = cfg.gpu.pcie_gbps * 1e9;
+    let host_bps = cfg.host_io_gbps * 1e9;
+    let mut last_proc: Vec<Option<usize>> = vec![None; cfg.num_gpus];
+    let mut now = 0.0f64;
+    let mut total_batches = 0usize;
+    // Generous safety bound on event count.
+    let max_events = target_total * (insts[0].workload.kernels.len() + 8) * 4 + 10_000;
+
+    for _ in 0..max_events {
+        if total_batches >= target_total {
+            break;
+        }
+        // ---- compute rates ----------------------------------------------
+        let mut rates = vec![0.0f64; insts.len()];
+        // GPU kernel flows, per GPU.
+        // Indexed loop: `g` keys both the instance filter and `last_proc`.
+        #[allow(clippy::needless_range_loop)]
+        for g in 0..cfg.num_gpus {
+            let active: Vec<usize> = insts
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| i.gpu == g && matches!(i.phase, Phase::Kernel(_)))
+                .map(|(idx, _)| idx)
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            match cfg.mode {
+                ConcurrencyMode::Mps => {
+                    let (mut sc, mut sm) = (0.0f64, 0.0f64);
+                    for &idx in &active {
+                        if let Phase::Kernel(ki) = insts[idx].phase {
+                            let kt = &insts[idx].workload.kernels[ki];
+                            sc += kt.compute_demand;
+                            sm += kt.memory_demand;
+                        }
+                    }
+                    let slowdown = sc.max(sm).max(1.0);
+                    for &idx in &active {
+                        rates[idx] = 1.0 / slowdown;
+                    }
+                }
+                ConcurrencyMode::Timeshared => {
+                    // FIFO by enqueue ticket; only the front runs.
+                    let runner = *active
+                        .iter()
+                        .min_by_key(|&&idx| insts[idx].enqueued_at)
+                        .expect("active is non-empty");
+                    // Pay the context switch once, when a different process
+                    // takes the GPU.
+                    if last_proc[g] != Some(runner) {
+                        insts[runner].remaining += cfg.context_switch_s;
+                        last_proc[g] = Some(runner);
+                    }
+                    rates[runner] = 1.0;
+                }
+            }
+        }
+        // Transfer flows: share each GPU's full-duplex PCIe link, then the
+        // directional host aggregate.
+        for dir_h2d in [true, false] {
+            let mut flow_rates: Vec<(usize, f64)> = Vec::new();
+            for g in 0..cfg.num_gpus {
+                let flows: Vec<usize> = insts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, i)| {
+                        i.gpu == g
+                            && ((dir_h2d && i.phase == Phase::H2d)
+                                || (!dir_h2d && i.phase == Phase::D2h))
+                    })
+                    .map(|(idx, _)| idx)
+                    .collect();
+                if flows.is_empty() {
+                    continue;
+                }
+                let share = pcie_bps / flows.len() as f64;
+                for idx in flows {
+                    flow_rates.push((idx, share));
+                }
+            }
+            let total: f64 = flow_rates.iter().map(|(_, r)| r).sum();
+            let scale = if total > host_bps { host_bps / total } else { 1.0 };
+            for (idx, r) in flow_rates {
+                rates[idx] = r * scale;
+            }
+        }
+        // Host prep flows run at unit rate on their own core.
+        for (idx, inst) in insts.iter().enumerate() {
+            if inst.phase == Phase::Prep {
+                rates[idx] = 1.0;
+            }
+        }
+
+        // ---- advance to the next completion ------------------------------
+        let mut dt = f64::INFINITY;
+        for (idx, inst) in insts.iter().enumerate() {
+            if rates[idx] > 0.0 {
+                dt = dt.min(inst.remaining / rates[idx]);
+            }
+        }
+        assert!(dt.is_finite(), "deadlock: no flow can progress");
+        let dt = dt.max(0.0);
+        now += dt;
+        for (idx, inst) in insts.iter_mut().enumerate() {
+            if rates[idx] > 0.0 {
+                inst.remaining -= rates[idx] * dt;
+            }
+        }
+
+        // ---- phase transitions -------------------------------------------
+        for idx in 0..insts.len() {
+            if rates[idx] <= 0.0 || insts[idx].remaining > 1e-12 {
+                continue;
+            }
+            let kernels = insts[idx].workload.kernels.len();
+            let next = match insts[idx].phase {
+                Phase::Prep => {
+                    if insts[idx].workload.h2d_bytes > 0.0 {
+                        Phase::H2d
+                    } else {
+                        Phase::Kernel(0)
+                    }
+                }
+                Phase::H2d => Phase::Kernel(0),
+                Phase::Kernel(i) if i + 1 < kernels => Phase::Kernel(i + 1),
+                Phase::Kernel(_) => {
+                    if insts[idx].workload.d2h_bytes > 0.0 {
+                        Phase::D2h
+                    } else {
+                        // Batch completes here when nothing to send back.
+                        complete_batch(&mut insts[idx], now, &mut total_batches);
+                        Phase::Prep
+                    }
+                }
+                Phase::D2h => {
+                    complete_batch(&mut insts[idx], now, &mut total_batches);
+                    Phase::Prep
+                }
+            };
+            if next == Phase::Prep {
+                insts[idx].batch_start = now;
+            }
+            let inst = &mut insts[idx];
+            inst.begin_phase(next, &mut ticket);
+        }
+    }
+
+    let elapsed = now.max(1e-12);
+    let per_instance: Vec<InstanceStats> = insts
+        .iter()
+        .map(|i| InstanceStats {
+            name: i.workload.name.clone(),
+            gpu: i.gpu,
+            batches: i.batches_done,
+            qps: (i.batches_done * i.workload.queries_per_batch) as f64 / elapsed,
+            mean_latency_s: if i.batches_done > 1 {
+                i.latency_sum / (i.batches_done - 1) as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    let total_queries: f64 = per_instance.iter().map(|i| i.qps).sum::<f64>() * elapsed;
+    let measured_batches: usize = per_instance
+        .iter()
+        .map(|i| i.batches.saturating_sub(1))
+        .sum();
+    let latency_sum: f64 = insts.iter().map(|i| i.latency_sum).sum();
+    let max_latency_s = insts.iter().map(|i| i.latency_max).fold(0.0, f64::max);
+    SimResult {
+        qps: total_queries / elapsed,
+        elapsed_s: elapsed,
+        mean_latency_s: if measured_batches > 0 {
+            latency_sum / measured_batches as f64
+        } else {
+            0.0
+        },
+        max_latency_s,
+        per_instance,
+    }
+}
+
+fn complete_batch(inst: &mut Instance, now: f64, total_batches: &mut usize) {
+    // The first batch carries the desynchronization stagger; keep it out
+    // of the latency statistics (it still counts toward throughput).
+    if inst.batches_done > 0 {
+        let latency = now - inst.batch_start;
+        inst.latency_sum += latency;
+        inst.latency_max = inst.latency_max.max(latency);
+    }
+    inst.batches_done += 1;
+    *total_batches += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ConcurrencyMode, ServerConfig};
+    use dnn::zoo::App;
+    use perf::GpuSpec;
+
+    fn workload(app: App, batch: usize) -> ServiceWorkload {
+        ServiceWorkload::for_app(&GpuSpec::k40(), app, batch).unwrap()
+    }
+
+    fn mps_cfg(gpus: usize) -> ServerConfig {
+        ServerConfig::k40_server(gpus)
+    }
+
+    #[test]
+    fn single_instance_throughput_matches_cycle_time() {
+        let w = workload(App::Pos, 64);
+        let cycle = w.host_prep_s
+            + w.h2d_bytes / 12.0e9
+            + w.gpu_alone_s()
+            + w.d2h_bytes / 12.0e9;
+        let r = simulate(&mps_cfg(1), &[(w, 0)], 40);
+        let expect = 64.0 / cycle;
+        assert!(
+            (r.qps - expect).abs() / expect < 0.05,
+            "qps {} vs cycle estimate {}",
+            r.qps,
+            expect
+        );
+    }
+
+    #[test]
+    fn mps_concurrency_beats_single_instance() {
+        // Fig 8: concurrent service instances raise throughput under MPS.
+        let one = simulate(&mps_cfg(1), &[(workload(App::Pos, 64), 0)], 40);
+        let four: Vec<_> = (0..4).map(|_| (workload(App::Pos, 64), 0)).collect();
+        let r4 = simulate(&mps_cfg(1), &four, 40);
+        assert!(
+            r4.qps > one.qps * 1.3,
+            "4 instances {} vs 1 instance {}",
+            r4.qps,
+            one.qps
+        );
+    }
+
+    #[test]
+    fn mixed_phase_apps_overlap_well_under_mps() {
+        // FACE alternates compute-bound conv/fc kernels with memory-bound
+        // locally-connected kernels, so MPS instances overlap phases
+        // (bounded by the uncoalesced local layers' memory demand).
+        let one = simulate(&mps_cfg(1), &[(workload(App::Face, 2), 0)], 25);
+        let four: Vec<_> = (0..4).map(|_| (workload(App::Face, 2), 0)).collect();
+        let r4 = simulate(&mps_cfg(1), &four, 25);
+        let gain = r4.qps / one.qps;
+        assert!(gain > 1.2, "FACE MPS gain {gain}");
+    }
+
+    #[test]
+    fn mps_beats_timesharing_in_throughput_and_latency() {
+        // Figs 8 and 9: MPS wins both axes at 4+ instances.
+        let make = |mode| {
+            let cfg = mps_cfg(1).with_mode(mode);
+            let four: Vec<_> = (0..4).map(|_| (workload(App::Pos, 64), 0)).collect();
+            simulate(&cfg, &four, 40)
+        };
+        let mps = make(ConcurrencyMode::Mps);
+        let ts = make(ConcurrencyMode::Timeshared);
+        assert!(mps.qps > ts.qps, "mps {} vs timeshared {}", mps.qps, ts.qps);
+        assert!(
+            mps.mean_latency_s < ts.mean_latency_s,
+            "mps latency {} vs timeshared {}",
+            mps.mean_latency_s,
+            ts.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn latency_grows_sharply_past_the_knee() {
+        // Fig 9: latency is modest below ~4 concurrent services and grows
+        // steeply beyond.
+        let lat = |n: usize| {
+            let v: Vec<_> = (0..n).map(|_| (workload(App::Imc, 16), 0)).collect();
+            simulate(&mps_cfg(1), &v, 25).mean_latency_s
+        };
+        let l1 = lat(1);
+        let l16 = lat(16);
+        assert!(l16 > l1 * 6.0, "l1 {l1} l16 {l16}");
+    }
+
+    #[test]
+    fn compute_saturated_apps_gain_little_from_mps() {
+        // ASR is already at full occupancy: extra instances mostly queue.
+        let one = simulate(&mps_cfg(1), &[(workload(App::Asr, 2), 0)], 25);
+        let four: Vec<_> = (0..4).map(|_| (workload(App::Asr, 2), 0)).collect();
+        let r4 = simulate(&mps_cfg(1), &four, 25);
+        assert!(r4.qps < one.qps * 1.6, "asr mps gain {}", r4.qps / one.qps);
+        assert!(r4.qps > one.qps * 0.9);
+    }
+
+    #[test]
+    fn two_gpus_double_unshared_throughput() {
+        // Compute-heavy apps do not contend on the host: 2 GPUs ≈ 2x.
+        let one = simulate(&mps_cfg(1), &[(workload(App::Imc, 16), 0)], 30);
+        let two = simulate(
+            &mps_cfg(2),
+            &[(workload(App::Imc, 16), 0), (workload(App::Imc, 16), 1)],
+            30,
+        );
+        let ratio = two.qps / one.qps;
+        assert!((1.85..2.1).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn pinned_inputs_remove_host_contention() {
+        // Fig 12 mechanism: with transfers gone, NLP scales linearly.
+        let mk = |pinned: bool, gpus: usize| {
+            let v: Vec<_> = (0..gpus * 4)
+                .map(|i| {
+                    let w = workload(App::Pos, 64);
+                    let w = if pinned { w.pinned() } else { w };
+                    (w, i / 4)
+                })
+                .collect::<Vec<_>>();
+            simulate(&mps_cfg(gpus), &v, 20).qps
+        };
+        let scaling_pinned = mk(true, 8) / mk(true, 1);
+        let scaling_limited = mk(false, 8) / mk(false, 1);
+        assert!(scaling_pinned > 6.5, "pinned 8-GPU scaling {scaling_pinned}");
+        assert!(
+            scaling_limited < scaling_pinned,
+            "limited {scaling_limited} vs pinned {scaling_pinned}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let r1 = simulate(&mps_cfg(1), &[(workload(App::Dig, 16), 0)], 20);
+        let r2 = simulate(&mps_cfg(1), &[(workload(App::Dig, 16), 0)], 20);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Discrete-event GPU server simulator for the DjiNN reproduction.
+//!
+//! The paper's throughput studies (§5–§6) exercise mechanisms a real K40
+//! server provides: input batching, NVIDIA MPS kernel concurrency versus
+//! time-sliced context switching, PCIe transfers, and multi-GPU scaling
+//! against a shared host. This crate simulates all of them with a
+//! *fluid-flow discrete-event model*:
+//!
+//! * every service instance is a closed-loop state machine
+//!   (host prep → H2D transfer → kernels → D2H transfer → repeat);
+//! * kernels advertise compute/memory demand fractions (from
+//!   [`perf::KernelTiming`]); under MPS, concurrent kernels co-run and the
+//!   whole GPU slows by `max(1, Σ compute, Σ memory)` — low-occupancy NLP
+//!   kernels co-run for free, which is the §5.2 effect;
+//! * without MPS, kernels from different processes serialize FIFO with a
+//!   context-switch penalty;
+//! * H2D/D2H transfers share each GPU's full-duplex PCIe link, and all
+//!   links share a finite host I/O bandwidth — the root cause of the NLP
+//!   plateau at 4 GPUs in Fig 11.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpusim::{ServerConfig, ServiceWorkload, ConcurrencyMode};
+//! use dnn::zoo::App;
+//!
+//! let cfg = ServerConfig::k40_server(1).with_mode(ConcurrencyMode::Mps);
+//! let w = ServiceWorkload::for_app(&cfg.gpu, App::Pos, 64)?;
+//! let result = gpusim::simulate(&cfg, &[(w, 0)], 50);
+//! assert!(result.qps > 0.0);
+//! # Ok::<(), dnn::DnnError>(())
+//! ```
+
+mod engine;
+pub mod openloop;
+mod server;
+mod workload;
+
+pub use engine::{simulate, InstanceStats, SimResult};
+pub use server::{server_sweep, standard_server_result, ConcurrencyMode, ServerConfig};
+pub use workload::ServiceWorkload;

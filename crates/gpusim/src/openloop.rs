@@ -1,0 +1,224 @@
+//! Open-loop arrivals: queries arrive in a Poisson stream, are assembled
+//! into batches from the queue, and served by one GPU service instance.
+//!
+//! The closed-loop engine (`simulate`) measures saturated throughput;
+//! this module measures the *latency distribution under a given load* —
+//! the quantity a datacenter operator provisions against ("achieving high
+//! throughput … while managing query latency", §1). It reproduces the
+//! textbook batching trade-off: at low load batches stay small and
+//! latency tracks the service time; near saturation, queueing dominates
+//! and dynamic batching bends the curve by amortizing work.
+
+use dnn::zoo::App;
+use perf::GpuSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::ServiceWorkload;
+
+/// Latency distribution summary from an open-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopResult {
+    /// Offered load, queries per second.
+    pub offered_qps: f64,
+    /// Completed queries per second (equals offered below saturation).
+    pub completed_qps: f64,
+    /// Mean query latency (arrival → batch completion), seconds.
+    pub mean_latency_s: f64,
+    /// 50th percentile latency, seconds.
+    pub p50_latency_s: f64,
+    /// 99th percentile latency, seconds.
+    pub p99_latency_s: f64,
+    /// Mean assembled batch size.
+    pub mean_batch: f64,
+    /// Whether the queue was still growing when the run ended
+    /// (offered load beyond capacity).
+    pub saturated: bool,
+}
+
+/// Configuration of an open-loop experiment.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Device executing the batches.
+    pub gpu: GpuSpec,
+    /// Largest batch the server will assemble (Table 3 column).
+    pub max_batch: usize,
+    /// Number of query arrivals to simulate.
+    pub queries: usize,
+    /// RNG seed for the Poisson arrival process.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            gpu: GpuSpec::k40(),
+            max_batch: 16,
+            queries: 2000,
+            seed: 0xD1_07,
+        }
+    }
+}
+
+/// Runs the open-loop batching queue for `app` at `offered_qps`.
+///
+/// Service times come from the calibrated per-batch GPU timings plus the
+/// PCIe transfer for each batch. Batches are assembled greedily: when the
+/// server goes idle it takes `min(queue, max_batch)` queries.
+///
+/// # Errors
+///
+/// Propagates workload-construction failures.
+///
+/// # Panics
+///
+/// Panics if `offered_qps` is not positive or `queries` is zero.
+pub fn run(app: App, offered_qps: f64, config: &OpenLoopConfig) -> dnn::Result<OpenLoopResult> {
+    assert!(offered_qps > 0.0, "offered_qps must be positive");
+    assert!(config.queries > 0, "need at least one query");
+    // Pre-compute service times for every batch size we may assemble.
+    let mut service_s = vec![0.0f64; config.max_batch + 1];
+    for (b, slot) in service_s.iter_mut().enumerate().skip(1) {
+        let w = ServiceWorkload::for_app(&config.gpu, app, b)?;
+        *slot = w.gpu_alone_s()
+            + (w.h2d_bytes + w.d2h_bytes) / (config.gpu.pcie_gbps * 1e9)
+            + w.host_prep_s;
+    }
+
+    // Poisson arrivals.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut arrivals = Vec::with_capacity(config.queries);
+    let mut t = 0.0f64;
+    for _ in 0..config.queries {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t += -u.ln() / offered_qps;
+        arrivals.push(t);
+    }
+
+    // Single-server batching queue.
+    let mut latencies = Vec::with_capacity(config.queries);
+    let mut server_free_at = 0.0f64;
+    let mut next = 0usize;
+    let mut batches = 0usize;
+    while next < arrivals.len() {
+        // Server becomes available; the batch is whatever has queued.
+        let start = server_free_at.max(arrivals[next]);
+        let mut take = 1usize;
+        while take < config.max_batch
+            && next + take < arrivals.len()
+            && arrivals[next + take] <= start
+        {
+            take += 1;
+        }
+        let done = start + service_s[take];
+        for &arr in &arrivals[next..next + take] {
+            latencies.push(done - arr);
+        }
+        next += take;
+        batches += 1;
+        server_free_at = done;
+    }
+
+    let elapsed = server_free_at.max(*arrivals.last().expect("non-empty"));
+    let mut sorted = latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+    let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    // Saturated if the last query waited far longer than the first ones:
+    // the queue grows without bound beyond capacity.
+    let saturated = server_free_at > arrivals.last().unwrap() + 20.0 * service_s[1];
+    Ok(OpenLoopResult {
+        offered_qps,
+        completed_qps: latencies.len() as f64 / elapsed,
+        mean_latency_s: mean,
+        p50_latency_s: pct(0.50),
+        p99_latency_s: pct(0.99),
+        mean_batch: latencies.len() as f64 / batches as f64,
+        saturated,
+    })
+}
+
+/// The maximum sustainable query rate for `app` with batches of
+/// `max_batch` (the knee of the latency curve).
+///
+/// # Errors
+///
+/// Propagates workload-construction failures.
+pub fn capacity_qps(app: App, config: &OpenLoopConfig) -> dnn::Result<f64> {
+    let w = ServiceWorkload::for_app(&config.gpu, app, config.max_batch)?;
+    let per_batch = w.gpu_alone_s()
+        + (w.h2d_bytes + w.d2h_bytes) / (config.gpu.pcie_gbps * 1e9)
+        + w.host_prep_s;
+    Ok(config.max_batch as f64 / per_batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_batch: usize) -> OpenLoopConfig {
+        OpenLoopConfig {
+            max_batch,
+            queries: 3000,
+            ..OpenLoopConfig::default()
+        }
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let app = App::Pos;
+        let config = cfg(64);
+        let cap = capacity_qps(app, &config).unwrap();
+        let low = run(app, cap * 0.2, &config).unwrap();
+        let high = run(app, cap * 0.9, &config).unwrap();
+        assert!(high.mean_latency_s > low.mean_latency_s);
+        assert!(!low.saturated);
+    }
+
+    #[test]
+    fn p99_dominates_p50_dominates_nothing() {
+        let config = cfg(16);
+        let cap = capacity_qps(App::Dig, &config).unwrap();
+        let r = run(App::Dig, cap * 0.7, &config).unwrap();
+        assert!(r.p99_latency_s >= r.p50_latency_s);
+        assert!(r.mean_latency_s > 0.0);
+    }
+
+    #[test]
+    fn beyond_capacity_the_queue_saturates() {
+        let config = cfg(16);
+        let cap = capacity_qps(App::Imc, &config).unwrap();
+        let r = run(App::Imc, cap * 2.0, &config).unwrap();
+        assert!(r.saturated, "2x capacity did not saturate");
+        assert!(r.completed_qps < cap * 1.1);
+    }
+
+    #[test]
+    fn batching_extends_capacity() {
+        // The §5.1 effect as a queueing statement: larger max batches
+        // sustain higher NLP query rates.
+        let cap1 = capacity_qps(App::Pos, &cfg(1)).unwrap();
+        let cap64 = capacity_qps(App::Pos, &cfg(64)).unwrap();
+        assert!(
+            cap64 > cap1 * 8.0,
+            "batch-64 capacity {cap64} vs batch-1 {cap1}"
+        );
+    }
+
+    #[test]
+    fn batches_grow_under_load() {
+        let config = cfg(64);
+        let cap = capacity_qps(App::Pos, &config).unwrap();
+        let light = run(App::Pos, cap * 0.05, &config).unwrap();
+        let heavy = run(App::Pos, cap * 0.9, &config).unwrap();
+        assert!(heavy.mean_batch > light.mean_batch * 2.0);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let config = cfg(16);
+        let a = run(App::Dig, 500.0, &config).unwrap();
+        let b = run(App::Dig, 500.0, &config).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,98 @@
+//! Single-thread CPU timing of a forward pass (the paper's baseline:
+//! Caffe linked against ATLAS on one Xeon core).
+
+use dnn::profile::{KernelClass, KernelSpec, WorkloadProfile};
+
+use crate::CpuSpec;
+
+/// Seconds one kernel-equivalent takes on a single CPU core.
+///
+/// GEMM work runs at the ATLAS dimension-efficiency curve
+/// ([`CpuSpec::gemm_gflops`]); everything is additionally bounded below by
+/// streaming the kernel's bytes through the core's memory bandwidth, which
+/// is what bounds GEMV-shaped inner products (batch 1 fully-connected
+/// layers) and the big untied DeepFace layers.
+pub fn cpu_kernel_seconds(cpu: &CpuSpec, spec: &KernelSpec) -> f64 {
+    let compute_s = match spec.class {
+        KernelClass::Gemm { m, n, k, .. } => {
+            let min_dim = m.min(n).min(k);
+            spec.flops / (cpu.gemm_gflops(min_dim) * 1e9)
+        }
+        KernelClass::Elementwise { .. } | KernelClass::Scatter { .. } => {
+            // Elementwise/stencil code is scalar-ish: a modest fraction of
+            // peak, but almost always memory bound anyway. The CPU's deep
+            // cache hierarchy hides the locally-connected layers'
+            // irregular weight access, so no scatter penalty here.
+            spec.flops / (cpu.peak_gflops() * 0.25 * 1e9)
+        }
+    };
+    let memory_s = spec.bytes / (cpu.mem_bw_gbps * 1e9);
+    compute_s.max(memory_s)
+}
+
+/// Seconds a full forward pass takes on a single CPU core.
+pub fn cpu_forward_seconds(cpu: &CpuSpec, profile: &WorkloadProfile) -> f64 {
+    profile
+        .kernels
+        .iter()
+        .map(|k| cpu_kernel_seconds(cpu, k))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::profile::WorkloadProfile;
+    use dnn::zoo::{self, App};
+
+    #[test]
+    fn asr_cpu_time_is_seconds_scale() {
+        // 548 frames through a 29M-parameter network on one 2013 core:
+        // paper-consistent CPU service time is around a second.
+        let cpu = CpuSpec::xeon_e5_2620_v2();
+        let p = WorkloadProfile::of(&zoo::kaldi(), 548).unwrap();
+        let s = cpu_forward_seconds(&cpu, &p);
+        assert!((0.3..5.0).contains(&s), "ASR CPU forward = {s}s");
+    }
+
+    #[test]
+    fn nlp_cpu_time_is_millisecond_scale() {
+        let cpu = CpuSpec::xeon_e5_2620_v2();
+        let p = WorkloadProfile::of(&zoo::senna("pos", 45), 28).unwrap();
+        let s = cpu_forward_seconds(&cpu, &p);
+        assert!((1e-4..1e-2).contains(&s), "POS CPU forward = {s}s");
+    }
+
+    #[test]
+    fn cpu_time_scales_superlinearly_never(/* batching only helps */) {
+        let cpu = CpuSpec::xeon_e5_2620_v2();
+        let def = zoo::senna("pos", 45);
+        let t1 = cpu_forward_seconds(&cpu, &WorkloadProfile::of(&def, 28).unwrap());
+        let t4 = cpu_forward_seconds(&cpu, &WorkloadProfile::of(&def, 112).unwrap());
+        // Per-item time must not increase with batch.
+        assert!(t4 / 4.0 <= t1 * 1.05, "t1={t1} t4={t4}");
+    }
+
+    #[test]
+    fn gemv_shapes_are_memory_bound() {
+        // A 1-row inner product must cost at least its weight streaming
+        // time, not the (absurdly low) skinny-GEMM compute estimate.
+        let cpu = CpuSpec::xeon_e5_2620_v2();
+        let p = WorkloadProfile::of(&zoo::alexnet(), 1).unwrap();
+        let fc6 = p.kernels.iter().find(|k| k.name == "fc6.gemm").unwrap();
+        let s = cpu_kernel_seconds(&cpu, fc6);
+        let weight_stream_s = fc6.bytes / (cpu.mem_bw_gbps * 1e9);
+        assert!(s >= weight_stream_s);
+    }
+
+    #[test]
+    fn all_apps_have_finite_positive_times() {
+        let cpu = CpuSpec::xeon_e5_2620_v2();
+        for app in App::ALL {
+            let meta = app.service_meta();
+            let p = WorkloadProfile::of(&zoo::netdef(app), meta.inputs_per_query).unwrap();
+            let s = cpu_forward_seconds(&cpu, &p);
+            assert!(s.is_finite() && s > 0.0, "{app}: {s}");
+        }
+    }
+}

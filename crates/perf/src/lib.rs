@@ -1,0 +1,27 @@
+//! Analytic performance models for the DjiNN reproduction.
+//!
+//! The paper's evaluation hardware (NVIDIA Tesla K40 GPUs and an Intel
+//! Xeon E5-2620 v2 running single-threaded Caffe+ATLAS) is unavailable
+//! here, so this crate models both from first principles:
+//!
+//! * [`GpuSpec`]/[`CpuSpec`] — published device constants (SM count, warp
+//!   capacity, peak FLOPS, DRAM bandwidth, PCIe link speed, core clocks);
+//! * [`gpu`] — per-kernel GPU timing: a roofline (compute vs. DRAM) with an
+//!   *occupancy-dependent latency-hiding term* and cuBLAS-style tile
+//!   quantization, which is what makes small NLP kernels slow at batch 1
+//!   (Fig 6) and fast once batched (Fig 7);
+//! * [`cpu`] — single-thread CPU timing with a dimension-dependent GEMM
+//!   efficiency curve modeling ATLAS behaviour on skinny matrices.
+//!
+//! Timing here is for a kernel running *alone* on the device; kernel
+//! concurrency (MPS) and multi-GPU scheduling live in the `gpusim` crate,
+//! which consumes the per-kernel resource demands exposed by
+//! [`gpu::KernelTiming`].
+
+pub mod cpu;
+mod device;
+pub mod gpu;
+
+pub use cpu::{cpu_forward_seconds, cpu_kernel_seconds};
+pub use device::{CpuSpec, GpuSpec};
+pub use gpu::{gpu_forward, ForwardTiming, KernelTiming, Limiter};

@@ -1,0 +1,434 @@
+//! 2-D convolution via im2col + GEMM, plus a direct reference kernel.
+//!
+//! This mirrors Caffe's convolution strategy (and the reason convolutional
+//! layers become large matrix multiplications on the GPU, which is what the
+//! paper's batching optimization exploits): the input is unrolled into a
+//! column matrix and the kernel bank becomes the left GEMM operand.
+
+use crate::{sgemm, GemmOptions, Result, Shape, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Conv2dParams {
+    /// Number of output feature maps.
+    pub out_channels: usize,
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub pad: usize,
+    /// Channel groups (AlexNet uses 2); input and output channels are split
+    /// evenly across groups and groups do not mix.
+    pub groups: usize,
+}
+
+impl Conv2dParams {
+    /// Convenience constructor for an ungrouped convolution.
+    pub fn new(out_channels: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        Conv2dParams {
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            groups: 1,
+        }
+    }
+
+    /// Output spatial side length for an input side of `input` pixels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the kernel does not fit in the padded input.
+    pub fn out_dim(&self, input: usize) -> Result<usize> {
+        let padded = input + 2 * self.pad;
+        if self.kernel == 0 || self.stride == 0 || padded < self.kernel {
+            return Err(TensorError::InvalidParams {
+                op: "conv2d",
+                reason: format!(
+                    "kernel {} stride {} does not fit input {} (+2*{} pad)",
+                    self.kernel, self.stride, input, self.pad
+                ),
+            });
+        }
+        Ok((padded - self.kernel) / self.stride + 1)
+    }
+}
+
+/// Unrolls an `NCHW` input into the im2col matrix for one image.
+///
+/// The produced matrix has `c*kernel*kernel` rows and `out_h*out_w` columns;
+/// element `(ckk, xy)` is the input pixel that kernel position `ckk` covers
+/// at output location `xy` (zero where the kernel overhangs the padding).
+///
+/// # Errors
+///
+/// Returns an error if `image` is not a single 3-D image (`1xCxHxW`) or the
+/// geometry is inconsistent.
+pub fn im2col(image: &Tensor, c: usize, h: usize, w: usize, p: &Conv2dParams) -> Result<Tensor> {
+    if image.len() != c * h * w {
+        return Err(TensorError::InvalidParams {
+            op: "im2col",
+            reason: format!("image len {} != {}x{}x{}", image.len(), c, h, w),
+        });
+    }
+    let oh = p.out_dim(h)?;
+    let ow = p.out_dim(w)?;
+    let rows = c * p.kernel * p.kernel;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = image.data();
+    for ch in 0..c {
+        for ky in 0..p.kernel {
+            for kx in 0..p.kernel {
+                let row = (ch * p.kernel + ky) * p.kernel + kx;
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[row * cols + oy * ow + ox] =
+                            data[(ch * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::mat(rows, cols), out)
+}
+
+/// 2-D convolution of an `NCHW` input with a weight bank.
+///
+/// `weights` must have shape `(out_channels, in_channels/groups, k, k)` and
+/// `bias` length `out_channels`. Returns an `NCHW` output.
+///
+/// # Errors
+///
+/// Returns an error on any geometry inconsistency.
+pub fn conv2d(input: &Tensor, weights: &Tensor, bias: &[f32], p: &Conv2dParams) -> Result<Tensor> {
+    let dims = input.shape().dims();
+    if dims.len() != 4 {
+        return Err(TensorError::InvalidParams {
+            op: "conv2d",
+            reason: format!("input must be NCHW, got {}", input.shape()),
+        });
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if c % p.groups != 0 || !p.out_channels.is_multiple_of(p.groups) {
+        return Err(TensorError::InvalidParams {
+            op: "conv2d",
+            reason: format!(
+                "channels {} / out {} not divisible by groups {}",
+                c, p.out_channels, p.groups
+            ),
+        });
+    }
+    let cg = c / p.groups;
+    let og = p.out_channels / p.groups;
+    if weights.len() != p.out_channels * cg * p.kernel * p.kernel {
+        return Err(TensorError::InvalidParams {
+            op: "conv2d",
+            reason: format!(
+                "weight volume {} != {}x{}x{}x{}",
+                weights.len(),
+                p.out_channels,
+                cg,
+                p.kernel,
+                p.kernel
+            ),
+        });
+    }
+    if bias.len() != p.out_channels {
+        return Err(TensorError::InvalidParams {
+            op: "conv2d",
+            reason: format!("bias len {} != out_channels {}", bias.len(), p.out_channels),
+        });
+    }
+    let oh = p.out_dim(h)?;
+    let ow = p.out_dim(w)?;
+    let mut out = Tensor::zeros(Shape::nchw(n, p.out_channels, oh, ow));
+    let per_in = c * h * w;
+    let per_out = p.out_channels * oh * ow;
+    let wk = cg * p.kernel * p.kernel; // GEMM inner dimension per group
+    let group_params = Conv2dParams {
+        out_channels: og,
+        groups: 1,
+        ..*p
+    };
+    for img in 0..n {
+        for g in 0..p.groups {
+            // Slice out this group's input channels as a standalone image.
+            let img_slice = &input.data()[img * per_in + g * cg * h * w..][..cg * h * w];
+            let img_t = Tensor::from_vec(Shape::nchw(1, cg, h, w), img_slice.to_vec())?;
+            let cols = im2col(&img_t, cg, h, w, &group_params)?;
+            let w_slice = &weights.data()[g * og * wk..(g + 1) * og * wk];
+            let out_slice =
+                &mut out.data_mut()[img * per_out + g * og * oh * ow..][..og * oh * ow];
+            sgemm(
+                og,
+                oh * ow,
+                wk,
+                1.0,
+                w_slice,
+                cols.data(),
+                0.0,
+                out_slice,
+                GemmOptions::default(),
+            )?;
+            for oc in 0..og {
+                let bv = bias[g * og + oc];
+                for v in &mut out_slice[oc * oh * ow..(oc + 1) * oh * ow] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The adjoint of [`im2col`]: scatters a column matrix back into image
+/// space, summing contributions of overlapping kernel positions. This is
+/// the core of the convolution *backward* pass (gradient w.r.t. the
+/// input).
+///
+/// `cols` must be the `(c*k*k) x (oh*ow)` matrix layout produced by
+/// [`im2col`] for an image of `c x h x w` under `p`.
+///
+/// # Errors
+///
+/// Returns an error if `cols` has the wrong volume for the geometry.
+pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, p: &Conv2dParams) -> Result<Tensor> {
+    let oh = p.out_dim(h)?;
+    let ow = p.out_dim(w)?;
+    let rows = c * p.kernel * p.kernel;
+    let ncols = oh * ow;
+    if cols.len() != rows * ncols {
+        return Err(TensorError::InvalidParams {
+            op: "col2im",
+            reason: format!("cols len {} != {}x{}", cols.len(), rows, ncols),
+        });
+    }
+    let mut out = Tensor::zeros(Shape::nchw(1, c, h, w));
+    let data = cols.data();
+    let img = out.data_mut();
+    for ch in 0..c {
+        for ky in 0..p.kernel {
+            for kx in 0..p.kernel {
+                let row = (ch * p.kernel + ky) * p.kernel + kx;
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img[(ch * h + iy as usize) * w + ix as usize] +=
+                            data[row * ncols + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Direct (sliding-window) convolution used as the correctness oracle for
+/// [`conv2d`] in tests. O(n·c·k²·oh·ow) with no GEMM restructuring.
+///
+/// # Errors
+///
+/// Same geometry errors as [`conv2d`].
+pub fn conv2d_direct(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &[f32],
+    p: &Conv2dParams,
+) -> Result<Tensor> {
+    let dims = input.shape().dims();
+    if dims.len() != 4 {
+        return Err(TensorError::InvalidParams {
+            op: "conv2d_direct",
+            reason: format!("input must be NCHW, got {}", input.shape()),
+        });
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let cg = c / p.groups;
+    let og = p.out_channels / p.groups;
+    let oh = p.out_dim(h)?;
+    let ow = p.out_dim(w)?;
+    let mut out = Tensor::zeros(Shape::nchw(n, p.out_channels, oh, ow));
+    let x = input.data();
+    let wt = weights.data();
+    for img in 0..n {
+        for oc in 0..p.out_channels {
+            let g = oc / og;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[oc];
+                    for ic in 0..cg {
+                        let in_ch = g * cg + ic;
+                        for ky in 0..p.kernel {
+                            let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..p.kernel {
+                                let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xv = x[((img * c + in_ch) * h + iy as usize) * w + ix as usize];
+                                let wv = wt[((oc * cg + ic) * p.kernel + ky) * p.kernel + kx];
+                                acc += xv * wv;
+                            }
+                        }
+                    }
+                    out.data_mut()[((img * p.out_channels + oc) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn out_dim_formula() {
+        let p = Conv2dParams::new(8, 11, 4, 0);
+        assert_eq!(p.out_dim(227).unwrap(), 55); // AlexNet conv1
+        let p2 = Conv2dParams::new(8, 3, 1, 1);
+        assert_eq!(p2.out_dim(13).unwrap(), 13); // same-padding
+        assert!(Conv2dParams::new(1, 9, 1, 0).out_dim(4).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // 1x1 kernel with weight 1 and zero bias is the identity.
+        let input = Tensor::from_fn(Shape::nchw(1, 1, 3, 3), |i| i as f32);
+        let weights = Tensor::filled(Shape::nchw(1, 1, 1, 1), 1.0);
+        let p = Conv2dParams::new(1, 1, 1, 0);
+        let out = conv2d(&input, &weights, &[0.0], &p).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // All-ones 2x2 kernel over a 3x3 ramp, stride 1, no pad:
+        // windows sum to 8, 12, 20, 24.
+        let input = Tensor::from_fn(Shape::nchw(1, 1, 3, 3), |i| i as f32);
+        let weights = Tensor::filled(Shape::nchw(1, 1, 2, 2), 1.0);
+        let p = Conv2dParams::new(1, 2, 1, 0);
+        let out = conv2d(&input, &weights, &[0.0], &p).unwrap();
+        assert_eq!(out.data(), &[8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let input = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        let weights = Tensor::filled(Shape::nchw(2, 1, 1, 1), 1.0);
+        let p = Conv2dParams::new(2, 1, 1, 0);
+        let out = conv2d(&input, &weights, &[1.5, -2.0], &p).unwrap();
+        assert_eq!(&out.data()[0..4], &[1.5; 4]);
+        assert_eq!(&out.data()[4..8], &[-2.0; 4]);
+    }
+
+    #[test]
+    fn grouped_conv_does_not_mix_groups() {
+        // Two input channels, two groups, 1x1 unit kernels: each output
+        // channel must equal its own input channel only.
+        let input = Tensor::from_vec(
+            Shape::nchw(1, 2, 1, 2),
+            vec![1.0, 2.0, /* ch1 */ 10.0, 20.0],
+        )
+        .unwrap();
+        let weights = Tensor::filled(Shape::nchw(2, 1, 1, 1), 1.0);
+        let p = Conv2dParams {
+            out_channels: 2,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            groups: 2,
+        };
+        let out = conv2d(&input, &weights, &[0.0, 0.0], &p).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let input = Tensor::zeros(Shape::nchw(1, 3, 4, 4));
+        let weights = Tensor::zeros(Shape::nchw(2, 3, 3, 3));
+        let p = Conv2dParams::new(2, 3, 1, 0);
+        assert!(conv2d(&input, &weights, &[0.0], &p).is_err()); // bias too short
+        let bad_w = Tensor::zeros(Shape::nchw(2, 2, 3, 3));
+        assert!(conv2d(&input, &bad_w, &[0.0, 0.0], &p).is_err()); // weight volume
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), c> == <x, col2im(c)> for all x, c — the defining
+        // property of the backward operator.
+        let p = Conv2dParams::new(1, 3, 2, 1);
+        let (c, h, w) = (2usize, 5usize, 6usize);
+        let x = Tensor::random_uniform(Shape::nchw(1, c, h, w), 1.0, 11);
+        let cols_shape_rows = c * 9;
+        let oh = p.out_dim(h).unwrap();
+        let ow = p.out_dim(w).unwrap();
+        let cmat = Tensor::random_uniform(Shape::mat(cols_shape_rows, oh * ow), 1.0, 12);
+        let ax = im2col(&x, c, h, w, &p).unwrap();
+        let aty = col2im(&cmat, c, h, w, &p).unwrap();
+        let lhs: f32 = ax.data().iter().zip(cmat.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn gemm_conv_matches_direct(
+            n in 1usize..3,
+            c in 1usize..4,
+            hw in 4usize..10,
+            oc in 1usize..5,
+            k in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..2,
+            seed in 0u64..100,
+        ) {
+            prop_assume!(hw + 2 * pad >= k);
+            let p = Conv2dParams { out_channels: oc, kernel: k, stride, pad, groups: 1 };
+            let input = Tensor::random_uniform(Shape::nchw(n, c, hw, hw), 1.0, seed);
+            let weights = Tensor::random_uniform(Shape::nchw(oc, c, k, k), 1.0, seed + 1);
+            let bias: Vec<f32> = (0..oc).map(|i| i as f32 * 0.1).collect();
+            let fast = conv2d(&input, &weights, &bias, &p).unwrap();
+            let slow = conv2d_direct(&input, &weights, &bias, &p).unwrap();
+            prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-3);
+        }
+
+        #[test]
+        fn grouped_matches_direct(
+            hw in 4usize..8,
+            seed in 0u64..50,
+        ) {
+            // 4 input channels, 2 groups, 6 output channels.
+            let p = Conv2dParams { out_channels: 6, kernel: 3, stride: 1, pad: 1, groups: 2 };
+            let input = Tensor::random_uniform(Shape::nchw(2, 4, hw, hw), 1.0, seed);
+            let weights = Tensor::random_uniform(Shape::nchw(6, 2, 3, 3), 1.0, seed + 5);
+            let bias = vec![0.25; 6];
+            let fast = conv2d(&input, &weights, &bias, &p).unwrap();
+            let slow = conv2d_direct(&input, &weights, &bias, &p).unwrap();
+            prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-3);
+        }
+    }
+}

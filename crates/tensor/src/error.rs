@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// Every fallible operation in this crate returns `Result<T, TensorError>`.
+/// The variants carry enough context to diagnose shape mismatches without a
+/// debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by the shape does not match the buffer.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Left-hand shape dims.
+        lhs: Vec<usize>,
+        /// Right-hand shape dims.
+        rhs: Vec<usize>,
+    },
+    /// A shape with zero dimensions or a zero-sized dimension was supplied
+    /// where a non-empty tensor is required.
+    EmptyShape,
+    /// The operation's parameters are inconsistent with the input shape
+    /// (e.g. a kernel larger than the padded input).
+    InvalidParams {
+        /// Which operation rejected its parameters.
+        op: &'static str,
+        /// Why the parameters were rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::EmptyShape => write!(f, "empty shape where a non-empty tensor is required"),
+            TensorError::InvalidParams { op, reason } => {
+                write!(f, "invalid parameters for {op}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

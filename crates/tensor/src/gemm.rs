@@ -1,0 +1,422 @@
+//! Single-precision general matrix multiply.
+//!
+//! Three tiers are provided, mirroring how a tuned BLAS is structured:
+//! a naive triple loop (reference / correctness oracle), a cache-blocked
+//! kernel, and a parallel driver that splits the row dimension across
+//! threads with `crossbeam::scope`. The blocked kernel is what every DNN
+//! forward pass in this workspace actually runs on.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Row-dimension block size; sized so an `MC x KC` panel of A stays in L2.
+const MC: usize = 64;
+/// Inner (depth) block size; an `KC x NC` panel of B stays in L1/L2.
+const KC: usize = 256;
+/// Column-dimension block size.
+const NC: usize = 256;
+
+/// Tuning options for [`sgemm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmOptions {
+    /// Interpret `a` as transposed (`a` is stored `k x m`).
+    pub trans_a: bool,
+    /// Interpret `b` as transposed (`b` is stored `n x k`).
+    pub trans_b: bool,
+    /// Number of worker threads; 1 = sequential. Thread count is capped at
+    /// the number of `MC` row blocks, so oversubscription is harmless.
+    pub threads: usize,
+}
+
+impl Default for GemmOptions {
+    fn default() -> Self {
+        GemmOptions {
+            trans_a: false,
+            trans_b: false,
+            threads: 1,
+        }
+    }
+}
+
+/// Computes `C = A * B` for 2-D tensors (flattening higher ranks as
+/// matrices), using the blocked sequential kernel.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// ```
+/// use tensor::{Tensor, Shape};
+/// let a = Tensor::filled(Shape::mat(4, 8), 1.0);
+/// let b = Tensor::filled(Shape::mat(8, 2), 0.5);
+/// let c = tensor::matmul(&a, &b)?;
+/// assert_eq!(c.data()[0], 4.0);
+/// # Ok::<(), tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = a.shape().as_matrix();
+    let (kb, n) = b.shape().as_matrix();
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut c = Tensor::zeros(Shape::mat(m, n));
+    sgemm(
+        m,
+        n,
+        ka,
+        1.0,
+        a.data(),
+        b.data(),
+        0.0,
+        c.data_mut(),
+        GemmOptions::default(),
+    )?;
+    Ok(c)
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C` over raw row-major slices.
+///
+/// `a` is `m x k` (or `k x m` when `opts.trans_a`), `b` is `k x n` (or
+/// `n x k`), `c` is `m x n`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParams`] when slice lengths do not match
+/// the stated dimensions or a dimension is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    opts: GemmOptions,
+) -> Result<()> {
+    if m == 0 || n == 0 || k == 0 {
+        return Err(TensorError::InvalidParams {
+            op: "sgemm",
+            reason: format!("zero dimension m={m} n={n} k={k}"),
+        });
+    }
+    if a.len() != m * k || b.len() != k * n || c.len() != m * n {
+        return Err(TensorError::InvalidParams {
+            op: "sgemm",
+            reason: format!(
+                "slice lengths a={} b={} c={} inconsistent with m={m} n={n} k={k}",
+                a.len(),
+                b.len(),
+                c.len()
+            ),
+        });
+    }
+
+    // Normalize transposes up front: materializing the transposed operand
+    // costs O(mk)/O(kn) but lets the hot loop always stream unit-stride.
+    let a_owned;
+    let a_rm: &[f32] = if opts.trans_a {
+        a_owned = transpose(a, k, m);
+        &a_owned
+    } else {
+        a
+    };
+    let b_owned;
+    let b_rm: &[f32] = if opts.trans_b {
+        b_owned = transpose(b, n, k);
+        &b_owned
+    } else {
+        b
+    };
+
+    if beta != 1.0 {
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
+    }
+
+    let threads = opts.threads.max(1).min(m.div_ceil(MC));
+    if threads <= 1 {
+        gemm_blocked(m, n, k, alpha, a_rm, b_rm, c);
+        return Ok(());
+    }
+
+    // Parallel driver: split C's rows into contiguous strips, one per thread.
+    let rows_per = m.div_ceil(threads);
+    let mut row_chunks: Vec<&mut [f32]> = Vec::with_capacity(threads);
+    let mut rest = c;
+    let mut row = 0usize;
+    while row < m {
+        let take = rows_per.min(m - row);
+        let (head, tail) = rest.split_at_mut(take * n);
+        row_chunks.push(head);
+        rest = tail;
+        row += take;
+    }
+    crossbeam::scope(|scope| {
+        let mut row0 = 0usize;
+        for chunk in row_chunks {
+            let rows = chunk.len() / n;
+            let a_strip = &a_rm[row0 * k..(row0 + rows) * k];
+            scope.spawn(move |_| {
+                gemm_blocked(rows, n, k, alpha, a_strip, b_rm, chunk);
+            });
+            row0 += rows;
+        }
+    })
+    .expect("gemm worker panicked");
+    Ok(())
+}
+
+/// Reference implementation: naive triple loop. Used as a correctness
+/// oracle in tests and benchmarks.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if the slice lengths are inconsistent with
+/// the dimensions; use [`sgemm`] for validated input.
+pub fn gemm_naive(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = alpha * a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Cache-blocked kernel: loops over `NC`/`KC`/`MC` panels with a 4-row
+/// micro-kernel in the innermost position so the compiler can vectorize the
+/// unit-stride B row accesses.
+fn gemm_blocked(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for jc in (0..n).step_by(NC) {
+        let nb = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kb = KC.min(k - pc);
+            for ic in (0..m).step_by(MC) {
+                let mb = MC.min(m - ic);
+                inner_block(ic, jc, pc, mb, nb, kb, n, k, alpha, a, b, c);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn inner_block(
+    ic: usize,
+    jc: usize,
+    pc: usize,
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let mut i = ic;
+    // 2-row micro-kernel: amortizes each streamed B row over two C rows.
+    while i + 1 < ic + mb {
+        for p in pc..pc + kb {
+            let a0 = alpha * a[i * k + p];
+            let a1 = alpha * a[(i + 1) * k + p];
+            let brow = &b[p * n + jc..p * n + jc + nb];
+            // Split borrows of the two C rows.
+            let (c_head, c_tail) = c.split_at_mut((i + 1) * n);
+            let c0 = &mut c_head[i * n + jc..i * n + jc + nb];
+            let c1 = &mut c_tail[jc..jc + nb];
+            for ((cv0, cv1), bv) in c0.iter_mut().zip(c1.iter_mut()).zip(brow) {
+                *cv0 += a0 * bv;
+                *cv1 += a1 * bv;
+            }
+        }
+        i += 2;
+    }
+    if i < ic + mb {
+        for p in pc..pc + kb {
+            let av = alpha * a[i * k + p];
+            let brow = &b[p * n + jc..p * n + jc + nb];
+            let crow = &mut c[i * n + jc..i * n + jc + nb];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Out-of-place transpose of a row-major `rows x cols` matrix.
+fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut dst = vec![0.0f32; src.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx_eq(a: &[f32], b: &[f32], tol: f32) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = Tensor::from_vec(Shape::mat(2, 3), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(Shape::mat(3, 2), vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_rejects_inner_mismatch() {
+        let a = Tensor::zeros(Shape::mat(2, 3));
+        let b = Tensor::zeros(Shape::mat(4, 2));
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn sgemm_validates_slice_lengths() {
+        let a = vec![0.0; 5];
+        let b = vec![0.0; 6];
+        let mut c = vec![0.0; 4];
+        let err = sgemm(2, 2, 3, 1.0, &a, &b, 0.0, &mut c, GemmOptions::default()).unwrap_err();
+        assert!(matches!(err, TensorError::InvalidParams { .. }));
+    }
+
+    #[test]
+    fn beta_scales_existing_c() {
+        let a = vec![1.0, 0.0, 0.0, 1.0]; // 2x2 identity
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let mut c = vec![10.0, 10.0, 10.0, 10.0];
+        sgemm(2, 2, 2, 1.0, &a, &b, 0.5, &mut c, GemmOptions::default()).unwrap();
+        assert_eq!(c, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn transposed_operands_match_naive() {
+        let m = 5;
+        let n = 7;
+        let k = 3;
+        let a = Tensor::random_uniform(Shape::mat(m, k), 1.0, 1).into_vec();
+        let b = Tensor::random_uniform(Shape::mat(k, n), 1.0, 2).into_vec();
+        let at = transpose(&a, m, k); // stored k x m
+        let bt = transpose(&b, k, n); // stored n x k
+        let mut want = vec![0.0; m * n];
+        gemm_naive(m, n, k, 1.0, &a, &b, &mut want);
+
+        let mut got = vec![0.0; m * n];
+        sgemm(
+            m,
+            n,
+            k,
+            1.0,
+            &at,
+            &bt,
+            0.0,
+            &mut got,
+            GemmOptions {
+                trans_a: true,
+                trans_b: true,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        assert!(approx_eq(&want, &got, 1e-4));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_large_matrix() {
+        let m = 130; // crosses multiple MC blocks and uneven split
+        let n = 70;
+        let k = 300; // crosses KC
+        let a = Tensor::random_uniform(Shape::mat(m, k), 1.0, 3).into_vec();
+        let b = Tensor::random_uniform(Shape::mat(k, n), 1.0, 4).into_vec();
+        let mut seq = vec![0.0; m * n];
+        sgemm(m, n, k, 1.0, &a, &b, 0.0, &mut seq, GemmOptions::default()).unwrap();
+        let mut par = vec![0.0; m * n];
+        sgemm(
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut par,
+            GemmOptions {
+                threads: 4,
+                ..GemmOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(approx_eq(&seq, &par, 1e-3));
+    }
+
+    proptest! {
+        #[test]
+        fn blocked_matches_naive(
+            m in 1usize..24,
+            n in 1usize..24,
+            k in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            let a = Tensor::random_uniform(Shape::mat(m, k), 1.0, seed).into_vec();
+            let b = Tensor::random_uniform(Shape::mat(k, n), 1.0, seed + 1).into_vec();
+            let mut want = vec![0.0; m * n];
+            gemm_naive(m, n, k, 1.0, &a, &b, &mut want);
+            let mut got = vec![0.0; m * n];
+            sgemm(m, n, k, 1.0, &a, &b, 0.0, &mut got, GemmOptions::default()).unwrap();
+            prop_assert!(approx_eq(&want, &got, 1e-3));
+        }
+
+        #[test]
+        fn identity_is_neutral(mn in 1usize..20, seed in 0u64..100) {
+            let a = Tensor::random_uniform(Shape::mat(mn, mn), 1.0, seed);
+            let eye = Tensor::from_fn(Shape::mat(mn, mn), |i| {
+                if i / mn == i % mn { 1.0 } else { 0.0 }
+            });
+            let c = matmul(&a, &eye).unwrap();
+            prop_assert!(approx_eq(a.data(), c.data(), 1e-5));
+        }
+
+        #[test]
+        fn matmul_is_linear_in_alpha(
+            m in 1usize..10, n in 1usize..10, k in 1usize..10, seed in 0u64..50
+        ) {
+            let a = Tensor::random_uniform(Shape::mat(m, k), 1.0, seed).into_vec();
+            let b = Tensor::random_uniform(Shape::mat(k, n), 1.0, seed + 9).into_vec();
+            let mut c1 = vec![0.0; m * n];
+            sgemm(m, n, k, 2.0, &a, &b, 0.0, &mut c1, GemmOptions::default()).unwrap();
+            let mut c2 = vec![0.0; m * n];
+            sgemm(m, n, k, 1.0, &a, &b, 0.0, &mut c2, GemmOptions::default()).unwrap();
+            for v in c2.iter_mut() { *v *= 2.0; }
+            prop_assert!(approx_eq(&c1, &c2, 1e-3));
+        }
+    }
+}

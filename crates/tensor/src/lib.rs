@@ -1,0 +1,41 @@
+//! Dense tensor math substrate for the DjiNN reproduction.
+//!
+//! This crate is the stand-in for the ATLAS/OpenBLAS layer the paper's CPU
+//! baseline uses: a small, self-contained library of dense `f32` tensor
+//! operations — blocked and parallel SGEMM, im2col-based convolution,
+//! pooling, and the pointwise activations needed by the Tonic networks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tensor::{Tensor, Shape};
+//!
+//! let a = Tensor::from_vec(Shape::mat(2, 3), vec![1., 2., 3., 4., 5., 6.])?;
+//! let b = Tensor::from_vec(Shape::mat(3, 2), vec![7., 8., 9., 10., 11., 12.])?;
+//! let c = tensor::matmul(&a, &b)?;
+//! assert_eq!(c.shape().dims(), &[2, 2]);
+//! assert_eq!(c.data()[0], 58.0);
+//! # Ok::<(), tensor::TensorError>(())
+//! ```
+
+mod conv;
+mod error;
+mod gemm;
+mod ops;
+mod pool;
+mod shape;
+#[allow(clippy::module_inception)]
+mod tensor;
+
+pub use conv::{col2im, conv2d, conv2d_direct, im2col, Conv2dParams};
+pub use error::TensorError;
+pub use gemm::{gemm_naive, matmul, sgemm, GemmOptions};
+pub use ops::{
+    add_bias_rows, hardtanh, lrn_cross_channel, relu, sigmoid, softmax_rows, tanh, LrnParams,
+};
+pub use pool::{avg_pool2d, max_pool2d, Pool2dParams};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Result alias used across this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,196 @@
+//! Max and average pooling over `NCHW` tensors.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Geometry of a 2-D pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Pool2dParams {
+    /// Square window side length.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub pad: usize,
+}
+
+impl Pool2dParams {
+    /// Creates pooling parameters.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        Pool2dParams {
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial side length; Caffe uses ceiling division so partial
+    /// windows at the bottom/right edge still produce an output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the window does not fit in the padded input.
+    pub fn out_dim(&self, input: usize) -> Result<usize> {
+        let padded = input + 2 * self.pad;
+        if self.kernel == 0 || self.stride == 0 || padded < self.kernel {
+            return Err(TensorError::InvalidParams {
+                op: "pool2d",
+                reason: format!(
+                    "window {} stride {} does not fit input {} (+2*{})",
+                    self.kernel, self.stride, input, self.pad
+                ),
+            });
+        }
+        Ok((padded - self.kernel).div_ceil(self.stride) + 1)
+    }
+}
+
+fn pool2d(
+    input: &Tensor,
+    p: &Pool2dParams,
+    init: f32,
+    fold: impl Fn(f32, f32) -> f32,
+    finish: impl Fn(f32, usize) -> f32,
+) -> Result<Tensor> {
+    let dims = input.shape().dims();
+    if dims.len() != 4 {
+        return Err(TensorError::InvalidParams {
+            op: "pool2d",
+            reason: format!("input must be NCHW, got {}", input.shape()),
+        });
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let oh = p.out_dim(h)?;
+    let ow = p.out_dim(w)?;
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    let x = input.data();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = init;
+                    let mut count = 0usize;
+                    for ky in 0..p.kernel {
+                        let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..p.kernel {
+                            let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc = fold(acc, x[base + iy as usize * w + ix as usize]);
+                            count += 1;
+                        }
+                    }
+                    out.data_mut()[((img * c + ch) * oh + oy) * ow + ox] = finish(acc, count);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Max-pooling: each output is the maximum over its window (ignoring the
+/// zero padding, matching Caffe's behaviour).
+///
+/// # Errors
+///
+/// Returns an error if the input is not 4-D or the window geometry is invalid.
+pub fn max_pool2d(input: &Tensor, p: &Pool2dParams) -> Result<Tensor> {
+    pool2d(input, p, f32::NEG_INFINITY, f32::max, |acc, count| {
+        if count == 0 {
+            0.0
+        } else {
+            acc
+        }
+    })
+}
+
+/// Average pooling over the valid (non-padding) window elements.
+///
+/// # Errors
+///
+/// Returns an error if the input is not 4-D or the window geometry is invalid.
+pub fn avg_pool2d(input: &Tensor, p: &Pool2dParams) -> Result<Tensor> {
+    pool2d(input, p, 0.0, |a, b| a + b, |acc, count| {
+        if count == 0 {
+            0.0
+        } else {
+            acc / count as f32
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn out_dim_uses_ceiling() {
+        // AlexNet pool1: 55 -> 27 with k=3, s=2.
+        assert_eq!(Pool2dParams::new(3, 2, 0).out_dim(55).unwrap(), 27);
+        // Partial window: (5 - 2).ceil_div(2) + 1 = 3.
+        assert_eq!(Pool2dParams::new(2, 2, 0).out_dim(5).unwrap(), 3);
+    }
+
+    #[test]
+    fn max_pool_known_answer() {
+        let input = Tensor::from_fn(Shape::nchw(1, 1, 4, 4), |i| i as f32);
+        let out = max_pool2d(&input, &Pool2dParams::new(2, 2, 0)).unwrap();
+        assert_eq!(out.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_known_answer() {
+        let input = Tensor::from_fn(Shape::nchw(1, 1, 2, 2), |i| i as f32);
+        let out = avg_pool2d(&input, &Pool2dParams::new(2, 2, 0)).unwrap();
+        assert_eq!(out.data(), &[1.5]);
+    }
+
+    #[test]
+    fn padding_is_ignored_by_max() {
+        // Negative inputs with zero padding: max must come from the real
+        // values, not the implicit zeros.
+        let input = Tensor::filled(Shape::nchw(1, 1, 2, 2), -3.0);
+        let out = max_pool2d(&input, &Pool2dParams::new(2, 1, 1)).unwrap();
+        assert!(out.data().iter().all(|&v| v == -3.0));
+    }
+
+    #[test]
+    fn rejects_non_nchw() {
+        let input = Tensor::zeros(Shape::mat(4, 4));
+        assert!(max_pool2d(&input, &Pool2dParams::new(2, 2, 0)).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn max_pool_dominates_avg_pool(
+            hw in 2usize..8, k in 1usize..4, s in 1usize..3, seed in 0u64..100
+        ) {
+            prop_assume!(hw >= k);
+            let p = Pool2dParams::new(k, s, 0);
+            let input = Tensor::random_uniform(Shape::nchw(1, 2, hw, hw), 1.0, seed);
+            let mx = max_pool2d(&input, &p).unwrap();
+            let av = avg_pool2d(&input, &p).unwrap();
+            for (m, a) in mx.data().iter().zip(av.data()) {
+                prop_assert!(m >= a);
+            }
+        }
+
+        #[test]
+        fn pooling_output_within_input_range(hw in 2usize..8, seed in 0u64..100) {
+            let input = Tensor::random_uniform(Shape::nchw(1, 1, hw, hw), 5.0, seed);
+            let lo = input.data().iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = input.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let p = Pool2dParams::new(2.min(hw), 1, 0);
+            let mx = max_pool2d(&input, &p).unwrap();
+            for &v in mx.data() {
+                prop_assert!(v >= lo && v <= hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The seven application drivers: pre-process → DjiNN request →
+//! post-process, against either a local in-process network or a remote
+//! DjiNN server.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use dnn::zoo::App;
+use dnn::Network;
+use djinn::{DjinnClient, DjinnError};
+use tensor::Tensor;
+
+use crate::{image, speech, text};
+
+/// Where the DNN part of a query executes.
+pub enum Backend {
+    /// In-process forward pass (useful for tests and offline runs).
+    Local(Arc<Network>),
+    /// Remote DjiNN service over TCP.
+    Remote {
+        /// Connected client.
+        client: DjinnClient,
+        /// Model name on the server.
+        model: String,
+    },
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Local(n) => write!(f, "Backend::Local({})", n.def().name()),
+            Backend::Remote { model, .. } => write!(f, "Backend::Remote({model})"),
+        }
+    }
+}
+
+impl Backend {
+    fn infer(&mut self, input: &Tensor) -> djinn::Result<Tensor> {
+        match self {
+            Backend::Local(net) => Ok(net.forward(input)?),
+            Backend::Remote { client, model } => client.infer(model, input),
+        }
+    }
+}
+
+/// One Tonic application bound to a backend.
+///
+/// Word chunking (CHK) holds a second backend for its internal POS
+/// request, mirroring the paper's description: "this application
+/// internally makes a POS service request, updates the tags for its
+/// input, and then makes its own DNN service request."
+#[derive(Debug)]
+pub struct TonicApp {
+    app: App,
+    backend: Backend,
+    /// POS backend used only by CHK.
+    pos_backend: Option<Backend>,
+}
+
+impl TonicApp {
+    /// Builds the application with an in-process network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn local(app: App) -> djinn::Result<Self> {
+        let backend = Backend::Local(Arc::new(dnn::zoo::network(app)?));
+        let pos_backend = if app == App::Chk {
+            Some(Backend::Local(Arc::new(dnn::zoo::network(App::Pos)?)))
+        } else {
+            None
+        };
+        Ok(TonicApp {
+            app,
+            backend,
+            pos_backend,
+        })
+    }
+
+    /// Builds the application against a remote DjiNN server that serves
+    /// the Tonic models under their lower-case names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn remote(app: App, addr: SocketAddr) -> djinn::Result<Self> {
+        let backend = Backend::Remote {
+            client: DjinnClient::connect(addr)?,
+            model: app.name().to_lowercase(),
+        };
+        let pos_backend = if app == App::Chk {
+            Some(Backend::Remote {
+                client: DjinnClient::connect(addr)?,
+                model: "pos".into(),
+            })
+        } else {
+            None
+        };
+        Ok(TonicApp {
+            app,
+            backend,
+            pos_backend,
+        })
+    }
+
+    /// Which application this is.
+    pub fn app(&self) -> App {
+        self.app
+    }
+
+    fn expect(&self, want: App) -> djinn::Result<()> {
+        if self.app == want {
+            Ok(())
+        } else {
+            Err(DjinnError::Remote {
+                message: format!("driver for {} invoked as {}", self.app, want),
+            })
+        }
+    }
+
+    /// Image classification: images → ImageNet class indices.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this driver is not IMC or inference fails.
+    pub fn run_imc(&mut self, images: &[Tensor]) -> djinn::Result<Vec<usize>> {
+        self.expect(App::Imc)?;
+        self.classify(images)
+    }
+
+    /// Digit recognition: digit images → digits 0–9.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this driver is not DIG or inference fails.
+    pub fn run_dig(&mut self, images: &[Tensor]) -> djinn::Result<Vec<usize>> {
+        self.expect(App::Dig)?;
+        self.classify(images)
+    }
+
+    /// Facial recognition: face crops → identity indices (83 celebrities).
+    ///
+    /// # Errors
+    ///
+    /// Fails if this driver is not FACE or inference fails.
+    pub fn run_face(&mut self, images: &[Tensor]) -> djinn::Result<Vec<usize>> {
+        self.expect(App::Face)?;
+        self.classify(images)
+    }
+
+    fn classify(&mut self, images: &[Tensor]) -> djinn::Result<Vec<usize>> {
+        let normalized: Vec<Tensor> = images.iter().map(image::normalize).collect();
+        let batch = Tensor::stack_batch(&normalized).map_err(dnn::DnnError::from)?;
+        let out = self.backend.infer(&batch)?;
+        Ok(image::top1(&out))
+    }
+
+    /// Speech recognition: waveform → decoded phone sequence.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this driver is not ASR, the audio is shorter than one
+    /// analysis frame, or inference fails.
+    pub fn run_asr(&mut self, waveform: &[f32]) -> djinn::Result<Vec<usize>> {
+        self.expect(App::Asr)?;
+        let frames = speech::filterbank(waveform);
+        if frames.is_empty() {
+            return Err(DjinnError::Remote {
+                message: "utterance shorter than one analysis frame".into(),
+            });
+        }
+        let features = speech::splice(&frames);
+        let posteriors = self.backend.infer(&features)?;
+        Ok(speech::PhoneHmm::new().decode(&posteriors))
+    }
+
+    /// Part-of-speech tagging: words → tag indices.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this driver is not POS or inference fails.
+    pub fn run_pos(&mut self, words: &[String]) -> djinn::Result<Vec<usize>> {
+        self.expect(App::Pos)?;
+        self.tag(words, None)
+    }
+
+    /// Named-entity recognition: words → entity tag indices.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this driver is not NER or inference fails.
+    pub fn run_ner(&mut self, words: &[String]) -> djinn::Result<Vec<usize>> {
+        self.expect(App::Ner)?;
+        self.tag(words, None)
+    }
+
+    /// Word chunking: words → chunk tag indices. Internally performs the
+    /// POS request first and folds its tags into the CHK input.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this driver is not CHK or either inference fails.
+    pub fn run_chk(&mut self, words: &[String]) -> djinn::Result<Vec<usize>> {
+        self.expect(App::Chk)?;
+        // Internal POS pass.
+        let pos_features = text::window_features(words, None);
+        let pos_backend = self
+            .pos_backend
+            .as_mut()
+            .expect("CHK always carries a POS backend");
+        let pos_scores = pos_backend.infer(&pos_features)?;
+        let pos_tags = text::TagModel::new(text::tag_count(App::Pos)).decode(&pos_scores);
+        self.tag(words, Some(&pos_tags))
+    }
+
+    fn tag(&mut self, words: &[String], hints: Option<&[usize]>) -> djinn::Result<Vec<usize>> {
+        let features = text::window_features(words, hints);
+        let scores = self.backend.infer(&features)?;
+        Ok(text::TagModel::new(text::tag_count(self.app)).decode(&scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dig_end_to_end_local() {
+        let mut app = TonicApp::local(App::Dig).unwrap();
+        let digits = image::synth_digits(3, 1);
+        let labels = app.run_dig(&digits).unwrap();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn pos_and_ner_end_to_end_local() {
+        let sentence = text::synth_sentence(28, 4);
+        let mut pos = TonicApp::local(App::Pos).unwrap();
+        let tags = pos.run_pos(&sentence).unwrap();
+        assert_eq!(tags.len(), 28);
+        assert!(tags.iter().all(|&t| t < 45));
+
+        let mut ner = TonicApp::local(App::Ner).unwrap();
+        let ents = ner.run_ner(&sentence).unwrap();
+        assert_eq!(ents.len(), 28);
+        assert!(ents.iter().all(|&t| t < 9));
+    }
+
+    #[test]
+    fn chk_uses_internal_pos_request() {
+        let sentence = text::synth_sentence(12, 5);
+        let mut chk = TonicApp::local(App::Chk).unwrap();
+        let chunks = chk.run_chk(&sentence).unwrap();
+        assert_eq!(chunks.len(), 12);
+        assert!(chunks.iter().all(|&t| t < 23));
+    }
+
+    #[test]
+    fn asr_end_to_end_local_short_utterance() {
+        let mut asr = TonicApp::local(App::Asr).unwrap();
+        let wav = speech::synth_utterance(0.15, 2); // a few frames
+        let phones = asr.run_asr(&wav).unwrap();
+        assert!(!phones.is_empty());
+        assert!(phones.iter().all(|&p| p < speech::PHONES));
+    }
+
+    #[test]
+    fn asr_rejects_too_short_audio() {
+        let mut asr = TonicApp::local(App::Asr).unwrap();
+        assert!(asr.run_asr(&[0.0; 64]).is_err());
+    }
+
+    #[test]
+    fn wrong_driver_method_is_rejected() {
+        let mut pos = TonicApp::local(App::Pos).unwrap();
+        let imgs = image::synth_digits(1, 1);
+        assert!(pos.run_dig(&imgs).is_err());
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let sentence = text::synth_sentence(10, 6);
+        let mut a = TonicApp::local(App::Pos).unwrap();
+        let mut b = TonicApp::local(App::Pos).unwrap();
+        assert_eq!(a.run_pos(&sentence).unwrap(), b.run_pos(&sentence).unwrap());
+    }
+}

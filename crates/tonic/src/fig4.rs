@@ -1,0 +1,136 @@
+//! Cycle accounting for Figure 4: how each application's CPU execution
+//! splits between the DNN forward pass and its pre/post-processing.
+//!
+//! The DNN share comes from the calibrated `perf` CPU model. Pre/post
+//! costs are analytic models of the production pipelines the paper used
+//! (Kaldi's lattice-generating beam search, SENNA's per-word feature
+//! extraction), since the slimmed-down functional implementations in this
+//! crate deliberately omit the heavyweight parts (e.g. a 4M-state decoding
+//! graph) that dominate those costs; each constant is justified inline.
+
+use dnn::profile::WorkloadProfile;
+use dnn::zoo::{self, App};
+use perf::CpuSpec;
+
+use crate::speech;
+
+/// One application's CPU cycle breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleBreakdown {
+    /// Seconds in the DNN forward pass.
+    pub dnn_s: f64,
+    /// Seconds in query pre-processing.
+    pub pre_s: f64,
+    /// Seconds in query post-processing.
+    pub post_s: f64,
+}
+
+impl CycleBreakdown {
+    /// Fraction of total cycles spent in the DNN (the Fig 4 bar).
+    pub fn dnn_fraction(&self) -> f64 {
+        self.dnn_s / (self.dnn_s + self.pre_s + self.post_s)
+    }
+}
+
+/// Computes the Fig 4 breakdown for one application processing one query
+/// (Table 3 input unit) on a single CPU core.
+pub fn cycle_breakdown(cpu: &CpuSpec, app: App) -> CycleBreakdown {
+    let meta = app.service_meta();
+    let def = zoo::netdef(app);
+    let profile =
+        WorkloadProfile::of(&def, meta.inputs_per_query).expect("zoo networks always profile");
+    let dnn_s = perf::cpu_forward_seconds(cpu, &profile);
+
+    let (pre_s, post_s) = match app {
+        // Images feed the network directly (paper §3.2.1: "The image tasks
+        // do not have pre or postprocessing steps"); only the mean
+        // subtraction and arg-max remain, which are bandwidth-trivial.
+        App::Imc | App::Dig | App::Face => {
+            let bytes = meta.input_bytes();
+            (bytes / (cpu.mem_bw_gbps * 1e9), 1e-6)
+        }
+        // ASR pre-processing: 40-bin filterbank over 548 frames of 400
+        // samples, ~6 scalar flops per (sample, bin) pair at a ~2 GFLOP/s
+        // scalar rate. Post-processing: Kaldi's lattice-generating beam
+        // search, ~20k active graph arcs per frame and ~130 ops per arc at
+        // ~1 G op/s — the decode-side cost that makes Kaldi roughly
+        // real-time on this class of core.
+        App::Asr => {
+            let frames = meta.inputs_per_query as f64;
+            let pre = frames * (speech::FRAME_LEN * speech::NUM_BINS) as f64 * 6.0 / 2e9;
+            let post = frames * 20_000.0 * 130.0 / 1e9;
+            (pre, post)
+        }
+        // NLP pre-processing: SENNA's per-word tokenization, caps/suffix
+        // features and hash-table lookups, ~10 µs per word of string work
+        // on the 2.1 GHz Xeon. Post-processing: sentence-level Viterbi
+        // (words × tags² fused multiply-compares) plus output assembly.
+        App::Pos | App::Chk | App::Ner => {
+            let words = meta.inputs_per_query as f64;
+            let tags = zoo::senna_tags(app) as f64;
+            let pre = words * 10e-6;
+            let post = words * tags * tags * 4.0 / 1e9 + words * 4e-6;
+            (pre, post)
+        }
+    };
+    CycleBreakdown { dnn_s, pre_s, post_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdowns() -> Vec<(App, CycleBreakdown)> {
+        let cpu = CpuSpec::xeon_e5_2620_v2();
+        App::ALL
+            .iter()
+            .map(|&a| (a, cycle_breakdown(&cpu, a)))
+            .collect()
+    }
+
+    #[test]
+    fn image_tasks_are_almost_all_dnn() {
+        // Fig 4: "almost all of the cycles for the image services are
+        // spent on DNN computation."
+        for (app, b) in breakdowns() {
+            if app.is_image() {
+                assert!(b.dnn_fraction() > 0.95, "{app}: {}", b.dnn_fraction());
+            }
+        }
+    }
+
+    #[test]
+    fn asr_dnn_is_roughly_half() {
+        // Fig 4: "the DNN service still consumes almost half of the
+        // execution cycles for ASR."
+        let cpu = CpuSpec::xeon_e5_2620_v2();
+        let b = cycle_breakdown(&cpu, App::Asr);
+        assert!(
+            (0.35..0.65).contains(&b.dnn_fraction()),
+            "ASR DNN fraction {}",
+            b.dnn_fraction()
+        );
+    }
+
+    #[test]
+    fn nlp_dnn_is_more_than_two_thirds() {
+        // Fig 4: "more than two thirds of the total execution time is DNN
+        // computation" for the NLP tasks.
+        for (app, b) in breakdowns() {
+            if app.is_nlp() {
+                assert!(
+                    b.dnn_fraction() > 0.60 && b.dnn_fraction() < 0.95,
+                    "{app}: {}",
+                    b.dnn_fraction()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_components_positive() {
+        for (app, b) in breakdowns() {
+            assert!(b.dnn_s > 0.0 && b.pre_s > 0.0 && b.post_s > 0.0, "{app}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Image task inputs and pipelines (IMC, DIG, FACE).
+//!
+//! The paper's image services take decoded images directly — there is no
+//! feature extraction. Synthetic inputs here carry exactly the shapes the
+//! networks expect (227×227×3 for AlexNet, 28×28 for MNIST, 152×152×3 for
+//! DeepFace); see DESIGN.md §2 for why content does not matter for the
+//! performance study.
+
+use tensor::{Shape, Tensor};
+
+/// Mean pixel value subtracted during normalization, mirroring Caffe's
+/// mean-image preprocessing.
+const PIXEL_MEAN: f32 = 0.5;
+
+/// Generates `n` synthetic RGB images for image classification
+/// (AlexNet input: 3×227×227), seeded deterministically.
+pub fn synth_photos(n: usize, seed: u64) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| Tensor::random_uniform(Shape::nchw(1, 3, 227, 227), 0.5, seed + i as u64))
+        .collect()
+}
+
+/// Generates `n` synthetic handwritten-digit images (MNIST input:
+/// 1×28×28) with a blob of "ink" whose position depends on the seed.
+pub fn synth_digits(n: usize, seed: u64) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            let s = seed + i as u64;
+            let cx = 8 + (s % 12) as i64;
+            let cy = 8 + ((s / 12) % 12) as i64;
+            Tensor::from_fn(Shape::nchw(1, 1, 28, 28), |idx| {
+                let y = (idx / 28) as i64;
+                let x = (idx % 28) as i64;
+                let d2 = (x - cx).pow(2) + (y - cy).pow(2);
+                if d2 < 16 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+        })
+        .collect()
+}
+
+/// Generates `n` synthetic face crops (DeepFace input: 3×152×152).
+pub fn synth_faces(n: usize, seed: u64) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| Tensor::random_uniform(Shape::nchw(1, 3, 152, 152), 0.5, seed + 31 + i as u64))
+        .collect()
+}
+
+/// Image preprocessing: mean subtraction (the only step the image
+/// services perform before the DNN).
+pub fn normalize(image: &Tensor) -> Tensor {
+    image.map(|v| v - PIXEL_MEAN)
+}
+
+/// Image postprocessing: the predicted class index of every image in the
+/// batched output.
+pub fn top1(output: &Tensor) -> Vec<usize> {
+    (0..output.shape().batch())
+        .map(|r| output.row_argmax(r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_expected_shapes() {
+        assert_eq!(
+            synth_photos(2, 1)[0].shape().dims(),
+            &[1, 3, 227, 227]
+        );
+        assert_eq!(synth_digits(2, 1)[1].shape().dims(), &[1, 1, 28, 28]);
+        assert_eq!(synth_faces(1, 1)[0].shape().dims(), &[1, 3, 152, 152]);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(synth_photos(1, 5), synth_photos(1, 5));
+        assert_ne!(synth_photos(1, 5), synth_photos(1, 6));
+    }
+
+    #[test]
+    fn digits_have_ink() {
+        let d = &synth_digits(1, 3)[0];
+        let ink: f32 = d.data().iter().sum();
+        assert!(ink > 0.0);
+    }
+
+    #[test]
+    fn normalize_centers_pixels() {
+        let img = Tensor::filled(Shape::nchw(1, 1, 2, 2), 0.5);
+        let out = normalize(&img);
+        assert!(out.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn top1_reads_every_row() {
+        let out = Tensor::from_vec(
+            Shape::mat(2, 3),
+            vec![0.1, 0.7, 0.2, 0.9, 0.05, 0.05],
+        )
+        .unwrap();
+        assert_eq!(top1(&out), vec![1, 0]);
+    }
+}

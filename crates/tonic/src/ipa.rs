@@ -1,0 +1,245 @@
+//! An intelligent-personal-assistant (IPA) compound query: the workload
+//! class that motivates the paper's introduction (Siri/Google Now-style
+//! assistants whose every query fans out to several DNN services).
+//!
+//! One voice query drives three DjiNN services in sequence:
+//!
+//! 1. **ASR** — audio → phone sequence (Kaldi-style acoustic model +
+//!    Viterbi);
+//! 2. a **lexicon matcher** recovers words from phones (edit-distance
+//!    nearest neighbour over the embedded vocabulary's G2P expansions);
+//! 3. **POS** and **NER** — tag the transcript and extract entities.
+//!
+//! Per-stage latency is recorded so the compound query's service-time
+//! composition (the Fig 4 pre/post story at the application level) is
+//! observable.
+
+use std::time::{Duration, Instant};
+
+use dnn::zoo::App;
+
+use crate::apps::TonicApp;
+use crate::speech::PHONES;
+use crate::text;
+
+/// Deterministic grapheme-to-phoneme expansion: each letter maps to a
+/// phone id; repeated phones collapse (mirroring the decoder's run-length
+/// collapsing).
+pub fn phones_for_word(word: &str) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::with_capacity(word.len());
+    for b in word.to_lowercase().bytes().filter(u8::is_ascii_lowercase) {
+        let phone = ((b - b'a') as usize * 7 + 3) % PHONES;
+        if out.last() != Some(&phone) {
+            out.push(phone);
+        }
+    }
+    out
+}
+
+/// Edit distance between two phone sequences (Levenshtein).
+pub fn phone_distance(a: &[usize], b: &[usize]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = sub.min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Recovers the vocabulary word whose phone expansion is nearest to the
+/// decoded sequence (the lexicon/language-model stage of a speech
+/// front-end, reduced to its essence).
+pub fn lexicon_match(phones: &[usize]) -> &'static str {
+    text::vocabulary()
+        .iter()
+        .min_by_key(|w| phone_distance(phones, &phones_for_word(w)))
+        .copied()
+        .unwrap_or("the")
+}
+
+/// One named entity in the response: the word and its NER tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    /// Surface word.
+    pub word: String,
+    /// NER tag index (0 = outside).
+    pub tag: usize,
+}
+
+/// The structured result of an IPA query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpaResponse {
+    /// Recovered transcript.
+    pub transcript: Vec<String>,
+    /// POS tag per transcript word.
+    pub pos_tags: Vec<usize>,
+    /// Words tagged as entities (non-zero NER tag).
+    pub entities: Vec<Entity>,
+    /// Wall-clock time in the ASR stage (DNN + decode).
+    pub asr_time: Duration,
+    /// Wall-clock time in the lexicon stage.
+    pub lexicon_time: Duration,
+    /// Wall-clock time in the NLP stages (POS + NER).
+    pub nlp_time: Duration,
+}
+
+/// A bound IPA pipeline: one driver per backing service.
+#[derive(Debug)]
+pub struct IpaPipeline {
+    asr: TonicApp,
+    pos: TonicApp,
+    ner: TonicApp,
+}
+
+impl IpaPipeline {
+    /// Builds the pipeline against in-process networks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn local() -> djinn::Result<Self> {
+        Ok(IpaPipeline {
+            asr: TonicApp::local(App::Asr)?,
+            pos: TonicApp::local(App::Pos)?,
+            ner: TonicApp::local(App::Ner)?,
+        })
+    }
+
+    /// Builds the pipeline against a remote DjiNN server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn remote(addr: std::net::SocketAddr) -> djinn::Result<Self> {
+        Ok(IpaPipeline {
+            asr: TonicApp::remote(App::Asr, addr)?,
+            pos: TonicApp::remote(App::Pos, addr)?,
+            ner: TonicApp::remote(App::Ner, addr)?,
+        })
+    }
+
+    /// Processes one voice query end to end.
+    ///
+    /// The decoded phone stream is segmented into words at phone-run
+    /// boundaries of `phones_per_word` (a stand-in for silence/word-break
+    /// detection), each segment matched against the lexicon, and the
+    /// transcript tagged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates service failures; audio shorter than one analysis frame
+    /// is rejected by the ASR stage.
+    pub fn answer(&mut self, audio: &[f32]) -> djinn::Result<IpaResponse> {
+        let t0 = Instant::now();
+        let phones = self.asr.run_asr(audio)?;
+        let asr_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let phones_per_word = 3usize;
+        let transcript: Vec<String> = phones
+            .chunks(phones_per_word)
+            .map(|chunk| lexicon_match(chunk).to_string())
+            .collect();
+        let transcript = if transcript.is_empty() {
+            vec!["the".to_string()]
+        } else {
+            transcript
+        };
+        let lexicon_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let pos_tags = self.pos.run_pos(&transcript)?;
+        let ner_tags = self.ner.run_ner(&transcript)?;
+        let nlp_time = t2.elapsed();
+
+        let entities = transcript
+            .iter()
+            .zip(&ner_tags)
+            .filter(|(_, &t)| t != 0)
+            .map(|(w, &t)| Entity {
+                word: w.clone(),
+                tag: t,
+            })
+            .collect();
+        Ok(IpaResponse {
+            transcript,
+            pos_tags,
+            entities,
+            asr_time,
+            lexicon_time,
+            nlp_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speech;
+
+    #[test]
+    fn phone_expansion_is_deterministic_and_bounded() {
+        let a = phones_for_word("London");
+        assert_eq!(a, phones_for_word("london"));
+        assert!(a.iter().all(|&p| p < PHONES));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn phone_distance_is_a_metric_on_examples() {
+        let a = phones_for_word("market");
+        let b = phones_for_word("markets");
+        let c = phones_for_word("on");
+        assert_eq!(phone_distance(&a, &a), 0);
+        assert_eq!(phone_distance(&a, &b), phone_distance(&b, &a));
+        assert!(phone_distance(&a, &b) < phone_distance(&a, &c));
+    }
+
+    #[test]
+    fn lexicon_recovers_exact_expansions() {
+        for word in ["company", "london", "growth"] {
+            let phones = phones_for_word(word);
+            assert_eq!(lexicon_match(&phones), word);
+        }
+    }
+
+    #[test]
+    fn pipeline_answers_a_voice_query_end_to_end() {
+        let mut ipa = IpaPipeline::local().unwrap();
+        let audio = speech::synth_utterance(0.2, 21);
+        let response = ipa.answer(&audio).unwrap();
+        assert!(!response.transcript.is_empty());
+        assert_eq!(response.transcript.len(), response.pos_tags.len());
+        assert!(response.asr_time > Duration::ZERO);
+        assert!(response.nlp_time > Duration::ZERO);
+        // Entities must be a subset of the transcript.
+        for e in &response.entities {
+            assert!(response.transcript.contains(&e.word));
+            assert!(e.tag > 0 && e.tag < 9);
+        }
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let audio = speech::synth_utterance(0.2, 5);
+        let mut a = IpaPipeline::local().unwrap();
+        let mut b = IpaPipeline::local().unwrap();
+        let ra = a.answer(&audio).unwrap();
+        let rb = b.answer(&audio).unwrap();
+        assert_eq!(ra.transcript, rb.transcript);
+        assert_eq!(ra.pos_tags, rb.pos_tags);
+        assert_eq!(ra.entities, rb.entities);
+    }
+
+    #[test]
+    fn too_short_audio_is_rejected() {
+        let mut ipa = IpaPipeline::local().unwrap();
+        assert!(ipa.answer(&[0.0; 32]).is_err());
+    }
+}

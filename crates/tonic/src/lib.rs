@@ -1,0 +1,37 @@
+//! Tonic Suite: seven end-to-end DNN applications over the DjiNN service.
+//!
+//! Each application owns its *pre-processing* (raw input → DNN input
+//! tensor) and *post-processing* (DNN output → final answer), exactly as
+//! in the paper (§3.2):
+//!
+//! | App | Pre-processing | Post-processing |
+//! |-----|----------------|-----------------|
+//! | IMC/DIG/FACE | none (images feed the CNN directly) | arg-max class |
+//! | ASR | mel filterbank features + frame splicing | HMM Viterbi decode |
+//! | POS/CHK/NER | word-window embedding lookup | Viterbi tag sequence |
+//!
+//! CHK additionally issues an internal POS request first and folds the
+//! predicted tags into its own DNN input, as the paper describes.
+//!
+//! The [`apps`] module ties pipelines to a backend ([`apps::Backend`]): either a
+//! local in-process network or a remote DjiNN server over TCP.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tonic_suite::apps::{TonicApp, Backend};
+//! use dnn::zoo::App;
+//!
+//! let mut app = TonicApp::local(App::Dig)?;
+//! let digits = tonic_suite::image::synth_digits(3, 7);
+//! let labels = app.run_dig(&digits)?;
+//! assert_eq!(labels.len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod apps;
+pub mod fig4;
+pub mod image;
+pub mod ipa;
+pub mod speech;
+pub mod text;

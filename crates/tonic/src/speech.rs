@@ -1,0 +1,282 @@
+//! Speech pipeline for ASR: waveform → mel filterbank features → spliced
+//! DNN input, and posterior → phone-sequence Viterbi decoding.
+//!
+//! This reproduces Kaldi's hybrid-DNN structure: the *pre-processing*
+//! computes 40-bin log mel filterbank energies per 25 ms frame (10 ms
+//! hop) and splices a ±5-frame context window into 440-dim DNN inputs;
+//! the *post-processing* runs a Viterbi search over a phone-level HMM
+//! using the DNN's senone posteriors as emission scores.
+
+use tensor::{Shape, Tensor};
+
+/// Audio sample rate (Hz).
+pub const SAMPLE_RATE: usize = 16_000;
+/// Analysis window length in samples (25 ms).
+pub const FRAME_LEN: usize = 400;
+/// Hop between frames in samples (10 ms).
+pub const FRAME_HOP: usize = 160;
+/// Mel filterbank size.
+pub const NUM_BINS: usize = 40;
+/// Context frames spliced on each side.
+pub const CONTEXT: usize = 5;
+/// DNN input dimensionality: (2*CONTEXT + 1) * NUM_BINS.
+pub const FEATURE_DIM: usize = (2 * CONTEXT + 1) * NUM_BINS;
+/// Number of senones the acoustic model scores.
+pub const SENONES: usize = 3500;
+/// Number of phones in the decoding HMM.
+pub const PHONES: usize = 40;
+
+/// Generates a deterministic synthetic utterance of `seconds` seconds: a
+/// sum of wandering sinusoids, enough structure to exercise the DSP path.
+pub fn synth_utterance(seconds: f64, seed: u64) -> Vec<f32> {
+    let n = (seconds * SAMPLE_RATE as f64) as usize;
+    let base = 100.0 + (seed % 17) as f64 * 23.0;
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / SAMPLE_RATE as f64;
+            let f1 = base * (1.0 + 0.3 * (0.7 * t).sin());
+            let f2 = 2.7 * base;
+            (0.6 * (2.0 * std::f64::consts::PI * f1 * t).sin()
+                + 0.4 * (2.0 * std::f64::consts::PI * f2 * t).sin()) as f32
+        })
+        .collect()
+}
+
+/// Computes log mel-style filterbank energies for every frame.
+///
+/// Each of the [`NUM_BINS`] triangular filters is evaluated with a direct
+/// Goertzel-style projection at its center frequency — an honest O(frame ×
+/// bins) DSP kernel standing in for FFT+mel binning.
+pub fn filterbank(waveform: &[f32]) -> Vec<[f32; NUM_BINS]> {
+    if waveform.len() < FRAME_LEN {
+        return Vec::new();
+    }
+    let frames = (waveform.len() - FRAME_LEN) / FRAME_HOP + 1;
+    // Mel-spaced center frequencies from 100 Hz to Nyquist.
+    let mel = |f: f64| 1127.0 * (1.0 + f / 700.0).ln();
+    let imel = |m: f64| 700.0 * ((m / 1127.0).exp() - 1.0);
+    let lo = mel(100.0);
+    let hi = mel(SAMPLE_RATE as f64 / 2.0);
+    let centers: Vec<f64> = (0..NUM_BINS)
+        .map(|b| imel(lo + (hi - lo) * (b as f64 + 1.0) / (NUM_BINS as f64 + 1.0)))
+        .collect();
+    let mut out = Vec::with_capacity(frames);
+    for fi in 0..frames {
+        let frame = &waveform[fi * FRAME_HOP..fi * FRAME_HOP + FRAME_LEN];
+        let mut bins = [0.0f32; NUM_BINS];
+        for (b, &fc) in centers.iter().enumerate() {
+            // Projection onto a windowed sinusoid at the center frequency.
+            let w = 2.0 * std::f64::consts::PI * fc / SAMPLE_RATE as f64;
+            let (mut re, mut im) = (0.0f64, 0.0f64);
+            for (i, &s) in frame.iter().enumerate() {
+                // Hamming window.
+                let win = 0.54
+                    - 0.46
+                        * (2.0 * std::f64::consts::PI * i as f64 / (FRAME_LEN - 1) as f64).cos();
+                let v = s as f64 * win;
+                re += v * (w * i as f64).cos();
+                im += v * (w * i as f64).sin();
+            }
+            let energy = re * re + im * im;
+            bins[b] = (energy.max(1e-10)).ln() as f32;
+        }
+        out.push(bins);
+    }
+    out
+}
+
+/// Splices filterbank frames with ±[`CONTEXT`] context into the DNN input
+/// tensor: one row of [`FEATURE_DIM`] features per frame (edges repeat the
+/// boundary frame, as Kaldi does).
+pub fn splice(frames: &[[f32; NUM_BINS]]) -> Tensor {
+    let n = frames.len().max(1);
+    let mut data = Vec::with_capacity(n * FEATURE_DIM);
+    for i in 0..n {
+        for off in -(CONTEXT as isize)..=(CONTEXT as isize) {
+            let j = (i as isize + off).clamp(0, n as isize - 1) as usize;
+            let frame = frames.get(j).copied().unwrap_or([0.0; NUM_BINS]);
+            data.extend_from_slice(&frame);
+        }
+    }
+    Tensor::from_vec(Shape::mat(n, FEATURE_DIM), data).expect("volume matches by construction")
+}
+
+/// The phone-level decoding HMM: senone→phone mapping, phone transition
+/// penalties, and self-loop preference.
+#[derive(Debug, Clone)]
+pub struct PhoneHmm {
+    /// `log P(phone_j | phone_i)` penalties (negated costs), row-major
+    /// `PHONES x PHONES`.
+    transitions: Vec<f32>,
+}
+
+impl PhoneHmm {
+    /// Builds the deterministic decoding HMM used by the suite: strong
+    /// self-loops (phones persist across 10 ms frames) and uniform exits.
+    pub fn new() -> Self {
+        let self_loop = (0.7f32).ln();
+        let exit = (0.3f32 / (PHONES - 1) as f32).ln();
+        let mut transitions = vec![exit; PHONES * PHONES];
+        for p in 0..PHONES {
+            transitions[p * PHONES + p] = self_loop;
+        }
+        PhoneHmm { transitions }
+    }
+
+    /// Collapses senone posteriors (`frames x SENONES`) into per-phone log
+    /// emission scores (`frames x PHONES`) by summing each phone's senones.
+    pub fn phone_scores(&self, posteriors: &Tensor) -> Vec<Vec<f32>> {
+        let (frames, senones) = posteriors.shape().as_matrix();
+        let mut out = Vec::with_capacity(frames);
+        for f in 0..frames {
+            let row = &posteriors.data()[f * senones..(f + 1) * senones];
+            let mut phones = vec![0.0f32; PHONES];
+            for (s, &p) in row.iter().enumerate() {
+                phones[s % PHONES] += p;
+            }
+            for v in &mut phones {
+                *v = v.max(1e-10).ln();
+            }
+            out.push(phones);
+        }
+        out
+    }
+
+    /// Viterbi decode: the most likely phone per frame sequence, collapsed
+    /// to runs (consecutive repeats removed) — the final "text".
+    pub fn decode(&self, posteriors: &Tensor) -> Vec<usize> {
+        let scores = self.phone_scores(posteriors);
+        if scores.is_empty() {
+            return Vec::new();
+        }
+        let frames = scores.len();
+        let mut alpha = scores[0].clone();
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(frames);
+        back.push((0..PHONES).collect());
+        for frame_scores in scores.iter().skip(1) {
+            let mut next = vec![f32::NEG_INFINITY; PHONES];
+            let mut bp = vec![0usize; PHONES];
+            for (j, next_j) in next.iter_mut().enumerate() {
+                #[allow(clippy::needless_range_loop)] // DP over prior states
+                for i in 0..PHONES {
+                    let cand = alpha[i] + self.transitions[i * PHONES + j];
+                    if cand > *next_j {
+                        *next_j = cand;
+                        bp[j] = i;
+                    }
+                }
+                *next_j += frame_scores[j];
+            }
+            alpha = next;
+            back.push(bp);
+        }
+        // Trace back.
+        let mut best = (0..PHONES)
+            .max_by(|&a, &b| alpha[a].total_cmp(&alpha[b]))
+            .unwrap_or(0);
+        let mut path = vec![best; frames];
+        for f in (1..frames).rev() {
+            best = back[f][best];
+            path[f - 1] = best;
+        }
+        // Collapse runs.
+        let mut collapsed = Vec::new();
+        for p in path {
+            if collapsed.last() != Some(&p) {
+                collapsed.push(p);
+            }
+        }
+        collapsed
+    }
+}
+
+impl Default for PhoneHmm {
+    fn default() -> Self {
+        PhoneHmm::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filterbank_produces_one_row_per_frame() {
+        let wav = synth_utterance(0.2, 1); // 3200 samples
+        let fb = filterbank(&wav);
+        let expect = (wav.len() - FRAME_LEN) / FRAME_HOP + 1;
+        assert_eq!(fb.len(), expect);
+        assert!(fb.iter().all(|f| f.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn filterbank_rejects_short_audio() {
+        assert!(filterbank(&[0.0; 100]).is_empty());
+    }
+
+    #[test]
+    fn filterbank_detects_tonal_energy() {
+        // A pure tone must put more energy near its bin than silence does.
+        let tone: Vec<f32> = (0..FRAME_LEN * 2)
+            .map(|i| (2.0 * std::f64::consts::PI * 440.0 * i as f64 / SAMPLE_RATE as f64).sin()
+                as f32)
+            .collect();
+        let silence = vec![0.0f32; FRAME_LEN * 2];
+        let e_tone: f32 = filterbank(&tone)[0].iter().sum();
+        let e_sil: f32 = filterbank(&silence)[0].iter().sum();
+        assert!(e_tone > e_sil);
+    }
+
+    #[test]
+    fn splice_has_feature_dim_columns() {
+        let frames = vec![[1.0f32; NUM_BINS]; 7];
+        let t = splice(&frames);
+        assert_eq!(t.shape().dims(), &[7, FEATURE_DIM]);
+        assert_eq!(FEATURE_DIM, 440); // Kaldi's spliced input width
+    }
+
+    #[test]
+    fn splice_repeats_edges() {
+        let mut frames = vec![[0.0f32; NUM_BINS]; 3];
+        frames[0] = [9.0; NUM_BINS];
+        let t = splice(&frames);
+        // First row's left context is all copies of frame 0.
+        for c in 0..CONTEXT * NUM_BINS {
+            assert_eq!(t.data()[c], 9.0);
+        }
+    }
+
+    #[test]
+    fn viterbi_prefers_dominant_phone() {
+        // Posteriors put all mass on senones of phone 3.
+        let frames = 10;
+        let mut data = vec![0.0f32; frames * SENONES];
+        for f in 0..frames {
+            data[f * SENONES + 3] = 1.0; // senone 3 -> phone 3
+        }
+        let post = Tensor::from_vec(Shape::mat(frames, SENONES), data).unwrap();
+        let path = PhoneHmm::new().decode(&post);
+        assert_eq!(path, vec![3]);
+    }
+
+    #[test]
+    fn viterbi_tracks_phone_changes() {
+        let frames = 8;
+        let mut data = vec![0.0f32; frames * SENONES];
+        for f in 0..frames {
+            let phone = if f < 4 { 1 } else { 2 };
+            data[f * SENONES + phone] = 1.0;
+        }
+        let post = Tensor::from_vec(Shape::mat(frames, SENONES), data).unwrap();
+        let path = PhoneHmm::new().decode(&post);
+        assert_eq!(path, vec![1, 2]);
+    }
+
+    #[test]
+    fn decode_handles_empty_posteriors_gracefully() {
+        // A 1-frame, near-uniform posterior decodes without panicking.
+        let post = Tensor::filled(Shape::mat(1, SENONES), 1.0 / SENONES as f32);
+        let path = PhoneHmm::new().decode(&post);
+        assert_eq!(path.len(), 1);
+    }
+}

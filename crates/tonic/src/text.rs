@@ -1,0 +1,225 @@
+//! NLP pipeline for POS/CHK/NER: sentences → word-window embeddings →
+//! DNN input, and score → Viterbi tag-sequence decoding (SENNA's
+//! "window approach" with sentence-level inference).
+
+use tensor::{Shape, Tensor};
+
+/// Word embedding dimensionality (SENNA uses 50).
+pub const EMBED_DIM: usize = 50;
+/// Context window width in words (SENNA's window approach).
+pub const WINDOW: usize = 7;
+/// DNN input dimensionality per word: `WINDOW * EMBED_DIM`.
+pub const FEATURE_DIM: usize = WINDOW * EMBED_DIM;
+
+/// Tag-set sizes per task (Penn Treebank POS, CoNLL chunking, CoNLL NER).
+pub fn tag_count(app: dnn::zoo::App) -> usize {
+    dnn::zoo::senna_tags(app)
+}
+
+/// A tiny embedded vocabulary: enough common English words to build
+/// plausible 28-word sentences (the paper's Table 3 input unit).
+const VOCAB: &[&str] = &[
+    "the", "a", "an", "of", "to", "in", "for", "on", "with", "at", "by", "from", "as", "is",
+    "was", "are", "were", "be", "been", "has", "have", "had", "will", "would", "can", "could",
+    "may", "might", "do", "does", "did", "not", "and", "or", "but", "if", "when", "while",
+    "after", "before", "because", "company", "market", "stock", "price", "share", "year",
+    "month", "week", "day", "government", "president", "minister", "city", "country", "state",
+    "people", "group", "bank", "report", "plan", "deal", "sale", "growth", "rate", "percent",
+    "million", "billion", "new", "old", "first", "last", "next", "big", "small", "high", "low",
+    "good", "strong", "early", "late", "said", "says", "announced", "reported", "expected",
+    "rose", "fell", "gained", "dropped", "increased", "john", "mary", "smith", "london",
+    "paris", "tokyo", "america", "europe", "asia", "monday", "friday",
+];
+
+/// The embedded vocabulary, exposed for lexicon-based components (the
+/// IPA pipeline's phone-to-word matching).
+pub fn vocabulary() -> &'static [&'static str] {
+    VOCAB
+}
+
+/// Deterministic word id: vocabulary index, or a hash bucket for
+/// out-of-vocabulary words (SENNA's UNKNOWN handling).
+pub fn word_id(word: &str) -> usize {
+    let lower = word.to_lowercase();
+    if let Some(i) = VOCAB.iter().position(|&w| w == lower) {
+        return i;
+    }
+    // FNV-1a hash into the OOV region above the vocabulary.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in lower.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    VOCAB.len() + (h % 1000) as usize
+}
+
+/// The embedding for one word id: a deterministic pseudo-random vector,
+/// standing in for SENNA's Wikipedia-trained lookup table.
+pub fn embedding(id: usize) -> Vec<f32> {
+    Tensor::random_uniform(Shape::vec(EMBED_DIM), 0.5, 0x5E44A + id as u64).into_vec()
+}
+
+/// Generates a deterministic `words`-word sentence from the embedded
+/// vocabulary.
+pub fn synth_sentence(words: usize, seed: u64) -> Vec<String> {
+    (0..words)
+        .map(|i| {
+            let idx = ((seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 1442695))
+                >> 16) as usize
+                % VOCAB.len();
+            VOCAB[idx].to_string()
+        })
+        .collect()
+}
+
+/// Preprocessing: builds the DNN input for a sentence — one row per word,
+/// each row the concatenated embeddings of the `WINDOW` words centered on
+/// it (sentence-boundary padding repeats the edge word).
+///
+/// `tag_hints` (used by CHK after its internal POS request) adds a small
+/// deterministic per-tag offset into each center-word embedding, folding
+/// the POS evidence into the same 350-dim input.
+pub fn window_features(words: &[String], tag_hints: Option<&[usize]>) -> Tensor {
+    let n = words.len().max(1);
+    let ids: Vec<usize> = words.iter().map(|w| word_id(w)).collect();
+    let half = WINDOW as isize / 2;
+    let mut data = Vec::with_capacity(n * FEATURE_DIM);
+    for i in 0..n {
+        for off in -half..=half {
+            let j = (i as isize + off).clamp(0, n as isize - 1) as usize;
+            let mut emb = embedding(*ids.get(j).unwrap_or(&0));
+            if off == 0 {
+                if let Some(tags) = tag_hints {
+                    let tag = tags.get(i).copied().unwrap_or(0);
+                    let hint = embedding(0xA6_000 + tag);
+                    for (e, h) in emb.iter_mut().zip(&hint) {
+                        *e += 0.25 * h;
+                    }
+                }
+            }
+            data.extend_from_slice(&emb);
+        }
+    }
+    Tensor::from_vec(Shape::mat(n, FEATURE_DIM), data).expect("volume matches by construction")
+}
+
+/// The tag-transition model used by sentence-level Viterbi decoding.
+#[derive(Debug, Clone)]
+pub struct TagModel {
+    tags: usize,
+    /// Log-transition scores, row-major `tags x tags`.
+    transitions: Vec<f32>,
+}
+
+impl TagModel {
+    /// Builds the deterministic transition model for a task with `tags`
+    /// tags (stands in for SENNA's trained transition matrix).
+    pub fn new(tags: usize) -> Self {
+        let t = Tensor::random_uniform(Shape::mat(tags, tags), 1.0, 0x7A6 + tags as u64);
+        TagModel {
+            tags,
+            transitions: t.into_vec(),
+        }
+    }
+
+    /// Viterbi decode over the DNN's per-word tag scores
+    /// (`words x tags`): the most likely tag sequence.
+    pub fn decode(&self, scores: &Tensor) -> Vec<usize> {
+        let (words, tags) = scores.shape().as_matrix();
+        assert_eq!(tags, self.tags, "score width {tags} != model tags {}", self.tags);
+        if words == 0 {
+            return Vec::new();
+        }
+        let s = scores.data();
+        let mut alpha: Vec<f32> = s[..tags].to_vec();
+        let mut back: Vec<Vec<usize>> = vec![(0..tags).collect()];
+        for w in 1..words {
+            let mut next = vec![f32::NEG_INFINITY; tags];
+            let mut bp = vec![0usize; tags];
+            for (j, next_j) in next.iter_mut().enumerate() {
+                #[allow(clippy::needless_range_loop)] // DP over prior states
+                for i in 0..tags {
+                    let cand = alpha[i] + self.transitions[i * tags + j];
+                    if cand > *next_j {
+                        *next_j = cand;
+                        bp[j] = i;
+                    }
+                }
+                *next_j += s[w * tags + j];
+            }
+            alpha = next;
+            back.push(bp);
+        }
+        let mut best = (0..tags)
+            .max_by(|&a, &b| alpha[a].total_cmp(&alpha[b]))
+            .unwrap_or(0);
+        let mut path = vec![best; words];
+        for w in (1..words).rev() {
+            best = back[w][best];
+            path[w - 1] = best;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn word_ids_are_stable_and_case_insensitive() {
+        assert_eq!(word_id("The"), word_id("the"));
+        assert_eq!(word_id("zyzzyva"), word_id("zyzzyva"));
+        assert!(word_id("zyzzyva") >= VOCAB.len());
+    }
+
+    #[test]
+    fn window_features_shape_matches_senna() {
+        let sent = synth_sentence(28, 1);
+        let t = window_features(&sent, None);
+        assert_eq!(t.shape().dims(), &[28, 350]);
+    }
+
+    #[test]
+    fn tag_hints_change_features() {
+        let sent = synth_sentence(5, 2);
+        let plain = window_features(&sent, None);
+        let hinted = window_features(&sent, Some(&[1, 2, 3, 4, 5]));
+        assert_ne!(plain, hinted);
+    }
+
+    #[test]
+    fn viterbi_follows_dominant_scores() {
+        let model = TagModel::new(4);
+        // Overwhelming evidence for tag 2 everywhere.
+        let mut scores = Tensor::zeros(Shape::mat(6, 4));
+        for w in 0..6 {
+            scores.data_mut()[w * 4 + 2] = 100.0;
+        }
+        assert_eq!(model.decode(&scores), vec![2; 6]);
+    }
+
+    #[test]
+    fn sentences_are_deterministic() {
+        assert_eq!(synth_sentence(28, 9), synth_sentence(28, 9));
+        assert_ne!(synth_sentence(28, 9), synth_sentence(28, 10));
+    }
+
+    proptest! {
+        #[test]
+        fn viterbi_output_length_matches_words(words in 1usize..40, seed in 0u64..50) {
+            let model = TagModel::new(9);
+            let scores = Tensor::random_uniform(Shape::mat(words, 9), 1.0, seed);
+            let path = model.decode(&scores);
+            prop_assert_eq!(path.len(), words);
+            prop_assert!(path.iter().all(|&t| t < 9));
+        }
+
+        #[test]
+        fn features_are_deterministic(words in 1usize..10, seed in 0u64..30) {
+            let s = synth_sentence(words, seed);
+            prop_assert_eq!(window_features(&s, None), window_features(&s, None));
+        }
+    }
+}

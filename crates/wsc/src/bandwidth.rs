@@ -1,0 +1,93 @@
+//! Bandwidth requirements for peak throughput (paper §6.1, Fig 13):
+//! the network bandwidth each application needs to keep `n` GPUs at their
+//! unconstrained (pinned-input) throughput.
+
+use dnn::zoo::App;
+
+use crate::AppPerfDb;
+
+/// Reference line: PCIe v3 ×16 peak, GB/s (paper Fig 13).
+pub const PCIE_V3_GBPS: f64 = 15.875;
+/// Reference line: 10GbE theoretical peak, GB/s (paper Fig 13).
+pub const TEN_GBE_GBPS: f64 = 1.25;
+
+/// Bandwidth (GB/s) required to sustain `gpus` fully-fed GPUs for `app`.
+pub fn required_gbps(db: &AppPerfDb, app: App, gpus: usize) -> f64 {
+    let p = db.get(app);
+    gpus as f64 * p.qps_per_gpu * p.bytes_per_query / 1e9
+}
+
+/// The Fig 13 sweep: for each GPU count, the per-app bandwidth demand.
+pub fn sweep(db: &AppPerfDb, gpu_counts: &[usize]) -> Vec<(App, Vec<(usize, f64)>)> {
+    App::ALL
+        .iter()
+        .map(|&app| {
+            let series = gpu_counts
+                .iter()
+                .map(|&g| (g, required_gbps(db, app, g)))
+                .collect();
+            (app, series)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn db() -> &'static AppPerfDb {
+        static DB: OnceLock<AppPerfDb> = OnceLock::new();
+        DB.get_or_init(|| AppPerfDb::build().unwrap())
+    }
+
+    #[test]
+    fn nlp_demand_dwarfs_compute_heavy_demand() {
+        // Fig 13: light-computation NLP tasks need far more bandwidth per
+        // GPU than the compute-heavy tasks.
+        for nlp in App::NLP {
+            for heavy in [App::Imc, App::Face, App::Asr] {
+                assert!(
+                    required_gbps(db(), nlp, 8) > 2.0 * required_gbps(db(), heavy, 8),
+                    "{nlp} vs {heavy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compute_heavy_tasks_fit_modest_networks() {
+        // Fig 13 / §6.1: ~4 GB/s suffices for the computation-heavy tasks
+        // even at 8 GPUs.
+        for app in [App::Imc, App::Face, App::Asr] {
+            let need = required_gbps(db(), app, 8);
+            assert!(need < 10.0, "{app} needs {need} GB/s");
+        }
+        // Our DIG lands modestly above the paper's band (its 100-image
+        // queries are bandwidth-hungrier in this model) but still an
+        // order of magnitude below the NLP demand.
+        assert!(required_gbps(db(), App::Dig, 8) < 25.0);
+    }
+
+    #[test]
+    fn nlp_exceeds_pcie_within_a_few_gpus() {
+        // The NLP plateau of Fig 11: demand crosses the PCIe v3 line well
+        // before 8 GPUs.
+        let mut crossed = false;
+        for g in 1..=8 {
+            if required_gbps(db(), App::Pos, g) > PCIE_V3_GBPS {
+                assert!(g <= 4, "POS crosses PCIe v3 only at {g} GPUs");
+                crossed = true;
+                break;
+            }
+        }
+        assert!(crossed, "POS never crossed the PCIe v3 line");
+    }
+
+    #[test]
+    fn demand_scales_linearly_with_gpus() {
+        let one = required_gbps(db(), App::Chk, 1);
+        let eight = required_gbps(db(), App::Chk, 8);
+        assert!((eight / one - 8.0).abs() < 1e-9);
+    }
+}

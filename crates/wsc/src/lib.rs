@@ -1,0 +1,35 @@
+//! Warehouse-scale-computer design study for a DNN service (§6 of the
+//! paper): bandwidth requirements (Fig 13), three WSC organizations
+//! (Fig 14), a total-cost-of-ownership model (Table 4, Fig 15), and the
+//! network/interconnect upgrade study (Table 6, Fig 16).
+//!
+//! The methodology mirrors the paper's: provision a `CPU Only` WSC for a
+//! given workload mix, read off per-service throughput targets, build the
+//! `Integrated GPU` and `Disaggregated GPU` designs to match those
+//! targets, and compare 3-year TCO (hardware + facility capex, financing,
+//! power, operations).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use wsc::{AppPerfDb, Mix, WscDesign, provision, NetworkTech, TcoParams};
+//!
+//! let db = AppPerfDb::build()?;
+//! let tech = NetworkTech::pcie_v3_10gbe();
+//! let params = TcoParams::paper();
+//! let cpu = provision(WscDesign::CpuOnly, Mix::Mixed, 0.7, &db, &tech, &params);
+//! let dis = provision(WscDesign::DisaggregatedGpu, Mix::Mixed, 0.7, &db, &tech, &params);
+//! println!("TCO ratio: {:.1}x", cpu.tco_total() / dis.tco_total());
+//! # Ok::<(), dnn::DnnError>(())
+//! ```
+
+pub mod bandwidth;
+mod designs;
+mod interconnect;
+mod perfdb;
+mod tco;
+
+pub use designs::{network_upgrade_study, provision, provision_with, Mix, ProvisionResult, UpgradeStudy, WscDesign};
+pub use interconnect::NetworkTech;
+pub use perfdb::{AppPerf, AppPerfDb};
+pub use tco::{CostBreakdown, TcoParams};

@@ -1,0 +1,45 @@
+//! Automatic speech recognition end to end: synthesize an utterance,
+//! extract mel filterbank features, run the Kaldi-style acoustic model
+//! through DjiNN, and Viterbi-decode the phone sequence.
+//!
+//! ```text
+//! cargo run --example asr_pipeline --release
+//! ```
+
+use djinn_tonic::djinn::{DjinnServer, ServerConfig};
+use djinn_tonic::dnn::zoo::App;
+use djinn_tonic::tonic_suite::{apps::TonicApp, speech};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = DjinnServer::start_with_tonic_models(ServerConfig::default())?;
+    let addr = server.local_addr();
+
+    // Half a second of synthetic speech (47 analysis frames). The paper's
+    // reference query carries 548 frames; a shorter clip keeps the real
+    // CPU forward pass snappy in an example.
+    let utterance = speech::synth_utterance(0.5, 9);
+    println!(
+        "utterance: {:.1}s of audio ({} samples)",
+        utterance.len() as f64 / speech::SAMPLE_RATE as f64,
+        utterance.len()
+    );
+
+    let frames = speech::filterbank(&utterance);
+    println!(
+        "preprocessing: {} filterbank frames x {} mel bins -> {}-dim spliced DNN input",
+        frames.len(),
+        speech::NUM_BINS,
+        speech::FEATURE_DIM
+    );
+
+    let mut asr = TonicApp::remote(App::Asr, addr)?;
+    let phones = asr.run_asr(&utterance)?;
+    println!(
+        "decoded phone sequence ({} phones): {:?}",
+        phones.len(),
+        phones
+    );
+
+    server.shutdown();
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Image services end to end: IMC, DIG and FACE queries against a remote
+//! DjiNN server with server-side batching enabled, plus the modeled K40
+//! latency for the same batches.
+//!
+//! ```text
+//! cargo run --example image_service --release
+//! ```
+
+use std::time::Duration;
+
+use djinn_tonic::djinn::{BatchConfig, DjinnServer, ServerConfig, SimGpuExecutor};
+use djinn_tonic::dnn::zoo::{self, App};
+use djinn_tonic::tonic_suite::{apps::TonicApp, image};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ServerConfig {
+        batching: Some(BatchConfig {
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+        }),
+        ..ServerConfig::default()
+    };
+    let server = DjinnServer::start_with_tonic_models(config)?;
+    let addr = server.local_addr();
+    println!("DjiNN with batching enabled at {addr}\n");
+
+    // DIG: a page of five handwritten digits.
+    let mut dig = TonicApp::remote(App::Dig, addr)?;
+    let digits = image::synth_digits(5, 7);
+    println!("DIG  predictions: {:?}", dig.run_dig(&digits)?);
+
+    // FACE: who is in this photo? (83 PubFig identities)
+    let mut face = TonicApp::remote(App::Face, addr)?;
+    let faces = image::synth_faces(1, 3);
+    println!("FACE predictions: {:?}", face.run_face(&faces)?);
+
+    // IMC: classify one full photo (1000 ImageNet classes).
+    let mut imc = TonicApp::remote(App::Imc, addr)?;
+    let photos = image::synth_photos(1, 11);
+    println!("IMC  predictions: {:?}", imc.run_imc(&photos)?);
+
+    // What the paper's K40 would charge for these (modeled latency).
+    println!("\nModeled K40 forward latency at the Table 3 batch sizes:");
+    let gpu = SimGpuExecutor::default();
+    for app in [App::Imc, App::Dig, App::Face] {
+        let meta = app.service_meta();
+        let net = zoo::network(app)?;
+        let lat = gpu.modeled_latency(&net, meta.inputs_per_query * meta.batch_size)?;
+        println!(
+            "  {:<4} batch {:>2}: {:>8.2} ms",
+            app.name(),
+            meta.batch_size,
+            lat.as_secs_f64() * 1e3
+        );
+    }
+
+    server.shutdown();
+    Ok(())
+}

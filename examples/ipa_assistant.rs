@@ -1,0 +1,54 @@
+//! An intelligent-personal-assistant query end to end: one voice query
+//! fans out to ASR, POS and NER services on a DjiNN server — the workload
+//! class (Siri, Google Now, Cortana, Echo) that motivates the paper.
+//!
+//! ```text
+//! cargo run --example ipa_assistant --release
+//! ```
+
+use djinn_tonic::djinn::{DjinnClient, DjinnServer, ServerConfig};
+use djinn_tonic::tonic_suite::{ipa::IpaPipeline, speech};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = DjinnServer::start_with_tonic_models(ServerConfig::default())?;
+    let addr = server.local_addr();
+    println!("DjiNN serving the assistant's DNN services at {addr}\n");
+
+    let mut assistant = IpaPipeline::remote(addr)?;
+    let audio = speech::synth_utterance(0.6, 17);
+    println!(
+        "voice query: {:.1}s of audio",
+        audio.len() as f64 / speech::SAMPLE_RATE as f64
+    );
+
+    let response = assistant.answer(&audio)?;
+    println!("transcript : {}", response.transcript.join(" "));
+    println!("POS tags   : {:?}", response.pos_tags);
+    if response.entities.is_empty() {
+        println!("entities   : (none)");
+    } else {
+        for e in &response.entities {
+            println!("entity     : {} (tag {})", e.word, e.tag);
+        }
+    }
+    println!(
+        "\nstage latency: ASR {:.1} ms | lexicon {:.2} ms | NLP {:.1} ms",
+        response.asr_time.as_secs_f64() * 1e3,
+        response.lexicon_time.as_secs_f64() * 1e3,
+        response.nlp_time.as_secs_f64() * 1e3,
+    );
+
+    // What the service saw, from its own metrics endpoint.
+    let mut client = DjinnClient::connect(addr)?;
+    println!("\nserver-side stats:");
+    for s in client.stats()? {
+        println!(
+            "  {:<5} {:>3} requests, mean device latency {:.1} ms",
+            s.model,
+            s.requests,
+            s.mean_latency_us() / 1e3
+        );
+    }
+    server.shutdown();
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Latency-aware capacity planning: for each Tonic application, sweep the
+//! offered load on one K40-backed service and report mean/p99 latency —
+//! then find the highest load that still meets a p99 SLA.
+//!
+//! ```text
+//! cargo run --example latency_sla --release [p99_ms]
+//! ```
+
+use djinn_tonic::dnn::zoo::App;
+use djinn_tonic::gpusim::openloop::{capacity_qps, run, OpenLoopConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sla_ms: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(50.0);
+    println!("p99 SLA: {sla_ms} ms\n");
+    println!(
+        "{:>5} {:>10} {:>12} {:>10} {:>10} {:>10}  meets SLA?",
+        "app", "load", "QPS", "mean ms", "p99 ms", "batch"
+    );
+    for app in App::ALL {
+        let config = OpenLoopConfig {
+            max_batch: app.service_meta().batch_size,
+            ..OpenLoopConfig::default()
+        };
+        let cap = capacity_qps(app, &config)?;
+        let mut best_ok: Option<f64> = None;
+        for frac in [0.2, 0.5, 0.8, 0.95] {
+            let r = run(app, cap * frac, &config)?;
+            let ok = r.p99_latency_s * 1e3 <= sla_ms && !r.saturated;
+            if ok {
+                best_ok = Some(r.offered_qps);
+            }
+            println!(
+                "{:>5} {:>9.0}% {:>12.1} {:>10.2} {:>10.2} {:>10.1}  {}",
+                app.name(),
+                frac * 100.0,
+                r.offered_qps,
+                r.mean_latency_s * 1e3,
+                r.p99_latency_s * 1e3,
+                r.mean_batch,
+                if ok { "yes" } else { "NO" }
+            );
+        }
+        match best_ok {
+            Some(q) => println!("  -> provision {} at ≤ {q:.0} QPS per GPU\n", app.name()),
+            None => println!("  -> {} cannot meet {sla_ms} ms p99 on one GPU\n", app.name()),
+        }
+    }
+    Ok(())
+}

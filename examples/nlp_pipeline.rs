@@ -1,0 +1,47 @@
+//! The natural-language pipeline: POS tagging, named-entity recognition,
+//! and word chunking (which internally issues a POS request first, as in
+//! the paper).
+//!
+//! ```text
+//! cargo run --example nlp_pipeline --release
+//! ```
+
+use djinn_tonic::djinn::{DjinnServer, ServerConfig};
+use djinn_tonic::dnn::zoo::App;
+use djinn_tonic::tonic_suite::apps::TonicApp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = DjinnServer::start_with_tonic_models(ServerConfig::default())?;
+    let addr = server.local_addr();
+
+    let sentence: Vec<String> = "the company reported strong growth in the first quarter and the stock rose"
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    println!("sentence: {}\n", sentence.join(" "));
+
+    let mut pos = TonicApp::remote(App::Pos, addr)?;
+    let pos_tags = pos.run_pos(&sentence)?;
+    print_tags("POS", &sentence, &pos_tags);
+
+    let mut ner = TonicApp::remote(App::Ner, addr)?;
+    let ner_tags = ner.run_ner(&sentence)?;
+    print_tags("NER", &sentence, &ner_tags);
+
+    // CHK makes its own POS service request before its DNN request.
+    let mut chk = TonicApp::remote(App::Chk, addr)?;
+    let chunks = chk.run_chk(&sentence)?;
+    print_tags("CHK", &sentence, &chunks);
+
+    server.shutdown();
+    Ok(())
+}
+
+fn print_tags(task: &str, words: &[String], tags: &[usize]) {
+    let rendered: Vec<String> = words
+        .iter()
+        .zip(tags)
+        .map(|(w, t)| format!("{w}/{t}"))
+        .collect();
+    println!("{task}: {}\n", rendered.join(" "));
+}

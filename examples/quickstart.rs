@@ -1,0 +1,31 @@
+//! Quickstart: start a DjiNN service, send a digit image over TCP, print
+//! the prediction.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use djinn_tonic::djinn::{DjinnClient, DjinnServer, ServerConfig};
+use djinn_tonic::tonic_suite::image;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Start the service with all seven Tonic models loaded in memory.
+    let server = DjinnServer::start_with_tonic_models(ServerConfig::default())?;
+    println!("DjiNN service listening on {}", server.local_addr());
+
+    // Connect like a mobile front-end would and ask what models exist.
+    let mut client = DjinnClient::connect(server.local_addr())?;
+    println!("registered models: {:?}", client.list_models()?);
+
+    // Send a handwritten digit for recognition (DIG application).
+    let digit = &image::synth_digits(1, 42)[0];
+    let probs = client.infer("dig", &image::normalize(digit))?;
+    let prediction = probs.row_argmax(0);
+    println!(
+        "digit prediction: {prediction} (p = {:.3})",
+        probs.data()[prediction]
+    );
+
+    server.shutdown();
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! WSC design planner: for each workload mix and DNN share, compare the
+//! three datacenter organizations of the paper and pick the cheapest.
+//!
+//! ```text
+//! cargo run --example wsc_planner --release [dnn_share]
+//! ```
+
+use djinn_tonic::wsc::{
+    provision, AppPerfDb, Mix, NetworkTech, TcoParams, WscDesign,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let share: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.7);
+    println!("building per-application performance database…");
+    let db = AppPerfDb::build()?;
+    let tech = NetworkTech::pcie_v3_10gbe();
+    let params = TcoParams::paper();
+
+    for mix in [Mix::Mixed, Mix::Image, Mix::Nlp] {
+        println!("\n=== {} workload, {:.0}% DNN ===", mix.name(), share * 100.0);
+        println!(
+            "{:<18} {:>9} {:>7} {:>7} {:>12} {:>8}",
+            "design", "servers", "boxes", "GPUs", "3y TCO $", "vs CPU"
+        );
+        let cpu = provision(WscDesign::CpuOnly, mix, share, &db, &tech, &params);
+        let mut best = (WscDesign::CpuOnly, cpu.tco_total());
+        for design in [
+            WscDesign::CpuOnly,
+            WscDesign::IntegratedGpu,
+            WscDesign::DisaggregatedGpu,
+        ] {
+            let r = provision(design, mix, share, &db, &tech, &params);
+            if r.tco_total() < best.1 {
+                best = (design, r.tco_total());
+            }
+            println!(
+                "{:<18} {:>9.1} {:>7.1} {:>7.1} {:>12.0} {:>7.1}x",
+                design.name(),
+                r.beefy_servers,
+                r.wimpy_servers,
+                r.gpus,
+                r.tco_total(),
+                cpu.tco_total() / r.tco_total()
+            );
+        }
+        println!("cheapest: {}", best.0.name());
+    }
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the DjiNN + Tonic reproduction: re-exports every
+//! workspace crate so examples and integration tests have one import
+//! root. See the README for the repository map and DESIGN.md for the
+//! system inventory.
+
+pub use djinn;
+pub use dnn;
+pub use gpusim;
+pub use perf;
+pub use tensor;
+pub use tonic_suite;
+pub use wsc;

@@ -1,0 +1,136 @@
+//! Cross-crate integration: the full DjiNN service over real TCP serving
+//! all seven Tonic applications.
+
+use std::time::Duration;
+
+use djinn_tonic::djinn::{
+    BatchConfig, DjinnClient, DjinnServer, ServerConfig,
+};
+use djinn_tonic::dnn::zoo::App;
+use djinn_tonic::tensor::{Shape, Tensor};
+use djinn_tonic::tonic_suite::{apps::TonicApp, image, speech, text};
+
+fn start_server() -> DjinnServer {
+    DjinnServer::start_with_tonic_models(ServerConfig::default())
+        .expect("server starts on an ephemeral port")
+}
+
+#[test]
+fn server_lists_all_seven_models() {
+    let server = start_server();
+    let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+    let mut names = client.list_models().unwrap();
+    names.sort();
+    assert_eq!(
+        names,
+        vec!["asr", "chk", "dig", "face", "imc", "ner", "pos"]
+    );
+    server.shutdown();
+}
+
+#[test]
+fn every_image_app_serves_over_tcp() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    let mut dig = TonicApp::remote(App::Dig, addr).unwrap();
+    let digits = image::synth_digits(2, 5);
+    let labels = dig.run_dig(&digits).unwrap();
+    assert_eq!(labels.len(), 2);
+    assert!(labels.iter().all(|&l| l < 10));
+
+    let mut face = TonicApp::remote(App::Face, addr).unwrap();
+    let ids = face.run_face(&image::synth_faces(1, 5)).unwrap();
+    assert_eq!(ids.len(), 1);
+    assert!(ids[0] < 83);
+
+    let mut imc = TonicApp::remote(App::Imc, addr).unwrap();
+    let classes = imc.run_imc(&image::synth_photos(1, 5)).unwrap();
+    assert_eq!(classes.len(), 1);
+    assert!(classes[0] < 1000);
+
+    server.shutdown();
+}
+
+#[test]
+fn nlp_apps_serve_over_tcp_and_chk_chains_pos() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let sentence = text::synth_sentence(12, 3);
+
+    let mut pos = TonicApp::remote(App::Pos, addr).unwrap();
+    assert_eq!(pos.run_pos(&sentence).unwrap().len(), 12);
+
+    let mut ner = TonicApp::remote(App::Ner, addr).unwrap();
+    assert_eq!(ner.run_ner(&sentence).unwrap().len(), 12);
+
+    let mut chk = TonicApp::remote(App::Chk, addr).unwrap();
+    let chunks = chk.run_chk(&sentence).unwrap();
+    assert_eq!(chunks.len(), 12);
+    assert!(chunks.iter().all(|&t| t < 23));
+
+    server.shutdown();
+}
+
+#[test]
+fn asr_serves_over_tcp() {
+    let server = start_server();
+    let mut asr = TonicApp::remote(App::Asr, server.local_addr()).unwrap();
+    let phones = asr.run_asr(&speech::synth_utterance(0.15, 8)).unwrap();
+    assert!(!phones.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn remote_results_match_local_results() {
+    // The service must be a transparent function: network transport and
+    // batching cannot change the prediction.
+    let config = ServerConfig {
+        batching: Some(BatchConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+        }),
+        ..ServerConfig::default()
+    };
+    let server = DjinnServer::start_with_tonic_models(config).unwrap();
+    let addr = server.local_addr();
+
+    let sentence = text::synth_sentence(10, 21);
+    let mut remote = TonicApp::remote(App::Pos, addr).unwrap();
+    let mut local = TonicApp::local(App::Pos).unwrap();
+    assert_eq!(
+        remote.run_pos(&sentence).unwrap(),
+        local.run_pos(&sentence).unwrap()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_do_not_kill_the_server() {
+    use std::io::Write;
+    let server = start_server();
+    let addr = server.local_addr();
+
+    // Write garbage bytes framed as a valid-length frame.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    let garbage = b"this is not a djinn frame";
+    raw.write_all(&(garbage.len() as u32).to_le_bytes()).unwrap();
+    raw.write_all(garbage).unwrap();
+    raw.flush().unwrap();
+
+    // The server must still serve well-formed clients.
+    let mut client = DjinnClient::connect(addr).unwrap();
+    let input = Tensor::zeros(Shape::nchw(1, 1, 28, 28));
+    assert!(client.infer("dig", &input).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn wrong_shape_gets_a_clean_remote_error() {
+    let server = start_server();
+    let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+    let wrong = Tensor::zeros(Shape::nchw(1, 3, 10, 10));
+    let err = client.infer("dig", &wrong).unwrap_err();
+    assert!(err.to_string().contains("server error"), "{err}");
+    server.shutdown();
+}

@@ -1,0 +1,103 @@
+//! Failure injection against the running service: slow clients, dropped
+//! connections mid-frame, concurrent chaos — the server must stay up and
+//! keep serving well-formed traffic.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use djinn_tonic::djinn::{BatchConfig, DjinnClient, DjinnServer, ServerConfig};
+use djinn_tonic::tensor::{Shape, Tensor};
+
+fn start() -> DjinnServer {
+    let config = ServerConfig {
+        batching: Some(BatchConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+        }),
+        ..ServerConfig::default()
+    };
+    DjinnServer::start_with_tonic_models(config).unwrap()
+}
+
+#[test]
+fn connection_dropped_mid_frame_does_not_wedge_the_server() {
+    let server = start();
+    let addr = server.local_addr();
+    // Advertise a large frame, send half of it, vanish.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&(1_000_000u32).to_le_bytes()).unwrap();
+        s.write_all(&vec![0xAB; 1000]).unwrap();
+        // drop: connection closes with the frame incomplete
+    }
+    // Other clients are unaffected.
+    let mut client = DjinnClient::connect(addr).unwrap();
+    let out = client
+        .infer("dig", &Tensor::zeros(Shape::nchw(1, 1, 28, 28)))
+        .unwrap();
+    assert_eq!(out.shape().as_matrix().1, 10);
+    server.shutdown();
+}
+
+#[test]
+fn zero_length_frames_are_survivable() {
+    let server = start();
+    let addr = server.local_addr();
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        // Three zero-length frames (decode fails; server answers errors or
+        // drops — either way it must not crash).
+        for _ in 0..3 {
+            s.write_all(&0u32.to_le_bytes()).unwrap();
+        }
+        s.flush().unwrap();
+    }
+    let mut client = DjinnClient::connect(addr).unwrap();
+    assert!(client.list_models().is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn a_burst_of_mixed_good_and_bad_clients() {
+    let server = start();
+    let addr = server.local_addr();
+    let mut handles = Vec::new();
+    for i in 0..8u64 {
+        handles.push(std::thread::spawn(move || {
+            if i % 2 == 0 {
+                // Hostile client: garbage frames.
+                if let Ok(mut s) = TcpStream::connect(addr) {
+                    let junk = vec![(i % 251) as u8; 64];
+                    let _ = s.write_all(&(junk.len() as u32).to_le_bytes());
+                    let _ = s.write_all(&junk);
+                }
+                true
+            } else {
+                // Honest client: real queries.
+                let mut c = DjinnClient::connect(addr).unwrap();
+                let input = Tensor::random_uniform(Shape::nchw(1, 1, 28, 28), 1.0, i);
+                (0..4).all(|_| c.infer("dig", &input).is_ok())
+            }
+        }));
+    }
+    for h in handles {
+        assert!(h.join().unwrap());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_rejected_without_allocation_bomb() {
+    let server = start();
+    let addr = server.local_addr();
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        // Advertise 4 GiB; the server must refuse rather than allocate.
+        s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        s.flush().unwrap();
+    }
+    let mut client = DjinnClient::connect(addr).unwrap();
+    assert!(client.list_models().is_ok());
+    server.shutdown();
+}

@@ -1,0 +1,103 @@
+//! The full pretrained-model life cycle across crates: define in the text
+//! format → train → save to a model file → load into a registry → serve
+//! over TCP → predict correctly.
+
+use djinn_tonic::djinn::{DjinnClient, DjinnServer, ModelRegistry, ServerConfig};
+use djinn_tonic::dnn::train::{SgdConfig, Trainer};
+use djinn_tonic::dnn::{modelfile, parser, Network};
+use djinn_tonic::tensor::{Shape, Tensor};
+
+/// Left-vs-right blob task on an 8x8 image.
+fn sample(seed: u64) -> (Tensor, usize) {
+    let label = (seed % 2) as usize;
+    let cx = if label == 0 { 2i64 } else { 5 };
+    let img = Tensor::from_fn(Shape::nchw(1, 1, 8, 8), |i| {
+        let y = (i / 8) as i64;
+        let x = (i % 8) as i64;
+        if (x - cx).abs() <= 1 && (y - 4).abs() <= 2 {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    (img, label)
+}
+
+#[test]
+fn train_save_load_serve_roundtrip() {
+    let def = parser::parse_netdef(
+        "
+        name: leftright
+        input: 1 8 8
+        layer conv1 conv out=4 kernel=3 stride=1 pad=1
+        layer relu1 relu
+        layer pool1 maxpool kernel=2 stride=2
+        layer fc1 fc out=2
+        layer prob softmax
+    ",
+    )
+    .unwrap();
+    let net = Network::with_random_weights(def, 3).unwrap();
+    let mut trainer = Trainer::new(
+        net,
+        SgdConfig {
+            lr: 0.1,
+            dropout_p: 0.0,
+            ..SgdConfig::default()
+        },
+    );
+    for step in 0..80 {
+        let items: Vec<(Tensor, usize)> = (0..8).map(|i| sample(step * 8 + i)).collect();
+        let batch =
+            Tensor::stack_batch(&items.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>())
+                .unwrap();
+        let labels: Vec<usize> = items.iter().map(|(_, l)| *l).collect();
+        trainer.step(&batch, &labels).unwrap();
+    }
+    let trained = trainer.into_network();
+
+    // Save and reload through the model-file format.
+    let mut file = Vec::new();
+    modelfile::save(&trained, &mut file).unwrap();
+    let loaded = modelfile::load(&file[..]).unwrap();
+    assert_eq!(loaded, trained);
+
+    // Serve the loaded model and classify held-out samples over TCP.
+    let mut registry = ModelRegistry::new();
+    registry.register("leftright", loaded);
+    let server = DjinnServer::start(registry, ServerConfig::default()).unwrap();
+    let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+    let mut correct = 0;
+    for seed in 9000..9030 {
+        let (img, label) = sample(seed);
+        let probs = client.infer("leftright", &img).unwrap();
+        if probs.row_argmax(0) == label {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 27, "only {correct}/30 correct after training");
+
+    // Server-side stats reflect the traffic.
+    let stats = client.stats().unwrap();
+    let entry = stats.iter().find(|s| s.model == "leftright").unwrap();
+    assert_eq!(entry.requests, 30);
+    assert_eq!(entry.errors, 0);
+    assert!(entry.mean_latency_us() > 0.0);
+    server.shutdown();
+}
+
+#[test]
+fn stats_count_errors_separately() {
+    let server = DjinnServer::start_with_tonic_models(ServerConfig::default()).unwrap();
+    let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+    // One good request, one bad-shape request.
+    let good = Tensor::zeros(Shape::nchw(1, 1, 28, 28));
+    client.infer("dig", &good).unwrap();
+    let bad = Tensor::zeros(Shape::nchw(1, 3, 9, 9));
+    assert!(client.infer("dig", &bad).is_err());
+    let stats = client.stats().unwrap();
+    let dig = stats.iter().find(|s| s.model == "dig").unwrap();
+    assert_eq!(dig.requests, 1);
+    assert_eq!(dig.errors, 1);
+    server.shutdown();
+}

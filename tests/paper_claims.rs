@@ -1,0 +1,220 @@
+//! The paper's headline quantitative claims, checked end to end against
+//! this reproduction's models (DESIGN.md §4 lists the expected bands and
+//! EXPERIMENTS.md records the measured values).
+
+use std::sync::OnceLock;
+
+use djinn_tonic::dnn::profile::WorkloadProfile;
+use djinn_tonic::dnn::zoo::{self, App};
+use djinn_tonic::gpusim::{standard_server_result, ServerConfig};
+use djinn_tonic::perf::{self, CpuSpec, GpuSpec};
+use djinn_tonic::wsc::{provision, AppPerfDb, Mix, NetworkTech, TcoParams, WscDesign};
+
+fn cpu_query_qps(app: App) -> f64 {
+    let cpu = CpuSpec::xeon_e5_2620_v2();
+    let meta = app.service_meta();
+    let p = WorkloadProfile::of(&zoo::netdef(app), meta.inputs_per_query).unwrap();
+    1.0 / perf::cpu_forward_seconds(&cpu, &p)
+}
+
+fn gpu_batch1_qps(app: App) -> f64 {
+    let gpu = GpuSpec::k40();
+    let meta = app.service_meta();
+    let p = WorkloadProfile::of(&zoo::netdef(app), meta.inputs_per_query).unwrap();
+    1.0 / perf::gpu_forward(&gpu, &p).seconds
+}
+
+fn optimized_gpu_qps(app: App) -> f64 {
+    let cfg = ServerConfig::k40_server(1);
+    standard_server_result(&cfg, app, 4, app.service_meta().batch_size, false)
+        .unwrap()
+        .qps
+}
+
+fn db() -> &'static AppPerfDb {
+    static DB: OnceLock<AppPerfDb> = OnceLock::new();
+    DB.get_or_init(|| AppPerfDb::build().unwrap())
+}
+
+#[test]
+fn claim_asr_batch1_speedup_near_120x() {
+    // §4: "ASR achieves significant improvement, 120x speedup, over the
+    // CPU baseline."
+    let speedup = gpu_batch1_qps(App::Asr) / cpu_query_qps(App::Asr);
+    assert!((90.0..150.0).contains(&speedup), "ASR batch-1 {speedup}x");
+}
+
+#[test]
+fn claim_nlp_batch1_speedup_near_7x() {
+    // §4: "NLP applications … achieve only around 7x improvement."
+    for app in App::NLP {
+        let speedup = gpu_batch1_qps(app) / cpu_query_qps(app);
+        assert!((4.0..10.0).contains(&speedup), "{app} batch-1 {speedup}x");
+    }
+}
+
+#[test]
+fn claim_large_networks_exceed_20x_at_batch1() {
+    // §4: "networks with more than 30M parameters achieve above 20x."
+    for app in [App::Imc, App::Face, App::Asr] {
+        let speedup = gpu_batch1_qps(app) / cpu_query_qps(app);
+        assert!(speedup > 18.0, "{app} batch-1 only {speedup}x");
+    }
+}
+
+#[test]
+fn claim_batching_gains_nlp_15x_imc_5x() {
+    // §5.1: "15x throughput improvement for NLP tasks and 5x for IMC."
+    let gain = |app: App| {
+        let gpu = GpuSpec::k40();
+        let meta = app.service_meta();
+        let items = meta.inputs_per_query;
+        let b1 = perf::gpu_forward(
+            &gpu,
+            &WorkloadProfile::of(&zoo::netdef(app), items).unwrap(),
+        )
+        .seconds;
+        let bn = perf::gpu_forward(
+            &gpu,
+            &WorkloadProfile::of(&zoo::netdef(app), items * meta.batch_size).unwrap(),
+        )
+        .seconds
+            / meta.batch_size as f64;
+        b1 / bn
+    };
+    let nlp = gain(App::Pos);
+    assert!(nlp > 15.0, "NLP batching gain {nlp}x (paper: over 15x)");
+    let imc = gain(App::Imc);
+    assert!((3.5..8.0).contains(&imc), "IMC batching gain {imc}x (paper: 5x)");
+    // ASR is already saturated: batching buys almost nothing.
+    let asr = gain(App::Asr);
+    assert!(asr < 1.3, "ASR batching gain {asr}x");
+}
+
+#[test]
+fn claim_table3_batches_sit_at_the_knee() {
+    // §5.1: the chosen batch sizes "achieve the high throughput while
+    // limiting query latency impact" — at the Table 3 batch, throughput
+    // is within 2x of the batch-128 plateau while latency stays well
+    // below the batch-128 latency.
+    use djinn_tonic::gpusim::{simulate, ServerConfig, ServiceWorkload};
+    let cfg = ServerConfig::k40_server(1);
+    for app in App::ALL {
+        let run = |batch: usize| {
+            let w = ServiceWorkload::for_app(&cfg.gpu, app, batch).unwrap();
+            simulate(&cfg, &[(w, 0)], 20)
+        };
+        let chosen = run(app.service_meta().batch_size);
+        let plateau = run(128);
+        // FACE is exempt from the throughput check: the paper chose batch
+        // 2 under GPU-memory/profiling constraints (§5.1 notes no FACE
+        // data beyond batch 8), not at the throughput knee.
+        if app != App::Face {
+            assert!(
+                chosen.qps > plateau.qps / 2.5,
+                "{app}: chosen-batch QPS {} far below plateau {}",
+                chosen.qps,
+                plateau.qps
+            );
+        }
+        assert!(
+            chosen.mean_latency_s < plateau.mean_latency_s,
+            "{app}: chosen-batch latency {} not below batch-128 {}",
+            chosen.mean_latency_s,
+            plateau.mean_latency_s
+        );
+    }
+}
+
+#[test]
+fn claim_final_single_gpu_speedups() {
+    // Abstract / Fig 10: over 100x for all but FACE (40x) after batching
+    // and MPS. Our bands: FACE in [25, 100] and everything else above 75x
+    // (DIG ≈ 96x and CHK ≈ 80x once real transfer overheads are charged).
+    for app in App::ALL {
+        let speedup = optimized_gpu_qps(app) / cpu_query_qps(app);
+        if app == App::Face {
+            assert!((25.0..100.0).contains(&speedup), "FACE {speedup}x");
+        } else {
+            assert!(speedup > 75.0, "{app} only {speedup}x");
+        }
+    }
+}
+
+#[test]
+fn claim_8gpu_scaling_near_1000x_for_three_apps() {
+    // §5.3: "For 3 out of 7 applications … 1000x throughput improvement
+    // on our 8 GPU system over a CPU core."
+    let base = ServerConfig::k40_server(1);
+    let mut near_linear = 0;
+    for app in App::ALL {
+        let sweep =
+            djinn_tonic::gpusim::server_sweep(&base, app, &[1, 8], 4, false).unwrap();
+        let scale8 = sweep[1].1 / sweep[0].1;
+        let total = sweep[1].1 / cpu_query_qps(app);
+        if scale8 > 6.5 && total > 500.0 {
+            near_linear += 1;
+        }
+    }
+    assert!(near_linear >= 3, "only {near_linear} apps scale near-linearly to ~1000x");
+}
+
+#[test]
+fn claim_nlp_plateaus_by_4_gpus_without_pinning() {
+    // §5.3/Fig 11: NLP throughput plateaus as the GPU count reaches 4.
+    let base = ServerConfig::k40_server(1);
+    for app in App::NLP {
+        let sweep =
+            djinn_tonic::gpusim::server_sweep(&base, app, &[4, 8], 4, false).unwrap();
+        let growth = sweep[1].1 / sweep[0].1;
+        assert!(growth < 1.4, "{app} still grows {growth}x from 4 to 8 GPUs");
+    }
+}
+
+#[test]
+fn claim_pinned_inputs_restore_linear_scaling() {
+    // Fig 12: without PCIe limits every app scales near-linearly.
+    let base = ServerConfig::k40_server(1);
+    for app in App::ALL {
+        let sweep =
+            djinn_tonic::gpusim::server_sweep(&base, app, &[1, 8], 4, true).unwrap();
+        let scale = sweep[1].1 / sweep[0].1;
+        assert!(scale > 6.5, "{app} pinned scaling only {scale}x");
+    }
+}
+
+#[test]
+fn claim_tco_gains_4_to_20x() {
+    // Abstract: "GPU-enabled WSCs improve TCO over CPU-only designs by
+    // 4-20x, depending on the composition of the workload."
+    let tech = NetworkTech::pcie_v3_10gbe();
+    let params = TcoParams::paper();
+    let gain = |mix: Mix| {
+        let cpu = provision(WscDesign::CpuOnly, mix, 1.0, db(), &tech, &params);
+        let dis = provision(WscDesign::DisaggregatedGpu, mix, 1.0, db(), &tech, &params);
+        cpu.tco_total() / dis.tco_total()
+    };
+    let mixed = gain(Mix::Mixed);
+    let nlp = gain(Mix::Nlp);
+    assert!(mixed > 4.0, "MIXED gain {mixed}x");
+    assert!((2.0..8.0).contains(&nlp), "NLP gain {nlp}x (paper: 4x max)");
+    assert!(mixed > nlp, "MIXED {mixed}x must beat NLP {nlp}x");
+}
+
+#[test]
+fn claim_network_upgrades_recover_nlp_performance() {
+    // Abstract: "performance improvements of up to 4.5x over
+    // bandwidth-constrained designs."
+    let params = TcoParams::paper();
+    let study = djinn_tonic::wsc::network_upgrade_study(
+        Mix::Nlp,
+        &NetworkTech::qpi_400gbe(),
+        db(),
+        &params,
+    );
+    assert!(
+        (3.0..6.0).contains(&study.perf_improvement),
+        "QPI/400GbE NLP improvement {}x",
+        study.perf_improvement
+    );
+}

@@ -1,0 +1,121 @@
+//! Property-based tests over the timing models and the discrete-event
+//! simulator: invariants that must hold for *any* configuration, not just
+//! the paper's design points.
+
+use djinn_tonic::dnn::profile::WorkloadProfile;
+use djinn_tonic::dnn::zoo::{self, App};
+use djinn_tonic::gpusim::{simulate, ServerConfig, ServiceWorkload};
+use djinn_tonic::perf::{self, CpuSpec, GpuSpec};
+use proptest::prelude::*;
+
+fn any_app() -> impl Strategy<Value = App> {
+    prop::sample::select(App::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn gpu_forward_time_is_monotone_in_batch(app in any_app(), b in 1usize..8) {
+        let def = zoo::netdef(app);
+        let items = app.service_meta().inputs_per_query;
+        let gpu = GpuSpec::k40();
+        let t1 = perf::gpu_forward(&gpu, &WorkloadProfile::of(&def, items * b).unwrap()).seconds;
+        let t2 = perf::gpu_forward(&gpu, &WorkloadProfile::of(&def, items * (b + 1)).unwrap()).seconds;
+        prop_assert!(t2 >= t1 * 0.999, "batch {b}: {t1} -> {t2}");
+    }
+
+    #[test]
+    fn per_query_gpu_time_never_grows_with_batch(app in any_app(), b in 1usize..7) {
+        // Batching can only amortize, never penalize, per-query time.
+        let def = zoo::netdef(app);
+        let items = app.service_meta().inputs_per_query;
+        let gpu = GpuSpec::k40();
+        let t1 = perf::gpu_forward(&gpu, &WorkloadProfile::of(&def, items).unwrap()).seconds;
+        let tb = perf::gpu_forward(&gpu, &WorkloadProfile::of(&def, items * b).unwrap()).seconds
+            / b as f64;
+        prop_assert!(tb <= t1 * 1.01, "batch {b}: per-query {tb} vs {t1}");
+    }
+
+    #[test]
+    fn cpu_time_scales_linearly_with_batch(app in any_app(), b in 2usize..6) {
+        let def = zoo::netdef(app);
+        let items = app.service_meta().inputs_per_query;
+        let cpu = CpuSpec::xeon_e5_2620_v2();
+        let t1 = perf::cpu_forward_seconds(&cpu, &WorkloadProfile::of(&def, items).unwrap());
+        let tb = perf::cpu_forward_seconds(&cpu, &WorkloadProfile::of(&def, items * b).unwrap());
+        let ratio = tb / (t1 * b as f64);
+        // The CPU has no occupancy effects; only the dimension-efficiency
+        // curve can make batching slightly sublinear.
+        prop_assert!((0.3..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn occupancy_and_demands_are_fractions(app in any_app(), b in 1usize..6) {
+        let def = zoo::netdef(app);
+        let items = app.service_meta().inputs_per_query * b;
+        let f = perf::gpu_forward(&GpuSpec::k40(), &WorkloadProfile::of(&def, items).unwrap());
+        prop_assert!((0.0..=1.0).contains(&f.occupancy));
+        prop_assert!((0.0..=1.0).contains(&f.ipc_ratio));
+        for k in &f.kernels {
+            prop_assert!((0.0..=1.0).contains(&k.compute_demand));
+            prop_assert!((0.0..=1.0).contains(&k.memory_demand));
+            prop_assert!(k.seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn simulator_throughput_is_monotone_in_gpus(app in any_app(), g in 1usize..4) {
+        let base = ServerConfig::k40_server(1);
+        let sweep = djinn_tonic::gpusim::server_sweep(&base, app, &[g, g + 1], 2, false).unwrap();
+        prop_assert!(sweep[1].1 >= sweep[0].1 * 0.98, "{app} {sweep:?}");
+    }
+
+    #[test]
+    fn mps_never_loses_to_a_single_instance(app in any_app(), n in 2usize..5) {
+        let cfg = ServerConfig::k40_server(1);
+        let gpu = GpuSpec::k40();
+        let batch = app.service_meta().batch_size;
+        let one = simulate(
+            &cfg,
+            &[(ServiceWorkload::for_app(&gpu, app, batch).unwrap(), 0)],
+            15,
+        );
+        let many: Vec<_> = (0..n)
+            .map(|_| (ServiceWorkload::for_app(&gpu, app, batch).unwrap(), 0))
+            .collect();
+        let rn = simulate(&cfg, &many, 15);
+        prop_assert!(rn.qps >= one.qps * 0.95, "{app} n={n}: {} vs {}", rn.qps, one.qps);
+    }
+
+    #[test]
+    fn open_loop_latency_exceeds_service_time(app in any_app(), frac in 0.1f64..0.8) {
+        use djinn_tonic::gpusim::openloop::{capacity_qps, run, OpenLoopConfig};
+        let config = OpenLoopConfig {
+            max_batch: app.service_meta().batch_size,
+            queries: 500,
+            ..OpenLoopConfig::default()
+        };
+        let cap = capacity_qps(app, &config).unwrap();
+        let r = run(app, cap * frac, &config).unwrap();
+        prop_assert!(r.p99_latency_s >= r.p50_latency_s);
+        prop_assert!(r.mean_latency_s > 0.0);
+        prop_assert!(r.mean_batch >= 1.0);
+        prop_assert!(r.mean_batch <= config.max_batch as f64 + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn model_files_never_panic_on_hostile_bytes(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Corrupt or malicious model files must fail cleanly.
+        let _ = djinn_tonic::dnn::modelfile::load(&data[..]);
+    }
+
+    #[test]
+    fn netdef_parser_never_panics(text in "[ -~\n]{0,256}") {
+        let _ = djinn_tonic::dnn::parser::parse_netdef(&text);
+    }
+}
