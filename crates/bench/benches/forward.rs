@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dnn::zoo::{self, App};
 use std::hint::black_box;
-use tensor::{Shape, Tensor};
+use tensor::{Shape, Tensor, Threading};
 
 fn bench_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("forward");
@@ -40,6 +40,47 @@ fn bench_forward(c: &mut Criterion) {
     group.finish();
 }
 
+/// The multi-core forward pass: batch sharding for the skinny-GEMM NLP
+/// model, in-layer GEMM threading for the fat-GEMM ASR model — the two
+/// strategies the CPU executor picks between.
+fn bench_forward_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_mt");
+    group.sample_size(15);
+
+    let pos = zoo::network(App::Pos).unwrap();
+    let words = 28 * 16;
+    let input = Tensor::random_uniform(Shape::mat(words, 350), 0.5, 4);
+    group.throughput(Throughput::Elements(words as u64));
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("senna448_sharded", format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        pos.forward_sharded(&input, Threading::new(threads))
+                            .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+
+    let asr = zoo::network(App::Asr).unwrap();
+    let frames = Tensor::random_uniform(Shape::mat(16, 440), 0.5, 5);
+    group.throughput(Throughput::Elements(16));
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("kaldi16_inlayer", format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(asr.forward_with(&frames, Threading::new(threads)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_pipelines(c: &mut Criterion) {
     let mut group = c.benchmark_group("pre_post");
     group.sample_size(15);
@@ -66,5 +107,10 @@ fn bench_pipelines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward, bench_pipelines);
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_forward_threaded,
+    bench_pipelines
+);
 criterion_main!(benches);

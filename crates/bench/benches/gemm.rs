@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use tensor::{gemm_naive, sgemm, GemmOptions, Shape, Tensor};
+use tensor::{gemm_blocked, gemm_naive, sgemm, GemmOptions, Shape, Tensor};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("sgemm");
@@ -55,6 +55,45 @@ fn bench_gemm(c: &mut Criterion) {
                             threads: 4,
                             ..GemmOptions::default()
                         },
+                    )
+                    .unwrap();
+                    black_box(cbuf)
+                });
+            },
+        );
+    }
+
+    // The acceptance point for the parallel packed kernel: 512^3 across
+    // thread counts. At 1 thread this doubles as the packed-vs-blocked
+    // regression check (PACK_MIN_VOLUME routes 512^3 to the packed path).
+    let (m, n, k) = (512usize, 512usize, 512usize);
+    let a = Tensor::random_uniform(Shape::mat(m, k), 1.0, 9).into_vec();
+    let b = Tensor::random_uniform(Shape::mat(k, n), 1.0, 10).into_vec();
+    group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+    group.bench_function("blocked512", |bench| {
+        bench.iter(|| {
+            let mut cbuf = vec![0.0f32; m * n];
+            gemm_blocked(m, n, k, 1.0, &a, &b, &mut cbuf);
+            black_box(cbuf)
+        });
+    });
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("packed512", format!("{threads}t")),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    let mut cbuf = vec![0.0f32; m * n];
+                    sgemm(
+                        m,
+                        n,
+                        k,
+                        1.0,
+                        &a,
+                        &b,
+                        0.0,
+                        &mut cbuf,
+                        GemmOptions::with_threads(threads),
                     )
                     .unwrap();
                     black_box(cbuf)

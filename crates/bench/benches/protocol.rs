@@ -12,7 +12,10 @@ fn bench_protocol(c: &mut Criterion) {
     // Representative payloads: an NLP sentence (28x350 floats ≈ 38 KB)
     // and a DIG batch (100 MNIST images ≈ 307 KB).
     let cases = [
-        ("nlp_38KB", Tensor::random_uniform(Shape::mat(28, 350), 1.0, 1)),
+        (
+            "nlp_38KB",
+            Tensor::random_uniform(Shape::mat(28, 350), 1.0, 1),
+        ),
         (
             "dig_307KB",
             Tensor::random_uniform(Shape::nchw(100, 1, 28, 28), 1.0, 2),

@@ -53,12 +53,7 @@ fn ablation_batching() -> Table {
         let b = app.service_meta().batch_size;
         let q1 = simulate(&cfg, &[(workload(app, 1), 0)], 30).qps;
         let qn = simulate(&cfg, &[(workload(app, b), 0)], 30).qps;
-        t.push(vec![
-            app.name().into(),
-            num(q1),
-            num(qn),
-            num(qn / q1),
-        ]);
+        t.push(vec![app.name().into(), num(q1), num(qn), num(qn / q1)]);
     }
     t
 }
@@ -69,7 +64,13 @@ fn ablation_mps() -> Table {
     let mut t = Table::new(
         "ablation_mps",
         "MPS vs time-sliced GPU sharing (4 instances, Table 3 batches)",
-        &["App", "MPS QPS", "Timeshared QPS", "MPS latency ms", "TS latency ms"],
+        &[
+            "App",
+            "MPS QPS",
+            "Timeshared QPS",
+            "MPS latency ms",
+            "TS latency ms",
+        ],
     );
     for app in App::ALL {
         let b = app.service_meta().batch_size;

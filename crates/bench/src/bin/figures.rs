@@ -39,7 +39,10 @@ fn main() -> ExitCode {
     }
     for id in &ids {
         if !ExperimentSet::ids().contains(&id.as_str()) {
-            eprintln!("unknown experiment `{id}`; known: {}", ExperimentSet::ids().join(" "));
+            eprintln!(
+                "unknown experiment `{id}`; known: {}",
+                ExperimentSet::ids().join(" ")
+            );
             return ExitCode::FAILURE;
         }
     }

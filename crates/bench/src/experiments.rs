@@ -3,14 +3,10 @@
 
 use dnn::profile::WorkloadProfile;
 use dnn::zoo::{self, App};
-use gpusim::{
-    simulate, standard_server_result, ConcurrencyMode, ServerConfig, ServiceWorkload,
-};
+use gpusim::{simulate, standard_server_result, ConcurrencyMode, ServerConfig, ServiceWorkload};
 use perf::{CpuSpec, GpuSpec};
 use tonic_suite::fig4;
-use wsc::{
-    network_upgrade_study, provision, AppPerfDb, Mix, NetworkTech, TcoParams, WscDesign,
-};
+use wsc::{network_upgrade_study, provision, AppPerfDb, Mix, NetworkTech, TcoParams, WscDesign};
 
 use crate::render::{num, Table};
 
@@ -56,8 +52,22 @@ impl ExperimentSet {
     /// Experiment ids in paper order.
     pub fn ids() -> &'static [&'static str] {
         &[
-            "table1", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "fig11", "fig12", "fig13", "fig15", "fig16", "ext-energy", "ext-devices",
+            "table1",
+            "table3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig15",
+            "fig16",
+            "ext-energy",
+            "ext-devices",
         ]
     }
 
@@ -230,7 +240,11 @@ impl ExperimentSet {
     /// MPS vs time-shared.
     pub fn fig8_9(&self, throughput: bool) -> Vec<Table> {
         let (id, caption, metric) = if throughput {
-            ("fig8", "Throughput vs concurrent DNN service instances", "QPS")
+            (
+                "fig8",
+                "Throughput vs concurrent DNN service instances",
+                "QPS",
+            )
         } else {
             (
                 "fig9",
@@ -241,7 +255,12 @@ impl ExperimentSet {
         let mut t = Table::new(
             id,
             caption,
-            &["App", "Instances", &format!("MPS {metric}"), &format!("No-MPS {metric}")],
+            &[
+                "App",
+                "Instances",
+                &format!("MPS {metric}"),
+                &format!("No-MPS {metric}"),
+            ],
         );
         for app in App::ALL {
             let batch = app.service_meta().batch_size;
@@ -307,7 +326,10 @@ impl ExperimentSet {
     /// without PCIe/host bandwidth limits.
     pub fn fig11_12(&self, pinned: bool) -> Vec<Table> {
         let (id, caption) = if pinned {
-            ("fig12", "Throughput vs GPUs, no PCIe bandwidth limits (pinned inputs)")
+            (
+                "fig12",
+                "Throughput vs GPUs, no PCIe bandwidth limits (pinned inputs)",
+            )
         } else {
             ("fig11", "Throughput vs GPUs (PCIe/host bandwidth limited)")
         };
@@ -368,8 +390,14 @@ impl ExperimentSet {
             for pct in (0..=10).map(|i| i as f64 / 10.0) {
                 let cpu = provision(WscDesign::CpuOnly, mix, pct, &self.db, &tech, &params);
                 let int = provision(WscDesign::IntegratedGpu, mix, pct, &self.db, &tech, &params);
-                let dis =
-                    provision(WscDesign::DisaggregatedGpu, mix, pct, &self.db, &tech, &params);
+                let dis = provision(
+                    WscDesign::DisaggregatedGpu,
+                    mix,
+                    pct,
+                    &self.db,
+                    &tech,
+                    &params,
+                );
                 let base = cpu.tco_total();
                 t.push(vec![
                     num(100.0 * pct),

@@ -187,7 +187,7 @@ mod tests {
 
     fn setup(config: BatchConfig) -> (Arc<Network>, Batcher) {
         let net = Arc::new(dnn::zoo::network(App::Dig).unwrap());
-        let batcher = Batcher::new(net.clone(), Arc::new(CpuExecutor), config);
+        let batcher = Batcher::new(net.clone(), Arc::new(CpuExecutor::default()), config);
         (net, batcher)
     }
 

@@ -24,7 +24,9 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: djinn-model-info PATH.djnm | imc|dig|face|asr|pos|chk|ner [--batch N]");
+                println!(
+                    "usage: djinn-model-info PATH.djnm | imc|dig|face|asr|pos|chk|ner [--batch N]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => target = Some(other.to_string()),

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu]
-//!              [--batch N] [--models DIR] [--export DIR]
+//!              [--batch N] [--threads N] [--models DIR] [--export DIR]
 //! ```
 //!
 //! With `--models DIR`, every `*.djnm` model file in the directory is
@@ -20,6 +20,7 @@ struct Args {
     addr: String,
     backend: Backend,
     batch: Option<usize>,
+    threads: usize,
     models: Option<PathBuf>,
     export: Option<PathBuf>,
 }
@@ -29,6 +30,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7400".into(),
         backend: Backend::Cpu,
         batch: None,
+        threads: 1,
         models: None,
         export: None,
     };
@@ -51,12 +53,22 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --batch: {e}"))?,
                 )
             }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if args.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             "--models" => args.models = Some(PathBuf::from(value("--models")?)),
             "--export" => args.export = Some(PathBuf::from(value("--export")?)),
             "--help" | "-h" => {
-                return Err("usage: djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu] \
-                            [--batch N] [--models DIR] [--export DIR]"
-                    .into())
+                return Err(
+                    "usage: djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu] \
+                            [--batch N] [--threads N] [--models DIR] [--export DIR]"
+                        .into(),
+                )
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -111,6 +123,7 @@ fn main() -> ExitCode {
             max_batch,
             max_delay: Duration::from_millis(2),
         }),
+        threads: args.threads,
         ..ServerConfig::default()
     };
     let server = match DjinnServer::start(registry, config) {

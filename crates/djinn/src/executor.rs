@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use dnn::profile::WorkloadProfile;
 use dnn::Network;
 use perf::GpuSpec;
-use tensor::Tensor;
+use tensor::{Tensor, Threading};
 
 use crate::Result;
 
@@ -45,13 +45,63 @@ pub trait Executor: Send + Sync {
 }
 
 /// Executes on the host CPU (the paper's Caffe+ATLAS baseline).
+///
+/// Defaults to sequential execution; [`CpuExecutor::new`] takes a
+/// [`Threading`] budget that each inference spends either by sharding
+/// the batch across threads or by threading inside each layer's GEMM,
+/// whichever suits the model (see [`CpuExecutor::infer`]).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct CpuExecutor;
+pub struct CpuExecutor {
+    threading: Threading,
+}
+
+impl CpuExecutor {
+    /// A CPU executor spending `threading` worker threads per inference.
+    pub fn new(threading: Threading) -> Self {
+        CpuExecutor { threading }
+    }
+
+    /// The configured per-inference thread budget.
+    pub fn threading(&self) -> Threading {
+        self.threading
+    }
+
+    /// Whether batch sharding beats intra-layer threading for this call.
+    ///
+    /// Sharding wins when the batch is wide relative to the thread count
+    /// (each worker gets a meaningful sub-batch) and the model's biggest
+    /// GEMM is skinny — the SENNA profile, where per-item matrices are
+    /// too small to split internally. Fat-GEMM models (AlexNet, Kaldi)
+    /// keep the budget inside the layer where the packed GEMM splits row
+    /// strips.
+    fn prefer_sharding(network: &Network, batch: usize, threads: usize) -> bool {
+        if batch < 2 * threads {
+            return false;
+        }
+        match WorkloadProfile::of(network.def(), batch) {
+            // Treat anything smaller than one packed L2 block per thread
+            // as skinny: a 256x256-ish GEMM saturates one core's blocking
+            // but leaves nothing to split.
+            Ok(p) => match p.largest_gemm() {
+                Some((m, n, k)) => m * n * k < threads * 256 * 256 * 256,
+                None => true,
+            },
+            Err(_) => false,
+        }
+    }
+}
 
 impl Executor for CpuExecutor {
     fn infer(&self, network: &Arc<Network>, input: &Tensor) -> Result<InferenceOutcome> {
         let start = Instant::now();
-        let output = network.forward(input)?;
+        let threading = self.threading;
+        let output = if !threading.is_parallel() {
+            network.forward(input)?
+        } else if Self::prefer_sharding(network, input.shape().batch(), threading.threads) {
+            network.forward_sharded(input, threading)?
+        } else {
+            network.forward_with(input, threading)?
+        };
         Ok(InferenceOutcome {
             output,
             device_latency: start.elapsed(),
@@ -130,7 +180,7 @@ mod tests {
     fn both_backends_agree_on_outputs() {
         let net = mnist();
         let input = Tensor::random_uniform(Shape::nchw(2, 1, 28, 28), 1.0, 3);
-        let cpu = CpuExecutor.infer(&net, &input).unwrap();
+        let cpu = CpuExecutor::default().infer(&net, &input).unwrap();
         let gpu = SimGpuExecutor::default().infer(&net, &input).unwrap();
         assert_eq!(cpu.output, gpu.output);
     }
@@ -160,15 +210,43 @@ mod tests {
     fn cpu_latency_is_positive() {
         let net = mnist();
         let input = Tensor::zeros(Shape::nchw(1, 1, 28, 28));
-        let out = CpuExecutor.infer(&net, &input).unwrap();
+        let out = CpuExecutor::default().infer(&net, &input).unwrap();
         assert!(out.device_latency > Duration::ZERO);
         assert_eq!(out.output.shape().dims(), &[1, 10]);
     }
 
     #[test]
+    fn threaded_cpu_executor_matches_serial() {
+        let net = mnist();
+        let input = Tensor::random_uniform(Shape::nchw(4, 1, 28, 28), 1.0, 8);
+        let serial = CpuExecutor::default().infer(&net, &input).unwrap();
+        for threads in [2usize, 4] {
+            let par = CpuExecutor::new(Threading::new(threads))
+                .infer(&net, &input)
+                .unwrap();
+            assert!(
+                par.output.max_abs_diff(&serial.output).unwrap() < 1e-5,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_heuristic_picks_by_gemm_shape() {
+        // SENNA (skinny per-item GEMMs, wide batch) shards; Kaldi at the
+        // same batch has 2048x3500-class GEMMs worth splitting in-layer.
+        let pos = dnn::zoo::network(App::Pos).unwrap();
+        assert!(CpuExecutor::prefer_sharding(&pos, 64, 4));
+        let asr = dnn::zoo::network(App::Asr).unwrap();
+        assert!(!CpuExecutor::prefer_sharding(&asr, 64, 4));
+        // Narrow batches never shard: workers would idle.
+        assert!(!CpuExecutor::prefer_sharding(&pos, 4, 4));
+    }
+
+    #[test]
     fn executors_are_object_safe() {
         let backends: Vec<Box<dyn Executor>> = vec![
-            Box::new(CpuExecutor),
+            Box::new(CpuExecutor::default()),
             Box::new(SimGpuExecutor::default()),
         ];
         assert_eq!(backends[0].backend_name(), "cpu");

@@ -9,11 +9,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use tensor::Threading;
 
 use crate::protocol::{read_frame, write_frame, ModelStats, Request, Response};
 use crate::{
-    BatchConfig, Batcher, CpuExecutor, DjinnError, Executor, ModelRegistry, Result,
-    SimGpuExecutor,
+    BatchConfig, Batcher, CpuExecutor, DjinnError, Executor, ModelRegistry, Result, SimGpuExecutor,
 };
 
 /// Which compute backend the server uses.
@@ -39,6 +39,10 @@ pub struct ServerConfig {
     /// Table 3 per-application batch sizes are deployed (e.g. 64 for the
     /// NLP models but only 2 for FACE).
     pub batch_overrides: BTreeMap<String, usize>,
+    /// Worker threads the CPU backend spends on each forward pass
+    /// (batch sharding or in-layer GEMM strips, chosen per model).
+    /// `1` keeps inference sequential; ignored by the simulated GPU.
+    pub threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +52,7 @@ impl Default for ServerConfig {
             backend: Backend::Cpu,
             batching: None,
             batch_overrides: BTreeMap::new(),
+            threads: 1,
         }
     }
 }
@@ -58,10 +63,7 @@ impl ServerConfig {
     pub fn tonic_batching() -> Self {
         let mut batch_overrides = BTreeMap::new();
         for app in dnn::zoo::App::ALL {
-            batch_overrides.insert(
-                app.name().to_lowercase(),
-                app.service_meta().batch_size,
-            );
+            batch_overrides.insert(app.name().to_lowercase(), app.service_meta().batch_size);
         }
         ServerConfig {
             batching: Some(BatchConfig::default()),
@@ -109,7 +111,7 @@ impl DjinnServer {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let executor: Arc<dyn Executor> = match config.backend {
-            Backend::Cpu => Arc::new(CpuExecutor),
+            Backend::Cpu => Arc::new(CpuExecutor::new(Threading::new(config.threads))),
             Backend::SimGpu => Arc::new(SimGpuExecutor::default()),
         };
         // Batchers are created eagerly at initialization, one per model,
@@ -346,6 +348,22 @@ mod tests {
         let reg = small_registry();
         let want = reg.get("tiny").unwrap().forward(&input).unwrap();
         assert!(batched.max_abs_diff(&want).unwrap() < 1e-5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn threaded_server_matches_serial_results() {
+        let config = ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        };
+        let server = DjinnServer::start(small_registry(), config).unwrap();
+        let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+        let input = Tensor::random_uniform(Shape::mat(9, 8), 1.0, 7);
+        let threaded = client.infer("tiny", &input).unwrap();
+        let reg = small_registry();
+        let want = reg.get("tiny").unwrap().forward(&input).unwrap();
+        assert!(threaded.max_abs_diff(&want).unwrap() < 1e-5);
         server.shutdown();
     }
 

@@ -2,7 +2,7 @@
 //! functional forward execution for each layer type used by Tonic Suite.
 
 use serde::{Deserialize, Serialize};
-use tensor::{Conv2dParams, LrnParams, Pool2dParams, Shape, Tensor};
+use tensor::{Conv2dParams, LrnParams, Pool2dParams, Shape, Tensor, Threading};
 
 use crate::{DnnError, LayerWeights, Result};
 
@@ -162,9 +162,7 @@ impl LayerSpec {
                 let (rows, _) = input.as_matrix();
                 Ok(Shape::mat(rows, *out))
             }
-            LayerSpec::Activation(_) | LayerSpec::Dropout | LayerSpec::Softmax => {
-                Ok(input.clone())
-            }
+            LayerSpec::Activation(_) | LayerSpec::Dropout | LayerSpec::Softmax => Ok(input.clone()),
             LayerSpec::Lrn(p) => {
                 if input.dims().len() != 4 {
                     return Err(fail(format!("lrn needs NCHW input, got {input}")));
@@ -225,7 +223,7 @@ impl LayerSpec {
         }
     }
 
-    /// Executes the layer's forward pass.
+    /// Executes the layer's forward pass sequentially.
     ///
     /// `weights` must be the weights created for this layer by
     /// [`LayerWeights::init`] (empty for parameter-free layers).
@@ -234,9 +232,31 @@ impl LayerSpec {
     ///
     /// Propagates shape mismatches from the tensor kernels.
     pub fn forward(&self, input: &Tensor, weights: &LayerWeights) -> Result<Tensor> {
+        self.forward_with(input, weights, Threading::SINGLE)
+    }
+
+    /// [`LayerSpec::forward`] with a worker-thread budget.
+    ///
+    /// The budget reaches the compute-bound layers — convolution
+    /// (parallel over batch images, then GEMM row strips) and inner
+    /// product (parallel over GEMM row strips, i.e. batch rows).
+    /// Pointwise and pooling layers run sequentially; they are
+    /// memory-bound and their batch dimension is instead covered by
+    /// [`crate::Network::forward_sharded`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from the tensor kernels.
+    pub fn forward_with(
+        &self,
+        input: &Tensor,
+        weights: &LayerWeights,
+        threading: Threading,
+    ) -> Result<Tensor> {
         match self {
             LayerSpec::Conv(p) => {
-                let out = tensor::conv2d(input, weights.weights(), weights.bias(), p)?;
+                let out =
+                    tensor::conv2d_with(input, weights.weights(), weights.bias(), p, threading)?;
                 Ok(out)
             }
             LayerSpec::Local(p) => forward_local(input, weights, p),
@@ -255,7 +275,7 @@ impl LayerSpec {
                     .expect("matrix view volume always matches");
                 // weights stored (cols x out), so y = x * W + b.
                 let w = weights.weights();
-                let mut y = tensor::matmul(&flat, w)?;
+                let mut y = tensor::matmul_with(&flat, w, threading.threads)?;
                 debug_assert_eq!(y.shape().as_matrix().1, *out);
                 tensor::add_bias_rows(&mut y, weights.bias())?;
                 Ok(y)

@@ -31,9 +31,9 @@
 
 mod error;
 mod layer;
+pub mod modelfile;
 mod netdef;
 mod network;
-pub mod modelfile;
 pub mod parser;
 pub mod profile;
 pub mod train;

@@ -153,7 +153,10 @@ mod tests {
         save(&net, &mut buf).unwrap();
         let loaded = load(&buf[..]).unwrap();
         let input = Tensor::random_uniform(Shape::nchw(2, 1, 28, 28), 1.0, 3);
-        assert_eq!(net.forward(&input).unwrap(), loaded.forward(&input).unwrap());
+        assert_eq!(
+            net.forward(&input).unwrap(),
+            loaded.forward(&input).unwrap()
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A network definition paired with weights: the executable model.
 
 use serde::{Deserialize, Serialize};
-use tensor::Tensor;
+use tensor::{partition, Tensor, Threading};
 
 use crate::{DnnError, LayerWeights, NetDef, Result};
 
@@ -100,10 +100,22 @@ impl Network {
     /// Returns [`DnnError::BadInput`] on shape mismatch; propagates layer
     /// execution failures.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        self.forward_with(input, Threading::SINGLE)
+    }
+
+    /// [`Network::forward`] with a worker-thread budget applied *within*
+    /// each layer (parallel convolution batches and GEMM row strips).
+    ///
+    /// Best for compute-heavy models (AlexNet, DeepFace) where single
+    /// layers dominate. For skinny matrices on wide batches (SENNA),
+    /// [`Network::forward_sharded`] usually scales better.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::forward`].
+    pub fn forward_with(&self, input: &Tensor, threading: Threading) -> Result<Tensor> {
         let want = self.def.input_shape();
-        if input.shape().dims()[1..] != want.dims()[1..]
-            || input.shape().rank() != want.rank()
-        {
+        if input.shape().dims()[1..] != want.dims()[1..] || input.shape().rank() != want.rank() {
             return Err(DnnError::BadInput {
                 expected: want.dims().to_vec(),
                 actual: input.shape().dims().to_vec(),
@@ -111,15 +123,60 @@ impl Network {
         }
         let mut cur = input.clone();
         for (l, w) in self.def.layers().iter().zip(&self.weights) {
-            cur = l.spec.forward(&cur, w).map_err(|e| match e {
-                DnnError::BadLayer { reason, .. } => DnnError::BadLayer {
-                    layer: l.name.clone(),
-                    reason,
-                },
-                other => other,
-            })?;
+            cur = l
+                .spec
+                .forward_with(&cur, w, threading)
+                .map_err(|e| match e {
+                    DnnError::BadLayer { reason, .. } => DnnError::BadLayer {
+                        layer: l.name.clone(),
+                        reason,
+                    },
+                    other => other,
+                })?;
         }
         Ok(cur)
+    }
+
+    /// Batch-sharded forward pass: splits the batch axis into contiguous
+    /// shards, runs the whole layer stack per shard on scoped worker
+    /// threads, and restacks the outputs in order.
+    ///
+    /// Every layer in this workspace treats batch items independently
+    /// (convolution, pooling and LRN per image; inner product and softmax
+    /// per row), so sharding is semantically transparent. It amortizes
+    /// per-layer overhead across threads and is the profitable strategy
+    /// for the paper's NLP services, whose per-item GEMMs are too skinny
+    /// to split internally.
+    ///
+    /// With one worker (or a single-item batch) this degrades to
+    /// [`Network::forward`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::forward`].
+    pub fn forward_sharded(&self, input: &Tensor, threading: Threading) -> Result<Tensor> {
+        let batch = *input.shape().dims().first().unwrap_or(&0);
+        let workers = threading.workers_for(batch);
+        if workers <= 1 {
+            return self.forward_with(input, threading);
+        }
+        let sizes: Vec<usize> = partition(batch, workers)
+            .into_iter()
+            .map(|(s, e)| e - s)
+            .collect();
+        let shards = input.split_batch(&sizes)?;
+        let results: Vec<Result<Tensor>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| scope.spawn(move || self.forward(shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("forward shard panicked"))
+                .collect()
+        });
+        let outs = results.into_iter().collect::<Result<Vec<_>>>()?;
+        Ok(Tensor::stack_batch(&outs)?)
     }
 
     /// Runs the forward pass, returning every intermediate activation
@@ -198,6 +255,32 @@ mod tests {
         let out_b = net.forward(&b).unwrap();
         assert!(parts[0].max_abs_diff(&out_a).unwrap() < 1e-5);
         assert!(parts[1].max_abs_diff(&out_b).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn sharded_forward_equals_serial() {
+        let net = Network::with_random_weights(mlp(), 11).unwrap();
+        let input = Tensor::random_uniform(Shape::mat(13, 8), 1.0, 12);
+        let serial = net.forward(&input).unwrap();
+        for threads in [1usize, 2, 4, 7, 32] {
+            let sharded = net
+                .forward_sharded(&input, Threading::new(threads))
+                .unwrap();
+            assert_eq!(sharded.shape(), serial.shape());
+            assert!(
+                sharded.max_abs_diff(&serial).unwrap() < 1e-5,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_forward_equals_serial() {
+        let net = Network::with_random_weights(mlp(), 5).unwrap();
+        let input = Tensor::random_uniform(Shape::mat(9, 8), 1.0, 6);
+        let serial = net.forward(&input).unwrap();
+        let threaded = net.forward_with(&input, Threading::new(4)).unwrap();
+        assert!(threaded.max_abs_diff(&serial).unwrap() < 1e-5);
     }
 
     #[test]

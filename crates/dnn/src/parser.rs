@@ -204,10 +204,8 @@ mod tests {
 
     #[test]
     fn parses_minimal_network() {
-        let def = parse_netdef(
-            "name: mini\ninput: 8\nlayer fc1 fc out=4\nlayer prob softmax\n",
-        )
-        .unwrap();
+        let def =
+            parse_netdef("name: mini\ninput: 8\nlayer fc1 fc out=4\nlayer prob softmax\n").unwrap();
         assert_eq!(def.name(), "mini");
         assert_eq!(def.depth(), 2);
         assert_eq!(def.output_shape(1).unwrap().dims(), &[1, 4]);
@@ -215,10 +213,9 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_are_ignored() {
-        let def = parse_netdef(
-            "# a tagger\nname: t\n\ninput: 4  # features\nlayer fc fc out=2 # out\n",
-        )
-        .unwrap();
+        let def =
+            parse_netdef("# a tagger\nname: t\n\ninput: 4  # features\nlayer fc fc out=2 # out\n")
+                .unwrap();
         assert_eq!(def.depth(), 1);
     }
 

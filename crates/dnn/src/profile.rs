@@ -73,8 +73,7 @@ impl KernelSpec {
         let c = count as f64;
         let flops = c * 2.0 * m as f64 * n as f64 * k as f64;
         // A + B + C streamed once, per instance.
-        let bytes =
-            c * 4.0 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
+        let bytes = c * 4.0 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
         let blocks = count * m.div_ceil(GEMM_TILE) * n.div_ceil(GEMM_TILE);
         KernelSpec {
             name,
@@ -258,6 +257,23 @@ impl WorkloadProfile {
     pub fn launch_count(&self) -> usize {
         self.kernels.len()
     }
+
+    /// The `(m, n, k)` of the biggest single GEMM (by FLOPs) in the
+    /// forward pass, or `None` for a GEMM-free profile.
+    ///
+    /// This drives the CPU executor's parallelization choice: profiles
+    /// whose largest GEMM is skinny (small `m * n`, like SENNA's per-item
+    /// matrices) scale by sharding the batch across threads, while fat
+    /// GEMMs (AlexNet, Kaldi) are worth splitting internally.
+    pub fn largest_gemm(&self) -> Option<(usize, usize, usize)> {
+        self.kernels
+            .iter()
+            .filter_map(|ks| match ks.class {
+                KernelClass::Gemm { m, n, k, .. } => Some((m, n, k)),
+                _ => None,
+            })
+            .max_by(|a, b| (a.0 * a.1 * a.2).cmp(&(b.0 * b.1 * b.2)))
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +327,16 @@ mod tests {
         let pos_max = gemm_max(&pos);
         assert!(asr_max > 900, "asr warps {asr_max}");
         assert!(pos_max < 200, "pos warps {pos_max}");
+    }
+
+    #[test]
+    fn largest_gemm_separates_fat_from_skinny() {
+        let asr = WorkloadProfile::of(&zoo::kaldi(), 16).unwrap();
+        let (m, n, k) = asr.largest_gemm().unwrap();
+        assert!(m * n * k >= 16 * 2048 * 2048, "kaldi gemm {m}x{n}x{k}");
+        let pos = WorkloadProfile::of(&zoo::senna("pos", 45), 28).unwrap();
+        let (pm, pn, pk) = pos.largest_gemm().unwrap();
+        assert!(pm * pn * pk <= 28 * 450 * 350, "senna gemm {pm}x{pn}x{pk}");
     }
 
     #[test]

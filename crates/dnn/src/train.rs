@@ -29,9 +29,7 @@
 //! # Ok::<(), dnn::DnnError>(())
 //! ```
 
-use tensor::{
-    col2im, im2col, sgemm, Conv2dParams, GemmOptions, Shape, Tensor,
-};
+use tensor::{col2im, im2col, sgemm, Conv2dParams, GemmOptions, Shape, Tensor};
 
 use crate::{ActivationKind, DnnError, LayerSpec, LayerWeights, Network, PoolKind, Result};
 
@@ -73,7 +71,11 @@ pub struct Trainer {
 impl Trainer {
     /// Wraps a network for training.
     pub fn new(network: Network, config: SgdConfig) -> Self {
-        let velocity = network.weights().iter().map(LayerWeights::zeros_like).collect();
+        let velocity = network
+            .weights()
+            .iter()
+            .map(LayerWeights::zeros_like)
+            .collect();
         Trainer {
             network,
             velocity,
@@ -148,7 +150,13 @@ impl Trainer {
                         1.0,
                         0xD409 ^ self.step_count.wrapping_mul(31) ^ i as u64,
                     )
-                    .map(|v| if (v + 1.0) / 2.0 < keep { 1.0 / keep } else { 0.0 });
+                    .map(|v| {
+                        if (v + 1.0) / 2.0 < keep {
+                            1.0 / keep
+                        } else {
+                            0.0
+                        }
+                    });
                     let mut dropped = cur.clone();
                     for (v, m) in dropped.data_mut().iter_mut().zip(mask.data()) {
                         *v *= m;
@@ -247,12 +255,7 @@ impl Trainer {
                 *vv = cfg.momentum * *vv - cfg.lr * (gv + decay * *wv);
                 *wv += *vv;
             }
-            for ((wb, vb), gb) in w
-                .bias_mut()
-                .iter_mut()
-                .zip(v.bias_mut())
-                .zip(g.bias())
-            {
+            for ((wb, vb), gb) in w.bias_mut().iter_mut().zip(v.bias_mut()).zip(g.bias()) {
                 *vb = cfg.momentum * *vb - cfg.lr * gb;
                 *wb += *vb;
             }
@@ -494,8 +497,7 @@ fn backward_pool(
                                         continue;
                                     }
                                     for kx in 0..p.kernel {
-                                        let ix =
-                                            (ox * p.stride + kx) as isize - p.pad as isize;
+                                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
                                         if ix < 0 || ix >= w as isize {
                                             continue;
                                         }
@@ -519,10 +521,7 @@ fn backward_pool(
 /// # Errors
 ///
 /// Propagates forward-pass failures.
-pub fn evaluate(
-    network: &Network,
-    items: &[(Tensor, usize)],
-) -> Result<f64> {
+pub fn evaluate(network: &Network, items: &[(Tensor, usize)]) -> Result<f64> {
     if items.is_empty() {
         return Ok(0.0);
     }
@@ -663,10 +662,7 @@ mod tests {
             trainer.step(&x, &y).unwrap();
         }
         let last = trainer.gradients(&x0, &y0).unwrap().1;
-        assert!(
-            last < first * 0.5,
-            "loss did not halve: {first} -> {last}"
-        );
+        assert!(last < first * 0.5, "loss did not halve: {first} -> {last}");
     }
 
     #[test]

@@ -10,9 +10,7 @@
 use serde::{Deserialize, Serialize};
 use tensor::{Conv2dParams, LrnParams, Pool2dParams, Shape};
 
-use crate::{
-    ActivationKind, LayerDef, LayerSpec, LocalParams, NetDef, Network, PoolKind, Result,
-};
+use crate::{ActivationKind, LayerDef, LayerSpec, LocalParams, NetDef, Network, PoolKind, Result};
 
 /// The seven Tonic Suite applications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -348,8 +346,7 @@ pub fn kaldi() -> NetDef {
         layers.push(act(&format!("tanh{i}"), ActivationKind::Tanh));
     }
     layers.push(fc("affine7", 3500));
-    NetDef::new("kaldi", Shape::mat(1, 440), layers)
-        .expect("kaldi definition is statically valid")
+    NetDef::new("kaldi", Shape::mat(1, 440), layers).expect("kaldi definition is statically valid")
 }
 
 /// SENNA window-approach tagger: 7-word window × 50-dim embeddings → 450
@@ -450,10 +447,7 @@ mod tests {
         assert_eq!(mnist().output_shape(1).unwrap().dims(), &[1, 10]);
         assert_eq!(deepface().output_shape(1).unwrap().dims(), &[1, 83]);
         assert_eq!(kaldi().output_shape(1).unwrap().dims(), &[1, 3500]);
-        assert_eq!(
-            senna("pos", 45).output_shape(1).unwrap().dims(),
-            &[1, 45]
-        );
+        assert_eq!(senna("pos", 45).output_shape(1).unwrap().dims(), &[1, 45]);
     }
 
     #[test]
@@ -481,6 +475,37 @@ mod tests {
         let a = network(App::Pos).unwrap();
         let b = network(App::Pos).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// Issue acceptance criterion: for every Tonic model, the parallel
+    /// forward paths (batch-sharded and intra-layer threaded) must agree
+    /// with the serial forward within 1e-5.
+    #[test]
+    fn parallel_forward_matches_serial_for_every_model() {
+        use tensor::Threading;
+        for app in App::ALL {
+            let net = network(app).unwrap();
+            // Keep the vision batches small — AlexNet at batch 2 is
+            // already ~3 GFLOP per pass on the test machine.
+            let batch = match app {
+                App::Imc | App::Face => 2,
+                _ => 6,
+            };
+            let shape = net.def().input_shape().with_batch(batch);
+            let input = tensor::Tensor::random_uniform(shape, 1.0, 0xC0 + app as u64);
+            let serial = net.forward(&input).unwrap();
+            let sharded = net.forward_sharded(&input, Threading::new(2)).unwrap();
+            assert_eq!(serial.shape(), sharded.shape(), "{app}: sharded shape");
+            assert!(
+                serial.max_abs_diff(&sharded).unwrap() < 1e-5,
+                "{app}: sharded forward diverged"
+            );
+            let threaded = net.forward_with(&input, Threading::new(2)).unwrap();
+            assert!(
+                serial.max_abs_diff(&threaded).unwrap() < 1e-5,
+                "{app}: threaded forward diverged"
+            );
+        }
     }
 
     #[test]

@@ -210,7 +210,11 @@ pub fn simulate(
                 }
             }
             let total: f64 = flow_rates.iter().map(|(_, r)| r).sum();
-            let scale = if total > host_bps { host_bps / total } else { 1.0 };
+            let scale = if total > host_bps {
+                host_bps / total
+            } else {
+                1.0
+            };
             for (idx, r) in flow_rates {
                 rates[idx] = r * scale;
             }
@@ -341,10 +345,7 @@ mod tests {
     #[test]
     fn single_instance_throughput_matches_cycle_time() {
         let w = workload(App::Pos, 64);
-        let cycle = w.host_prep_s
-            + w.h2d_bytes / 12.0e9
-            + w.gpu_alone_s()
-            + w.d2h_bytes / 12.0e9;
+        let cycle = w.host_prep_s + w.h2d_bytes / 12.0e9 + w.gpu_alone_s() + w.d2h_bytes / 12.0e9;
         let r = simulate(&mps_cfg(1), &[(w, 0)], 40);
         let expect = 64.0 / cycle;
         assert!(
@@ -451,7 +452,10 @@ mod tests {
         };
         let scaling_pinned = mk(true, 8) / mk(true, 1);
         let scaling_limited = mk(false, 8) / mk(false, 1);
-        assert!(scaling_pinned > 6.5, "pinned 8-GPU scaling {scaling_pinned}");
+        assert!(
+            scaling_pinned > 6.5,
+            "pinned 8-GPU scaling {scaling_pinned}"
+        );
         assert!(
             scaling_limited < scaling_pinned,
             "limited {scaling_limited} vs pinned {scaling_pinned}"

@@ -98,7 +98,9 @@ mod tests {
     #[test]
     fn pinned_strips_host_interaction() {
         let gpu = GpuSpec::k40();
-        let w = ServiceWorkload::for_app(&gpu, App::Asr, 2).unwrap().pinned();
+        let w = ServiceWorkload::for_app(&gpu, App::Asr, 2)
+            .unwrap()
+            .pinned();
         assert_eq!(w.h2d_bytes, 0.0);
         assert_eq!(w.d2h_bytes, 0.0);
         assert_eq!(w.host_prep_s, 0.0);

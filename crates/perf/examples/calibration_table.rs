@@ -5,7 +5,10 @@ use perf::{cpu_forward_seconds, gpu_forward, CpuSpec, GpuSpec};
 fn main() {
     let gpu = GpuSpec::k40();
     let cpu = CpuSpec::xeon_e5_2620_v2();
-    println!("{:>6} {:>12} {:>12} {:>9} {:>12} {:>10} {:>9} {:>8}", "app", "cpu_ms", "gpu_ms(b1)", "b1 ratio", "gpu_ms(bN)", "bN ratio", "batchgain", "occ_b1");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9} {:>12} {:>10} {:>9} {:>8}",
+        "app", "cpu_ms", "gpu_ms(b1)", "b1 ratio", "gpu_ms(bN)", "bN ratio", "batchgain", "occ_b1"
+    );
     for app in App::ALL {
         let meta = app.service_meta();
         let def = zoo::netdef(app);
@@ -16,7 +19,16 @@ fn main() {
         let gb = gpu_forward(&gpu, &pb);
         let r1 = cpu_s / g1.seconds;
         let rb = cpu_s / (gb.seconds / meta.batch_size as f64);
-        println!("{:>6} {:>12.3} {:>12.3} {:>9.1} {:>12.3} {:>10.1} {:>9.2} {:>8.2}",
-            app.name(), cpu_s*1e3, g1.seconds*1e3, r1, gb.seconds*1e3, rb, rb/r1, g1.occupancy);
+        println!(
+            "{:>6} {:>12.3} {:>12.3} {:>9.1} {:>12.3} {:>10.1} {:>9.2} {:>8.2}",
+            app.name(),
+            cpu_s * 1e3,
+            g1.seconds * 1e3,
+            r1,
+            gb.seconds * 1e3,
+            rb,
+            rb / r1,
+            g1.occupancy
+        );
     }
 }

@@ -141,7 +141,11 @@ pub fn time_kernel(gpu: &GpuSpec, spec: &KernelSpec) -> KernelTiming {
 /// Times a full forward pass running alone on `gpu` and aggregates the
 /// profiler counters of Fig 6.
 pub fn gpu_forward(gpu: &GpuSpec, profile: &WorkloadProfile) -> ForwardTiming {
-    let kernels: Vec<KernelTiming> = profile.kernels.iter().map(|k| time_kernel(gpu, k)).collect();
+    let kernels: Vec<KernelTiming> = profile
+        .kernels
+        .iter()
+        .map(|k| time_kernel(gpu, k))
+        .collect();
     let seconds: f64 = kernels.iter().map(|k| k.seconds).sum();
     let wsum = |f: &dyn Fn(&KernelTiming) -> f64| -> f64 {
         if seconds <= 0.0 {
@@ -156,7 +160,11 @@ pub fn gpu_forward(gpu: &GpuSpec, profile: &WorkloadProfile) -> ForwardTiming {
     // memory); both land well under their peaks for DNN kernels, matching
     // the paper's observation that memory bandwidth is not the bottleneck.
     let total_bytes = profile.total_bytes();
-    let dram_rate = if seconds > 0.0 { total_bytes / seconds } else { 0.0 };
+    let dram_rate = if seconds > 0.0 {
+        total_bytes / seconds
+    } else {
+        0.0
+    };
     let l2_utilization = (dram_rate / (gpu.l2_bw_gbps * 1e9)).min(1.0);
     let l1_utilization = (2.0 * dram_rate / (gpu.l1_bw_gbps * 1e9)).min(1.0);
     let utilization = wsum(&|k| k.compute_demand.max(k.memory_demand));
@@ -255,8 +263,16 @@ mod tests {
         let asr = forward(App::Asr, 548);
         let pos = forward(App::Pos, 28);
         let gpu = k40();
-        assert!(asr.avg_power_w > gpu.tdp_w * 0.7, "ASR {}W", asr.avg_power_w);
-        assert!(pos.avg_power_w < gpu.tdp_w * 0.4, "POS {}W", pos.avg_power_w);
+        assert!(
+            asr.avg_power_w > gpu.tdp_w * 0.7,
+            "ASR {}W",
+            asr.avg_power_w
+        );
+        assert!(
+            pos.avg_power_w < gpu.tdp_w * 0.4,
+            "POS {}W",
+            pos.avg_power_w
+        );
         assert!(pos.avg_power_w >= gpu.idle_w);
     }
 
@@ -291,7 +307,12 @@ mod tests {
         assert!(!local_idx.is_empty());
         let t = gpu_forward(&k40(), &p);
         for i in local_idx {
-            assert_eq!(t.kernels[i].limiter, Limiter::Memory, "{}", p.kernels[i].name);
+            assert_eq!(
+                t.kernels[i].limiter,
+                Limiter::Memory,
+                "{}",
+                p.kernels[i].name
+            );
         }
     }
 }

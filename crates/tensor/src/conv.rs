@@ -5,7 +5,7 @@
 //! paper's batching optimization exploits): the input is unrolled into a
 //! column matrix and the kernel bank becomes the left GEMM operand.
 
-use crate::{sgemm, GemmOptions, Result, Shape, Tensor, TensorError};
+use crate::{partition, sgemm, GemmOptions, Result, Shape, Tensor, TensorError, Threading};
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -102,7 +102,22 @@ pub fn im2col(image: &Tensor, c: usize, h: usize, w: usize, p: &Conv2dParams) ->
     Tensor::from_vec(Shape::mat(rows, cols), out)
 }
 
-/// 2-D convolution of an `NCHW` input with a weight bank.
+/// Resolved geometry shared by every image of one [`conv2d`] call.
+#[derive(Debug, Clone, Copy)]
+struct ConvGeom {
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    cg: usize,
+    og: usize,
+    /// GEMM inner dimension per group (`cg * k * k`).
+    wk: usize,
+    per_in: usize,
+    per_out: usize,
+}
+
+/// 2-D convolution of an `NCHW` input with a weight bank, sequentially.
 ///
 /// `weights` must have shape `(out_channels, in_channels/groups, k, k)` and
 /// `bias` length `out_channels`. Returns an `NCHW` output.
@@ -111,6 +126,28 @@ pub fn im2col(image: &Tensor, c: usize, h: usize, w: usize, p: &Conv2dParams) ->
 ///
 /// Returns an error on any geometry inconsistency.
 pub fn conv2d(input: &Tensor, weights: &Tensor, bias: &[f32], p: &Conv2dParams) -> Result<Tensor> {
+    conv2d_with(input, weights, bias, p, Threading::SINGLE)
+}
+
+/// [`conv2d`] with a worker-thread budget.
+///
+/// The batch dimension is split into contiguous image ranges, one scoped
+/// worker per range; each image is an independent im2col + GEMM, so the
+/// result is bitwise identical to the sequential path. Any budget left
+/// over after the batch split (e.g. a batch of one on a multi-core
+/// machine) flows into the per-image GEMM, which then parallelizes over
+/// output-channel row strips instead.
+///
+/// # Errors
+///
+/// Returns an error on any geometry inconsistency.
+pub fn conv2d_with(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &[f32],
+    p: &Conv2dParams,
+    threading: Threading,
+) -> Result<Tensor> {
     let dims = input.shape().dims();
     if dims.len() != 4 {
         return Err(TensorError::InvalidParams {
@@ -151,24 +188,96 @@ pub fn conv2d(input: &Tensor, weights: &Tensor, bias: &[f32], p: &Conv2dParams) 
     }
     let oh = p.out_dim(h)?;
     let ow = p.out_dim(w)?;
+    let geom = ConvGeom {
+        h,
+        w,
+        oh,
+        ow,
+        cg,
+        og,
+        wk: cg * p.kernel * p.kernel,
+        per_in: c * h * w,
+        per_out: p.out_channels * oh * ow,
+    };
     let mut out = Tensor::zeros(Shape::nchw(n, p.out_channels, oh, ow));
-    let per_in = c * h * w;
-    let per_out = p.out_channels * oh * ow;
-    let wk = cg * p.kernel * p.kernel; // GEMM inner dimension per group
+
+    let img_workers = threading.workers_for(n);
+    let gemm_threads = (threading.threads / img_workers.max(1)).max(1);
+    if img_workers <= 1 {
+        conv_image_range(
+            input.data(),
+            weights.data(),
+            bias,
+            p,
+            &geom,
+            0..n,
+            out.data_mut(),
+            gemm_threads,
+        )?;
+        return Ok(out);
+    }
+
+    let ranges = partition(n, img_workers);
+    let results = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        let mut rest = out.data_mut();
+        let (x, wt, geom_ref) = (input.data(), weights.data(), &geom);
+        for &(img0, img1) in &ranges {
+            let (chunk, tail) = rest.split_at_mut((img1 - img0) * geom.per_out);
+            rest = tail;
+            handles.push(scope.spawn(move || {
+                conv_image_range(x, wt, bias, p, geom_ref, img0..img1, chunk, gemm_threads)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("conv2d worker panicked"))
+            .collect::<Vec<Result<()>>>()
+    });
+    for r in results {
+        r?;
+    }
+    Ok(out)
+}
+
+/// Convolves images `imgs.start..imgs.end`; `out` covers exactly those
+/// images' output volumes.
+#[allow(clippy::too_many_arguments)]
+fn conv_image_range(
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    p: &Conv2dParams,
+    geom: &ConvGeom,
+    imgs: std::ops::Range<usize>,
+    out: &mut [f32],
+    gemm_threads: usize,
+) -> Result<()> {
+    let ConvGeom {
+        h,
+        w,
+        oh,
+        ow,
+        cg,
+        og,
+        wk,
+        per_in,
+        per_out,
+    } = *geom;
     let group_params = Conv2dParams {
         out_channels: og,
         groups: 1,
         ..*p
     };
-    for img in 0..n {
+    let img0 = imgs.start;
+    for img in imgs {
         for g in 0..p.groups {
             // Slice out this group's input channels as a standalone image.
-            let img_slice = &input.data()[img * per_in + g * cg * h * w..][..cg * h * w];
+            let img_slice = &input[img * per_in + g * cg * h * w..][..cg * h * w];
             let img_t = Tensor::from_vec(Shape::nchw(1, cg, h, w), img_slice.to_vec())?;
             let cols = im2col(&img_t, cg, h, w, &group_params)?;
-            let w_slice = &weights.data()[g * og * wk..(g + 1) * og * wk];
-            let out_slice =
-                &mut out.data_mut()[img * per_out + g * og * oh * ow..][..og * oh * ow];
+            let w_slice = &weights[g * og * wk..(g + 1) * og * wk];
+            let out_slice = &mut out[(img - img0) * per_out + g * og * oh * ow..][..og * oh * ow];
             sgemm(
                 og,
                 oh * ow,
@@ -178,7 +287,7 @@ pub fn conv2d(input: &Tensor, weights: &Tensor, bias: &[f32], p: &Conv2dParams) 
                 cols.data(),
                 0.0,
                 out_slice,
-                GemmOptions::default(),
+                GemmOptions::with_threads(gemm_threads),
             )?;
             for oc in 0..og {
                 let bv = bias[g * og + oc];
@@ -188,7 +297,7 @@ pub fn conv2d(input: &Tensor, weights: &Tensor, bias: &[f32], p: &Conv2dParams) 
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// The adjoint of [`im2col`]: scatters a column matrix back into image
@@ -376,6 +485,27 @@ mod tests {
     }
 
     #[test]
+    fn threaded_conv_is_bitwise_equal_to_sequential() {
+        // Batch of 5 with 2 groups: exercises uneven image splits and the
+        // leftover-budget path (7 threads over 5 images).
+        let p = Conv2dParams {
+            out_channels: 6,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 2,
+        };
+        let input = Tensor::random_uniform(Shape::nchw(5, 4, 9, 9), 1.0, 21);
+        let weights = Tensor::random_uniform(Shape::nchw(6, 2, 3, 3), 1.0, 22);
+        let bias = vec![0.1, -0.2, 0.3, -0.4, 0.5, -0.6];
+        let serial = conv2d(&input, &weights, &bias, &p).unwrap();
+        for threads in [2usize, 4, 7] {
+            let par = conv2d_with(&input, &weights, &bias, &p, Threading::new(threads)).unwrap();
+            assert_eq!(serial.data(), par.data(), "threads={threads}");
+        }
+    }
+
+    #[test]
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), c> == <x, col2im(c)> for all x, c — the defining
         // property of the backward operator.
@@ -390,7 +520,10 @@ mod tests {
         let aty = col2im(&cmat, c, h, w, &p).unwrap();
         let lhs: f32 = ax.data().iter().zip(cmat.data()).map(|(a, b)| a * b).sum();
         let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     proptest! {

@@ -46,7 +46,9 @@ impl fmt::Display for TensorError {
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
             }
-            TensorError::EmptyShape => write!(f, "empty shape where a non-empty tensor is required"),
+            TensorError::EmptyShape => {
+                write!(f, "empty shape where a non-empty tensor is required")
+            }
             TensorError::InvalidParams { op, reason } => {
                 write!(f, "invalid parameters for {op}: {reason}")
             }

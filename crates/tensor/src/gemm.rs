@@ -1,19 +1,31 @@
 //! Single-precision general matrix multiply.
 //!
-//! Three tiers are provided, mirroring how a tuned BLAS is structured:
-//! a naive triple loop (reference / correctness oracle), a cache-blocked
-//! kernel, and a parallel driver that splits the row dimension across
-//! threads with `crossbeam::scope`. The blocked kernel is what every DNN
-//! forward pass in this workspace actually runs on.
+//! Structured like a tuned BLAS, in three tiers: a naive triple loop
+//! (correctness oracle), a cache-blocked kernel for small problems, and a
+//! BLIS-style packed kernel for everything else — A is packed into
+//! `MR`-row column-major micro-panels and B into `NR`-column row-major
+//! micro-panels so the register-blocked `MR x NR` micro-kernel streams
+//! both operands at unit stride. The parallel driver packs B once,
+//! shares it read-only, and splits C's rows into `MR`-aligned strips
+//! across `std::thread::scope` workers; each worker packs its own A
+//! panels. Because every C row is computed in the same order regardless
+//! of the split, parallel results are bitwise identical to sequential.
 
 use crate::{Result, Shape, Tensor, TensorError};
 
-/// Row-dimension block size; sized so an `MC x KC` panel of A stays in L2.
+/// Micro-kernel rows: each micro-tile updates `MR` rows of C.
+const MR: usize = 4;
+/// Micro-kernel columns: each micro-tile updates `NR` columns of C.
+const NR: usize = 8;
+/// Row-dimension block size; an `MC x KC` packed A block stays in L2.
 const MC: usize = 64;
-/// Inner (depth) block size; an `KC x NC` panel of B stays in L1/L2.
+/// Depth block size; a `KC x NR` packed B micro-panel stays in L1.
 const KC: usize = 256;
-/// Column-dimension block size.
+/// Column-dimension block size (must be a multiple of `NR`).
 const NC: usize = 256;
+/// Problems below this `m * n * k` volume skip packing: the O(mk + kn)
+/// copy costs more than it saves on matrices this small.
+const PACK_MIN_VOLUME: usize = 32 * 32 * 32;
 
 /// Tuning options for [`sgemm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +35,7 @@ pub struct GemmOptions {
     /// Interpret `b` as transposed (`b` is stored `n x k`).
     pub trans_b: bool,
     /// Number of worker threads; 1 = sequential. Thread count is capped at
-    /// the number of `MC` row blocks, so oversubscription is harmless.
+    /// the number of `MR` row panels, so oversubscription is harmless.
     pub threads: usize,
 }
 
@@ -37,8 +49,18 @@ impl Default for GemmOptions {
     }
 }
 
+impl GemmOptions {
+    /// Options running `threads` workers with untransposed operands.
+    pub fn with_threads(threads: usize) -> Self {
+        GemmOptions {
+            threads: threads.max(1),
+            ..GemmOptions::default()
+        }
+    }
+}
+
 /// Computes `C = A * B` for 2-D tensors (flattening higher ranks as
-/// matrices), using the blocked sequential kernel.
+/// matrices), using the sequential kernel.
 ///
 /// # Errors
 ///
@@ -53,6 +75,15 @@ impl Default for GemmOptions {
 /// # Ok::<(), tensor::TensorError>(())
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_with(a, b, 1)
+}
+
+/// [`matmul`] with an explicit worker-thread budget.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+pub fn matmul_with(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
     let (m, ka) = a.shape().as_matrix();
     let (kb, n) = b.shape().as_matrix();
     if ka != kb {
@@ -72,7 +103,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         b.data(),
         0.0,
         c.data_mut(),
-        GemmOptions::default(),
+        GemmOptions::with_threads(threads),
     )?;
     Ok(c)
 }
@@ -139,61 +170,31 @@ pub fn sgemm(
         }
     }
 
-    let threads = opts.threads.max(1).min(m.div_ceil(MC));
-    if threads <= 1 {
+    if m * n * k < PACK_MIN_VOLUME {
         gemm_blocked(m, n, k, alpha, a_rm, b_rm, c);
         return Ok(());
     }
-
-    // Parallel driver: split C's rows into contiguous strips, one per thread.
-    let rows_per = m.div_ceil(threads);
-    let mut row_chunks: Vec<&mut [f32]> = Vec::with_capacity(threads);
-    let mut rest = c;
-    let mut row = 0usize;
-    while row < m {
-        let take = rows_per.min(m - row);
-        let (head, tail) = rest.split_at_mut(take * n);
-        row_chunks.push(head);
-        rest = tail;
-        row += take;
-    }
-    crossbeam::scope(|scope| {
-        let mut row0 = 0usize;
-        for chunk in row_chunks {
-            let rows = chunk.len() / n;
-            let a_strip = &a_rm[row0 * k..(row0 + rows) * k];
-            scope.spawn(move |_| {
-                gemm_blocked(rows, n, k, alpha, a_strip, b_rm, chunk);
-            });
-            row0 += rows;
-        }
-    })
-    .expect("gemm worker panicked");
+    let threads = opts.threads.max(1).min(m.div_ceil(MR));
+    gemm_packed(m, n, k, alpha, a_rm, b_rm, c, threads);
     Ok(())
 }
 
 /// Reference implementation: naive triple loop. Used as a correctness
 /// oracle in tests and benchmarks.
 ///
+/// Every `a[i][p] * b[p][j]` product is accumulated unconditionally —
+/// skipping zero A entries would be faster but silently drops NaN and
+/// infinity propagation from B (`0.0 * NaN` is NaN, not zero), and an
+/// oracle must match IEEE semantics exactly.
+///
 /// # Panics
 ///
 /// Panics (via slice indexing) if the slice lengths are inconsistent with
 /// the dimensions; use [`sgemm`] for validated input.
-pub fn gemm_naive(
-    m: usize,
-    n: usize,
-    k: usize,
-    alpha: f32,
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-) {
+pub fn gemm_naive(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
         for p in 0..k {
             let av = alpha * a[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
             let brow = &b[p * n..(p + 1) * n];
             let crow = &mut c[i * n..(i + 1) * n];
             for (cv, bv) in crow.iter_mut().zip(brow) {
@@ -203,10 +204,13 @@ pub fn gemm_naive(
     }
 }
 
-/// Cache-blocked kernel: loops over `NC`/`KC`/`MC` panels with a 4-row
-/// micro-kernel in the innermost position so the compiler can vectorize the
-/// unit-stride B row accesses.
-fn gemm_blocked(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+/// Cache-blocked kernel for small problems: loops over `NC`/`KC`/`MC`
+/// panels with a 2-row micro-kernel, no packing. Below
+/// [`PACK_MIN_VOLUME`] the packing copies would dominate, so this is the
+/// fast path for tiny matrices. Public (like [`gemm_naive`]) as an
+/// ablation tier for the GEMM benchmarks; `C += alpha * A B` with no
+/// transposes or beta scaling — use [`sgemm`] for real work.
+pub fn gemm_blocked(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
     for jc in (0..n).step_by(NC) {
         let nb = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
@@ -265,12 +269,202 @@ fn inner_block(
     }
 }
 
-/// Out-of-place transpose of a row-major `rows x cols` matrix.
-fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+// ---------------------------------------------------------------------------
+// Packed kernel
+// ---------------------------------------------------------------------------
+
+/// B packed for the micro-kernel: row-major `NR`-column micro-panels,
+/// KC-blocked along the depth dimension, zero-padded to full panels.
+///
+/// Layout: the depth block starting at row `pc` (of height `kb`) occupies
+/// `kb * padded_n` floats starting at `pc * padded_n`; within it, column
+/// panel `jp` is `kb * NR` contiguous floats, depth-major (`NR` values of
+/// row `pc`, then row `pc + 1`, ...).
+struct PackedB {
+    data: Vec<f32>,
+    padded_n: usize,
+}
+
+impl PackedB {
+    fn pack(k: usize, n: usize, b: &[f32]) -> PackedB {
+        let panels = n.div_ceil(NR);
+        let padded_n = panels * NR;
+        let mut data = vec![0.0f32; k * padded_n];
+        for pc in (0..k).step_by(KC) {
+            let kb = KC.min(k - pc);
+            for jp in 0..panels {
+                let j0 = jp * NR;
+                let nb = NR.min(n - j0);
+                let base = pc * padded_n + jp * NR * kb;
+                for pp in 0..kb {
+                    let src = &b[(pc + pp) * n + j0..(pc + pp) * n + j0 + nb];
+                    data[base + pp * NR..base + pp * NR + nb].copy_from_slice(src);
+                }
+            }
+        }
+        PackedB { data, padded_n }
+    }
+
+    /// The `kb * NR` micro-panel for depth block `pc` and column panel `jp`.
+    #[inline]
+    fn panel(&self, pc: usize, kb: usize, jp: usize) -> &[f32] {
+        let base = pc * self.padded_n + jp * NR * kb;
+        &self.data[base..base + NR * kb]
+    }
+}
+
+/// Packs an `mb x kb` block of A (rows `ic..ic+mb`, depth `pc..pc+kb`)
+/// into `MR`-row micro-panels: depth-major within each panel (`MR` values
+/// of depth `pc`, then depth `pc + 1`, ...), zero-padded to full panels.
+fn pack_a_block(
+    a: &[f32],
+    k: usize,
+    ic: usize,
+    mb: usize,
+    pc: usize,
+    kb: usize,
+    buf: &mut Vec<f32>,
+) {
+    let panels = mb.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * MR * kb, 0.0);
+    for rp in 0..panels {
+        let base = rp * MR * kb;
+        let rows = MR.min(mb - rp * MR);
+        for r in 0..rows {
+            let row = ic + rp * MR + r;
+            let src = &a[row * k + pc..row * k + pc + kb];
+            for (pp, &v) in src.iter().enumerate() {
+                buf[base + pp * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// Register-blocked `MR x NR` micro-kernel: accumulates `kb` rank-1
+/// updates from packed panels into `acc` (row-major `MR x NR`). Both
+/// operands stream at unit stride; the 32 accumulators fit the SIMD
+/// register file so the inner loop is pure FMA work.
+#[inline]
+fn microkernel(kb: usize, pa: &[f32], pb: &[f32], acc: &mut [f32; MR * NR]) {
+    // `chunks_exact` + fixed-size array views give the compiler exact
+    // extents, so the fully unrolled `MR x NR` update runs without bounds
+    // checks and vectorizes across each accumulator row.
+    for (av, bv) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)).take(kb) {
+        let av: &[f32; MR] = av.try_into().unwrap();
+        let bv: &[f32; NR] = bv.try_into().unwrap();
+        for r in 0..MR {
+            let ar = av[r];
+            for j in 0..NR {
+                acc[r * NR + j] += ar * bv[j];
+            }
+        }
+    }
+}
+
+/// Runs the packed kernel over the row strip `r0..r1`, writing into
+/// `c_strip` (the `(r1 - r0) * n` slice of C starting at row `r0`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_strip(
+    r0: usize,
+    r1: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    packed_b: &PackedB,
+    c_strip: &mut [f32],
+) {
+    let mut packed_a = Vec::new();
+    for jc in (0..n).step_by(NC) {
+        let ncb = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kb = KC.min(k - pc);
+            for ic in (r0..r1).step_by(MC) {
+                let mb = MC.min(r1 - ic);
+                pack_a_block(a, k, ic, mb, pc, kb, &mut packed_a);
+                let row_panels = mb.div_ceil(MR);
+                for jp in jc / NR..(jc + ncb).div_ceil(NR) {
+                    let j0 = jp * NR;
+                    let nb = NR.min(n - j0);
+                    let pb = packed_b.panel(pc, kb, jp);
+                    for rp in 0..row_panels {
+                        let pa = &packed_a[rp * MR * kb..(rp + 1) * MR * kb];
+                        let mut acc = [0.0f32; MR * NR];
+                        microkernel(kb, pa, pb, &mut acc);
+                        let i0 = ic + rp * MR;
+                        let rows = MR.min(r1 - i0);
+                        for r in 0..rows {
+                            let co = (i0 - r0 + r) * n + j0;
+                            let crow = &mut c_strip[co..co + nb];
+                            for (cv, &av) in crow.iter_mut().zip(&acc[r * NR..r * NR + nb]) {
+                                *cv += alpha * av;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packed driver: packs B once (shared read-only), then runs row strips
+/// sequentially or across scoped threads. Strips are `MR`-panel aligned,
+/// so each C row is produced by exactly the same instruction sequence in
+/// both modes — thread count never changes the result.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) {
+    let packed_b = PackedB::pack(k, n, b);
+    if threads <= 1 {
+        gemm_strip(0, m, n, k, alpha, a, &packed_b, c);
+        return;
+    }
+
+    let panels_per = m.div_ceil(MR).div_ceil(threads);
+    let rows_per = panels_per * MR;
+    std::thread::scope(|scope| {
+        let mut rest = c;
+        let mut r0 = 0usize;
+        while r0 < m {
+            let rows = rows_per.min(m - r0);
+            let (strip, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let packed_b = &packed_b;
+            scope.spawn(move || {
+                gemm_strip(r0, r0 + rows, n, k, alpha, a, packed_b, strip);
+            });
+            r0 += rows;
+        }
+    });
+}
+
+/// Cache-blocked out-of-place transpose of a row-major `rows x cols`
+/// matrix. Works in `TB x TB` tiles so both the gather and the scatter
+/// side touch whole cache lines instead of striding a full row apart.
+pub fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    /// Tile edge: a 32x32 f32 tile is 4 KiB, comfortably in L1 twice over.
+    const TB: usize = 32;
+    assert_eq!(src.len(), rows * cols, "transpose: bad slice length");
     let mut dst = vec![0.0f32; src.len()];
-    for r in 0..rows {
-        for c in 0..cols {
-            dst[c * rows + r] = src[r * cols + c];
+    for rt in (0..rows).step_by(TB) {
+        let rb = TB.min(rows - rt);
+        for ct in (0..cols).step_by(TB) {
+            let cb = TB.min(cols - ct);
+            for r in rt..rt + rb {
+                let srow = &src[r * cols + ct..r * cols + ct + cb];
+                for (c, &v) in srow.iter().enumerate() {
+                    dst[(ct + c) * rows + r] = v;
+                }
+            }
         }
     }
     dst
@@ -283,6 +477,15 @@ mod tests {
 
     fn approx_eq(a: &[f32], b: &[f32], tol: f32) -> bool {
         a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    /// Element-wise relative comparison: `|x - y| <= tol * max(1, |x|)`.
+    fn rel_eq(want: &[f32], got: &[f32], tol: f32) -> bool {
+        want.len() == got.len()
+            && want
+                .iter()
+                .zip(got)
+                .all(|(x, y)| (x - y).abs() <= tol * x.abs().max(1.0))
     }
 
     #[test]
@@ -319,6 +522,29 @@ mod tests {
     }
 
     #[test]
+    fn naive_propagates_nan_through_zero_weights() {
+        // a row of zeros times a NaN column must stay NaN (0 * NaN = NaN);
+        // the oracle must not shortcut zero multipliers.
+        let a = vec![0.0, 0.0];
+        let b = vec![f32::NAN, 1.0, 2.0, 3.0];
+        let mut c = vec![0.0; 2];
+        gemm_naive(1, 2, 2, 1.0, &a, &b, &mut c);
+        assert!(c[0].is_nan());
+        assert_eq!(c[1], 0.0);
+    }
+
+    #[test]
+    fn packed_propagates_infinities() {
+        let m = 40; // above PACK_MIN_VOLUME with n=k=40
+        let a = vec![1.0f32; m * m];
+        let mut b = vec![1.0f32; m * m];
+        b[0] = f32::INFINITY;
+        let mut c = vec![0.0f32; m * m];
+        sgemm(m, m, m, 1.0, &a, &b, 0.0, &mut c, GemmOptions::default()).unwrap();
+        assert!(c[0].is_infinite());
+    }
+
+    #[test]
     fn transposed_operands_match_naive() {
         let m = 5;
         let n = 7;
@@ -351,7 +577,21 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_sequential_on_large_matrix() {
+    fn transpose_round_trips_on_awkward_shapes() {
+        for &(r, c) in &[(1usize, 1usize), (3, 5), (32, 32), (33, 65), (100, 7)] {
+            let src: Vec<f32> = (0..r * c).map(|i| i as f32).collect();
+            let t = transpose(&src, r, c);
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t[j * r + i], src[i * c + j]);
+                }
+            }
+            assert_eq!(transpose(&t, c, r), src);
+        }
+    }
+
+    #[test]
+    fn parallel_is_bitwise_equal_to_sequential() {
         let m = 130; // crosses multiple MC blocks and uneven split
         let n = 70;
         let k = 300; // crosses KC
@@ -359,23 +599,64 @@ mod tests {
         let b = Tensor::random_uniform(Shape::mat(k, n), 1.0, 4).into_vec();
         let mut seq = vec![0.0; m * n];
         sgemm(m, n, k, 1.0, &a, &b, 0.0, &mut seq, GemmOptions::default()).unwrap();
-        let mut par = vec![0.0; m * n];
-        sgemm(
-            m,
-            n,
-            k,
-            1.0,
-            &a,
-            &b,
-            0.0,
-            &mut par,
-            GemmOptions {
-                threads: 4,
-                ..GemmOptions::default()
-            },
-        )
-        .unwrap();
-        assert!(approx_eq(&seq, &par, 1e-3));
+        for threads in [2usize, 4, 7] {
+            let mut par = vec![0.0; m * n];
+            sgemm(
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut par,
+                GemmOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(seq, par, "threads={threads} diverged from sequential");
+        }
+    }
+
+    /// The issue's acceptance grid: every thread count in {1, 2, 4, 7}
+    /// against every shape with m, n, k drawn from {1, 3, 64, 257} must
+    /// match the naive oracle within 1e-5 relative error. Covers both the
+    /// small-matrix blocked path and the packed path (257 crosses KC/NC
+    /// panel boundaries; 1 and 3 exercise ragged MR/NR edges).
+    #[test]
+    fn parallel_packed_matches_naive_across_thread_and_shape_grid() {
+        const DIMS: [usize; 4] = [1, 3, 64, 257];
+        const THREADS: [usize; 4] = [1, 2, 4, 7];
+        let mut seed = 10u64;
+        for &m in &DIMS {
+            for &n in &DIMS {
+                for &k in &DIMS {
+                    seed += 1;
+                    let a = Tensor::random_uniform(Shape::mat(m, k), 1.0, seed).into_vec();
+                    let b = Tensor::random_uniform(Shape::mat(k, n), 1.0, seed + 7000).into_vec();
+                    let mut want = vec![0.0; m * n];
+                    gemm_naive(m, n, k, 1.0, &a, &b, &mut want);
+                    for &threads in &THREADS {
+                        let mut got = vec![0.0; m * n];
+                        sgemm(
+                            m,
+                            n,
+                            k,
+                            1.0,
+                            &a,
+                            &b,
+                            0.0,
+                            &mut got,
+                            GemmOptions::with_threads(threads),
+                        )
+                        .unwrap();
+                        assert!(
+                            rel_eq(&want, &got, 1e-5),
+                            "mismatch at m={m} n={n} k={k} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     proptest! {
@@ -393,6 +674,24 @@ mod tests {
             let mut got = vec![0.0; m * n];
             sgemm(m, n, k, 1.0, &a, &b, 0.0, &mut got, GemmOptions::default()).unwrap();
             prop_assert!(approx_eq(&want, &got, 1e-3));
+        }
+
+        #[test]
+        fn packed_matches_naive_any_threads(
+            m in 1usize..80,
+            n in 1usize..80,
+            k in 1usize..80,
+            threads in 1usize..9,
+            seed in 0u64..1000,
+        ) {
+            let a = Tensor::random_uniform(Shape::mat(m, k), 1.0, seed).into_vec();
+            let b = Tensor::random_uniform(Shape::mat(k, n), 1.0, seed + 1).into_vec();
+            let mut want = vec![0.0; m * n];
+            gemm_naive(m, n, k, 1.0, &a, &b, &mut want);
+            let mut got = vec![0.0; m * n];
+            sgemm(m, n, k, 1.0, &a, &b, 0.0, &mut got, GemmOptions::with_threads(threads))
+                .unwrap();
+            prop_assert!(rel_eq(&want, &got, 1e-5), "m={m} n={n} k={k} threads={threads}");
         }
 
         #[test]

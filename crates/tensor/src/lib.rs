@@ -26,16 +26,18 @@ mod pool;
 mod shape;
 #[allow(clippy::module_inception)]
 mod tensor;
+mod threading;
 
-pub use conv::{col2im, conv2d, conv2d_direct, im2col, Conv2dParams};
+pub use conv::{col2im, conv2d, conv2d_direct, conv2d_with, im2col, Conv2dParams};
 pub use error::TensorError;
-pub use gemm::{gemm_naive, matmul, sgemm, GemmOptions};
+pub use gemm::{gemm_blocked, gemm_naive, matmul, matmul_with, sgemm, transpose, GemmOptions};
 pub use ops::{
     add_bias_rows, hardtanh, lrn_cross_channel, relu, sigmoid, softmax_rows, tanh, LrnParams,
 };
 pub use pool::{avg_pool2d, max_pool2d, Pool2dParams};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use threading::{partition, Threading};
 
 /// Result alias used across this crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

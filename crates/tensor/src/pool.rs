@@ -114,13 +114,19 @@ pub fn max_pool2d(input: &Tensor, p: &Pool2dParams) -> Result<Tensor> {
 ///
 /// Returns an error if the input is not 4-D or the window geometry is invalid.
 pub fn avg_pool2d(input: &Tensor, p: &Pool2dParams) -> Result<Tensor> {
-    pool2d(input, p, 0.0, |a, b| a + b, |acc, count| {
-        if count == 0 {
-            0.0
-        } else {
-            acc / count as f32
-        }
-    })
+    pool2d(
+        input,
+        p,
+        0.0,
+        |a, b| a + b,
+        |acc, count| {
+            if count == 0 {
+                0.0
+            } else {
+                acc / count as f32
+            }
+        },
+    )
 }
 
 #[cfg(test)]

@@ -291,7 +291,12 @@ impl Tensor {
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{} [", self.shape)?;
-        let preview: Vec<String> = self.data.iter().take(6).map(|v| format!("{v:.3}")).collect();
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(6)
+            .map(|v| format!("{v:.3}"))
+            .collect();
         write!(f, "{}", preview.join(", "))?;
         if self.data.len() > 6 {
             write!(f, ", …; {} elems", self.data.len())?;

@@ -1,0 +1,95 @@
+//! Thread-count configuration shared by the parallel kernels.
+//!
+//! Every parallel code path in this workspace — the packed GEMM driver,
+//! the batched convolution, and the sharded network forward — takes its
+//! worker count from a [`Threading`] value so the whole stack can be
+//! tuned from one `--threads` flag. Parallelism here is always scoped
+//! (`std::thread::scope`) over disjoint output slices, so results are
+//! bitwise identical to the sequential path regardless of thread count.
+
+/// Worker-thread budget for a parallel kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threading {
+    /// Number of worker threads; `1` means run sequentially on the
+    /// calling thread.
+    pub threads: usize,
+}
+
+impl Threading {
+    /// Sequential execution on the calling thread.
+    pub const SINGLE: Threading = Threading { threads: 1 };
+
+    /// A budget of `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        Threading {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Whether more than one worker is available.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Workers to actually launch for `items` independent units of work:
+    /// never more threads than units, never zero.
+    pub fn workers_for(&self, items: usize) -> usize {
+        self.threads.max(1).min(items.max(1))
+    }
+}
+
+impl Default for Threading {
+    fn default() -> Self {
+        Threading::SINGLE
+    }
+}
+
+/// Splits `items` units of work into at most `workers` contiguous ranges
+/// of near-equal size. Returns `(start, end)` pairs covering `0..items`.
+pub fn partition(items: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.max(1).min(items.max(1));
+    let per = items.div_ceil(workers);
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    while start < items {
+        let end = (start + per).min(items);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_never_exceed_items_or_drop_to_zero() {
+        assert_eq!(Threading::new(8).workers_for(3), 3);
+        assert_eq!(Threading::new(2).workers_for(100), 2);
+        assert_eq!(Threading::new(0).workers_for(0), 1);
+        assert_eq!(Threading::SINGLE.workers_for(64), 1);
+        assert!(!Threading::default().is_parallel());
+        assert!(Threading::new(4).is_parallel());
+    }
+
+    #[test]
+    fn partition_covers_everything_exactly_once() {
+        for items in [0usize, 1, 5, 7, 16, 33] {
+            for workers in [1usize, 2, 3, 4, 7, 40] {
+                let ranges = partition(items, workers);
+                assert!(ranges.len() <= workers.max(1));
+                let mut next = 0;
+                for &(s, e) in &ranges {
+                    assert_eq!(s, next);
+                    assert!(e > s);
+                    next = e;
+                }
+                assert_eq!(next, items);
+                if items == 0 {
+                    assert!(ranges.is_empty());
+                }
+            }
+        }
+    }
+}

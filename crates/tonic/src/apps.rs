@@ -5,9 +5,9 @@
 use std::net::SocketAddr;
 use std::sync::Arc;
 
+use djinn::{DjinnClient, DjinnError};
 use dnn::zoo::App;
 use dnn::Network;
-use djinn::{DjinnClient, DjinnError};
 use tensor::Tensor;
 
 use crate::{image, speech, text};

@@ -73,7 +73,11 @@ pub fn cycle_breakdown(cpu: &CpuSpec, app: App) -> CycleBreakdown {
             (pre, post)
         }
     };
-    CycleBreakdown { dnn_s, pre_s, post_s }
+    CycleBreakdown {
+        dnn_s,
+        pre_s,
+        post_s,
+    }
 }
 
 #[cfg(test)]

@@ -69,10 +69,7 @@ mod tests {
 
     #[test]
     fn generators_produce_expected_shapes() {
-        assert_eq!(
-            synth_photos(2, 1)[0].shape().dims(),
-            &[1, 3, 227, 227]
-        );
+        assert_eq!(synth_photos(2, 1)[0].shape().dims(), &[1, 3, 227, 227]);
         assert_eq!(synth_digits(2, 1)[1].shape().dims(), &[1, 1, 28, 28]);
         assert_eq!(synth_faces(1, 1)[0].shape().dims(), &[1, 3, 152, 152]);
     }
@@ -99,11 +96,7 @@ mod tests {
 
     #[test]
     fn top1_reads_every_row() {
-        let out = Tensor::from_vec(
-            Shape::mat(2, 3),
-            vec![0.1, 0.7, 0.2, 0.9, 0.05, 0.05],
-        )
-        .unwrap();
+        let out = Tensor::from_vec(Shape::mat(2, 3), vec![0.1, 0.7, 0.2, 0.9, 0.05, 0.05]).unwrap();
         assert_eq!(top1(&out), vec![1, 0]);
     }
 }

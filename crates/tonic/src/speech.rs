@@ -71,8 +71,7 @@ pub fn filterbank(waveform: &[f32]) -> Vec<[f32; NUM_BINS]> {
             for (i, &s) in frame.iter().enumerate() {
                 // Hamming window.
                 let win = 0.54
-                    - 0.46
-                        * (2.0 * std::f64::consts::PI * i as f64 / (FRAME_LEN - 1) as f64).cos();
+                    - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / (FRAME_LEN - 1) as f64).cos();
                 let v = s as f64 * win;
                 re += v * (w * i as f64).cos();
                 im += v * (w * i as f64).sin();
@@ -218,8 +217,9 @@ mod tests {
     fn filterbank_detects_tonal_energy() {
         // A pure tone must put more energy near its bin than silence does.
         let tone: Vec<f32> = (0..FRAME_LEN * 2)
-            .map(|i| (2.0 * std::f64::consts::PI * 440.0 * i as f64 / SAMPLE_RATE as f64).sin()
-                as f32)
+            .map(|i| {
+                (2.0 * std::f64::consts::PI * 440.0 * i as f64 / SAMPLE_RATE as f64).sin() as f32
+            })
             .collect();
         let silence = vec![0.0f32; FRAME_LEN * 2];
         let e_tone: f32 = filterbank(&tone)[0].iter().sum();

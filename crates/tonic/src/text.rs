@@ -19,16 +19,108 @@ pub fn tag_count(app: dnn::zoo::App) -> usize {
 /// A tiny embedded vocabulary: enough common English words to build
 /// plausible 28-word sentences (the paper's Table 3 input unit).
 const VOCAB: &[&str] = &[
-    "the", "a", "an", "of", "to", "in", "for", "on", "with", "at", "by", "from", "as", "is",
-    "was", "are", "were", "be", "been", "has", "have", "had", "will", "would", "can", "could",
-    "may", "might", "do", "does", "did", "not", "and", "or", "but", "if", "when", "while",
-    "after", "before", "because", "company", "market", "stock", "price", "share", "year",
-    "month", "week", "day", "government", "president", "minister", "city", "country", "state",
-    "people", "group", "bank", "report", "plan", "deal", "sale", "growth", "rate", "percent",
-    "million", "billion", "new", "old", "first", "last", "next", "big", "small", "high", "low",
-    "good", "strong", "early", "late", "said", "says", "announced", "reported", "expected",
-    "rose", "fell", "gained", "dropped", "increased", "john", "mary", "smith", "london",
-    "paris", "tokyo", "america", "europe", "asia", "monday", "friday",
+    "the",
+    "a",
+    "an",
+    "of",
+    "to",
+    "in",
+    "for",
+    "on",
+    "with",
+    "at",
+    "by",
+    "from",
+    "as",
+    "is",
+    "was",
+    "are",
+    "were",
+    "be",
+    "been",
+    "has",
+    "have",
+    "had",
+    "will",
+    "would",
+    "can",
+    "could",
+    "may",
+    "might",
+    "do",
+    "does",
+    "did",
+    "not",
+    "and",
+    "or",
+    "but",
+    "if",
+    "when",
+    "while",
+    "after",
+    "before",
+    "because",
+    "company",
+    "market",
+    "stock",
+    "price",
+    "share",
+    "year",
+    "month",
+    "week",
+    "day",
+    "government",
+    "president",
+    "minister",
+    "city",
+    "country",
+    "state",
+    "people",
+    "group",
+    "bank",
+    "report",
+    "plan",
+    "deal",
+    "sale",
+    "growth",
+    "rate",
+    "percent",
+    "million",
+    "billion",
+    "new",
+    "old",
+    "first",
+    "last",
+    "next",
+    "big",
+    "small",
+    "high",
+    "low",
+    "good",
+    "strong",
+    "early",
+    "late",
+    "said",
+    "says",
+    "announced",
+    "reported",
+    "expected",
+    "rose",
+    "fell",
+    "gained",
+    "dropped",
+    "increased",
+    "john",
+    "mary",
+    "smith",
+    "london",
+    "paris",
+    "tokyo",
+    "america",
+    "europe",
+    "asia",
+    "monday",
+    "friday",
 ];
 
 /// The embedded vocabulary, exposed for lexicon-based components (the
@@ -64,7 +156,9 @@ pub fn embedding(id: usize) -> Vec<f32> {
 pub fn synth_sentence(words: usize, seed: u64) -> Vec<String> {
     (0..words)
         .map(|i| {
-            let idx = ((seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 1442695))
+            let idx = ((seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 * 1442695))
                 >> 16) as usize
                 % VOCAB.len();
             VOCAB[idx].to_string()
@@ -126,7 +220,11 @@ impl TagModel {
     /// (`words x tags`): the most likely tag sequence.
     pub fn decode(&self, scores: &Tensor) -> Vec<usize> {
         let (words, tags) = scores.shape().as_matrix();
-        assert_eq!(tags, self.tags, "score width {tags} != model tags {}", self.tags);
+        assert_eq!(
+            tags, self.tags,
+            "score width {tags} != model tags {}",
+            self.tags
+        );
         if words == 0 {
             return Vec::new();
         }

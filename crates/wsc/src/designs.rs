@@ -298,7 +298,10 @@ pub fn network_upgrade_study(
         improvement,
     );
     let integrated = provision(WscDesign::IntegratedGpu, mix, 1.0, db, tech, params);
-    let integrated = scale(integrated, improvement_ratio_for_design(improvement, tech, db, mix));
+    let integrated = scale(
+        integrated,
+        improvement_ratio_for_design(improvement, tech, db, mix),
+    );
     let disaggregated = provision_scaled_disagg(mix, improvement, db, tech, params);
     UpgradeStudy {
         tech: tech.clone(),
@@ -323,8 +326,8 @@ fn improvement_ratio_for_design(
     let apps = mix.apps();
     let mut cap_growth = 0.0;
     for &app in apps {
-        cap_growth += integrated_server_qps(app, db, tech)
-            / integrated_server_qps(app, db, &baseline);
+        cap_growth +=
+            integrated_server_qps(app, db, tech) / integrated_server_qps(app, db, &baseline);
     }
     cap_growth /= apps.len() as f64;
     improvement / cap_growth
@@ -407,7 +410,14 @@ mod tests {
         // bandwidth-bound NLP services.
         let tech = NetworkTech::pcie_v3_10gbe();
         let params = TcoParams::paper();
-        let int = provision(WscDesign::IntegratedGpu, Mix::Nlp, 1.0, db(), &tech, &params);
+        let int = provision(
+            WscDesign::IntegratedGpu,
+            Mix::Nlp,
+            1.0,
+            db(),
+            &tech,
+            &params,
+        );
         let dis = provision(
             WscDesign::DisaggregatedGpu,
             Mix::Nlp,

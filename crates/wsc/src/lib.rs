@@ -29,7 +29,9 @@ mod interconnect;
 mod perfdb;
 mod tco;
 
-pub use designs::{network_upgrade_study, provision, provision_with, Mix, ProvisionResult, UpgradeStudy, WscDesign};
+pub use designs::{
+    network_upgrade_study, provision, provision_with, Mix, ProvisionResult, UpgradeStudy, WscDesign,
+};
 pub use interconnect::NetworkTech;
 pub use perfdb::{AppPerf, AppPerfDb};
 pub use tco::{CostBreakdown, TcoParams};

@@ -57,8 +57,7 @@ impl AppPerfDb {
             // inputs so the per-GPU figure reflects compute capability
             // (interconnect ceilings are applied by the design model).
             let cfg = ServerConfig::k40_server(1);
-            let sim =
-                standard_server_result(&cfg, app, MPS_INSTANCES, meta.batch_size, true)?;
+            let sim = standard_server_result(&cfg, app, MPS_INSTANCES, meta.batch_size, true)?;
             // Sanity floor: the profile is always non-trivial.
             let _ = WorkloadProfile::of(&zoo::netdef(app), meta.inputs_per_query)?;
             entries.push(AppPerf {

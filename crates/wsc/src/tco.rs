@@ -127,9 +127,8 @@ impl CostBreakdown {
             + gpus * params.gpu_cost
             + nics * params.nic_cost
             + extra_hw;
-        let maintenance = hw / params.lifetime_months
-            * params.maintenance_monthly
-            * params.lifetime_months;
+        let maintenance =
+            hw / params.lifetime_months * params.maintenance_monthly * params.lifetime_months;
         CostBreakdown {
             servers,
             gpus: gpus_cost,

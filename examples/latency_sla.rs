@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         match best_ok {
             Some(q) => println!("  -> provision {} at ≤ {q:.0} QPS per GPU\n", app.name()),
-            None => println!("  -> {} cannot meet {sla_ms} ms p99 on one GPU\n", app.name()),
+            None => println!(
+                "  -> {} cannot meet {sla_ms} ms p99 on one GPU\n",
+                app.name()
+            ),
         }
     }
     Ok(())

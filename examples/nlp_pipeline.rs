@@ -14,10 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = DjinnServer::start_with_tonic_models(ServerConfig::default())?;
     let addr = server.local_addr();
 
-    let sentence: Vec<String> = "the company reported strong growth in the first quarter and the stock rose"
-        .split_whitespace()
-        .map(str::to_string)
-        .collect();
+    let sentence: Vec<String> =
+        "the company reported strong growth in the first quarter and the stock rose"
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
     println!("sentence: {}\n", sentence.join(" "));
 
     let mut pos = TonicApp::remote(App::Pos, addr)?;

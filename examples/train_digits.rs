@@ -62,9 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for b in 0..4 {
             let items: Vec<(Tensor, usize)> =
                 (0..8).map(|i| sample((epoch * 4 + b) * 8 + i)).collect();
-            let batch = Tensor::stack_batch(
-                &items.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>(),
-            )?;
+            let batch =
+                Tensor::stack_batch(&items.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>())?;
             let labels: Vec<usize> = items.iter().map(|(_, l)| *l).collect();
             loss += trainer.step(&batch, &labels)?;
         }

@@ -5,9 +5,7 @@
 //! cargo run --example wsc_planner --release [dnn_share]
 //! ```
 
-use djinn_tonic::wsc::{
-    provision, AppPerfDb, Mix, NetworkTech, TcoParams, WscDesign,
-};
+use djinn_tonic::wsc::{provision, AppPerfDb, Mix, NetworkTech, TcoParams, WscDesign};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let share: f64 = std::env::args()
@@ -21,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = TcoParams::paper();
 
     for mix in [Mix::Mixed, Mix::Image, Mix::Nlp] {
-        println!("\n=== {} workload, {:.0}% DNN ===", mix.name(), share * 100.0);
+        println!(
+            "\n=== {} workload, {:.0}% DNN ===",
+            mix.name(),
+            share * 100.0
+        );
         println!(
             "{:<18} {:>9} {:>7} {:>7} {:>12} {:>8}",
             "design", "servers", "boxes", "GPUs", "3y TCO $", "vs CPU"

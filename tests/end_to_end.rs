@@ -3,9 +3,7 @@
 
 use std::time::Duration;
 
-use djinn_tonic::djinn::{
-    BatchConfig, DjinnClient, DjinnServer, ServerConfig,
-};
+use djinn_tonic::djinn::{BatchConfig, DjinnClient, DjinnServer, ServerConfig};
 use djinn_tonic::dnn::zoo::App;
 use djinn_tonic::tensor::{Shape, Tensor};
 use djinn_tonic::tonic_suite::{apps::TonicApp, image, speech, text};
@@ -114,7 +112,8 @@ fn malformed_requests_do_not_kill_the_server() {
     // Write garbage bytes framed as a valid-length frame.
     let mut raw = std::net::TcpStream::connect(addr).unwrap();
     let garbage = b"this is not a djinn frame";
-    raw.write_all(&(garbage.len() as u32).to_le_bytes()).unwrap();
+    raw.write_all(&(garbage.len() as u32).to_le_bytes())
+        .unwrap();
     raw.write_all(garbage).unwrap();
     raw.flush().unwrap();
 

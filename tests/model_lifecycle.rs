@@ -49,8 +49,7 @@ fn train_save_load_serve_roundtrip() {
     for step in 0..80 {
         let items: Vec<(Tensor, usize)> = (0..8).map(|i| sample(step * 8 + i)).collect();
         let batch =
-            Tensor::stack_batch(&items.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>())
-                .unwrap();
+            Tensor::stack_batch(&items.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>()).unwrap();
         let labels: Vec<usize> = items.iter().map(|(_, l)| *l).collect();
         trainer.step(&batch, &labels).unwrap();
     }

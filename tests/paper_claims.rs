@@ -85,7 +85,10 @@ fn claim_batching_gains_nlp_15x_imc_5x() {
     let nlp = gain(App::Pos);
     assert!(nlp > 15.0, "NLP batching gain {nlp}x (paper: over 15x)");
     let imc = gain(App::Imc);
-    assert!((3.5..8.0).contains(&imc), "IMC batching gain {imc}x (paper: 5x)");
+    assert!(
+        (3.5..8.0).contains(&imc),
+        "IMC batching gain {imc}x (paper: 5x)"
+    );
     // ASR is already saturated: batching buys almost nothing.
     let asr = gain(App::Asr);
     assert!(asr < 1.3, "ASR batching gain {asr}x");
@@ -148,15 +151,17 @@ fn claim_8gpu_scaling_near_1000x_for_three_apps() {
     let base = ServerConfig::k40_server(1);
     let mut near_linear = 0;
     for app in App::ALL {
-        let sweep =
-            djinn_tonic::gpusim::server_sweep(&base, app, &[1, 8], 4, false).unwrap();
+        let sweep = djinn_tonic::gpusim::server_sweep(&base, app, &[1, 8], 4, false).unwrap();
         let scale8 = sweep[1].1 / sweep[0].1;
         let total = sweep[1].1 / cpu_query_qps(app);
         if scale8 > 6.5 && total > 500.0 {
             near_linear += 1;
         }
     }
-    assert!(near_linear >= 3, "only {near_linear} apps scale near-linearly to ~1000x");
+    assert!(
+        near_linear >= 3,
+        "only {near_linear} apps scale near-linearly to ~1000x"
+    );
 }
 
 #[test]
@@ -164,8 +169,7 @@ fn claim_nlp_plateaus_by_4_gpus_without_pinning() {
     // §5.3/Fig 11: NLP throughput plateaus as the GPU count reaches 4.
     let base = ServerConfig::k40_server(1);
     for app in App::NLP {
-        let sweep =
-            djinn_tonic::gpusim::server_sweep(&base, app, &[4, 8], 4, false).unwrap();
+        let sweep = djinn_tonic::gpusim::server_sweep(&base, app, &[4, 8], 4, false).unwrap();
         let growth = sweep[1].1 / sweep[0].1;
         assert!(growth < 1.4, "{app} still grows {growth}x from 4 to 8 GPUs");
     }
@@ -176,8 +180,7 @@ fn claim_pinned_inputs_restore_linear_scaling() {
     // Fig 12: without PCIe limits every app scales near-linearly.
     let base = ServerConfig::k40_server(1);
     for app in App::ALL {
-        let sweep =
-            djinn_tonic::gpusim::server_sweep(&base, app, &[1, 8], 4, true).unwrap();
+        let sweep = djinn_tonic::gpusim::server_sweep(&base, app, &[1, 8], 4, true).unwrap();
         let scale = sweep[1].1 / sweep[0].1;
         assert!(scale > 6.5, "{app} pinned scaling only {scale}x");
     }

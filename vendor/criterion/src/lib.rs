@@ -1,0 +1,282 @@
+//! Offline stub of `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the criterion API this
+//! workspace uses: `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark
+//! is calibrated so a sample lasts at least a few milliseconds, then the
+//! median per-iteration time over `sample_size` samples is printed to
+//! stdout (no statistical analysis, no HTML reports). See
+//! `vendor/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work performed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark identifier: a function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"{name}/{param}"`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs the timed closure a calibrated number of times.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sample-count and throughput config.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+/// Target wall time per sample; keeps runs short on small machines
+/// while still dominating timer overhead.
+const SAMPLE_TARGET: Duration = Duration::from_millis(4);
+/// Calibration cap so pathologically fast bodies can't spin forever.
+const MAX_ITERS: u64 = 1 << 24;
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work so a rate is reported.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let per_iter = run_benchmark(self.sample_size, &mut f);
+        report(&self.name, &id.id, per_iter, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let per_iter = run_benchmark(self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        report(&self.name, &id.id, per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Calibrates the iteration count, takes samples, returns the median
+/// per-iteration time in nanoseconds.
+fn run_benchmark<F: FnMut(&mut Bencher)>(sample_size: usize, f: &mut F) -> f64 {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Calibration doubles the iteration count until one sample reaches
+    // the target duration; it also serves as warm-up.
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed >= SAMPLE_TARGET || bencher.iters >= MAX_ITERS {
+            break;
+        }
+        bencher.iters *= 2;
+    }
+
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            f(&mut bencher);
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+fn report(group: &str, id: &str, per_iter_ns: f64, throughput: Option<Throughput>) {
+    let time = human_time(per_iter_ns);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (per_iter_ns / 1e9);
+            println!(
+                "{group}/{id:<32} time: {time:>12}  thrpt: {} elem/s",
+                human_count(rate)
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (per_iter_ns / 1e9);
+            println!(
+                "{group}/{id:<32} time: {time:>12}  thrpt: {}B/s",
+                human_count(rate)
+            );
+        }
+        None => println!("{group}/{id:<32} time: {time:>12}"),
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_count(v: f64) -> String {
+    if v < 1e3 {
+        format!("{v:.1} ")
+    } else if v < 1e6 {
+        format!("{:.2} K", v / 1e3)
+    } else if v < 1e9 {
+        format!("{:.2} M", v / 1e6)
+    } else {
+        format!("{:.3} G", v / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags (e.g. `--bench`); the
+            // stub has no filtering, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_samples_is_finite() {
+        let mut calls = 0u64;
+        let per_iter = run_benchmark(5, &mut |b: &mut Bencher| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(per_iter.is_finite() && per_iter >= 0.0);
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3).throughput(Throughput::Elements(8));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("id", 4), &4u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("gemm", "64x64").id, "gemm/64x64");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

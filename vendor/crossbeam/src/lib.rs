@@ -1,0 +1,58 @@
+//! Offline stub of `crossbeam`.
+//!
+//! Only the `channel` module is provided, as a thin facade over
+//! `std::sync::mpsc`: `bounded` maps to `sync_channel`, which has the same
+//! blocking-when-full and rendezvous-at-capacity-zero semantics the
+//! workspace relies on. `SyncSender` is `Sync`, so senders can be shared by
+//! reference across worker threads exactly like crossbeam's. See
+//! `vendor/README.md`.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel (crossbeam's `Sender`).
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// Receiving half of a bounded channel (crossbeam's `Receiver`).
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates a bounded channel; capacity 0 is a rendezvous channel.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_roundtrip_and_timeout() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+
+    #[test]
+    fn senders_clone_and_share() {
+        let (tx, rx) = bounded::<u32>(8);
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1).unwrap());
+            s.spawn(move || tx2.send(2).unwrap());
+        });
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline stub of `rand` 0.8.
+//!
+//! Implements exactly the API surface this workspace uses — seeded
+//! `StdRng`, `Rng::gen_range`, and `distributions::Uniform` — on top of a
+//! SplitMix64 generator. Deterministic per seed, which is all the
+//! workspace requires (synthetic inputs and untrained weights). Not
+//! statistically rigorous and not the real rand crate; see
+//! `vendor/README.md`.
+
+/// Core random-number generator interface (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<SampleRange<T>>,
+    {
+        let r: SampleRange<T> = range.into();
+        T::sample_in(self, r.low, r.high, r.inclusive)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A uniform `f64` in `[0, 1)` from 53 random bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Half-open or inclusive sampling bounds, produced from range syntax.
+pub struct SampleRange<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T> From<std::ops::Range<T>> for SampleRange<T> {
+    fn from(r: std::ops::Range<T>) -> Self {
+        SampleRange {
+            low: r.start,
+            high: r.end,
+            inclusive: false,
+        }
+    }
+}
+
+impl<T: Copy> From<std::ops::RangeInclusive<T>> for SampleRange<T> {
+    fn from(r: std::ops::RangeInclusive<T>) -> Self {
+        SampleRange {
+            low: *r.start(),
+            high: *r.end(),
+            inclusive: true,
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Draws one value in `[low, high)` (or `[low, high]` when `inclusive`).
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_float {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let u = unit_f64(rng.next_u64());
+                low + (high - low) * u as $t
+            }
+        }
+    };
+}
+impl_sample_float!(f32);
+impl_sample_float!(f64);
+
+macro_rules! impl_sample_int {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = if inclusive {
+                    (high as i128 - low as i128 + 1) as u128
+                } else {
+                    (high as i128 - low as i128) as u128
+                };
+                assert!(span > 0, "empty sample range");
+                low + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    };
+}
+impl_sample_int!(usize);
+impl_sample_int!(u64);
+impl_sample_int!(u32);
+impl_sample_int!(i32);
+impl_sample_int!(i64);
+impl_sample_int!(u8);
+
+/// Generators shipped with the stub.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Distribution sampling (subset of `rand::distributions`).
+pub mod distributions {
+    use super::{RngCore, SampleUniform};
+
+    /// Subset of `rand::distributions::Distribution`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a closed or half-open interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Uniform {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            Uniform {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_in(rng, self.low, self.high, self.inclusive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1000)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1000)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = Uniform::new_inclusive(-2.0f32, 2.0f32);
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-2.0..=2.0).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&v));
+        }
+    }
+}

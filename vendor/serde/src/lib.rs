@@ -1,0 +1,14 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros. The workspace never serializes through serde (the
+//! wire protocol and model files are hand-rolled binary formats), so marker
+//! traits are sufficient for compilation. See `vendor/README.md`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

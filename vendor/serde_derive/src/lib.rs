@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! documentation-of-intent — no serializer crate (serde_json, bincode, ...)
+//! is a dependency, so the derived impls are never exercised. These no-op
+//! derives let the workspace compile in the network-isolated build
+//! container. See `vendor/README.md` for the swap-back story.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
