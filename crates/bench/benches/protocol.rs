@@ -29,14 +29,14 @@ fn bench_protocol(c: &mut Criterion) {
             input: tensor.clone(),
         };
         group.bench_with_input(BenchmarkId::new("encode", name), &req, |b, req| {
-            b.iter(|| black_box(req.encode()));
+            b.iter(|| black_box(req.encode().unwrap()));
         });
-        let encoded = req.encode();
+        let encoded = req.encode().unwrap();
         group.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, enc| {
             b.iter(|| black_box(Request::decode(enc).unwrap()));
         });
         let rsp = Response::Output(tensor);
-        let rsp_enc = rsp.encode();
+        let rsp_enc = rsp.encode().unwrap();
         group.bench_with_input(BenchmarkId::new("decode_rsp", name), &rsp_enc, |b, enc| {
             b.iter(|| black_box(Response::decode(enc).unwrap()));
         });

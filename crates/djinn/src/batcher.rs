@@ -120,15 +120,23 @@ fn batch_loop(
     config: BatchConfig,
     rx: &Receiver<Job>,
 ) {
+    // A job that would push the current batch past `max_batch` is carried
+    // over to seed the next batch instead of overshooting the Table 3 cap.
+    let mut carry: Option<Job> = None;
     loop {
-        // Block for the first job of the next batch.
-        let first = match rx.recv() {
-            Ok(job) => job,
-            Err(_) => return, // channel closed: shut down
+        // Seed the batch with the carried job, or block for the next one.
+        let first = match carry.take() {
+            Some(job) => job,
+            None => match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return, // channel closed: shut down
+            },
         };
         let deadline = Instant::now() + config.max_delay;
+        let mut queries: usize = first.input.shape().batch();
         let mut jobs = vec![first];
-        let mut queries: usize = jobs[0].input.shape().batch();
+        // Note a single job wider than `max_batch` still runs — alone, as
+        // its own batch; the cap governs coalescing, not job size.
         while queries < config.max_batch {
             let now = Instant::now();
             if now >= deadline {
@@ -136,7 +144,12 @@ fn batch_loop(
             }
             match rx.recv_timeout(deadline - now) {
                 Ok(job) => {
-                    queries += job.input.shape().batch();
+                    let q = job.input.shape().batch();
+                    if queries + q > config.max_batch {
+                        carry = Some(job);
+                        break;
+                    }
+                    queries += q;
                     jobs.push(job);
                 }
                 Err(RecvTimeoutError::Timeout) => break,
@@ -239,6 +252,106 @@ mod tests {
         // The worker survives a failed batch.
         let ok = Tensor::zeros(Shape::nchw(1, 1, 28, 28));
         assert!(batcher.submit(ok).is_ok());
+    }
+
+    /// An executor that runs the real forward pass while recording the
+    /// largest batch it was ever handed.
+    struct RecordingExecutor {
+        inner: CpuExecutor,
+        max_batch_seen: std::sync::atomic::AtomicUsize,
+    }
+
+    impl RecordingExecutor {
+        fn new() -> Self {
+            RecordingExecutor {
+                inner: CpuExecutor::default(),
+                max_batch_seen: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl crate::Executor for RecordingExecutor {
+        fn infer(
+            &self,
+            network: &Arc<Network>,
+            input: &Tensor,
+        ) -> crate::Result<crate::InferenceOutcome> {
+            self.max_batch_seen
+                .fetch_max(input.shape().batch(), std::sync::atomic::Ordering::SeqCst);
+            self.inner.infer(network, input)
+        }
+
+        fn backend_name(&self) -> &'static str {
+            "recording"
+        }
+    }
+
+    #[test]
+    fn no_batch_ever_exceeds_max_batch() {
+        // A tiny FC model keeps the many forward passes cheap.
+        let def = dnn::parser::parse_netdef(
+            "name: tiny\ninput: 8\nlayer fc1 fc out=4\nlayer prob softmax\n",
+        )
+        .unwrap();
+        let net = Arc::new(Network::with_random_weights(def, 1).unwrap());
+        let recorder = Arc::new(RecordingExecutor::new());
+        let max_batch = 4;
+        let batcher = Arc::new(Batcher::new(
+            Arc::clone(&net),
+            Arc::clone(&recorder) as Arc<dyn crate::Executor>,
+            BatchConfig {
+                max_batch,
+                // A long delay forces maximal coalescing pressure: the
+                // only way a batch closes early is hitting the cap.
+                max_delay: Duration::from_millis(50),
+            },
+        ));
+        // 3-query jobs arriving concurrently: any two of them coalesced
+        // would overshoot the cap of 4, so the carry-over logic is what
+        // keeps every executed batch legal.
+        let mut handles = Vec::new();
+        for seed in 0..6u64 {
+            let b = Arc::clone(&batcher);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..3 {
+                    let queries = 1 + ((seed + i) % 3) as usize; // 1..=3
+                    let input = Tensor::random_uniform(Shape::mat(queries, 8), 1.0, seed * 10 + i);
+                    let out = b.submit(input).unwrap();
+                    assert_eq!(out.shape().batch(), queries);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let seen = recorder
+            .max_batch_seen
+            .load(std::sync::atomic::Ordering::SeqCst);
+        assert!(seen > 0, "executor never ran");
+        assert!(
+            seen <= max_batch,
+            "a batch of {seen} queries exceeded max_batch={max_batch}"
+        );
+    }
+
+    #[test]
+    fn job_wider_than_max_batch_still_runs_alone() {
+        let def = dnn::parser::parse_netdef(
+            "name: tiny\ninput: 8\nlayer fc1 fc out=4\nlayer prob softmax\n",
+        )
+        .unwrap();
+        let net = Arc::new(Network::with_random_weights(def, 1).unwrap());
+        let batcher = Batcher::new(
+            net,
+            Arc::new(CpuExecutor::default()),
+            BatchConfig {
+                max_batch: 2,
+                max_delay: Duration::from_millis(1),
+            },
+        );
+        let input = Tensor::random_uniform(Shape::mat(5, 8), 1.0, 3);
+        let out = batcher.submit(input).unwrap();
+        assert_eq!(out.shape().batch(), 5);
     }
 
     #[test]

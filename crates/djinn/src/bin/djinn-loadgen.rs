@@ -4,7 +4,12 @@
 //! ```text
 //! djinn-loadgen --addr HOST:PORT --model NAME
 //!               [--threads N] [--requests R] [--queries Q]
+//!               [--timeout-ms T]
 //! ```
+//!
+//! Transient failures (connection refused/reset, I/O timeouts) are
+//! retried by reconnecting with exponential backoff, so a server restart
+//! mid-run costs errors, not the whole measurement.
 //!
 //! Input shapes are discovered from the seven Tonic models by name; for
 //! other models, pass nothing and the tool reports the server's model
@@ -13,9 +18,9 @@
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use djinn::DjinnClient;
+use djinn::{DjinnClient, DjinnError};
 use dnn::zoo::App;
 use tensor::Tensor;
 
@@ -25,6 +30,7 @@ struct Args {
     threads: usize,
     requests: usize,
     queries: usize,
+    timeout: Duration,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 4,
         requests: 50,
         queries: 1,
+        timeout: Duration::from_secs(30),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -50,15 +57,39 @@ fn parse_args() -> Result<Args, String> {
             "--queries" => {
                 args.queries = value("--queries")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")?.parse().map_err(|e| format!("{e}"))?;
+                args.timeout = Duration::from_millis(ms);
+            }
             "--help" | "-h" => {
                 return Err("usage: djinn-loadgen --addr HOST:PORT --model NAME \
-                            [--threads N] [--requests R] [--queries Q]"
+                            [--threads N] [--requests R] [--queries Q] [--timeout-ms T]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(args)
+}
+
+/// Connection attempts before a worker gives up on the server.
+const CONNECT_ATTEMPTS: u32 = 5;
+
+/// Connects with exponential backoff between attempts (10 ms doubling to
+/// a 500 ms cap), returning `None` once the attempts are exhausted.
+fn connect_with_backoff(addr: std::net::SocketAddr, timeout: Duration) -> Option<DjinnClient> {
+    let mut delay = Duration::from_millis(10);
+    for attempt in 0..CONNECT_ATTEMPTS {
+        match DjinnClient::connect_with_timeout(addr, timeout) {
+            Ok(client) => return Some(client),
+            Err(_) if attempt + 1 < CONNECT_ATTEMPTS => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+            Err(_) => break,
+        }
+    }
+    None
 }
 
 /// Builds an input carrying `queries` stacked queries for a Tonic model.
@@ -107,6 +138,8 @@ fn main() -> ExitCode {
     let total_us = Arc::new(AtomicU64::new(0));
     let max_us = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
+    let reconnects = Arc::new(AtomicU64::new(0));
+    let timeout = args.timeout;
     let started = Instant::now();
     let mut handles = Vec::new();
     for _ in 0..args.threads {
@@ -115,16 +148,17 @@ fn main() -> ExitCode {
         let total_us = Arc::clone(&total_us);
         let max_us = Arc::clone(&max_us);
         let errors = Arc::clone(&errors);
+        let reconnects = Arc::clone(&reconnects);
         let requests = args.requests;
         handles.push(std::thread::spawn(move || {
-            let mut client = match DjinnClient::connect(addr) {
-                Ok(c) => c,
-                Err(_) => {
+            let mut client = match connect_with_backoff(addr, timeout) {
+                Some(c) => c,
+                None => {
                     errors.fetch_add(requests as u64, Ordering::Relaxed);
                     return;
                 }
             };
-            for _ in 0..requests {
+            for done in 0..requests {
                 let t0 = Instant::now();
                 match client.infer(&model, &input) {
                     Ok(_) => {
@@ -132,8 +166,26 @@ fn main() -> ExitCode {
                         total_us.fetch_add(us, Ordering::Relaxed);
                         max_us.fetch_max(us, Ordering::Relaxed);
                     }
+                    // Server-side application error: the connection is
+                    // still framed correctly, keep using it.
+                    Err(DjinnError::Remote { .. }) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // I/O or protocol break: the stream can no longer be
+                    // trusted — reconnect with backoff and carry on.
                     Err(_) => {
                         errors.fetch_add(1, Ordering::Relaxed);
+                        match connect_with_backoff(addr, timeout) {
+                            Some(c) => {
+                                reconnects.fetch_add(1, Ordering::Relaxed);
+                                client = c;
+                            }
+                            None => {
+                                let remaining = (requests - done - 1) as u64;
+                                errors.fetch_add(remaining, Ordering::Relaxed);
+                                return;
+                            }
+                        }
                     }
                 }
             }
@@ -148,11 +200,12 @@ fn main() -> ExitCode {
     let ok = sent - failed.min(sent);
     println!(
         "{model}: {ok}/{sent} ok in {elapsed:.2}s  ->  {:.1} req/s ({:.1} q/s), \
-         mean {:.2} ms, max {:.2} ms",
+         mean {:.2} ms, max {:.2} ms, {} reconnects",
         ok as f64 / elapsed,
         ok as f64 * args.queries as f64 / elapsed,
         total_us.load(Ordering::Relaxed) as f64 / ok.max(1) as f64 / 1e3,
         max_us.load(Ordering::Relaxed) as f64 / 1e3,
+        reconnects.load(Ordering::Relaxed),
     );
     ExitCode::SUCCESS
 }

@@ -1,10 +1,11 @@
 //! Client library for the DjiNN service.
 
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use tensor::Tensor;
 
-use crate::protocol::{read_frame, write_frame, ModelStats, Request, Response};
+use crate::protocol::{write_frame, FrameReader, ModelStats, Request, Response};
 use crate::{DjinnError, Result};
 
 /// A synchronous client holding one TCP connection to a DjiNN server.
@@ -12,21 +13,61 @@ use crate::{DjinnError, Result};
 /// Tonic Suite applications use this to send preprocessed inputs and
 /// receive predictions; each client owns its connection, so one client per
 /// thread.
+///
+/// By default every call blocks until the server answers. Production
+/// callers should bound that wait with [`DjinnClient::connect_with_timeout`]
+/// (or [`DjinnClient::set_io_timeout`]) so a hung server cannot wedge a
+/// Tonic application forever: the timeout is a *stall* bound — it fires
+/// only when the server makes no progress for the whole window, so a
+/// large tensor trickling in steadily never trips it.
 #[derive(Debug)]
 pub struct DjinnClient {
     stream: TcpStream,
+    reader: FrameReader,
 }
 
 impl DjinnClient {
-    /// Connects to a running server.
+    /// Connects to a running server with no I/O timeouts (calls may block
+    /// indefinitely on an unresponsive server).
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: SocketAddr) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connects with `timeout` bounding the connect itself and every
+    /// subsequent read/write stall.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures, including the connect timing out.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        let mut client = Self::from_stream(stream)?;
+        client.set_io_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Self> {
         stream.set_nodelay(true)?;
-        Ok(DjinnClient { stream })
+        Ok(DjinnClient {
+            stream,
+            reader: FrameReader::new(),
+        })
+    }
+
+    /// Sets (or clears, with `None`) the per-call read/write stall bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
     }
 
     /// Sends one inference request and waits for the prediction.
@@ -83,8 +124,17 @@ impl DjinnClient {
     }
 
     fn roundtrip(&mut self, req: &Request) -> Result<Response> {
-        write_frame(&mut self.stream, &req.encode())?;
-        let payload = read_frame(&mut self.stream)?;
-        Response::decode(&payload)
+        write_frame(&mut self.stream, &req.encode()?)?;
+        match self.reader.read_frame(&mut self.stream)? {
+            Some(payload) => Response::decode(&payload),
+            // A fired read timeout means the server sent nothing for the
+            // whole window: report the stall instead of waiting forever.
+            // Partial response bytes stay buffered in the reader, so the
+            // stream is still coherent if the caller retries.
+            None => Err(DjinnError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "server made no progress within the read timeout",
+            ))),
+        }
     }
 }

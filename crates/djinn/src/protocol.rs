@@ -12,6 +12,20 @@
 //! str      := u16 len, utf-8 bytes
 //! tensor   := u8 rank, u32 dim*, f32 data* (little endian)
 //! ```
+//!
+//! # Framing under timeouts
+//!
+//! TCP delivers a frame in as many pieces as it likes: a multi-MB FACE or
+//! ASR tensor routinely arrives in dozens of segments, and a slow client
+//! can stretch one frame across seconds. Reading with `read_exact` on a
+//! socket with a read timeout is therefore *unsound*: when the timeout
+//! fires mid-frame, the bytes already consumed are lost and the stream is
+//! desynchronized — the next read treats the middle of a payload as a
+//! length prefix. [`FrameReader`] is the stateful alternative: it
+//! accumulates partial reads across `WouldBlock`/`TimedOut` and yields a
+//! frame only once it is complete, so a timeout is a clean "no frame yet"
+//! signal instead of data loss. The stateless [`read_frame`] remains for
+//! blocking sockets without a read timeout.
 
 use bytes::{Buf, BufMut, BytesMut};
 use std::io::{Read, Write};
@@ -27,6 +41,8 @@ pub const VERSION: u8 = 1;
 /// Upper bound on a frame, to reject hostile lengths (64 MiB holds the
 /// largest Tonic batch comfortably).
 pub const MAX_FRAME: usize = 64 << 20;
+/// Longest string the wire format can carry (`u16` length prefix).
+pub const MAX_STR: usize = u16::MAX as usize;
 
 const OP_INFER: u8 = 1;
 const OP_RESULT: u8 = 2;
@@ -93,9 +109,37 @@ pub enum Response {
     Stats(Vec<ModelStats>),
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+fn put_str(buf: &mut BytesMut, s: &str) -> Result<()> {
+    if s.len() > MAX_STR {
+        return Err(err(&format!(
+            "string of {} bytes exceeds the wire limit of {MAX_STR}",
+            s.len()
+        )));
+    }
     buf.put_u16_le(s.len() as u16);
     buf.put_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Truncates `s` to at most [`MAX_STR`] bytes at a char boundary, so error
+/// messages always fit the wire format instead of failing to encode.
+fn clamp_str(s: &str) -> &str {
+    if s.len() <= MAX_STR {
+        return s;
+    }
+    let mut end = MAX_STR;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
+fn put_count(buf: &mut BytesMut, n: usize, what: &str) -> Result<()> {
+    if n > u16::MAX as usize {
+        return Err(err(&format!("{n} {what} exceed the u16 wire count")));
+    }
+    buf.put_u16_le(n as u16);
+    Ok(())
 }
 
 fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
@@ -141,10 +185,15 @@ fn get_tensor(buf: &mut &[u8]) -> Result<Tensor> {
     if buf.remaining() < n * 4 {
         return Err(err("truncated tensor data"));
     }
+    // Bulk-decode the f32 payload: multi-MB FACE/ASR tensors dominate the
+    // frame, so the per-element `get_f32_le` cursor loop is a hot spot.
     let mut data = Vec::with_capacity(n);
-    for _ in 0..n {
-        data.push(buf.get_f32_le());
-    }
+    data.extend(
+        buf[..n * 4]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+    );
+    buf.advance(n * 4);
     Ok(Tensor::from_vec(shape, data).expect("volume matches by construction"))
 }
 
@@ -178,18 +227,23 @@ fn check_header(buf: &mut &[u8]) -> Result<u8> {
 
 impl Request {
     /// Serializes the request into a payload (without the frame length).
-    pub fn encode(&self) -> BytesMut {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::Protocol`] if a field cannot be represented
+    /// on the wire (e.g. a model name longer than [`MAX_STR`]).
+    pub fn encode(&self) -> Result<BytesMut> {
         let mut buf = BytesMut::new();
         match self {
             Request::Infer { model, input } => {
                 header(&mut buf, OP_INFER);
-                put_str(&mut buf, model);
+                put_str(&mut buf, model)?;
                 put_tensor(&mut buf, input);
             }
             Request::ListModels => header(&mut buf, OP_LIST),
             Request::Stats => header(&mut buf, OP_STATS),
         }
-        buf
+        Ok(buf)
     }
 
     /// Parses a request payload.
@@ -214,7 +268,16 @@ impl Request {
 
 impl Response {
     /// Serializes the response into a payload (without the frame length).
-    pub fn encode(&self) -> BytesMut {
+    ///
+    /// Error messages are clamped to [`MAX_STR`] bytes so a
+    /// [`Response::Error`] always encodes; other over-long strings (model
+    /// names) are protocol errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::Protocol`] if a field cannot be represented
+    /// on the wire.
+    pub fn encode(&self) -> Result<BytesMut> {
         let mut buf = BytesMut::new();
         match self {
             Response::Output(t) => {
@@ -225,20 +288,20 @@ impl Response {
             Response::Error(msg) => {
                 header(&mut buf, OP_RESULT);
                 buf.put_u8(STATUS_ERR);
-                put_str(&mut buf, msg);
+                put_str(&mut buf, clamp_str(msg))?;
             }
             Response::Models(names) => {
                 header(&mut buf, OP_LIST_RESULT);
-                buf.put_u16_le(names.len() as u16);
+                put_count(&mut buf, names.len(), "model names")?;
                 for n in names {
-                    put_str(&mut buf, n);
+                    put_str(&mut buf, n)?;
                 }
             }
             Response::Stats(stats) => {
                 header(&mut buf, OP_STATS_RESULT);
-                buf.put_u16_le(stats.len() as u16);
+                put_count(&mut buf, stats.len(), "stats entries")?;
                 for s in stats {
-                    put_str(&mut buf, &s.model);
+                    put_str(&mut buf, &s.model)?;
                     buf.put_u64_le(s.requests);
                     buf.put_u64_le(s.errors);
                     buf.put_u64_le(s.total_latency_us);
@@ -246,7 +309,7 @@ impl Response {
                 }
             }
         }
-        buf
+        Ok(buf)
     }
 
     /// Parses a response payload.
@@ -317,7 +380,11 @@ pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> Result<()> {
     Ok(())
 }
 
-/// Reads one length-prefixed frame. The reader may be a `&mut` reference.
+/// Reads one length-prefixed frame from a *blocking* stream.
+///
+/// Unsuitable for sockets with a read timeout: `read_exact` discards
+/// already-consumed bytes when the timeout fires mid-frame, desyncing the
+/// stream. Use [`FrameReader`] there.
 ///
 /// # Errors
 ///
@@ -336,6 +403,97 @@ pub fn read_frame<R: Read>(mut r: R) -> Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// A stateful, buffered frame reader that survives read timeouts without
+/// losing bytes.
+///
+/// Partial reads accumulate in an internal buffer across calls; a read
+/// timeout (`WouldBlock`/`TimedOut`) surfaces as `Ok(None)` — "no complete
+/// frame yet" — with every byte retained, so the caller can poll a stop
+/// flag (or give up) and come back. Hostile length prefixes are rejected
+/// as soon as the four prefix bytes arrive, before any payload is
+/// buffered. One `FrameReader` serves one stream for the stream's
+/// lifetime; bytes of a later frame that arrive early (pipelined
+/// requests) are kept and yielded on the next call without touching the
+/// socket.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+/// Read granularity: one syscall pulls at most this much into the buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Bytes buffered toward the next frame (diagnostics and tests).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pulls the next complete frame, reading from `r` as needed.
+    ///
+    /// Returns `Ok(Some(payload))` once a whole frame is available,
+    /// `Ok(None)` when the stream's read timeout fired first (partial
+    /// bytes stay buffered for the next call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::Protocol`] for a length prefix exceeding
+    /// [`MAX_FRAME`], `UnexpectedEof` when the stream closes (mid-frame or
+    /// between frames), and propagates other I/O failures.
+    pub fn read_frame<R: Read>(&mut self, mut r: R) -> Result<Option<Vec<u8>>> {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            if let Some(frame) = self.take_buffered_frame()? {
+                return Ok(Some(frame));
+            }
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    let reason = if self.buf.is_empty() {
+                        "connection closed"
+                    } else {
+                        "connection closed mid-frame"
+                    };
+                    return Err(DjinnError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        reason,
+                    )));
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Extracts one frame from the buffer if a complete one is present.
+    fn take_buffered_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(err(&format!("frame length {len} exceeds cap {MAX_FRAME}")));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(payload))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,12 +505,12 @@ mod tests {
             model: "imc".into(),
             input: Tensor::random_uniform(Shape::nchw(2, 3, 4, 4), 1.0, 1),
         };
-        let decoded = Request::decode(&req.encode()).unwrap();
+        let decoded = Request::decode(&req.encode().unwrap()).unwrap();
         assert_eq!(decoded, req);
         let list = Request::ListModels;
-        assert_eq!(Request::decode(&list.encode()).unwrap(), list);
+        assert_eq!(Request::decode(&list.encode().unwrap()).unwrap(), list);
         let stats = Request::Stats;
-        assert_eq!(Request::decode(&stats.encode()).unwrap(), stats);
+        assert_eq!(Request::decode(&stats.encode().unwrap()).unwrap(), stats);
     }
 
     #[test]
@@ -373,7 +531,7 @@ mod tests {
                 max_latency_us: 0,
             },
         ]);
-        assert_eq!(Response::decode(&rsp.encode()).unwrap(), rsp);
+        assert_eq!(Response::decode(&rsp.encode().unwrap()).unwrap(), rsp);
     }
 
     #[test]
@@ -395,16 +553,16 @@ mod tests {
             Response::Error("nope".into()),
             Response::Models(vec!["a".into(), "b".into()]),
         ] {
-            assert_eq!(Response::decode(&rsp.encode()).unwrap(), rsp);
+            assert_eq!(Response::decode(&rsp.encode().unwrap()).unwrap(), rsp);
         }
     }
 
     #[test]
     fn rejects_bad_magic_and_version() {
-        let mut buf = Request::ListModels.encode().to_vec();
+        let mut buf = Request::ListModels.encode().unwrap().to_vec();
         buf[0] = b'X';
         assert!(Request::decode(&buf).is_err());
-        let mut buf2 = Request::ListModels.encode().to_vec();
+        let mut buf2 = Request::ListModels.encode().unwrap().to_vec();
         buf2[4] = 99;
         assert!(Request::decode(&buf2).is_err());
     }
@@ -416,12 +574,41 @@ mod tests {
             input: Tensor::zeros(Shape::mat(2, 2)),
         }
         .encode()
+        .unwrap()
         .to_vec();
         for cut in 0..full.len() {
             assert!(
                 Request::decode(&full[..cut]).is_err(),
                 "prefix of {cut} bytes decoded"
             );
+        }
+    }
+
+    #[test]
+    fn oversized_model_name_is_a_protocol_error_not_truncation() {
+        let req = Request::Infer {
+            model: "x".repeat(MAX_STR + 1),
+            input: Tensor::zeros(Shape::mat(1, 1)),
+        };
+        assert!(matches!(req.encode(), Err(DjinnError::Protocol { .. })));
+        let rsp = Response::Models(vec!["y".repeat(70_000)]);
+        assert!(matches!(rsp.encode(), Err(DjinnError::Protocol { .. })));
+    }
+
+    #[test]
+    fn oversized_error_message_is_clamped_to_a_valid_frame() {
+        // 70k of a multi-byte char: clamping must stay on a char boundary
+        // and the frame must decode with a consistent length.
+        let msg = "é".repeat(40_000);
+        let rsp = Response::Error(msg.clone());
+        let wire = rsp.encode().unwrap();
+        match Response::decode(&wire).unwrap() {
+            Response::Error(m) => {
+                assert!(m.len() <= MAX_STR);
+                assert!(msg.starts_with(&m));
+                assert!(!m.is_empty());
+            }
+            other => panic!("expected Error, got {other:?}"),
         }
     }
 
@@ -454,6 +641,122 @@ mod tests {
         assert!(Response::decode(&buf).is_err());
     }
 
+    /// A reader delivering the wire bytes in predetermined chunks, with a
+    /// simulated read timeout (`WouldBlock`) between consecutive chunks —
+    /// exactly what a slow client looks like to the server.
+    struct ChunkedStream {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        timeout_pending: bool,
+    }
+
+    impl ChunkedStream {
+        fn new(chunks: Vec<Vec<u8>>) -> Self {
+            ChunkedStream {
+                chunks,
+                next: 0,
+                timeout_pending: false,
+            }
+        }
+    }
+
+    impl Read for ChunkedStream {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.timeout_pending {
+                self.timeout_pending = false;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "simulated read timeout",
+                ));
+            }
+            if self.next >= self.chunks.len() {
+                return Ok(0); // EOF
+            }
+            let chunk = &mut self.chunks[self.next];
+            let n = chunk.len().min(out.len());
+            out[..n].copy_from_slice(&chunk[..n]);
+            chunk.drain(..n);
+            if chunk.is_empty() {
+                self.next += 1;
+                self.timeout_pending = true;
+            }
+            Ok(n)
+        }
+    }
+
+    /// Drains every frame out of a chunked stream, treating `Ok(None)`
+    /// timeouts as "poll again" like the server's connection loop does.
+    fn collect_frames(stream: &mut ChunkedStream) -> (Vec<Vec<u8>>, DjinnError) {
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match reader.read_frame(&mut *stream) {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => continue,
+                Err(e) => return (frames, e),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let payload = Request::Infer {
+            model: "m".into(),
+            input: Tensor::random_uniform(Shape::mat(4, 4), 1.0, 3),
+        }
+        .encode()
+        .unwrap()
+        .to_vec();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        // Split inside the length prefix AND inside the payload.
+        let cuts = [2usize, 9, wire.len() / 2];
+        let mut chunks = Vec::new();
+        let mut prev = 0;
+        for &c in &cuts {
+            chunks.push(wire[prev..c].to_vec());
+            prev = c;
+        }
+        chunks.push(wire[prev..].to_vec());
+        let mut stream = ChunkedStream::new(chunks);
+        let (frames, end) = collect_frames(&mut stream);
+        assert_eq!(frames, vec![payload]);
+        assert!(matches!(end, DjinnError::Io(ref e)
+            if e.kind() == std::io::ErrorKind::UnexpectedEof));
+    }
+
+    #[test]
+    fn frame_reader_yields_pipelined_frames_without_new_reads() {
+        // Two frames delivered in ONE chunk: the second must come out of
+        // the buffer even though the stream has hit EOF.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let mut stream = ChunkedStream::new(vec![wire]);
+        let (frames, _) = collect_frames(&mut stream);
+        assert_eq!(frames, vec![b"first".to_vec(), b"second".to_vec()]);
+    }
+
+    #[test]
+    fn frame_reader_rejects_hostile_length_before_buffering_payload() {
+        let mut reader = FrameReader::new();
+        let hostile = u32::MAX.to_le_bytes().to_vec();
+        let got = reader.read_frame(&hostile[..]);
+        assert!(matches!(got, Err(DjinnError::Protocol { .. })));
+    }
+
+    #[test]
+    fn frame_reader_reports_eof_mid_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0xAB; 100]).unwrap();
+        wire.truncate(40); // stream dies mid-payload
+        let mut stream = ChunkedStream::new(vec![wire]);
+        let (frames, end) = collect_frames(&mut stream);
+        assert!(frames.is_empty());
+        assert!(matches!(end, DjinnError::Io(ref e)
+            if e.kind() == std::io::ErrorKind::UnexpectedEof));
+    }
+
     proptest! {
         #[test]
         fn arbitrary_tensor_roundtrips(
@@ -464,7 +767,7 @@ mod tests {
             let shape = Shape::new(&dims).unwrap();
             let t = Tensor::random_uniform(shape, 10.0, seed);
             let rsp = Response::Output(t.clone());
-            let back = Response::decode(&rsp.encode()).unwrap();
+            let back = Response::decode(&rsp.encode().unwrap()).unwrap();
             prop_assert_eq!(back, rsp);
         }
 
@@ -473,6 +776,44 @@ mod tests {
             // Decoding hostile bytes must fail cleanly, never panic.
             let _ = Request::decode(&data);
             let _ = Response::decode(&data);
+        }
+
+        #[test]
+        fn frame_reader_reassembles_arbitrary_splits(
+            frame_count in 1usize..=4,
+            sizes_seed in 0u64..10_000,
+            cut_seed in 0u64..10_000,
+        ) {
+            // Build a wire image of several frames with pseudo-random
+            // payload sizes, then slice it at pseudo-random boundaries
+            // (with a simulated timeout between every slice) and check
+            // that the reader reproduces the frames exactly.
+            let mut size_rng = proptest::TestRng::new(sizes_seed);
+            let mut payloads = Vec::new();
+            let mut wire = Vec::new();
+            for i in 0..frame_count {
+                let len = size_rng.below(2000);
+                let payload: Vec<u8> =
+                    (0..len).map(|j| (i * 31 + j * 7) as u8).collect();
+                write_frame(&mut wire, &payload).unwrap();
+                payloads.push(payload);
+            }
+            let mut cut_rng = proptest::TestRng::new(cut_seed);
+            let mut cuts: Vec<usize> =
+                (0..cut_rng.below(8)).map(|_| cut_rng.below(wire.len().max(1))).collect();
+            cuts.sort_unstable();
+            let mut chunks = Vec::new();
+            let mut prev = 0;
+            for c in cuts {
+                chunks.push(wire[prev..c].to_vec());
+                prev = c;
+            }
+            chunks.push(wire[prev..].to_vec());
+            let mut stream = ChunkedStream::new(chunks);
+            let (frames, end) = collect_frames(&mut stream);
+            prop_assert_eq!(frames, payloads);
+            prop_assert!(matches!(end, DjinnError::Io(ref e)
+                if e.kind() == std::io::ErrorKind::UnexpectedEof));
         }
     }
 }

@@ -11,10 +11,8 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use tensor::Threading;
 
-use crate::protocol::{read_frame, write_frame, ModelStats, Request, Response};
-use crate::{
-    BatchConfig, Batcher, CpuExecutor, DjinnError, Executor, ModelRegistry, Result, SimGpuExecutor,
-};
+use crate::protocol::{write_frame, FrameReader, ModelStats, Request, Response};
+use crate::{BatchConfig, Batcher, CpuExecutor, Executor, ModelRegistry, Result, SimGpuExecutor};
 
 /// Which compute backend the server uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,13 +74,27 @@ impl ServerConfig {
 /// A running DjiNN service.
 ///
 /// Dropping the handle (or calling [`DjinnServer::shutdown`]) stops the
-/// accept loop; in-flight connections finish their current request.
+/// accept loop, lets in-flight connections finish their current request,
+/// and joins every worker thread before returning — no worker outlives
+/// the handle.
 #[derive(Debug)]
 pub struct DjinnServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
+
+/// How often an idle connection re-checks the stop flag. A fired read
+/// timeout is a clean "no frame yet" signal (see [`FrameReader`]), so
+/// this bounds shutdown latency without risking stream desync.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Per-write-call stall bound on responses, so a worker writing to a
+/// client that never drains its socket cannot wedge shutdown forever. A
+/// slow-but-live reader keeps making progress within each window; only a
+/// fully stalled one errors out and drops the connection.
+const WRITE_STALL: Duration = Duration::from_secs(5);
 
 #[derive(Default)]
 struct StatsAcc {
@@ -135,14 +147,17 @@ impl DjinnServer {
             stop: Arc::clone(&stop),
         });
         let accept_stop = Arc::clone(&stop);
+        let workers = Arc::new(Mutex::new(Vec::new()));
+        let accept_workers = Arc::clone(&workers);
         let accept_thread = std::thread::Builder::new()
             .name("djinn-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_stop, &shared))
+            .spawn(move || accept_loop(&listener, &accept_stop, &shared, &accept_workers))
             .expect("spawning accept thread");
         Ok(DjinnServer {
             local_addr,
             stop,
             accept_thread: Some(accept_thread),
+            workers,
         })
     }
 
@@ -160,7 +175,10 @@ impl DjinnServer {
         self.local_addr
     }
 
-    /// Stops accepting connections and joins the accept thread.
+    /// Stops accepting connections, then joins the accept thread and every
+    /// connection worker. Workers notice the stop flag within [`READ_POLL`]
+    /// when idle and after their in-flight request otherwise, so teardown
+    /// is bounded and nothing races test (or process) exit.
     pub fn shutdown(mut self) {
         self.stop_accepting();
     }
@@ -170,6 +188,10 @@ impl DjinnServer {
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for h in workers {
             let _ = h.join();
         }
     }
@@ -183,14 +205,27 @@ impl Drop for DjinnServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool, shared: &Arc<Shared>) {
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    shared: &Arc<Shared>,
+    workers: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    // Bounded backoff for persistent accept errors (EMFILE, ENFILE):
+    // without it the loop hot-spins on the same failure.
+    let mut backoff = Duration::from_millis(5);
     loop {
         let (stream, _) = match listener.accept() {
-            Ok(pair) => pair,
+            Ok(pair) => {
+                backoff = Duration::from_millis(5);
+                pair
+            }
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(200));
                 continue;
             }
         };
@@ -199,36 +234,50 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool, shared: &Arc<Shared>) 
         }
         // One worker thread per connection — the paper's request model.
         let shared = Arc::clone(shared);
-        let _ = std::thread::Builder::new()
+        let handle = std::thread::Builder::new()
             .name("djinn-worker".into())
             .spawn(move || connection_loop(stream, &shared));
+        if let Ok(h) = handle {
+            let mut workers = workers.lock();
+            // Reap handles of connections that already finished so a
+            // long-lived server doesn't accumulate them without bound.
+            workers.retain(|w| !w.is_finished());
+            workers.push(h);
+        }
     }
 }
 
 fn connection_loop(stream: TcpStream, shared: &Shared) {
-    // Bounded reads so worker threads drain after shutdown even if a
-    // client goes quiet.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // Bounded reads so workers poll the stop flag while idle; the
+    // FrameReader keeps partial bytes across fired timeouts, so a slow
+    // writer mid-frame never desyncs the stream (see protocol.rs).
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_STALL));
     let mut stream = stream;
+    let mut reader = FrameReader::new();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let payload = match read_frame(&mut stream) {
-            Ok(p) => p,
-            Err(DjinnError::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue; // idle; poll the stop flag again
-            }
-            Err(_) => return, // EOF or protocol break: drop the connection
+        let payload = match reader.read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => continue, // no complete frame yet; poll stop again
+            Err(_) => return,     // EOF or protocol break: drop the connection
         };
         let response = match Request::decode(&payload) {
             Ok(req) => handle(req, shared),
             Err(e) => Response::Error(e.to_string()),
         };
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        let bytes = match response.encode() {
+            Ok(b) => b,
+            // Unencodable response (e.g. oversized model name in a list):
+            // degrade to a clamped error frame rather than dropping.
+            Err(e) => match Response::Error(e.to_string()).encode() {
+                Ok(b) => b,
+                Err(_) => return,
+            },
+        };
+        if write_frame(&mut stream, &bytes).is_err() {
             return;
         }
     }
@@ -286,7 +335,7 @@ fn handle(req: Request, shared: &Shared) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::DjinnClient;
+    use crate::{DjinnClient, DjinnError};
     use tensor::{Shape, Tensor};
 
     fn small_registry() -> ModelRegistry {
@@ -374,6 +423,24 @@ mod tests {
         assert_eq!(cfg.batch_overrides["face"], 2);
         assert_eq!(cfg.batch_overrides["imc"], 16);
         assert!(cfg.batching.is_some());
+    }
+
+    #[test]
+    fn shutdown_joins_workers_even_with_idle_connections_open() {
+        let server = DjinnServer::start(small_registry(), ServerConfig::default()).unwrap();
+        let workers = Arc::clone(&server.workers);
+        // Open connections that never send a frame; their workers sit in
+        // the read-poll loop.
+        let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+        let _idle = TcpStream::connect(server.local_addr()).unwrap();
+        // Make sure at least one worker actually did work.
+        assert!(client.list_models().is_ok());
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        // Every worker has been joined: none left tracked, and shutdown
+        // returned within a few read-poll periods rather than hanging.
+        assert!(workers.lock().is_empty());
+        assert!(t0.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

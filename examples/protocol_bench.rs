@@ -1,0 +1,94 @@
+//! Wire-protocol throughput on a FACE/ASR-scale tensor payload.
+//!
+//! Compares the bulk little-endian f32 decode in `get_tensor` (chunked
+//! `from_le_bytes` over the slice) against the per-element cursor loop it
+//! replaced, plus full-frame encode/decode rates. Run with:
+//!
+//! ```text
+//! cargo run --release --example protocol_bench
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use djinn_tonic::djinn::protocol::Response;
+use djinn_tonic::tensor::{Shape, Tensor};
+
+/// The per-element decode loop `get_tensor` used before the bulk copy:
+/// one 4-byte copy + cursor advance per f32 (mirrors `Buf::get_f32_le`).
+fn naive_f32_decode(bytes: &[u8], n: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n);
+    let mut cursor = bytes;
+    for _ in 0..n {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&cursor[..4]);
+        cursor = &cursor[4..];
+        out.push(f32::from_le_bytes(b));
+    }
+    out
+}
+
+fn bulk_f32_decode(bytes: &[u8], n: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n);
+    out.extend(
+        bytes[..n * 4]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+    );
+    out
+}
+
+fn time<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    // A FACE-batch-scale payload: 16 x 3 x 227 x 227 f32 ~= 9.9 MB.
+    let shape = Shape::nchw(16, 3, 227, 227);
+    let n = shape.volume();
+    let mb = (n * 4) as f64 / 1e6;
+    let tensor = Tensor::random_uniform(shape, 1.0, 13);
+    let rsp = Response::Output(tensor);
+    let wire = rsp.encode().expect("encode");
+    println!(
+        "payload: {n} f32 ({mb:.1} MB tensor data, {:.1} MB frame)",
+        wire.len() as f64 / 1e6
+    );
+
+    let iters = 10;
+    // Isolate the f32 section: rank byte + 4 dims after the 7-byte
+    // header+status.
+    let data_off = 6 + 1 + 1 + 4 * 4;
+    let f32_section = &wire[data_off..];
+
+    let naive = time(iters, || naive_f32_decode(f32_section, n));
+    let bulk = time(iters, || bulk_f32_decode(f32_section, n));
+    let full_decode = time(iters, || Response::decode(&wire).expect("decode"));
+    let full_encode = time(iters, || rsp.encode().expect("encode"));
+
+    println!(
+        "f32 decode  naive (old): {:8.2} ms  ({:7.1} MB/s)",
+        naive * 1e3,
+        mb / naive
+    );
+    println!(
+        "f32 decode  bulk  (new): {:8.2} ms  ({:7.1} MB/s)   {:.2}x faster",
+        bulk * 1e3,
+        mb / bulk,
+        naive / bulk
+    );
+    println!(
+        "frame decode (Response): {:8.2} ms  ({:7.1} MB/s)",
+        full_decode * 1e3,
+        mb / full_decode
+    );
+    println!(
+        "frame encode (Response): {:8.2} ms  ({:7.1} MB/s)",
+        full_encode * 1e3,
+        mb / full_encode
+    );
+}

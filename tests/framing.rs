@@ -1,0 +1,182 @@
+//! Framing robustness: the server must stay byte-accurate when request
+//! frames arrive in arbitrarily small pieces, arbitrarily slowly — the
+//! slow-client / large-payload conditions of the paper's warehouse-scale
+//! deployment. Before the stateful `FrameReader`, a read timeout firing
+//! mid-frame silently discarded consumed bytes and desynced the stream.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use djinn_tonic::djinn::protocol::{read_frame, write_frame, Request, Response};
+use djinn_tonic::djinn::{DjinnClient, DjinnServer, ModelRegistry, ServerConfig};
+use djinn_tonic::dnn::{parser, Network};
+use djinn_tonic::tensor::{Shape, Tensor};
+
+const TINY_DEF: &str = "name: tiny\ninput: 8\nlayer fc1 fc out=4\nlayer prob softmax\n";
+
+fn tiny_server() -> DjinnServer {
+    let def = parser::parse_netdef(TINY_DEF).unwrap();
+    let net = Network::with_random_weights(def, 1).unwrap();
+    let mut reg = ModelRegistry::new();
+    reg.register("tiny", net);
+    DjinnServer::start(reg, ServerConfig::default()).unwrap()
+}
+
+/// The same network the server holds (same definition, same seed), for
+/// computing expected outputs locally.
+fn reference_net() -> Network {
+    let def = parser::parse_netdef(TINY_DEF).unwrap();
+    Network::with_random_weights(def, 1).unwrap()
+}
+
+fn infer_wire_bytes(input: &Tensor) -> Vec<u8> {
+    let payload = Request::Infer {
+        model: "tiny".into(),
+        input: input.clone(),
+    }
+    .encode()
+    .unwrap();
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &payload).unwrap();
+    wire
+}
+
+fn expect_output(wire_response: &[u8], input: &Tensor) {
+    match Response::decode(wire_response).unwrap() {
+        Response::Output(out) => {
+            let want = reference_net().forward(input).unwrap();
+            assert!(out.max_abs_diff(&want).unwrap() < 1e-5);
+        }
+        other => panic!("expected Output, got {other:?}"),
+    }
+}
+
+/// The acceptance scenario: one `Infer` request delivered in >= 3 chunks
+/// separated by sleeps longer than the server's old 500 ms read timeout,
+/// with chunk boundaries inside the length prefix and inside the payload.
+/// The stateless `read_frame` loop lost the consumed bytes at each fired
+/// timeout; the `FrameReader` must answer correctly.
+#[test]
+fn request_split_across_slow_chunks_gets_a_correct_response() {
+    let server = tiny_server();
+    let addr = server.local_addr();
+    let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 42);
+    let wire = infer_wire_bytes(&input);
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let cuts = [2, 10, wire.len() * 2 / 3];
+    let mut prev = 0;
+    for &cut in &cuts {
+        stream.write_all(&wire[prev..cut]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(600));
+        prev = cut;
+    }
+    stream.write_all(&wire[prev..]).unwrap();
+    stream.flush().unwrap();
+
+    let rsp = read_frame(&mut stream).unwrap();
+    expect_output(&rsp, &input);
+    server.shutdown();
+}
+
+/// Byte-at-a-time delivery: the most adversarial split there is. Every
+/// single byte is a separate TCP segment.
+#[test]
+fn byte_at_a_time_request_is_reassembled() {
+    let server = tiny_server();
+    let addr = server.local_addr();
+    let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 7);
+    let wire = infer_wire_bytes(&input);
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    for &byte in &wire {
+        stream.write_all(&[byte]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let rsp = read_frame(&mut stream).unwrap();
+    expect_output(&rsp, &input);
+    server.shutdown();
+}
+
+/// Pipelining: two complete requests in one write. The server must answer
+/// both — the second frame comes out of the reader's buffer, not the
+/// socket.
+#[test]
+fn two_requests_in_one_write_get_two_responses() {
+    let server = tiny_server();
+    let addr = server.local_addr();
+    let a = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 1);
+    let b = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 2);
+    let mut wire = infer_wire_bytes(&a);
+    wire.extend_from_slice(&infer_wire_bytes(&b));
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&wire).unwrap();
+    stream.flush().unwrap();
+
+    let first = read_frame(&mut stream).unwrap();
+    expect_output(&first, &a);
+    let second = read_frame(&mut stream).unwrap();
+    expect_output(&second, &b);
+    server.shutdown();
+}
+
+/// A client with an I/O timeout must report a stall on a server that
+/// accepts the connection but never answers, instead of hanging forever.
+#[test]
+fn client_timeout_fires_on_a_mute_server() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mute = std::thread::spawn(move || {
+        // Accept and hold the connection open without ever responding.
+        let (_stream, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(3));
+    });
+    let mut client = DjinnClient::connect_with_timeout(addr, Duration::from_millis(300)).unwrap();
+    let err = client.list_models().unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("i/o error") || msg.contains("timed out"),
+        "unexpected error: {msg}"
+    );
+    mute.join().unwrap();
+}
+
+/// Interleaved slow and fast clients: a slow writer mid-frame must not
+/// disturb concurrent well-formed traffic on other connections.
+#[test]
+fn slow_client_does_not_disturb_fast_clients() {
+    let server = tiny_server();
+    let addr = server.local_addr();
+    let slow_input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 11);
+    let wire = infer_wire_bytes(&slow_input);
+
+    let slow = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mid = wire.len() / 2;
+        stream.write_all(&wire[..mid]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(700));
+        stream.write_all(&wire[mid..]).unwrap();
+        stream.flush().unwrap();
+        let rsp = read_frame(&mut stream).unwrap();
+        expect_output(&rsp, &slow_input);
+    });
+
+    // Meanwhile a normal client hammers the server.
+    let mut client = DjinnClient::connect(addr).unwrap();
+    for seed in 0..10u64 {
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, seed);
+        let out = client.infer("tiny", &input).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4]);
+    }
+
+    slow.join().unwrap();
+    server.shutdown();
+}
