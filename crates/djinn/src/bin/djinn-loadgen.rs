@@ -9,7 +9,13 @@
 //!
 //! Transient failures (connection refused/reset, I/O timeouts) are
 //! retried by reconnecting with exponential backoff, so a server restart
-//! mid-run costs errors, not the whole measurement.
+//! mid-run costs errors, not the whole measurement. `Busy` replies —
+//! the server shedding load at admission — are counted separately from
+//! transport errors: the connection stays framed and usable, and a shed
+//! is backpressure working as designed, not a failure.
+//!
+//! The report includes p50/p95/p99 end-to-end latency over successful
+//! requests (client-observed: queueing + batching + compute + wire).
 //!
 //! Input shapes are discovered from the seven Tonic models by name; for
 //! other models, pass nothing and the tool reports the server's model
@@ -17,11 +23,12 @@
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use djinn::{DjinnClient, DjinnError};
 use dnn::zoo::App;
+use gpusim::queueing::percentile_sorted;
 use tensor::Tensor;
 
 struct Args {
@@ -135,9 +142,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let total_us = Arc::new(AtomicU64::new(0));
-    let max_us = Arc::new(AtomicU64::new(0));
+    let latencies_us = Arc::new(Mutex::new(Vec::<u64>::new()));
     let errors = Arc::new(AtomicU64::new(0));
+    let sheds = Arc::new(AtomicU64::new(0));
     let reconnects = Arc::new(AtomicU64::new(0));
     let timeout = args.timeout;
     let started = Instant::now();
@@ -145,9 +152,9 @@ fn main() -> ExitCode {
     for _ in 0..args.threads {
         let input = input.clone();
         let model = model.clone();
-        let total_us = Arc::clone(&total_us);
-        let max_us = Arc::clone(&max_us);
+        let latencies_us = Arc::clone(&latencies_us);
         let errors = Arc::clone(&errors);
+        let sheds = Arc::clone(&sheds);
         let reconnects = Arc::clone(&reconnects);
         let requests = args.requests;
         handles.push(std::thread::spawn(move || {
@@ -158,13 +165,18 @@ fn main() -> ExitCode {
                     return;
                 }
             };
+            // Per-thread latency buffer, merged once at the end, so the
+            // hot loop never contends on the shared lock.
+            let mut local_us = Vec::with_capacity(requests);
             for done in 0..requests {
                 let t0 = Instant::now();
                 match client.infer(&model, &input) {
-                    Ok(_) => {
-                        let us = t0.elapsed().as_micros() as u64;
-                        total_us.fetch_add(us, Ordering::Relaxed);
-                        max_us.fetch_max(us, Ordering::Relaxed);
+                    Ok(_) => local_us.push(t0.elapsed().as_micros() as u64),
+                    // The server shed the request at admission: the
+                    // connection is fine, and this is backpressure, not a
+                    // transport failure — count it separately.
+                    Err(DjinnError::Busy { .. }) => {
+                        sheds.fetch_add(1, Ordering::Relaxed);
                     }
                     // Server-side application error: the connection is
                     // still framed correctly, keep using it.
@@ -183,12 +195,16 @@ fn main() -> ExitCode {
                             None => {
                                 let remaining = (requests - done - 1) as u64;
                                 errors.fetch_add(remaining, Ordering::Relaxed);
-                                return;
+                                break;
                             }
                         }
                     }
                 }
             }
+            latencies_us
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(local_us);
         }));
     }
     for h in handles {
@@ -196,15 +212,27 @@ fn main() -> ExitCode {
     }
     let elapsed = started.elapsed().as_secs_f64();
     let sent = (args.threads * args.requests) as u64;
-    let failed = errors.load(Ordering::Relaxed);
-    let ok = sent - failed.min(sent);
+    let mut lat_ms: Vec<f64> = latencies_us
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|&us| us as f64 / 1e3)
+        .collect();
+    lat_ms.sort_by(f64::total_cmp);
+    let ok = lat_ms.len() as u64;
+    let mean_ms = lat_ms.iter().sum::<f64>() / ok.max(1) as f64;
     println!(
         "{model}: {ok}/{sent} ok in {elapsed:.2}s  ->  {:.1} req/s ({:.1} q/s), \
-         mean {:.2} ms, max {:.2} ms, {} reconnects",
+         mean {mean_ms:.2} ms, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
+         max {:.2} ms, {} shed (busy), {} errors, {} reconnects",
         ok as f64 / elapsed,
         ok as f64 * args.queries as f64 / elapsed,
-        total_us.load(Ordering::Relaxed) as f64 / ok.max(1) as f64 / 1e3,
-        max_us.load(Ordering::Relaxed) as f64 / 1e3,
+        percentile_sorted(&lat_ms, 0.50),
+        percentile_sorted(&lat_ms, 0.95),
+        percentile_sorted(&lat_ms, 0.99),
+        lat_ms.last().copied().unwrap_or(0.0),
+        sheds.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
         reconnects.load(Ordering::Relaxed),
     );
     ExitCode::SUCCESS

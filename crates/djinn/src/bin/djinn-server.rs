@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu]
-//!              [--batch N] [--threads N] [--models DIR] [--export DIR]
+//!              [--batch N] [--threads N] [--queue N] [--workers N]
+//!              [--models DIR] [--export DIR]
 //! ```
+//!
+//! `--queue` bounds each model's admission queue (requests beyond it are
+//! shed with a `Busy` reply); `--workers` sets the per-model dispatch
+//! workers for unbatched serving.
 //!
 //! With `--models DIR`, every `*.djnm` model file in the directory is
 //! served under its file stem; otherwise the seven built-in Tonic models
@@ -21,16 +26,21 @@ struct Args {
     backend: Backend,
     batch: Option<usize>,
     threads: usize,
+    queue: usize,
+    workers: usize,
     models: Option<PathBuf>,
     export: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let defaults = ServerConfig::default();
     let mut args = Args {
         addr: "127.0.0.1:7400".into(),
         backend: Backend::Cpu,
         batch: None,
         threads: 1,
+        queue: defaults.queue_capacity,
+        workers: defaults.engine_workers,
         models: None,
         export: None,
     };
@@ -61,12 +71,29 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads must be at least 1".into());
                 }
             }
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue: {e}"))?;
+                if args.queue == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if args.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
             "--models" => args.models = Some(PathBuf::from(value("--models")?)),
             "--export" => args.export = Some(PathBuf::from(value("--export")?)),
             "--help" | "-h" => {
                 return Err(
                     "usage: djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu] \
-                            [--batch N] [--threads N] [--models DIR] [--export DIR]"
+                            [--batch N] [--threads N] [--queue N] [--workers N] \
+                            [--models DIR] [--export DIR]"
                         .into(),
                 )
             }
@@ -124,6 +151,8 @@ fn main() -> ExitCode {
             max_delay: Duration::from_millis(2),
         }),
         threads: args.threads,
+        queue_capacity: args.queue,
+        engine_workers: args.workers,
         ..ServerConfig::default()
     };
     let server = match DjinnServer::start(registry, config) {

@@ -77,8 +77,9 @@ impl DjinnClient {
     ///
     /// # Errors
     ///
-    /// Returns [`DjinnError::Remote`] for server-reported failures and
-    /// protocol/I/O errors otherwise.
+    /// Returns [`DjinnError::Busy`] when the server shed the request at
+    /// admission (back off and retry), [`DjinnError::Remote`] for other
+    /// server-reported failures, and protocol/I/O errors otherwise.
     pub fn infer(&mut self, model: &str, input: &Tensor) -> Result<Tensor> {
         let req = Request::Infer {
             model: model.to_string(),
@@ -87,6 +88,10 @@ impl DjinnClient {
         match self.roundtrip(&req)? {
             Response::Output(t) => Ok(t),
             Response::Error(message) => Err(DjinnError::Remote { message }),
+            Response::Busy { model, queue_depth } => Err(DjinnError::Busy {
+                model,
+                queue_depth: queue_depth as usize,
+            }),
             other => Err(DjinnError::Protocol {
                 reason: format!("unexpected response {other:?}"),
             }),

@@ -1,0 +1,845 @@
+//! The per-model inference engine: the *only* path from a request to
+//! compute.
+//!
+//! Every registered model gets one [`InferenceEngine`] owning a bounded
+//! admission queue, one or more dispatch workers, and the shared
+//! executor. Both serving modes of the paper are dispatch policies of the
+//! same engine — [`DispatchPolicy::Immediate`] executes each admitted job
+//! on its own, [`DispatchPolicy::Batched`] runs the §5.1 coalescing loop
+//! (stack co-batched queries, one forward pass, scatter the output rows)
+//! — so batched and unbatched requests share admission, telemetry, error
+//! handling, and shutdown semantics.
+//!
+//! Admission is **non-blocking with explicit backpressure**: when the
+//! queue holds `queue_capacity` jobs, [`InferenceEngine::submit`] returns
+//! [`DjinnError::Busy`] immediately instead of blocking the caller. A
+//! connection worker therefore only ever waits on its *own admitted*
+//! job's reply, which is guaranteed to arrive: dispatch workers answer
+//! every job they pop, and shutdown drains the queue before joining.
+//!
+//! Telemetry: queue depth, in-flight jobs, shed count, and log-bucketed
+//! queue-wait / service-time histograms (from [`gpusim::queueing`], the
+//! same abstraction the open-loop simulator runs in virtual time).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use dnn::Network;
+use gpusim::queueing::{BoundedQueue, LatencyHistogram};
+use tensor::Tensor;
+
+use crate::{DjinnError, Executor, Result};
+
+/// Batching policy (§5.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum queries folded into one forward pass (Table 3's last
+    /// column gives the per-app sweet spots).
+    pub max_batch: usize,
+    /// Longest a query may wait for co-batched company before the batch
+    /// is dispatched anyway.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// How admitted jobs reach the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Each job runs alone, as soon as a worker is free. A pool of
+    /// [`EngineConfig::workers`] dispatch workers preserves concurrent
+    /// execution for independent requests.
+    Immediate,
+    /// Jobs are coalesced into one forward pass up to `max_batch` stacked
+    /// queries or `max_delay` of waiting, whichever comes first. One
+    /// worker runs the coalescing loop so batch assembly is predictable.
+    Batched(BatchConfig),
+}
+
+/// Configuration of one model's engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Dispatch policy.
+    pub policy: DispatchPolicy,
+    /// Admission bound: jobs beyond this many queued are shed with
+    /// [`DjinnError::Busy`]. Bounds both memory and worst-case queueing
+    /// delay under overload.
+    pub queue_capacity: usize,
+    /// Dispatch workers for [`DispatchPolicy::Immediate`] (ignored by
+    /// `Batched`, which always runs exactly one coalescing worker).
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            policy: DispatchPolicy::Immediate,
+            queue_capacity: 128,
+            workers: 4,
+        }
+    }
+}
+
+/// Point-in-time queue telemetry for one model's engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Model name.
+    pub model: String,
+    /// Jobs waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Jobs currently executing on the backend.
+    pub in_flight: usize,
+    /// Jobs shed at admission because the queue was full.
+    pub shed: u64,
+    /// Jobs completed (successfully or with an inference error).
+    pub completed: u64,
+    /// Median time a job spent queued before dispatch, microseconds.
+    pub p50_queue_wait_us: u64,
+    /// 99th-percentile queue wait, microseconds.
+    pub p99_queue_wait_us: u64,
+    /// Median device/service time per dispatch, microseconds.
+    pub p50_service_us: u64,
+    /// 99th-percentile device/service time per dispatch, microseconds.
+    pub p99_service_us: u64,
+}
+
+struct Job {
+    input: Tensor,
+    reply: Sender<Result<Tensor>>,
+    enqueued: Instant,
+}
+
+impl Job {
+    fn queries(&self) -> usize {
+        self.input.shape().batch()
+    }
+}
+
+struct State {
+    queue: BoundedQueue<Job>,
+    /// `false` once shutdown starts: no new admissions, workers drain
+    /// what is queued and exit.
+    open: bool,
+}
+
+struct Inner {
+    model: String,
+    state: Mutex<State>,
+    cv: Condvar,
+    in_flight: AtomicUsize,
+    completed: AtomicU64,
+    queue_wait: Mutex<LatencyHistogram>,
+    service: Mutex<LatencyHistogram>,
+}
+
+impl Inner {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A pending inference: the caller's handle to one admitted job.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<Tensor>>,
+}
+
+impl Ticket {
+    /// Blocks until the job completes and returns its result. The reply
+    /// is guaranteed: every admitted job is answered, including during
+    /// shutdown drain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's inference error, or [`DjinnError::Shutdown`] if
+    /// the engine died without answering (worker panic).
+    pub fn wait(self) -> Result<Tensor> {
+        self.rx.recv().map_err(|_| DjinnError::Shutdown)?
+    }
+}
+
+/// A per-model execution engine: bounded admission queue + dispatch
+/// workers + executor.
+pub struct InferenceEngine {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for InferenceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceEngine")
+            .field("model", &self.inner.model)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl InferenceEngine {
+    /// Spawns the engine for one model.
+    pub fn start(
+        model: impl Into<String>,
+        network: Arc<Network>,
+        executor: Arc<dyn Executor>,
+        config: EngineConfig,
+    ) -> Self {
+        let model = model.into();
+        let inner = Arc::new(Inner {
+            model: model.clone(),
+            state: Mutex::new(State {
+                queue: BoundedQueue::new(config.queue_capacity.max(1)),
+                open: true,
+            }),
+            cv: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            completed: AtomicU64::new(0),
+            queue_wait: Mutex::new(LatencyHistogram::new()),
+            service: Mutex::new(LatencyHistogram::new()),
+        });
+        let worker_count = match config.policy {
+            DispatchPolicy::Immediate => config.workers.max(1),
+            DispatchPolicy::Batched(_) => 1,
+        };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let network = Arc::clone(&network);
+                let executor = Arc::clone(&executor);
+                let policy = config.policy;
+                std::thread::Builder::new()
+                    .name(format!("djinn-engine-{model}-{i}"))
+                    .spawn(move || match policy {
+                        DispatchPolicy::Immediate => immediate_loop(&inner, &network, &*executor),
+                        DispatchPolicy::Batched(bc) => {
+                            batched_loop(&inner, &network, &*executor, bc)
+                        }
+                    })
+                    .expect("spawning engine worker")
+            })
+            .collect();
+        InferenceEngine { inner, workers }
+    }
+
+    /// The model this engine serves.
+    pub fn model(&self) -> &str {
+        &self.inner.model
+    }
+
+    /// Admits one job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::Busy`] when the admission queue is full
+    /// (the request is shed — the caller should back off and retry) and
+    /// [`DjinnError::Shutdown`] after shutdown has begun.
+    pub fn submit(&self, input: Tensor) -> Result<Ticket> {
+        let (tx, rx) = bounded(1);
+        let job = Job {
+            input,
+            reply: tx,
+            enqueued: Instant::now(),
+        };
+        let mut st = self.inner.lock();
+        if !st.open {
+            return Err(DjinnError::Shutdown);
+        }
+        match st.queue.offer(job) {
+            Ok(_depth) => {
+                drop(st);
+                self.inner.cv.notify_one();
+                Ok(Ticket { rx })
+            }
+            Err(_job) => Err(DjinnError::Busy {
+                model: self.inner.model.clone(),
+                queue_depth: st.queue.len(),
+            }),
+        }
+    }
+
+    /// Admits one job and waits for its result: non-blocking admission,
+    /// then a blocking wait on the guaranteed reply.
+    ///
+    /// # Errors
+    ///
+    /// Same admission failures as [`InferenceEngine::submit`], plus the
+    /// job's own inference error.
+    pub fn infer(&self, input: Tensor) -> Result<Tensor> {
+        self.submit(input)?.wait()
+    }
+
+    /// Current queue telemetry.
+    pub fn stats(&self) -> EngineStats {
+        let (queue_depth, shed) = {
+            let st = self.inner.lock();
+            (st.queue.len(), st.queue.shed_count())
+        };
+        let (p50_queue_wait_us, p99_queue_wait_us) = {
+            let h = self
+                .inner
+                .queue_wait
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            (h.quantile(0.50), h.quantile(0.99))
+        };
+        let (p50_service_us, p99_service_us) = {
+            let h = self.inner.service.lock().unwrap_or_else(|e| e.into_inner());
+            (h.quantile(0.50), h.quantile(0.99))
+        };
+        EngineStats {
+            model: self.inner.model.clone(),
+            queue_depth,
+            in_flight: self.inner.in_flight.load(Ordering::Relaxed),
+            shed,
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            p50_queue_wait_us,
+            p99_queue_wait_us,
+            p50_service_us,
+            p99_service_us,
+        }
+    }
+
+    /// Stops admissions, drains every queued job (each gets a real
+    /// reply), and joins the workers.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut st = self.inner.lock();
+            st.open = false;
+        }
+        self.inner.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for InferenceEngine {
+    fn drop(&mut self) {
+        // Dropping drains and joins so no admitted job is left without a
+        // reply and no worker outlives the engine.
+        if !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+/// Pops one job, blocking until one is available or the engine is closed
+/// *and* drained.
+fn next_job(inner: &Inner) -> Option<Job> {
+    let mut st = inner.lock();
+    loop {
+        if let Some(job) = st.queue.pop() {
+            return Some(job);
+        }
+        if !st.open {
+            return None;
+        }
+        st = inner.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+fn record_wait(inner: &Inner, jobs: &[Job]) {
+    let mut h = inner.queue_wait.lock().unwrap_or_else(|e| e.into_inner());
+    for job in jobs {
+        h.record(job.enqueued.elapsed().as_micros() as u64);
+    }
+}
+
+fn record_service(inner: &Inner, device_latency: Duration) {
+    inner
+        .service
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .record(device_latency.as_micros() as u64);
+}
+
+fn immediate_loop(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor) {
+    while let Some(job) = next_job(inner) {
+        record_wait(inner, std::slice::from_ref(&job));
+        inner.in_flight.fetch_add(1, Ordering::Relaxed);
+        let result = executor.infer(network, &job.input).map(|outcome| {
+            record_service(inner, outcome.device_latency);
+            outcome.output
+        });
+        inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(result);
+    }
+}
+
+fn batched_loop(
+    inner: &Inner,
+    network: &Arc<Network>,
+    executor: &dyn Executor,
+    config: BatchConfig,
+) {
+    loop {
+        // Phase 1: block until at least one job is available, grabbing
+        // everything already queued that fits under the cap (the head is
+        // always taken; an overflowing job stays queued — carry-over).
+        let mut jobs;
+        let draining;
+        {
+            let mut st = inner.lock();
+            loop {
+                jobs = st.queue.assemble(config.max_batch, Job::queries);
+                if !jobs.is_empty() {
+                    draining = !st.open;
+                    break;
+                }
+                if !st.open {
+                    return;
+                }
+                st = inner.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // Phase 2: coalesce up to the cap until `max_delay` expires. A
+        // draining engine skips the wait — queued jobs are answered as
+        // fast as possible.
+        if !draining {
+            let deadline = Instant::now() + config.max_delay;
+            let mut queries: usize = jobs.iter().map(Job::queries).sum();
+            while queries < config.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let mut st = inner.lock();
+                if let Some(job) = st
+                    .queue
+                    .pop_if(|j| queries + j.queries() <= config.max_batch)
+                {
+                    queries += job.queries();
+                    jobs.push(job);
+                    continue;
+                }
+                if !st.queue.is_empty() || !st.open {
+                    // Head overflows the cap (it seeds the next batch) or
+                    // shutdown started: close this batch now.
+                    break;
+                }
+                let (guard, _timeout) = inner
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                drop(guard);
+            }
+        }
+        dispatch(inner, network, executor, jobs);
+    }
+}
+
+/// Runs one assembled batch: stack owned inputs (no per-job copy), one
+/// forward pass, scatter rows back. Errors stay typed end-to-end; every
+/// co-batched job receives a clone of the real error.
+fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs: Vec<Job>) {
+    record_wait(inner, &jobs);
+    let n = jobs.len();
+    inner.in_flight.fetch_add(n, Ordering::Relaxed);
+    let counts: Vec<usize> = jobs.iter().map(Job::queries).collect();
+    let (inputs, replies): (Vec<Tensor>, Vec<Sender<Result<Tensor>>>) =
+        jobs.into_iter().map(|j| (j.input, j.reply)).unzip();
+    let result = Tensor::stack_batch_owned(inputs)
+        .map_err(dnn::DnnError::from)
+        .map_err(DjinnError::from)
+        .and_then(|stacked| {
+            let outcome = executor.infer(network, &stacked)?;
+            record_service(inner, outcome.device_latency);
+            if counts.len() == 1 {
+                // Single-job batch: hand the output over without the
+                // split_batch copy.
+                return Ok(vec![outcome.output]);
+            }
+            outcome
+                .output
+                .split_batch(&counts)
+                .map_err(dnn::DnnError::from)
+                .map_err(DjinnError::from)
+        });
+    inner.in_flight.fetch_sub(n, Ordering::Relaxed);
+    inner.completed.fetch_add(n as u64, Ordering::Relaxed);
+    match result {
+        Ok(parts) => {
+            for (reply, part) in replies.into_iter().zip(parts) {
+                let _ = reply.send(Ok(part));
+            }
+        }
+        Err(e) => {
+            for reply in replies {
+                let _ = reply.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpuExecutor;
+    use dnn::zoo::App;
+    use tensor::Shape;
+
+    fn tiny_net() -> Arc<Network> {
+        let def = dnn::parser::parse_netdef(
+            "name: tiny\ninput: 8\nlayer fc1 fc out=4\nlayer prob softmax\n",
+        )
+        .unwrap();
+        Arc::new(Network::with_random_weights(def, 1).unwrap())
+    }
+
+    fn engine(net: Arc<Network>, config: EngineConfig) -> InferenceEngine {
+        InferenceEngine::start("tiny", net, Arc::new(CpuExecutor::default()), config)
+    }
+
+    fn batched(max_batch: usize, max_delay: Duration) -> EngineConfig {
+        EngineConfig {
+            policy: DispatchPolicy::Batched(BatchConfig {
+                max_batch,
+                max_delay,
+            }),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// An executor that runs the real forward pass while recording the
+    /// largest batch it was ever handed.
+    struct RecordingExecutor {
+        inner: CpuExecutor,
+        max_batch_seen: AtomicUsize,
+    }
+
+    impl RecordingExecutor {
+        fn new() -> Self {
+            RecordingExecutor {
+                inner: CpuExecutor::default(),
+                max_batch_seen: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Executor for RecordingExecutor {
+        fn infer(
+            &self,
+            network: &Arc<Network>,
+            input: &Tensor,
+        ) -> crate::Result<crate::InferenceOutcome> {
+            self.max_batch_seen
+                .fetch_max(input.shape().batch(), Ordering::SeqCst);
+            self.inner.infer(network, input)
+        }
+
+        fn backend_name(&self) -> &'static str {
+            "recording"
+        }
+    }
+
+    /// An executor that sleeps before delegating, to build up queues.
+    struct SlowExecutor {
+        inner: CpuExecutor,
+        delay: Duration,
+    }
+
+    impl Executor for SlowExecutor {
+        fn infer(
+            &self,
+            network: &Arc<Network>,
+            input: &Tensor,
+        ) -> crate::Result<crate::InferenceOutcome> {
+            std::thread::sleep(self.delay);
+            self.inner.infer(network, input)
+        }
+
+        fn backend_name(&self) -> &'static str {
+            "slow"
+        }
+    }
+
+    #[test]
+    fn single_query_roundtrip_batched() {
+        let net = Arc::new(dnn::zoo::network(App::Dig).unwrap());
+        let eng = InferenceEngine::start(
+            "dig",
+            Arc::clone(&net),
+            Arc::new(CpuExecutor::default()),
+            batched(4, Duration::from_millis(1)),
+        );
+        let input = Tensor::random_uniform(Shape::nchw(1, 1, 28, 28), 1.0, 7);
+        let got = eng.infer(input.clone()).unwrap();
+        let want = net.forward(&input).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-5);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn concurrent_queries_get_their_own_rows() {
+        let net = Arc::new(dnn::zoo::network(App::Dig).unwrap());
+        let eng = Arc::new(InferenceEngine::start(
+            "dig",
+            Arc::clone(&net),
+            Arc::new(CpuExecutor::default()),
+            batched(8, Duration::from_millis(20)),
+        ));
+        let mut handles = Vec::new();
+        for seed in 0..6u64 {
+            let e = Arc::clone(&eng);
+            let n = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                let input = Tensor::random_uniform(Shape::nchw(1, 1, 28, 28), 1.0, seed);
+                let got = e.infer(input.clone()).unwrap();
+                let want = n.forward(&input).unwrap();
+                assert!(got.max_abs_diff(&want).unwrap() < 1e-4, "seed {seed}");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn failed_jobs_get_typed_errors_and_the_engine_survives() {
+        let net = Arc::new(dnn::zoo::network(App::Dig).unwrap());
+        let eng = engine(Arc::clone(&net), batched(4, Duration::from_millis(1)));
+        let wrong = Tensor::zeros(Shape::nchw(1, 1, 10, 10));
+        // The error arrives as the real typed DNN failure, not a
+        // pre-stringified remote message.
+        assert!(matches!(eng.infer(wrong), Err(DjinnError::Dnn(_))));
+        // The worker survives a failed batch.
+        let ok = Tensor::zeros(Shape::nchw(1, 1, 28, 28));
+        assert!(eng.infer(ok).is_ok());
+    }
+
+    #[test]
+    fn no_batch_ever_exceeds_max_batch() {
+        let net = tiny_net();
+        let recorder = Arc::new(RecordingExecutor::new());
+        let max_batch = 4;
+        let eng = Arc::new(InferenceEngine::start(
+            "tiny",
+            net,
+            Arc::clone(&recorder) as Arc<dyn Executor>,
+            // A long delay forces maximal coalescing pressure: the only
+            // way a batch closes early is hitting the cap.
+            batched(max_batch, Duration::from_millis(50)),
+        ));
+        // 1–3-query jobs arriving concurrently: the carry-over logic is
+        // what keeps every executed batch legal.
+        let mut handles = Vec::new();
+        for seed in 0..6u64 {
+            let e = Arc::clone(&eng);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..3 {
+                    let queries = 1 + ((seed + i) % 3) as usize;
+                    let input = Tensor::random_uniform(Shape::mat(queries, 8), 1.0, seed * 10 + i);
+                    let out = e.infer(input).unwrap();
+                    assert_eq!(out.shape().batch(), queries);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let seen = recorder.max_batch_seen.load(Ordering::SeqCst);
+        assert!(seen > 0, "executor never ran");
+        assert!(
+            seen <= max_batch,
+            "a batch of {seen} queries exceeded max_batch={max_batch}"
+        );
+    }
+
+    #[test]
+    fn job_wider_than_max_batch_still_runs_alone() {
+        let eng = engine(tiny_net(), batched(2, Duration::from_millis(1)));
+        let input = Tensor::random_uniform(Shape::mat(5, 8), 1.0, 3);
+        let out = eng.infer(input).unwrap();
+        assert_eq!(out.shape().batch(), 5);
+    }
+
+    #[test]
+    fn overload_sheds_with_busy_and_never_blocks_admission() {
+        // Tiny queue + slow executor: admission must shed, not block.
+        let eng = Arc::new(InferenceEngine::start(
+            "tiny",
+            tiny_net(),
+            Arc::new(SlowExecutor {
+                inner: CpuExecutor::default(),
+                delay: Duration::from_millis(40),
+            }),
+            EngineConfig {
+                policy: DispatchPolicy::Immediate,
+                queue_capacity: 2,
+                workers: 1,
+            },
+        ));
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 1);
+        let mut tickets = Vec::new();
+        let mut busy = 0usize;
+        let admission_started = Instant::now();
+        for _ in 0..10 {
+            match eng.submit(input.clone()) {
+                Ok(t) => tickets.push(t),
+                Err(DjinnError::Busy { model, queue_depth }) => {
+                    assert_eq!(model, "tiny");
+                    assert_eq!(queue_depth, 2);
+                    busy += 1;
+                }
+                Err(other) => panic!("unexpected admission error: {other}"),
+            }
+        }
+        // 10 offers against bound 2 + 1 worker: admission returned
+        // immediately for all of them (the executor alone would need
+        // 400 ms for 10 jobs).
+        assert!(
+            admission_started.elapsed() < Duration::from_millis(100),
+            "admission blocked: {:?}",
+            admission_started.elapsed()
+        );
+        assert!(busy >= 6, "only {busy} sheds with queue bound 2");
+        assert!(eng.stats().shed >= busy as u64);
+        // Every admitted job still completes.
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn batched_and_immediate_policies_agree_across_the_zoo() {
+        // The dispatch policy must be invisible in the outputs: same
+        // queries → same predictions, for every Tonic model.
+        for app in App::ALL {
+            let net = Arc::new(dnn::zoo::network(app).unwrap());
+            let shape = net.def().input_shape().with_batch(2);
+            let input = Tensor::random_uniform(shape, 0.5, 11);
+            let imm = InferenceEngine::start(
+                app.name(),
+                Arc::clone(&net),
+                Arc::new(CpuExecutor::default()),
+                EngineConfig {
+                    policy: DispatchPolicy::Immediate,
+                    workers: 1,
+                    ..EngineConfig::default()
+                },
+            );
+            let bat = InferenceEngine::start(
+                app.name(),
+                Arc::clone(&net),
+                Arc::new(CpuExecutor::default()),
+                batched(4, Duration::from_millis(1)),
+            );
+            let a = imm.infer(input.clone()).unwrap();
+            let b = bat.infer(input).unwrap();
+            assert_eq!(a, b, "{app}: policies disagree");
+            imm.shutdown();
+            bat.shutdown();
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_without_hanging() {
+        let eng = InferenceEngine::start(
+            "tiny",
+            tiny_net(),
+            Arc::new(SlowExecutor {
+                inner: CpuExecutor::default(),
+                delay: Duration::from_millis(20),
+            }),
+            EngineConfig {
+                policy: DispatchPolicy::Immediate,
+                queue_capacity: 16,
+                workers: 1,
+            },
+        );
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 5);
+        let tickets: Vec<Ticket> = (0..5).map(|_| eng.submit(input.clone()).unwrap()).collect();
+        let t0 = Instant::now();
+        eng.shutdown();
+        // Every queued job was executed and answered before shutdown
+        // returned; nothing hangs.
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn shutdown_drains_batched_engines_too() {
+        let eng = InferenceEngine::start(
+            "tiny",
+            tiny_net(),
+            Arc::new(SlowExecutor {
+                inner: CpuExecutor::default(),
+                delay: Duration::from_millis(20),
+            }),
+            batched(4, Duration::from_secs(5)), // delay >> test budget
+        );
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 5);
+        let tickets: Vec<Ticket> = (0..5).map(|_| eng.submit(input.clone()).unwrap()).collect();
+        let t0 = Instant::now();
+        // Draining skips the coalescing delay: 5 jobs at 20 ms each must
+        // finish far sooner than one 5 s max_delay window.
+        eng.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let mut eng = engine(tiny_net(), EngineConfig::default());
+        eng.stop();
+        let input = Tensor::zeros(Shape::mat(1, 8));
+        assert!(matches!(eng.submit(input), Err(DjinnError::Shutdown)));
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let eng = engine(
+            tiny_net(),
+            EngineConfig {
+                policy: DispatchPolicy::Immediate,
+                queue_capacity: 8,
+                workers: 2,
+            },
+        );
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 2);
+        for _ in 0..4 {
+            eng.infer(input.clone()).unwrap();
+        }
+        let stats = eng.stats();
+        assert_eq!(stats.model, "tiny");
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.shed, 0);
+        assert!(stats.p99_queue_wait_us >= stats.p50_queue_wait_us);
+        assert!(stats.p99_service_us >= stats.p50_service_us);
+    }
+
+    #[test]
+    fn multi_query_inputs_count_toward_batch() {
+        let net = Arc::new(dnn::zoo::network(App::Dig).unwrap());
+        let eng = InferenceEngine::start(
+            "dig",
+            Arc::clone(&net),
+            Arc::new(CpuExecutor::default()),
+            batched(4, Duration::from_millis(1)),
+        );
+        let input = Tensor::random_uniform(Shape::nchw(3, 1, 28, 28), 1.0, 9);
+        let got = eng.infer(input.clone()).unwrap();
+        assert_eq!(got.shape().dims(), &[3, 10]);
+        let want = net.forward(&input).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-5);
+    }
+}

@@ -22,6 +22,14 @@ pub enum DjinnError {
         /// Server-provided message.
         message: String,
     },
+    /// The model's admission queue is full: the request was shed instead
+    /// of queued. Back off and retry — this is load shedding, not failure.
+    Busy {
+        /// Model whose queue is saturated.
+        model: String,
+        /// Queue depth observed at admission (the configured bound).
+        queue_depth: usize,
+    },
     /// The server or a worker is shutting down.
     Shutdown,
 }
@@ -34,7 +42,36 @@ impl fmt::Display for DjinnError {
             DjinnError::UnknownModel { name } => write!(f, "unknown model `{name}`"),
             DjinnError::Dnn(e) => write!(f, "inference failed: {e}"),
             DjinnError::Remote { message } => write!(f, "server error: {message}"),
+            DjinnError::Busy { model, queue_depth } => write!(
+                f,
+                "model `{model}` is busy: admission queue full at depth {queue_depth}"
+            ),
             DjinnError::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+/// Cloning keeps every variant typed so a batch-wide failure can be
+/// delivered to each co-batched request without flattening to a string;
+/// only `Io` loses structure (the kind is kept, the source chain is
+/// rendered into the message).
+impl Clone for DjinnError {
+    fn clone(&self) -> Self {
+        match self {
+            DjinnError::Io(e) => DjinnError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            DjinnError::Protocol { reason } => DjinnError::Protocol {
+                reason: reason.clone(),
+            },
+            DjinnError::UnknownModel { name } => DjinnError::UnknownModel { name: name.clone() },
+            DjinnError::Dnn(e) => DjinnError::Dnn(e.clone()),
+            DjinnError::Remote { message } => DjinnError::Remote {
+                message: message.clone(),
+            },
+            DjinnError::Busy { model, queue_depth } => DjinnError::Busy {
+                model: model.clone(),
+                queue_depth: *queue_depth,
+            },
+            DjinnError::Shutdown => DjinnError::Shutdown,
         }
     }
 }

@@ -13,7 +13,10 @@
 //!   the `tensor` substrate; [`SimGpuExecutor`] runs the same real math for
 //!   functional results while *modeling* the latency a K40 would exhibit
 //!   (the GPU-hardware substitution, see DESIGN.md §2);
-//! * [`Batcher`] — server-side query batching (§5.1 of the paper);
+//! * [`InferenceEngine`] — the per-model execution engine: bounded
+//!   admission queue (full → `Busy` backpressure), dispatch policy
+//!   ([`DispatchPolicy::Immediate`] or [`DispatchPolicy::Batched`] per
+//!   §5.1 of the paper), and queue telemetry;
 //! * [`DjinnServer`]/[`DjinnClient`] — the TCP service and its client.
 //!
 //! # Quickstart
@@ -37,16 +40,16 @@
 //! # }
 //! ```
 
-mod batcher;
 mod client;
+mod engine;
 mod error;
 mod executor;
 pub mod protocol;
 mod registry;
 mod server;
 
-pub use batcher::{BatchConfig, Batcher};
 pub use client::DjinnClient;
+pub use engine::{BatchConfig, DispatchPolicy, EngineConfig, EngineStats, InferenceEngine, Ticket};
 pub use error::DjinnError;
 pub use executor::{CpuExecutor, Executor, InferenceOutcome, SimGpuExecutor};
 pub use protocol::ModelStats;

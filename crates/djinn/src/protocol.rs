@@ -9,9 +9,19 @@
 //! response := magic version opcode=2 status:u8 (tensor | str)
 //! list_req := magic version opcode=3
 //! list_rsp := magic version opcode=4 count:u16 (str)*
+//! busy     := magic version opcode=7 name:str depth:u32
 //! str      := u16 len, utf-8 bytes
 //! tensor   := u8 rank, u32 dim*, f32 data* (little endian)
 //! ```
+//!
+//! # Versioning
+//!
+//! Version 2 added the `busy` frame (admission-control backpressure) and
+//! extended each stats entry with queue telemetry (depth, in-flight,
+//! shed, p50/p99 queue wait). Decoders accept every version from 1 up to
+//! [`VERSION`]: a v1 stats entry is 32 bytes and its queue fields decode
+//! as zero, so a v2 client still understands a v1 server's reply.
+//! Encoders always emit [`VERSION`].
 //!
 //! # Framing under timeouts
 //!
@@ -36,8 +46,9 @@ use crate::{DjinnError, Result};
 
 /// Protocol magic bytes.
 pub const MAGIC: &[u8; 4] = b"DJNN";
-/// Protocol version this implementation speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this implementation speaks. Decoding accepts any
+/// version in `1..=VERSION`.
+pub const VERSION: u8 = 2;
 /// Upper bound on a frame, to reject hostile lengths (64 MiB holds the
 /// largest Tonic batch comfortably).
 pub const MAX_FRAME: usize = 64 << 20;
@@ -50,6 +61,7 @@ const OP_LIST: u8 = 3;
 const OP_LIST_RESULT: u8 = 4;
 const OP_STATS: u8 = 5;
 const OP_STATS_RESULT: u8 = 6;
+const OP_BUSY: u8 = 7;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
@@ -83,6 +95,17 @@ pub struct ModelStats {
     pub total_latency_us: u64,
     /// Maximum single-request device latency, microseconds.
     pub max_latency_us: u64,
+    /// Jobs waiting in the model's admission queue at snapshot time
+    /// (0 when decoding a v1 peer).
+    pub queue_depth: u64,
+    /// Jobs executing on the backend at snapshot time (0 from a v1 peer).
+    pub in_flight: u64,
+    /// Requests shed at admission with `Busy` (0 from a v1 peer).
+    pub shed: u64,
+    /// Median queue wait before dispatch, microseconds (0 from a v1 peer).
+    pub p50_queue_wait_us: u64,
+    /// 99th-percentile queue wait, microseconds (0 from a v1 peer).
+    pub p99_queue_wait_us: u64,
 }
 
 impl ModelStats {
@@ -107,6 +130,14 @@ pub enum Response {
     Models(Vec<String>),
     /// Per-model service statistics.
     Stats(Vec<ModelStats>),
+    /// The model's admission queue is full: the request was shed, not
+    /// queued. The client should back off and retry.
+    Busy {
+        /// Model whose queue rejected the request.
+        model: String,
+        /// Queue depth observed at admission (the configured bound).
+        queue_depth: u32,
+    },
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) -> Result<()> {
@@ -209,7 +240,10 @@ fn header(buf: &mut BytesMut, opcode: u8) {
     buf.put_u8(opcode);
 }
 
-fn check_header(buf: &mut &[u8]) -> Result<u8> {
+/// Validates magic and version; returns `(version, opcode)`. Every
+/// version from 1 through [`VERSION`] is accepted so newer peers can
+/// still decode frames from older ones.
+fn check_header(buf: &mut &[u8]) -> Result<(u8, u8)> {
     if buf.remaining() < 6 {
         return Err(err("frame shorter than header"));
     }
@@ -219,10 +253,10 @@ fn check_header(buf: &mut &[u8]) -> Result<u8> {
         return Err(err("bad magic"));
     }
     let version = buf.get_u8();
-    if version != VERSION {
+    if !(1..=VERSION).contains(&version) {
         return Err(err(&format!("unsupported version {version}")));
     }
-    Ok(buf.get_u8())
+    Ok((version, buf.get_u8()))
 }
 
 impl Request {
@@ -253,7 +287,8 @@ impl Request {
     /// Returns [`DjinnError::Protocol`] for any malformed frame.
     pub fn decode(mut payload: &[u8]) -> Result<Self> {
         let buf = &mut payload;
-        match check_header(buf)? {
+        let (_version, opcode) = check_header(buf)?;
+        match opcode {
             OP_INFER => {
                 let model = get_str(buf)?;
                 let input = get_tensor(buf)?;
@@ -306,7 +341,17 @@ impl Response {
                     buf.put_u64_le(s.errors);
                     buf.put_u64_le(s.total_latency_us);
                     buf.put_u64_le(s.max_latency_us);
+                    buf.put_u64_le(s.queue_depth);
+                    buf.put_u64_le(s.in_flight);
+                    buf.put_u64_le(s.shed);
+                    buf.put_u64_le(s.p50_queue_wait_us);
+                    buf.put_u64_le(s.p99_queue_wait_us);
                 }
+            }
+            Response::Busy { model, queue_depth } => {
+                header(&mut buf, OP_BUSY);
+                put_str(&mut buf, model)?;
+                buf.put_u32_le(*queue_depth);
             }
         }
         Ok(buf)
@@ -319,7 +364,8 @@ impl Response {
     /// Returns [`DjinnError::Protocol`] for any malformed frame.
     pub fn decode(mut payload: &[u8]) -> Result<Self> {
         let buf = &mut payload;
-        match check_header(buf)? {
+        let (version, opcode) = check_header(buf)?;
+        match opcode {
             OP_RESULT => {
                 if buf.remaining() < 1 {
                     return Err(err("truncated status"));
@@ -346,21 +392,47 @@ impl Response {
                     return Err(err("truncated stats count"));
                 }
                 let count = buf.get_u16_le() as usize;
+                // v1 entries carry 4 u64 counters; v2 appends 5 more for
+                // queue telemetry. A v1 peer's queue fields decode as 0.
+                let words = if version >= 2 { 9 } else { 4 };
                 let mut stats = Vec::with_capacity(count);
                 for _ in 0..count {
                     let model = get_str(buf)?;
-                    if buf.remaining() < 32 {
+                    if buf.remaining() < words * 8 {
                         return Err(err("truncated stats entry"));
                     }
-                    stats.push(ModelStats {
+                    let mut entry = ModelStats {
                         model,
                         requests: buf.get_u64_le(),
                         errors: buf.get_u64_le(),
                         total_latency_us: buf.get_u64_le(),
                         max_latency_us: buf.get_u64_le(),
-                    });
+                        queue_depth: 0,
+                        in_flight: 0,
+                        shed: 0,
+                        p50_queue_wait_us: 0,
+                        p99_queue_wait_us: 0,
+                    };
+                    if version >= 2 {
+                        entry.queue_depth = buf.get_u64_le();
+                        entry.in_flight = buf.get_u64_le();
+                        entry.shed = buf.get_u64_le();
+                        entry.p50_queue_wait_us = buf.get_u64_le();
+                        entry.p99_queue_wait_us = buf.get_u64_le();
+                    }
+                    stats.push(entry);
                 }
                 Ok(Response::Stats(stats))
+            }
+            OP_BUSY => {
+                let model = get_str(buf)?;
+                if buf.remaining() < 4 {
+                    return Err(err("truncated busy depth"));
+                }
+                Ok(Response::Busy {
+                    model,
+                    queue_depth: buf.get_u32_le(),
+                })
             }
             other => Err(err(&format!("unexpected response opcode {other}"))),
         }
@@ -513,37 +585,100 @@ mod tests {
         assert_eq!(Request::decode(&stats.encode().unwrap()).unwrap(), stats);
     }
 
+    fn stats_entry(model: &str) -> ModelStats {
+        ModelStats {
+            model: model.into(),
+            requests: 42,
+            errors: 1,
+            total_latency_us: 10_000,
+            max_latency_us: 900,
+            queue_depth: 3,
+            in_flight: 2,
+            shed: 7,
+            p50_queue_wait_us: 120,
+            p99_queue_wait_us: 4_500,
+        }
+    }
+
     #[test]
     fn stats_response_roundtrip() {
-        let rsp = Response::Stats(vec![
-            ModelStats {
-                model: "dig".into(),
-                requests: 42,
-                errors: 1,
-                total_latency_us: 10_000,
-                max_latency_us: 900,
-            },
-            ModelStats {
-                model: "pos".into(),
-                requests: 0,
-                errors: 0,
-                total_latency_us: 0,
-                max_latency_us: 0,
-            },
-        ]);
+        let rsp = Response::Stats(vec![stats_entry("dig"), stats_entry("pos")]);
         assert_eq!(Response::decode(&rsp.encode().unwrap()).unwrap(), rsp);
     }
 
     #[test]
     fn mean_latency_handles_zero_requests() {
         let s = ModelStats {
-            model: "m".into(),
             requests: 0,
-            errors: 0,
             total_latency_us: 0,
-            max_latency_us: 0,
+            ..stats_entry("m")
         };
         assert_eq!(s.mean_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn version_constant_matches_the_queue_telemetry_protocol() {
+        // The queue-aware stats entry and the busy frame shipped in v2;
+        // bump this test alongside any future wire change.
+        assert_eq!(VERSION, 2);
+        let wire = Request::ListModels.encode().unwrap();
+        assert_eq!(wire[4], VERSION, "encoders must stamp VERSION");
+    }
+
+    #[test]
+    fn busy_response_roundtrips() {
+        let rsp = Response::Busy {
+            model: "imc".into(),
+            queue_depth: 128,
+        };
+        assert_eq!(Response::decode(&rsp.encode().unwrap()).unwrap(), rsp);
+    }
+
+    #[test]
+    fn v1_stats_frames_still_decode_with_zero_queue_fields() {
+        // Handcraft the 32-byte-entry v1 stats frame an old server sends.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(1); // protocol version 1
+        buf.put_u8(6); // OP_STATS_RESULT
+        buf.put_u16_le(1);
+        buf.put_u16_le(3);
+        buf.put_slice(b"dig");
+        buf.put_u64_le(42); // requests
+        buf.put_u64_le(1); // errors
+        buf.put_u64_le(10_000); // total_latency_us
+        buf.put_u64_le(900); // max_latency_us
+        let decoded = Response::decode(&buf).unwrap();
+        let Response::Stats(stats) = decoded else {
+            panic!("expected Stats, got {decoded:?}");
+        };
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!((s.model.as_str(), s.requests, s.errors), ("dig", 42, 1));
+        assert_eq!(s.total_latency_us, 10_000);
+        assert_eq!(s.max_latency_us, 900);
+        assert_eq!(
+            (s.queue_depth, s.in_flight, s.shed),
+            (0, 0, 0),
+            "v1 queue fields must decode as zero"
+        );
+        assert_eq!((s.p50_queue_wait_us, s.p99_queue_wait_us), (0, 0));
+    }
+
+    #[test]
+    fn v1_infer_requests_still_decode() {
+        let req = Request::Infer {
+            model: "m".into(),
+            input: Tensor::zeros(Shape::mat(2, 2)),
+        };
+        let mut wire = req.encode().unwrap().to_vec();
+        wire[4] = 1; // rewrite the version byte to v1
+        assert_eq!(Request::decode(&wire).unwrap(), req);
+        // Version 0 and versions beyond ours stay rejected.
+        wire[4] = 0;
+        assert!(Request::decode(&wire).is_err());
+        wire[4] = VERSION + 1;
+        assert!(Request::decode(&wire).is_err());
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! The DjiNN TCP server: accept loop, one worker thread per connection,
-//! shared read-only model registry, optional per-model batching.
+//! shared read-only model registry, one [`InferenceEngine`] per model.
+//!
+//! Every inference request — batched or not — goes through its model's
+//! engine: connection workers only admit jobs and wait for replies, never
+//! touch the executor directly. Admission is non-blocking; a full queue
+//! answers with a `Busy` frame instead of wedging the connection worker.
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -12,7 +17,10 @@ use parking_lot::Mutex;
 use tensor::Threading;
 
 use crate::protocol::{write_frame, FrameReader, ModelStats, Request, Response};
-use crate::{BatchConfig, Batcher, CpuExecutor, Executor, ModelRegistry, Result, SimGpuExecutor};
+use crate::{
+    BatchConfig, CpuExecutor, DispatchPolicy, DjinnError, EngineConfig, Executor, InferenceEngine,
+    ModelRegistry, Result, SimGpuExecutor,
+};
 
 /// Which compute backend the server uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +49,13 @@ pub struct ServerConfig {
     /// (batch sharding or in-layer GEMM strips, chosen per model).
     /// `1` keeps inference sequential; ignored by the simulated GPU.
     pub threads: usize,
+    /// Per-model admission bound: requests beyond this many queued are
+    /// answered with `Busy` instead of queued (load shedding).
+    pub queue_capacity: usize,
+    /// Dispatch workers per model when requests run unbatched
+    /// (`batching: None`); a batching engine always uses one coalescing
+    /// worker.
+    pub engine_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +66,8 @@ impl Default for ServerConfig {
             batching: None,
             batch_overrides: BTreeMap::new(),
             threads: 1,
+            queue_capacity: 128,
+            engine_workers: 4,
         }
     }
 }
@@ -106,8 +123,7 @@ struct StatsAcc {
 
 struct Shared {
     registry: ModelRegistry,
-    executor: Arc<dyn Executor>,
-    batchers: BTreeMap<String, Batcher>,
+    engines: BTreeMap<String, InferenceEngine>,
     stats: Mutex<BTreeMap<String, StatsAcc>>,
     stop: Arc<AtomicBool>,
 }
@@ -126,23 +142,34 @@ impl DjinnServer {
             Backend::Cpu => Arc::new(CpuExecutor::new(Threading::new(config.threads))),
             Backend::SimGpu => Arc::new(SimGpuExecutor::default()),
         };
-        // Batchers are created eagerly at initialization, one per model,
-        // mirroring DjiNN's load-everything-up-front design.
-        let mut batchers = BTreeMap::new();
-        if let Some(bc) = config.batching {
-            for name in registry.names() {
-                let net = registry.get(&name)?;
-                let mut model_bc = bc;
-                if let Some(&max_batch) = config.batch_overrides.get(&name) {
-                    model_bc.max_batch = max_batch;
+        // Engines are created eagerly at initialization, one per model,
+        // mirroring DjiNN's load-everything-up-front design. Batched and
+        // unbatched serving are just dispatch policies of the same engine.
+        let mut engines = BTreeMap::new();
+        for name in registry.names() {
+            let net = registry.get(&name)?;
+            let policy = match config.batching {
+                Some(bc) => {
+                    let mut model_bc = bc;
+                    if let Some(&max_batch) = config.batch_overrides.get(&name) {
+                        model_bc.max_batch = max_batch;
+                    }
+                    DispatchPolicy::Batched(model_bc)
                 }
-                batchers.insert(name, Batcher::new(net, Arc::clone(&executor), model_bc));
-            }
+                None => DispatchPolicy::Immediate,
+            };
+            let engine_config = EngineConfig {
+                policy,
+                queue_capacity: config.queue_capacity,
+                workers: config.engine_workers,
+            };
+            let engine =
+                InferenceEngine::start(name.clone(), net, Arc::clone(&executor), engine_config);
+            engines.insert(name, engine);
         }
         let shared = Arc::new(Shared {
             registry,
-            executor,
-            batchers,
+            engines,
             stats: Mutex::new(BTreeMap::new()),
             stop: Arc::clone(&stop),
         });
@@ -287,30 +314,42 @@ fn handle(req: Request, shared: &Shared) -> Response {
     match req {
         Request::ListModels => Response::Models(shared.registry.names()),
         Request::Stats => {
+            // Merge the wire-level accumulators with each engine's queue
+            // telemetry; every registered model gets an entry.
             let stats = shared.stats.lock();
             Response::Stats(
-                stats
+                shared
+                    .engines
                     .iter()
-                    .map(|(model, acc)| ModelStats {
-                        model: model.clone(),
-                        requests: acc.requests,
-                        errors: acc.errors,
-                        total_latency_us: acc.total_latency_us,
-                        max_latency_us: acc.max_latency_us,
+                    .map(|(model, engine)| {
+                        let q = engine.stats();
+                        let acc = stats.get(model);
+                        ModelStats {
+                            model: model.clone(),
+                            requests: acc.map_or(0, |a| a.requests),
+                            errors: acc.map_or(0, |a| a.errors),
+                            total_latency_us: acc.map_or(0, |a| a.total_latency_us),
+                            max_latency_us: acc.map_or(0, |a| a.max_latency_us),
+                            queue_depth: q.queue_depth as u64,
+                            in_flight: q.in_flight as u64,
+                            shed: q.shed,
+                            p50_queue_wait_us: q.p50_queue_wait_us,
+                            p99_queue_wait_us: q.p99_queue_wait_us,
+                        }
                     })
                     .collect(),
             )
         }
         Request::Infer { model, input } => {
             let started = std::time::Instant::now();
-            let result = (|| -> Result<tensor::Tensor> {
-                if let Some(batcher) = shared.batchers.get(&model) {
-                    batcher.submit(input)
-                } else {
-                    let net = shared.registry.get(&model)?;
-                    Ok(shared.executor.infer(&net, &input)?.output)
-                }
-            })();
+            // The engine is the only path to compute: non-blocking
+            // admission, then a wait on the guaranteed reply.
+            let result = match shared.engines.get(&model) {
+                Some(engine) => engine.infer(input),
+                None => Err(DjinnError::UnknownModel {
+                    name: model.clone(),
+                }),
+            };
             let elapsed_us = started.elapsed().as_micros() as u64;
             {
                 let mut stats = shared.stats.lock();
@@ -321,11 +360,19 @@ fn handle(req: Request, shared: &Shared) -> Response {
                         acc.total_latency_us += elapsed_us;
                         acc.max_latency_us = acc.max_latency_us.max(elapsed_us);
                     }
+                    // Sheds are backpressure, not failures: the engine
+                    // counts them; `errors` stays inference failures only.
+                    Err(DjinnError::Busy { .. }) => {}
                     Err(_) => acc.errors += 1,
                 }
             }
             match result {
                 Ok(output) => Response::Output(output),
+                Err(DjinnError::Busy { model, queue_depth }) => Response::Busy {
+                    model,
+                    queue_depth: queue_depth.min(u32::MAX as usize) as u32,
+                },
+                // Stringify only here, at the wire boundary.
                 Err(e) => Response::Error(e.to_string()),
             }
         }
@@ -441,6 +488,100 @@ mod tests {
         // returned within a few read-poll periods rather than hanging.
         assert!(workers.lock().is_empty());
         assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn stats_report_queue_telemetry_for_every_model() {
+        let server = DjinnServer::start(small_registry(), ServerConfig::default()).unwrap();
+        let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 4);
+        for _ in 0..3 {
+            client.infer("tiny", &input).unwrap();
+        }
+        let stats = client.stats().unwrap();
+        let tiny = stats.iter().find(|s| s.model == "tiny").unwrap();
+        assert_eq!(tiny.requests, 3);
+        assert_eq!((tiny.shed, tiny.queue_depth, tiny.in_flight), (0, 0, 0));
+        assert!(tiny.p99_queue_wait_us >= tiny.p50_queue_wait_us);
+        server.shutdown();
+    }
+
+    /// An executor that sleeps before answering, to saturate a tiny queue.
+    struct SlowExecutor(Duration);
+
+    impl Executor for SlowExecutor {
+        fn infer(
+            &self,
+            network: &Arc<dnn::Network>,
+            input: &tensor::Tensor,
+        ) -> Result<crate::InferenceOutcome> {
+            std::thread::sleep(self.0);
+            CpuExecutor::default().infer(network, input)
+        }
+
+        fn backend_name(&self) -> &'static str {
+            "slow"
+        }
+    }
+
+    #[test]
+    fn overloaded_engine_answers_busy_not_error() {
+        // Build the shared state by hand so the engine can be saturated
+        // deterministically: capacity 1, one worker stuck in a slow job.
+        let registry = small_registry();
+        let net = registry.get("tiny").unwrap();
+        let engine = InferenceEngine::start(
+            "tiny",
+            net,
+            Arc::new(SlowExecutor(Duration::from_millis(100))),
+            EngineConfig {
+                policy: DispatchPolicy::Immediate,
+                queue_capacity: 1,
+                workers: 1,
+            },
+        );
+        let mut engines = BTreeMap::new();
+        engines.insert("tiny".to_string(), engine);
+        let shared = Shared {
+            registry,
+            engines,
+            stats: Mutex::new(BTreeMap::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+        };
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 6);
+        // Admit without waiting until the queue is provably full.
+        let engine = shared.engines.get("tiny").unwrap();
+        let mut tickets = Vec::new();
+        loop {
+            match engine.submit(input.clone()) {
+                Ok(t) => tickets.push(t),
+                Err(DjinnError::Busy { .. }) => break,
+                Err(other) => panic!("unexpected admission error: {other}"),
+            }
+        }
+        // The request path sheds with a Busy frame, not a stringly error.
+        let rsp = handle(
+            Request::Infer {
+                model: "tiny".into(),
+                input: input.clone(),
+            },
+            &shared,
+        );
+        assert!(
+            matches!(rsp, Response::Busy { ref model, queue_depth } if model == "tiny" && queue_depth == 1),
+            "expected Busy, got {rsp:?}"
+        );
+        // Sheds are visible in stats as `shed`, never as `errors`.
+        let Response::Stats(stats) = handle(Request::Stats, &shared) else {
+            panic!("expected stats");
+        };
+        let tiny = stats.iter().find(|s| s.model == "tiny").unwrap();
+        assert!(tiny.shed >= 2);
+        assert_eq!(tiny.errors, 0);
+        // Admitted jobs still complete.
+        for t in tickets {
+            t.wait().unwrap();
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 mod engine;
 pub mod openloop;
+pub mod queueing;
 mod server;
 mod workload;
 

@@ -14,6 +14,7 @@ use perf::GpuSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::queueing::{percentile_sorted, BoundedQueue};
 use crate::workload::ServiceWorkload;
 
 /// Latency distribution summary from an open-loop run.
@@ -31,6 +32,10 @@ pub struct OpenLoopResult {
     pub p99_latency_s: f64,
     /// Mean assembled batch size.
     pub mean_batch: f64,
+    /// Queries shed at admission because the bounded queue was full
+    /// (always 0 without a [`OpenLoopConfig::queue_bound`]). This is the
+    /// simulation-side mirror of the live server's `Busy` response.
+    pub shed_queries: u64,
     /// Whether the queue was still growing when the run ended
     /// (offered load beyond capacity).
     pub saturated: bool,
@@ -43,6 +48,10 @@ pub struct OpenLoopConfig {
     pub gpu: GpuSpec,
     /// Largest batch the server will assemble (Table 3 column).
     pub max_batch: usize,
+    /// Admission-queue bound: arrivals beyond this many queued queries
+    /// are shed (the live engine's `Busy` backpressure). `None` models
+    /// the unbounded queue of the original paper setup.
+    pub queue_bound: Option<usize>,
     /// Number of query arrivals to simulate.
     pub queries: usize,
     /// RNG seed for the Poisson arrival process.
@@ -54,6 +63,7 @@ impl Default for OpenLoopConfig {
         OpenLoopConfig {
             gpu: GpuSpec::k40(),
             max_batch: 16,
+            queue_bound: None,
             queries: 2000,
             seed: 0xD1_07,
         }
@@ -95,26 +105,31 @@ pub fn run(app: App, offered_qps: f64, config: &OpenLoopConfig) -> dnn::Result<O
         arrivals.push(t);
     }
 
-    // Single-server batching queue.
+    // Single-server batching queue — the same bounded-admission +
+    // greedy-assembly discipline the live `djinn` engine runs, driven in
+    // virtual time. The queue holds arrival timestamps.
+    let mut queue = BoundedQueue::new(config.queue_bound.unwrap_or(usize::MAX - 1));
     let mut latencies = Vec::with_capacity(config.queries);
     let mut server_free_at = 0.0f64;
     let mut next = 0usize;
     let mut batches = 0usize;
-    while next < arrivals.len() {
-        // Server becomes available; the batch is whatever has queued.
-        let start = server_free_at.max(arrivals[next]);
-        let mut take = 1usize;
-        while take < config.max_batch
-            && next + take < arrivals.len()
-            && arrivals[next + take] <= start
-        {
-            take += 1;
+    while next < arrivals.len() || !queue.is_empty() {
+        // Server becomes available; arrivals up to that instant queue
+        // (or are shed, when the bound is hit).
+        let start = if queue.is_empty() {
+            server_free_at.max(arrivals[next])
+        } else {
+            server_free_at
+        };
+        while next < arrivals.len() && arrivals[next] <= start {
+            let _ = queue.offer(arrivals[next]);
+            next += 1;
         }
-        let done = start + service_s[take];
-        for &arr in &arrivals[next..next + take] {
+        let batch = queue.assemble(config.max_batch, |_| 1);
+        let done = start + service_s[batch.len()];
+        for arr in batch {
             latencies.push(done - arr);
         }
-        next += take;
         batches += 1;
         server_free_at = done;
     }
@@ -122,7 +137,6 @@ pub fn run(app: App, offered_qps: f64, config: &OpenLoopConfig) -> dnn::Result<O
     let elapsed = server_free_at.max(*arrivals.last().expect("non-empty"));
     let mut sorted = latencies.clone();
     sorted.sort_by(f64::total_cmp);
-    let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
     let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
     // Saturated if the last query waited far longer than the first ones:
     // the queue grows without bound beyond capacity.
@@ -131,9 +145,10 @@ pub fn run(app: App, offered_qps: f64, config: &OpenLoopConfig) -> dnn::Result<O
         offered_qps,
         completed_qps: latencies.len() as f64 / elapsed,
         mean_latency_s: mean,
-        p50_latency_s: pct(0.50),
-        p99_latency_s: pct(0.99),
+        p50_latency_s: percentile_sorted(&sorted, 0.50),
+        p99_latency_s: percentile_sorted(&sorted, 0.99),
         mean_batch: latencies.len() as f64 / batches as f64,
+        shed_queries: queue.shed_count(),
         saturated,
     })
 }
@@ -212,6 +227,29 @@ mod tests {
         let light = run(App::Pos, cap * 0.05, &config).unwrap();
         let heavy = run(App::Pos, cap * 0.9, &config).unwrap();
         assert!(heavy.mean_batch > light.mean_batch * 2.0);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_and_bounds_latency_under_overload() {
+        // With an admission bound the simulator mirrors the live engine's
+        // `Busy` shedding: overload costs shed queries, not unbounded p99.
+        let bounded = OpenLoopConfig {
+            queue_bound: Some(32),
+            ..cfg(16)
+        };
+        let unbounded = cfg(16);
+        let cap = capacity_qps(App::Imc, &bounded).unwrap();
+        let b = run(App::Imc, cap * 2.0, &bounded).unwrap();
+        let u = run(App::Imc, cap * 2.0, &unbounded).unwrap();
+        assert!(b.shed_queries > 0, "no sheds at 2x capacity");
+        assert_eq!(u.shed_queries, 0);
+        assert!(u.saturated);
+        assert!(
+            b.p99_latency_s < u.p99_latency_s,
+            "bounded p99 {} not below unbounded p99 {}",
+            b.p99_latency_s,
+            u.p99_latency_s
+        );
     }
 
     #[test]

@@ -235,6 +235,44 @@ impl Tensor {
         Tensor::from_vec(shape, data)
     }
 
+    /// Stacks owned tensors along the batch (first) axis, consuming them.
+    ///
+    /// The by-value counterpart of [`Tensor::stack_batch`] for dispatch
+    /// paths that own their inputs: a single part is returned as-is with
+    /// **zero copies**, and the multi-part case reuses the first part's
+    /// allocation when it can hold the whole batch. A 64-wide IMC batch
+    /// would otherwise duplicate ~64×3×227×227 floats per forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `parts` is empty or per-item shapes differ.
+    pub fn stack_batch_owned(mut parts: Vec<Tensor>) -> Result<Self> {
+        if parts.len() == 1 {
+            return Ok(parts.pop().expect("len checked"));
+        }
+        let first = parts.first().ok_or(TensorError::EmptyShape)?;
+        let mut total_batch = 0usize;
+        for p in &parts {
+            if p.shape.dims()[1..] != first.shape.dims()[1..] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "stack_batch",
+                    lhs: first.shape.dims().to_vec(),
+                    rhs: p.shape.dims().to_vec(),
+                });
+            }
+            total_batch += p.shape.batch();
+        }
+        let per_item = first.shape.volume() / first.shape.batch();
+        let shape = first.shape.with_batch(total_batch);
+        let mut it = parts.into_iter();
+        let mut data = it.next().expect("non-empty").data;
+        data.reserve_exact(per_item * total_batch - data.len());
+        for p in it {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec(shape, data)
+    }
+
     /// Splits a batched tensor back into `counts.len()` tensors where part
     /// `i` receives `counts[i]` batch rows. Inverse of [`Tensor::stack_batch`].
     ///
@@ -346,6 +384,30 @@ mod tests {
         let a = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
         let b = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
         assert!(Tensor::stack_batch(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn stack_batch_owned_matches_borrowed_stack() {
+        let a = Tensor::from_fn(Shape::nchw(2, 1, 2, 2), |i| i as f32);
+        let b = Tensor::from_fn(Shape::nchw(3, 1, 2, 2), |i| 100.0 + i as f32);
+        let borrowed = Tensor::stack_batch(&[a.clone(), b.clone()]).unwrap();
+        let owned = Tensor::stack_batch_owned(vec![a, b]).unwrap();
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn stack_batch_owned_single_part_is_passthrough() {
+        let a = Tensor::from_fn(Shape::nchw(2, 1, 2, 2), |i| i as f32);
+        let out = Tensor::stack_batch_owned(vec![a.clone()]).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn stack_batch_owned_rejects_empty_and_mismatched() {
+        assert!(Tensor::stack_batch_owned(Vec::new()).is_err());
+        let a = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        let b = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        assert!(Tensor::stack_batch_owned(vec![a, b]).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Duration;
 
 use djinn::{DjinnClient, DjinnError};
 use dnn::zoo::App;
@@ -11,6 +12,13 @@ use dnn::Network;
 use tensor::Tensor;
 
 use crate::{image, speech, text};
+
+/// How many times a `Busy` (load-shed) reply is retried before the error
+/// propagates to the application.
+const BUSY_RETRIES: u32 = 4;
+
+/// First backoff after a `Busy` reply; doubles per retry (1 → 16 ms).
+const BUSY_BACKOFF: Duration = Duration::from_millis(1);
 
 /// Where the DNN part of a query executes.
 pub enum Backend {
@@ -38,7 +46,24 @@ impl Backend {
     fn infer(&mut self, input: &Tensor) -> djinn::Result<Tensor> {
         match self {
             Backend::Local(net) => Ok(net.forward(input)?),
-            Backend::Remote { client, model } => client.infer(model, input),
+            Backend::Remote { client, model } => {
+                // A `Busy` reply is the server shedding load at admission;
+                // back off briefly and retry a bounded number of times
+                // before giving up, so short bursts ride through while a
+                // genuinely saturated service still fails fast.
+                let mut delay = BUSY_BACKOFF;
+                let mut attempts = 0;
+                loop {
+                    match client.infer(model, input) {
+                        Err(DjinnError::Busy { .. }) if attempts < BUSY_RETRIES => {
+                            attempts += 1;
+                            std::thread::sleep(delay);
+                            delay *= 2;
+                        }
+                        other => return other,
+                    }
+                }
+            }
         }
     }
 }
