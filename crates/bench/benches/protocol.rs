@@ -27,6 +27,7 @@ fn bench_protocol(c: &mut Criterion) {
         let req = Request::Infer {
             model: "m".into(),
             input: tensor.clone(),
+            request_id: 1,
         };
         group.bench_with_input(BenchmarkId::new("encode", name), &req, |b, req| {
             b.iter(|| black_box(req.encode().unwrap()));
@@ -35,7 +36,10 @@ fn bench_protocol(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, enc| {
             b.iter(|| black_box(Request::decode(enc).unwrap()));
         });
-        let rsp = Response::Output(tensor);
+        let rsp = Response::Output {
+            tensor,
+            trace: Default::default(),
+        };
         let rsp_enc = rsp.encode().unwrap();
         group.bench_with_input(BenchmarkId::new("decode_rsp", name), &rsp_enc, |b, enc| {
             b.iter(|| black_box(Response::decode(enc).unwrap()));

@@ -4,7 +4,7 @@
 //! ```text
 //! djinn-loadgen --addr HOST:PORT --model NAME
 //!               [--threads N] [--requests R] [--queries Q]
-//!               [--timeout-ms T]
+//!               [--timeout-ms T] [--trace-out PATH]
 //! ```
 //!
 //! Transient failures (connection refused/reset, I/O timeouts) are
@@ -15,7 +15,12 @@
 //! is backpressure working as designed, not a failure.
 //!
 //! The report includes p50/p95/p99 end-to-end latency over successful
-//! requests (client-observed: queueing + batching + compute + wire).
+//! requests (client-observed) plus a per-stage breakdown table — queue
+//! wait, batch coalescing wait, service, and wire time — assembled from
+//! the server's echoed trace blocks. `--trace-out PATH` additionally
+//! dumps one JSONL record per successful request for offline analysis.
+//! A run where every request was shed reports `n/a` percentiles, never
+//! a fake zero.
 //!
 //! Input shapes are discovered from the seven Tonic models by name; for
 //! other models, pass nothing and the tool reports the server's model
@@ -26,9 +31,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use djinn::{DjinnClient, DjinnError};
+use djinn::trace::{fmt_ms, percentile, TraceAggregator};
+use djinn::{DjinnClient, DjinnError, TraceRecord};
 use dnn::zoo::App;
-use gpusim::queueing::percentile_sorted;
 use tensor::Tensor;
 
 struct Args {
@@ -38,6 +43,7 @@ struct Args {
     requests: usize,
     queries: usize,
     timeout: Duration,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         requests: 50,
         queries: 1,
         timeout: Duration::from_secs(30),
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,9 +75,11 @@ fn parse_args() -> Result<Args, String> {
                 let ms: u64 = value("--timeout-ms")?.parse().map_err(|e| format!("{e}"))?;
                 args.timeout = Duration::from_millis(ms);
             }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--help" | "-h" => {
                 return Err("usage: djinn-loadgen --addr HOST:PORT --model NAME \
-                            [--threads N] [--requests R] [--queries Q] [--timeout-ms T]"
+                            [--threads N] [--requests R] [--queries Q] [--timeout-ms T] \
+                            [--trace-out PATH]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -142,7 +151,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let latencies_us = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let records = Arc::new(Mutex::new(Vec::<TraceRecord>::new()));
     let errors = Arc::new(AtomicU64::new(0));
     let sheds = Arc::new(AtomicU64::new(0));
     let reconnects = Arc::new(AtomicU64::new(0));
@@ -152,7 +161,7 @@ fn main() -> ExitCode {
     for _ in 0..args.threads {
         let input = input.clone();
         let model = model.clone();
-        let latencies_us = Arc::clone(&latencies_us);
+        let records = Arc::clone(&records);
         let errors = Arc::clone(&errors);
         let sheds = Arc::clone(&sheds);
         let reconnects = Arc::clone(&reconnects);
@@ -165,13 +174,12 @@ fn main() -> ExitCode {
                     return;
                 }
             };
-            // Per-thread latency buffer, merged once at the end, so the
+            // Per-thread trace buffer, merged once at the end, so the
             // hot loop never contends on the shared lock.
-            let mut local_us = Vec::with_capacity(requests);
+            let mut local = Vec::with_capacity(requests);
             for done in 0..requests {
-                let t0 = Instant::now();
-                match client.infer(&model, &input) {
-                    Ok(_) => local_us.push(t0.elapsed().as_micros() as u64),
+                match client.infer_traced(&model, &input) {
+                    Ok((_, record)) => local.push(record),
                     // The server shed the request at admission: the
                     // connection is fine, and this is backpressure, not a
                     // transport failure — count it separately.
@@ -201,10 +209,10 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            latencies_us
+            records
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .extend(local_us);
+                .extend(local);
         }));
     }
     for h in handles {
@@ -212,28 +220,48 @@ fn main() -> ExitCode {
     }
     let elapsed = started.elapsed().as_secs_f64();
     let sent = (args.threads * args.requests) as u64;
-    let mut lat_ms: Vec<f64> = latencies_us
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .iter()
-        .map(|&us| us as f64 / 1e3)
-        .collect();
+    let records = std::mem::take(&mut *records.lock().unwrap_or_else(|e| e.into_inner()));
+    let mut lat_ms: Vec<f64> = records.iter().map(|r| r.e2e_us as f64 / 1e3).collect();
     lat_ms.sort_by(f64::total_cmp);
     let ok = lat_ms.len() as u64;
-    let mean_ms = lat_ms.iter().sum::<f64>() / ok.max(1) as f64;
+    // `percentile` returns None on an empty sample set (every request
+    // shed or failed): the report says `n/a` instead of panicking on an
+    // empty index or printing a fake 0 ms.
+    let mean = (ok > 0).then(|| lat_ms.iter().sum::<f64>() / ok as f64);
     println!(
         "{model}: {ok}/{sent} ok in {elapsed:.2}s  ->  {:.1} req/s ({:.1} q/s), \
-         mean {mean_ms:.2} ms, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
-         max {:.2} ms, {} shed (busy), {} errors, {} reconnects",
+         mean {}, p50 {}, p95 {}, p99 {}, \
+         max {}, {} shed (busy), {} errors, {} reconnects",
         ok as f64 / elapsed,
         ok as f64 * args.queries as f64 / elapsed,
-        percentile_sorted(&lat_ms, 0.50),
-        percentile_sorted(&lat_ms, 0.95),
-        percentile_sorted(&lat_ms, 0.99),
-        lat_ms.last().copied().unwrap_or(0.0),
+        fmt_ms(mean),
+        fmt_ms(percentile(&lat_ms, 0.50)),
+        fmt_ms(percentile(&lat_ms, 0.95)),
+        fmt_ms(percentile(&lat_ms, 0.99)),
+        fmt_ms(lat_ms.last().copied()),
         sheds.load(Ordering::Relaxed),
         errors.load(Ordering::Relaxed),
         reconnects.load(Ordering::Relaxed),
     );
+
+    // Per-stage latency breakdown from the server's echoed trace blocks.
+    let mut agg = TraceAggregator::new();
+    for r in &records {
+        agg.record(r);
+    }
+    print!("{}", agg.table().render());
+
+    if let Some(path) = args.trace_out {
+        let mut jsonl = String::with_capacity(records.len() * 160);
+        for r in &records {
+            jsonl.push_str(&r.to_json());
+            jsonl.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, jsonl) {
+            eprintln!("cannot write --trace-out {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} trace records to {path}", records.len());
+    }
     ExitCode::SUCCESS
 }

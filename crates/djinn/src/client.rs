@@ -1,11 +1,12 @@
 //! Client library for the DjiNN service.
 
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tensor::Tensor;
 
 use crate::protocol::{write_frame, FrameReader, ModelStats, Request, Response};
+use crate::trace::{self, TraceRecord};
 use crate::{DjinnError, Result};
 
 /// A synchronous client holding one TCP connection to a DjiNN server.
@@ -81,12 +82,52 @@ impl DjinnClient {
     /// admission (back off and retry), [`DjinnError::Remote`] for other
     /// server-reported failures, and protocol/I/O errors otherwise.
     pub fn infer(&mut self, model: &str, input: &Tensor) -> Result<Tensor> {
+        self.infer_traced(model, input).map(|(tensor, _)| tensor)
+    }
+
+    /// Like [`DjinnClient::infer`], but also returns the request's
+    /// [`TraceRecord`]: the client-measured end-to-end latency combined
+    /// with the server's span breakdown. A fresh request ID is drawn from
+    /// [`trace::next_request_id`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DjinnClient::infer`].
+    pub fn infer_traced(&mut self, model: &str, input: &Tensor) -> Result<(Tensor, TraceRecord)> {
+        self.infer_traced_with_id(model, input, trace::next_request_id())
+    }
+
+    /// Like [`DjinnClient::infer_traced`], with a caller-supplied request
+    /// ID — the hook retrying callers use to keep one ID (hence one
+    /// trace) across `Busy` retries.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DjinnClient::infer`].
+    pub fn infer_traced_with_id(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        request_id: u64,
+    ) -> Result<(Tensor, TraceRecord)> {
         let req = Request::Infer {
             model: model.to_string(),
             input: input.clone(),
+            request_id,
         };
+        // The client-send span mark; client-recv is when the decoded
+        // response is in hand.
+        let sent = Instant::now();
         match self.roundtrip(&req)? {
-            Response::Output(t) => Ok(t),
+            Response::Output { tensor, mut trace } => {
+                let e2e_us = sent.elapsed().as_micros() as u64;
+                // A pre-v3 server echoes no trace; keep the ID the caller
+                // chose so the record still identifies the request.
+                if trace.request_id == 0 {
+                    trace.request_id = request_id;
+                }
+                Ok((tensor, TraceRecord::new(model, e2e_us, trace)))
+            }
             Response::Error(message) => Err(DjinnError::Remote { message }),
             Response::Busy { model, queue_depth } => Err(DjinnError::Busy {
                 model,

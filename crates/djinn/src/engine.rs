@@ -31,6 +31,7 @@ use dnn::Network;
 use gpusim::queueing::{BoundedQueue, LatencyHistogram};
 use tensor::Tensor;
 
+use crate::trace::EngineSpans;
 use crate::{DjinnError, Executor, Result};
 
 /// Batching policy (§5.1 of the paper).
@@ -107,16 +108,30 @@ pub struct EngineStats {
     pub p50_queue_wait_us: u64,
     /// 99th-percentile queue wait, microseconds.
     pub p99_queue_wait_us: u64,
+    /// Median batch coalescing wait (dequeue → executor start),
+    /// microseconds. Near zero under [`DispatchPolicy::Immediate`].
+    pub p50_batch_wait_us: u64,
+    /// 99th-percentile batch coalescing wait, microseconds.
+    pub p99_batch_wait_us: u64,
     /// Median device/service time per dispatch, microseconds.
     pub p50_service_us: u64,
     /// 99th-percentile device/service time per dispatch, microseconds.
     pub p99_service_us: u64,
 }
 
+/// A finished job: the output plus the engine's span measurements.
+struct Completed {
+    output: Tensor,
+    spans: EngineSpans,
+}
+
 struct Job {
     input: Tensor,
-    reply: Sender<Result<Tensor>>,
+    reply: Sender<Result<Completed>>,
     enqueued: Instant,
+    /// Stamped when a dispatch worker takes the job off the queue — the
+    /// queue-exit span mark.
+    dequeued: Option<Instant>,
 }
 
 impl Job {
@@ -139,6 +154,7 @@ struct Inner {
     in_flight: AtomicUsize,
     completed: AtomicU64,
     queue_wait: Mutex<LatencyHistogram>,
+    batch_wait: Mutex<LatencyHistogram>,
     service: Mutex<LatencyHistogram>,
 }
 
@@ -151,7 +167,15 @@ impl Inner {
 /// A pending inference: the caller's handle to one admitted job.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: Receiver<Result<Tensor>>,
+    rx: Receiver<Result<Completed>>,
+}
+
+impl std::fmt::Debug for Completed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completed")
+            .field("spans", &self.spans)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Ticket {
@@ -164,7 +188,18 @@ impl Ticket {
     /// Returns the job's inference error, or [`DjinnError::Shutdown`] if
     /// the engine died without answering (worker panic).
     pub fn wait(self) -> Result<Tensor> {
-        self.rx.recv().map_err(|_| DjinnError::Shutdown)?
+        self.wait_traced().map(|(output, _)| output)
+    }
+
+    /// Like [`Ticket::wait`], but also returns the engine's span
+    /// measurements (queue wait, batch wait, service) for the job.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ticket::wait`].
+    pub fn wait_traced(self) -> Result<(Tensor, EngineSpans)> {
+        let done = self.rx.recv().map_err(|_| DjinnError::Shutdown)??;
+        Ok((done.output, done.spans))
     }
 }
 
@@ -203,6 +238,7 @@ impl InferenceEngine {
             in_flight: AtomicUsize::new(0),
             completed: AtomicU64::new(0),
             queue_wait: Mutex::new(LatencyHistogram::new()),
+            batch_wait: Mutex::new(LatencyHistogram::new()),
             service: Mutex::new(LatencyHistogram::new()),
         });
         let worker_count = match config.policy {
@@ -247,6 +283,7 @@ impl InferenceEngine {
             input,
             reply: tx,
             enqueued: Instant::now(),
+            dequeued: None,
         };
         let mut st = self.inner.lock();
         if !st.open {
@@ -276,6 +313,16 @@ impl InferenceEngine {
         self.submit(input)?.wait()
     }
 
+    /// Like [`InferenceEngine::infer`], but also returns the engine's
+    /// span measurements for the job.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InferenceEngine::infer`].
+    pub fn infer_traced(&self, input: Tensor) -> Result<(Tensor, EngineSpans)> {
+        self.submit(input)?.wait_traced()
+    }
+
     /// Current queue telemetry.
     pub fn stats(&self) -> EngineStats {
         let (queue_depth, shed) = {
@@ -286,6 +333,14 @@ impl InferenceEngine {
             let h = self
                 .inner
                 .queue_wait
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            (h.quantile(0.50), h.quantile(0.99))
+        };
+        let (p50_batch_wait_us, p99_batch_wait_us) = {
+            let h = self
+                .inner
+                .batch_wait
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
             (h.quantile(0.50), h.quantile(0.99))
@@ -302,6 +357,8 @@ impl InferenceEngine {
             completed: self.inner.completed.load(Ordering::Relaxed),
             p50_queue_wait_us,
             p99_queue_wait_us,
+            p50_batch_wait_us,
+            p99_batch_wait_us,
             p50_service_us,
             p99_service_us,
         }
@@ -350,10 +407,23 @@ fn next_job(inner: &Inner) -> Option<Job> {
     }
 }
 
+/// Records each job's queue wait (admission → queue-exit). Falls back to
+/// "now" for a job that was never stamped (cannot happen in the worker
+/// loops, which stamp immediately after popping).
 fn record_wait(inner: &Inner, jobs: &[Job]) {
     let mut h = inner.queue_wait.lock().unwrap_or_else(|e| e.into_inner());
     for job in jobs {
-        h.record(job.enqueued.elapsed().as_micros() as u64);
+        let dequeued = job.dequeued.unwrap_or_else(Instant::now);
+        h.record(dequeued.duration_since(job.enqueued).as_micros() as u64);
+    }
+}
+
+/// Records each job's batch coalescing wait (queue-exit → executor
+/// start).
+fn record_batch_wait(inner: &Inner, dequeued: &[Instant], exec_start: Instant) {
+    let mut h = inner.batch_wait.lock().unwrap_or_else(|e| e.into_inner());
+    for &d in dequeued {
+        h.record(exec_start.duration_since(d).as_micros() as u64);
     }
 }
 
@@ -365,13 +435,38 @@ fn record_service(inner: &Inner, device_latency: Duration) {
         .record(device_latency.as_micros() as u64);
 }
 
+/// Assembles one job's span measurements from its timeline marks.
+fn spans_for(
+    enqueued: Instant,
+    dequeued: Instant,
+    exec_start: Instant,
+    service: Duration,
+) -> EngineSpans {
+    EngineSpans {
+        queue_us: dequeued.duration_since(enqueued).as_micros() as u64,
+        batch_us: exec_start.duration_since(dequeued).as_micros() as u64,
+        service_us: service.as_micros() as u64,
+    }
+}
+
 fn immediate_loop(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor) {
-    while let Some(job) = next_job(inner) {
+    while let Some(mut job) = next_job(inner) {
+        let dequeued = Instant::now();
+        job.dequeued = Some(dequeued);
         record_wait(inner, std::slice::from_ref(&job));
         inner.in_flight.fetch_add(1, Ordering::Relaxed);
-        let result = executor.infer(network, &job.input).map(|outcome| {
+        // Immediate dispatch has no coalescing phase: executor start is
+        // the queue-exit mark, so the batch span is ~0.
+        let exec_start = Instant::now();
+        record_batch_wait(inner, &[dequeued], exec_start);
+        let outcome = executor.infer(network, &job.input);
+        let service = exec_start.elapsed();
+        let result = outcome.map(|outcome| {
             record_service(inner, outcome.device_latency);
-            outcome.output
+            Completed {
+                output: outcome.output,
+                spans: spans_for(job.enqueued, dequeued, exec_start, service),
+            }
         });
         inner.in_flight.fetch_sub(1, Ordering::Relaxed);
         inner.completed.fetch_add(1, Ordering::Relaxed);
@@ -405,6 +500,10 @@ fn batched_loop(
                 st = inner.cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         }
+        let assembled = Instant::now();
+        for job in &mut jobs {
+            job.dequeued = Some(assembled);
+        }
         // Phase 2: coalesce up to the cap until `max_delay` expires. A
         // draining engine skips the wait — queued jobs are answered as
         // fast as possible.
@@ -417,10 +516,11 @@ fn batched_loop(
                     break;
                 }
                 let mut st = inner.lock();
-                if let Some(job) = st
+                if let Some(mut job) = st
                     .queue
                     .pop_if(|j| queries + j.queries() <= config.max_batch)
                 {
+                    job.dequeued = Some(Instant::now());
                     queries += job.queries();
                     jobs.push(job);
                     continue;
@@ -449,13 +549,25 @@ fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs
     let n = jobs.len();
     inner.in_flight.fetch_add(n, Ordering::Relaxed);
     let counts: Vec<usize> = jobs.iter().map(Job::queries).collect();
-    let (inputs, replies): (Vec<Tensor>, Vec<Sender<Result<Tensor>>>) =
+    // Timeline marks per job, kept aside so spans can be attached to each
+    // reply after the shared forward pass.
+    let marks: Vec<(Instant, Instant)> = jobs
+        .iter()
+        .map(|j| (j.enqueued, j.dequeued.unwrap_or(j.enqueued)))
+        .collect();
+    let (inputs, replies): (Vec<Tensor>, Vec<Sender<Result<Completed>>>) =
         jobs.into_iter().map(|j| (j.input, j.reply)).unzip();
+    // Input stacking counts toward the batch span: executor-start is
+    // stamped after it, right before the forward pass.
+    let mut exec_start = Instant::now();
+    let mut service = Duration::ZERO;
     let result = Tensor::stack_batch_owned(inputs)
         .map_err(dnn::DnnError::from)
         .map_err(DjinnError::from)
         .and_then(|stacked| {
+            exec_start = Instant::now();
             let outcome = executor.infer(network, &stacked)?;
+            service = exec_start.elapsed();
             record_service(inner, outcome.device_latency);
             if counts.len() == 1 {
                 // Single-job batch: hand the output over without the
@@ -468,12 +580,17 @@ fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs
                 .map_err(dnn::DnnError::from)
                 .map_err(DjinnError::from)
         });
+    let dequeue_marks: Vec<Instant> = marks.iter().map(|&(_, d)| d).collect();
+    record_batch_wait(inner, &dequeue_marks, exec_start);
     inner.in_flight.fetch_sub(n, Ordering::Relaxed);
     inner.completed.fetch_add(n as u64, Ordering::Relaxed);
     match result {
         Ok(parts) => {
-            for (reply, part) in replies.into_iter().zip(parts) {
-                let _ = reply.send(Ok(part));
+            for ((reply, part), (enqueued, dequeued)) in replies.into_iter().zip(parts).zip(marks) {
+                let _ = reply.send(Ok(Completed {
+                    output: part,
+                    spans: spans_for(enqueued, dequeued, exec_start, service),
+                }));
             }
         }
         Err(e) => {
@@ -824,7 +941,43 @@ mod tests {
         assert_eq!(stats.in_flight, 0);
         assert_eq!(stats.shed, 0);
         assert!(stats.p99_queue_wait_us >= stats.p50_queue_wait_us);
+        assert!(stats.p99_batch_wait_us >= stats.p50_batch_wait_us);
         assert!(stats.p99_service_us >= stats.p50_service_us);
+    }
+
+    #[test]
+    fn traced_wait_returns_engine_spans() {
+        let eng = engine(
+            tiny_net(),
+            EngineConfig {
+                policy: DispatchPolicy::Immediate,
+                queue_capacity: 8,
+                workers: 1,
+            },
+        );
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 3);
+        let (out, spans) = eng.infer_traced(input).unwrap();
+        assert_eq!(out.shape().batch(), 1);
+        // Immediate dispatch: the coalescing span is (near) zero while
+        // the sum of spans stays bounded by the call's wall time.
+        assert!(spans.batch_us < 50_000, "immediate batch span {spans:?}");
+    }
+
+    #[test]
+    fn lone_batched_job_waits_out_the_coalescing_delay() {
+        let max_delay = Duration::from_millis(5);
+        let eng = engine(tiny_net(), batched(4, max_delay));
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 4);
+        let (_, spans) = eng.infer_traced(input).unwrap();
+        // A single job with no co-batched company holds the batch open
+        // until max_delay expires — that wait must be attributed to the
+        // batch span, not queue or service.
+        assert!(
+            spans.batch_us >= (max_delay.as_micros() as u64) / 2,
+            "batch span {} us does not reflect the {:?} coalescing wait",
+            spans.batch_us,
+            max_delay
+        );
     }
 
     #[test]

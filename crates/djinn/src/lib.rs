@@ -47,6 +47,7 @@ mod executor;
 pub mod protocol;
 mod registry;
 mod server;
+pub mod trace;
 
 pub use client::DjinnClient;
 pub use engine::{BatchConfig, DispatchPolicy, EngineConfig, EngineStats, InferenceEngine, Ticket};
@@ -55,6 +56,7 @@ pub use executor::{CpuExecutor, Executor, InferenceOutcome, SimGpuExecutor};
 pub use protocol::ModelStats;
 pub use registry::ModelRegistry;
 pub use server::{Backend, DjinnServer, ServerConfig};
+pub use trace::{EngineSpans, ServerTrace, TraceRecord};
 
 /// Result alias used across this crate.
 pub type Result<T> = std::result::Result<T, DjinnError>;

@@ -5,23 +5,30 @@
 //! byte, then an opcode:
 //!
 //! ```text
-//! request  := magic version opcode=1 name:str tensor
-//! response := magic version opcode=2 status:u8 (tensor | str)
+//! request  := magic version opcode=1 name:str id:u64 tensor
+//! response := magic version opcode=2 status:u8 (trace tensor | str)
 //! list_req := magic version opcode=3
 //! list_rsp := magic version opcode=4 count:u16 (str)*
 //! busy     := magic version opcode=7 name:str depth:u32
 //! str      := u16 len, utf-8 bytes
 //! tensor   := u8 rank, u32 dim*, f32 data* (little endian)
+//! trace    := id:u64 queue_us:u64 batch_us:u64 service_us:u64 total_us:u64
 //! ```
 //!
 //! # Versioning
 //!
 //! Version 2 added the `busy` frame (admission-control backpressure) and
 //! extended each stats entry with queue telemetry (depth, in-flight,
-//! shed, p50/p99 queue wait). Decoders accept every version from 1 up to
-//! [`VERSION`]: a v1 stats entry is 32 bytes and its queue fields decode
-//! as zero, so a v2 client still understands a v1 server's reply.
-//! Encoders always emit [`VERSION`].
+//! shed, p50/p99 queue wait). Version 3 added request tracing: an infer
+//! request carries a client-assigned `id:u64` after the model name, a
+//! successful response carries a 40-byte `trace` block (the echoed ID
+//! plus queue/batch/service/server-total durations in microseconds)
+//! before the tensor, and each stats entry appends six breakdown
+//! quantiles (p50/p99 × batch-wait, service, wire). Decoders accept
+//! every version from 1 up to [`VERSION`]: fields a version predates
+//! decode as zero (request ID 0 means "untraced"; an all-zero trace
+//! means "the peer reported none"), so a v3 client still understands a
+//! v1 server's reply and vice versa. Encoders always emit [`VERSION`].
 //!
 //! # Framing under timeouts
 //!
@@ -42,13 +49,14 @@ use std::io::{Read, Write};
 
 use tensor::{Shape, Tensor};
 
+use crate::trace::ServerTrace;
 use crate::{DjinnError, Result};
 
 /// Protocol magic bytes.
 pub const MAGIC: &[u8; 4] = b"DJNN";
 /// Protocol version this implementation speaks. Decoding accepts any
 /// version in `1..=VERSION`.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 /// Upper bound on a frame, to reject hostile lengths (64 MiB holds the
 /// largest Tonic batch comfortably).
 pub const MAX_FRAME: usize = 64 << 20;
@@ -75,6 +83,10 @@ pub enum Request {
         model: String,
         /// Input tensor (batch axis = queries stacked by the client).
         input: Tensor,
+        /// Client-assigned trace ID, echoed in the response's trace
+        /// block. 0 means "untraced" (and is what a v1/v2 frame decodes
+        /// as). IDs are client-scoped; the server never interprets them.
+        request_id: u64,
     },
     /// List registered model names.
     ListModels,
@@ -106,6 +118,24 @@ pub struct ModelStats {
     pub p50_queue_wait_us: u64,
     /// 99th-percentile queue wait, microseconds (0 from a v1 peer).
     pub p99_queue_wait_us: u64,
+    /// Median batch coalescing wait (dequeue → executor start),
+    /// microseconds (0 from a pre-v3 peer).
+    pub p50_batch_wait_us: u64,
+    /// 99th-percentile batch coalescing wait, microseconds (0 from a
+    /// pre-v3 peer).
+    pub p99_batch_wait_us: u64,
+    /// Median service (forward-pass) latency, microseconds (0 from a
+    /// pre-v3 peer).
+    pub p50_service_us: u64,
+    /// 99th-percentile service latency, microseconds (0 from a pre-v3
+    /// peer).
+    pub p99_service_us: u64,
+    /// Median response-write (wire) time as seen by the server,
+    /// microseconds (0 from a pre-v3 peer).
+    pub p50_wire_us: u64,
+    /// 99th-percentile response-write time, microseconds (0 from a
+    /// pre-v3 peer).
+    pub p99_wire_us: u64,
 }
 
 impl ModelStats {
@@ -122,8 +152,15 @@ impl ModelStats {
 /// A server→client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// Successful inference: the output tensor.
-    Output(Tensor),
+    /// Successful inference: the output tensor plus the server-side
+    /// trace of the request that produced it.
+    Output {
+        /// The prediction.
+        tensor: Tensor,
+        /// Server-side span durations and the echoed request ID
+        /// (all-zero when decoding a pre-v3 peer).
+        trace: ServerTrace,
+    },
     /// Application-level failure.
     Error(String),
     /// Registered model names.
@@ -269,9 +306,14 @@ impl Request {
     pub fn encode(&self) -> Result<BytesMut> {
         let mut buf = BytesMut::new();
         match self {
-            Request::Infer { model, input } => {
+            Request::Infer {
+                model,
+                input,
+                request_id,
+            } => {
                 header(&mut buf, OP_INFER);
                 put_str(&mut buf, model)?;
+                buf.put_u64_le(*request_id);
                 put_tensor(&mut buf, input);
             }
             Request::ListModels => header(&mut buf, OP_LIST),
@@ -287,12 +329,26 @@ impl Request {
     /// Returns [`DjinnError::Protocol`] for any malformed frame.
     pub fn decode(mut payload: &[u8]) -> Result<Self> {
         let buf = &mut payload;
-        let (_version, opcode) = check_header(buf)?;
+        let (version, opcode) = check_header(buf)?;
         match opcode {
             OP_INFER => {
                 let model = get_str(buf)?;
+                // v3 added the client-assigned trace ID; a pre-v3 frame
+                // has none and decodes as the untraced sentinel 0.
+                let request_id = if version >= 3 {
+                    if buf.remaining() < 8 {
+                        return Err(err("truncated request id"));
+                    }
+                    buf.get_u64_le()
+                } else {
+                    0
+                };
                 let input = get_tensor(buf)?;
-                Ok(Request::Infer { model, input })
+                Ok(Request::Infer {
+                    model,
+                    input,
+                    request_id,
+                })
             }
             OP_LIST => Ok(Request::ListModels),
             OP_STATS => Ok(Request::Stats),
@@ -315,10 +371,15 @@ impl Response {
     pub fn encode(&self) -> Result<BytesMut> {
         let mut buf = BytesMut::new();
         match self {
-            Response::Output(t) => {
+            Response::Output { tensor, trace } => {
                 header(&mut buf, OP_RESULT);
                 buf.put_u8(STATUS_OK);
-                put_tensor(&mut buf, t);
+                buf.put_u64_le(trace.request_id);
+                buf.put_u64_le(trace.queue_us);
+                buf.put_u64_le(trace.batch_us);
+                buf.put_u64_le(trace.service_us);
+                buf.put_u64_le(trace.server_total_us);
+                put_tensor(&mut buf, tensor);
             }
             Response::Error(msg) => {
                 header(&mut buf, OP_RESULT);
@@ -346,6 +407,12 @@ impl Response {
                     buf.put_u64_le(s.shed);
                     buf.put_u64_le(s.p50_queue_wait_us);
                     buf.put_u64_le(s.p99_queue_wait_us);
+                    buf.put_u64_le(s.p50_batch_wait_us);
+                    buf.put_u64_le(s.p99_batch_wait_us);
+                    buf.put_u64_le(s.p50_service_us);
+                    buf.put_u64_le(s.p99_service_us);
+                    buf.put_u64_le(s.p50_wire_us);
+                    buf.put_u64_le(s.p99_wire_us);
                 }
             }
             Response::Busy { model, queue_depth } => {
@@ -371,7 +438,29 @@ impl Response {
                     return Err(err("truncated status"));
                 }
                 match buf.get_u8() {
-                    STATUS_OK => Ok(Response::Output(get_tensor(buf)?)),
+                    STATUS_OK => {
+                        // v3 prefixes the tensor with the 40-byte trace
+                        // block; a pre-v3 response has none and decodes
+                        // with an all-zero trace.
+                        let trace = if version >= 3 {
+                            if buf.remaining() < 40 {
+                                return Err(err("truncated trace block"));
+                            }
+                            ServerTrace {
+                                request_id: buf.get_u64_le(),
+                                queue_us: buf.get_u64_le(),
+                                batch_us: buf.get_u64_le(),
+                                service_us: buf.get_u64_le(),
+                                server_total_us: buf.get_u64_le(),
+                            }
+                        } else {
+                            ServerTrace::default()
+                        };
+                        Ok(Response::Output {
+                            tensor: get_tensor(buf)?,
+                            trace,
+                        })
+                    }
                     STATUS_ERR => Ok(Response::Error(get_str(buf)?)),
                     s => Err(err(&format!("unknown status {s}"))),
                 }
@@ -393,8 +482,13 @@ impl Response {
                 }
                 let count = buf.get_u16_le() as usize;
                 // v1 entries carry 4 u64 counters; v2 appends 5 more for
-                // queue telemetry. A v1 peer's queue fields decode as 0.
-                let words = if version >= 2 { 9 } else { 4 };
+                // queue telemetry; v3 appends 6 breakdown quantiles.
+                // Fields a version predates decode as 0.
+                let words = match version {
+                    1 => 4,
+                    2 => 9,
+                    _ => 15,
+                };
                 let mut stats = Vec::with_capacity(count);
                 for _ in 0..count {
                     let model = get_str(buf)?;
@@ -412,6 +506,12 @@ impl Response {
                         shed: 0,
                         p50_queue_wait_us: 0,
                         p99_queue_wait_us: 0,
+                        p50_batch_wait_us: 0,
+                        p99_batch_wait_us: 0,
+                        p50_service_us: 0,
+                        p99_service_us: 0,
+                        p50_wire_us: 0,
+                        p99_wire_us: 0,
                     };
                     if version >= 2 {
                         entry.queue_depth = buf.get_u64_le();
@@ -419,6 +519,14 @@ impl Response {
                         entry.shed = buf.get_u64_le();
                         entry.p50_queue_wait_us = buf.get_u64_le();
                         entry.p99_queue_wait_us = buf.get_u64_le();
+                    }
+                    if version >= 3 {
+                        entry.p50_batch_wait_us = buf.get_u64_le();
+                        entry.p99_batch_wait_us = buf.get_u64_le();
+                        entry.p50_service_us = buf.get_u64_le();
+                        entry.p99_service_us = buf.get_u64_le();
+                        entry.p50_wire_us = buf.get_u64_le();
+                        entry.p99_wire_us = buf.get_u64_le();
                     }
                     stats.push(entry);
                 }
@@ -576,6 +684,7 @@ mod tests {
         let req = Request::Infer {
             model: "imc".into(),
             input: Tensor::random_uniform(Shape::nchw(2, 3, 4, 4), 1.0, 1),
+            request_id: 0xDEAD_BEEF_0042,
         };
         let decoded = Request::decode(&req.encode().unwrap()).unwrap();
         assert_eq!(decoded, req);
@@ -597,6 +706,12 @@ mod tests {
             shed: 7,
             p50_queue_wait_us: 120,
             p99_queue_wait_us: 4_500,
+            p50_batch_wait_us: 80,
+            p99_batch_wait_us: 1_900,
+            p50_service_us: 2_400,
+            p99_service_us: 3_100,
+            p50_wire_us: 60,
+            p99_wire_us: 700,
         }
     }
 
@@ -617,10 +732,11 @@ mod tests {
     }
 
     #[test]
-    fn version_constant_matches_the_queue_telemetry_protocol() {
-        // The queue-aware stats entry and the busy frame shipped in v2;
-        // bump this test alongside any future wire change.
-        assert_eq!(VERSION, 2);
+    fn version_constant_matches_the_tracing_protocol() {
+        // Request IDs, the response trace block, and the stats breakdown
+        // quantiles shipped in v3; bump this test alongside any future
+        // wire change.
+        assert_eq!(VERSION, 3);
         let wire = Request::ListModels.encode().unwrap();
         assert_eq!(wire[4], VERSION, "encoders must stamp VERSION");
     }
@@ -663,6 +779,11 @@ mod tests {
             "v1 queue fields must decode as zero"
         );
         assert_eq!((s.p50_queue_wait_us, s.p99_queue_wait_us), (0, 0));
+        assert_eq!(
+            (s.p50_batch_wait_us, s.p50_service_us, s.p50_wire_us),
+            (0, 0, 0),
+            "v3 breakdown fields must decode as zero from a v1 peer"
+        );
     }
 
     #[test]
@@ -670,10 +791,27 @@ mod tests {
         let req = Request::Infer {
             model: "m".into(),
             input: Tensor::zeros(Shape::mat(2, 2)),
+            request_id: 77,
         };
+        // A v1 frame has no request-id field: splice the 8 ID bytes out
+        // (they sit right after the length-prefixed model name) and
+        // rewrite the version byte.
         let mut wire = req.encode().unwrap().to_vec();
-        wire[4] = 1; // rewrite the version byte to v1
-        assert_eq!(Request::decode(&wire).unwrap(), req);
+        let id_at = 4 + 1 + 1 + 2 + "m".len();
+        wire.drain(id_at..id_at + 8);
+        wire[4] = 1;
+        let decoded = Request::decode(&wire).unwrap();
+        let Request::Infer {
+            model,
+            input,
+            request_id,
+        } = decoded
+        else {
+            panic!("expected Infer");
+        };
+        assert_eq!(model, "m");
+        assert_eq!(input, Tensor::zeros(Shape::mat(2, 2)));
+        assert_eq!(request_id, 0, "pre-v3 frames decode as untraced");
         // Version 0 and versions beyond ours stay rejected.
         wire[4] = 0;
         assert!(Request::decode(&wire).is_err());
@@ -682,9 +820,47 @@ mod tests {
     }
 
     #[test]
+    fn v2_output_frames_decode_with_zero_trace() {
+        let tensor = Tensor::random_uniform(Shape::mat(2, 3), 1.0, 4);
+        let rsp = Response::Output {
+            tensor: tensor.clone(),
+            trace: ServerTrace {
+                request_id: 1,
+                queue_us: 2,
+                batch_us: 3,
+                service_us: 4,
+                server_total_us: 5,
+            },
+        };
+        // A v2 frame has no trace block: splice out the 40 bytes that
+        // follow the status byte and rewrite the version.
+        let mut wire = rsp.encode().unwrap().to_vec();
+        wire.drain(7..47);
+        wire[4] = 2;
+        let decoded = Response::decode(&wire).unwrap();
+        assert_eq!(
+            decoded,
+            Response::Output {
+                tensor,
+                trace: ServerTrace::default(),
+            },
+            "pre-v3 responses decode with an all-zero trace"
+        );
+    }
+
+    #[test]
     fn response_roundtrip() {
         for rsp in [
-            Response::Output(Tensor::random_uniform(Shape::mat(3, 5), 1.0, 2)),
+            Response::Output {
+                tensor: Tensor::random_uniform(Shape::mat(3, 5), 1.0, 2),
+                trace: ServerTrace {
+                    request_id: 9,
+                    queue_us: 120,
+                    batch_us: 40,
+                    service_us: 2_000,
+                    server_total_us: 2_300,
+                },
+            },
             Response::Error("nope".into()),
             Response::Models(vec!["a".into(), "b".into()]),
         ] {
@@ -707,6 +883,7 @@ mod tests {
         let full = Request::Infer {
             model: "m".into(),
             input: Tensor::zeros(Shape::mat(2, 2)),
+            request_id: 5,
         }
         .encode()
         .unwrap()
@@ -724,6 +901,7 @@ mod tests {
         let req = Request::Infer {
             model: "x".repeat(MAX_STR + 1),
             input: Tensor::zeros(Shape::mat(1, 1)),
+            request_id: 0,
         };
         assert!(matches!(req.encode(), Err(DjinnError::Protocol { .. })));
         let rsp = Response::Models(vec!["y".repeat(70_000)]);
@@ -768,10 +946,12 @@ mod tests {
 
     #[test]
     fn rejects_zero_and_overlong_rank() {
-        // Handcraft a tensor with rank 0.
+        // Handcraft a tensor with rank 0 (after a valid zeroed trace
+        // block, so the failure is the rank, not a truncated trace).
         let mut buf = BytesMut::new();
         header(&mut buf, OP_RESULT);
         buf.put_u8(STATUS_OK);
+        buf.put_slice(&[0u8; 40]);
         buf.put_u8(0);
         assert!(Response::decode(&buf).is_err());
     }
@@ -838,6 +1018,7 @@ mod tests {
         let payload = Request::Infer {
             model: "m".into(),
             input: Tensor::random_uniform(Shape::mat(4, 4), 1.0, 3),
+            request_id: 11,
         }
         .encode()
         .unwrap()
@@ -901,7 +1082,16 @@ mod tests {
             let dims: Vec<usize> = (0..rank).map(|i| 1 + (seed as usize + i * 3) % 5).collect();
             let shape = Shape::new(&dims).unwrap();
             let t = Tensor::random_uniform(shape, 10.0, seed);
-            let rsp = Response::Output(t.clone());
+            let rsp = Response::Output {
+                tensor: t.clone(),
+                trace: ServerTrace {
+                    request_id: seed,
+                    queue_us: seed % 997,
+                    batch_us: seed % 31,
+                    service_us: seed % 4_001,
+                    server_total_us: seed % 5_003,
+                },
+            };
             let back = Response::decode(&rsp.encode().unwrap()).unwrap();
             prop_assert_eq!(back, rsp);
         }

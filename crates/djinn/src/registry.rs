@@ -41,6 +41,27 @@ impl ModelRegistry {
         Ok(reg)
     }
 
+    /// A registry pre-loaded with the miniature test models from
+    /// [`dnn::zoo::tiny_test_zoo`] (`tiny-mnist`, `tiny-senna`), keyed by
+    /// their definition names. Integration tests use this instead of
+    /// [`ModelRegistry::with_tonic_models`] so server startup and each
+    /// request cost microseconds, not seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn with_tiny_test_zoo() -> Result<Self> {
+        let mut reg = ModelRegistry::new();
+        for (i, def) in dnn::zoo::tiny_test_zoo().into_iter().enumerate() {
+            let name = def.name().to_string();
+            // Deterministic per-model seed: every process builds
+            // bit-identical tiny models, like the Tonic zoo does.
+            let net = dnn::Network::with_random_weights(def, 0x717E + i as u64)?;
+            reg.register(name, net);
+        }
+        Ok(reg)
+    }
+
     /// Loads every `*.djnm` model file in a directory, registering each
     /// under its file stem — how a production DjiNN instance is pointed at
     /// a model repository.
@@ -124,6 +145,19 @@ mod tests {
         for app in App::ALL {
             assert!(reg.get(&app.name().to_lowercase()).is_ok());
         }
+    }
+
+    #[test]
+    fn tiny_test_zoo_registry_is_small_and_deterministic() {
+        let a = ModelRegistry::with_tiny_test_zoo().unwrap();
+        assert_eq!(
+            a.names(),
+            vec!["tiny-mnist".to_string(), "tiny-senna".to_string()]
+        );
+        // A few KB resident, not the Tonic zoo's ~0.8 GB.
+        assert!(a.resident_bytes() < 64 * 1024, "{}", a.resident_bytes());
+        let b = ModelRegistry::with_tiny_test_zoo().unwrap();
+        assert_eq!(*a.get("tiny-senna").unwrap(), *b.get("tiny-senna").unwrap());
     }
 
     #[test]

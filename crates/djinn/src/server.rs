@@ -11,12 +11,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use gpusim::queueing::LatencyHistogram;
 use parking_lot::Mutex;
 use tensor::Threading;
 
 use crate::protocol::{write_frame, FrameReader, ModelStats, Request, Response};
+use crate::trace::ServerTrace;
 use crate::{
     BatchConfig, CpuExecutor, DispatchPolicy, DjinnError, EngineConfig, Executor, InferenceEngine,
     ModelRegistry, Result, SimGpuExecutor,
@@ -119,6 +121,9 @@ struct StatsAcc {
     errors: u64,
     total_latency_us: u64,
     max_latency_us: u64,
+    /// Response-write durations for successful inferences — the slice of
+    /// the wire the server's clock can see.
+    wire: LatencyHistogram,
 }
 
 struct Shared {
@@ -291,8 +296,16 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
             Ok(None) => continue, // no complete frame yet; poll stop again
             Err(_) => return,     // EOF or protocol break: drop the connection
         };
-        let response = match Request::decode(&payload) {
-            Ok(req) => handle(req, shared),
+        // The server-read span mark: everything from here to response
+        // encoding is attributed to the server in the echoed trace.
+        let received = Instant::now();
+        let decoded = Request::decode(&payload);
+        let infer_model = match &decoded {
+            Ok(Request::Infer { model, .. }) => Some(model.clone()),
+            _ => None,
+        };
+        let response = match decoded {
+            Ok(req) => handle(req, shared, received),
             Err(e) => Response::Error(e.to_string()),
         };
         let bytes = match response.encode() {
@@ -304,13 +317,25 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
                 Err(_) => return,
             },
         };
+        let write_start = Instant::now();
         if write_frame(&mut stream, &bytes).is_err() {
             return;
+        }
+        // The response-write span mark closes the server's view of the
+        // request: successful inferences feed the per-model wire
+        // histogram reported by `Stats`.
+        if let (Some(model), Response::Output { .. }) = (infer_model, &response) {
+            let mut stats = shared.stats.lock();
+            stats
+                .entry(model)
+                .or_default()
+                .wire
+                .record(write_start.elapsed().as_micros() as u64);
         }
     }
 }
 
-fn handle(req: Request, shared: &Shared) -> Response {
+fn handle(req: Request, shared: &Shared, received: Instant) -> Response {
     match req {
         Request::ListModels => Response::Models(shared.registry.names()),
         Request::Stats => {
@@ -335,22 +360,31 @@ fn handle(req: Request, shared: &Shared) -> Response {
                             shed: q.shed,
                             p50_queue_wait_us: q.p50_queue_wait_us,
                             p99_queue_wait_us: q.p99_queue_wait_us,
+                            p50_batch_wait_us: q.p50_batch_wait_us,
+                            p99_batch_wait_us: q.p99_batch_wait_us,
+                            p50_service_us: q.p50_service_us,
+                            p99_service_us: q.p99_service_us,
+                            p50_wire_us: acc.map_or(0, |a| a.wire.quantile(0.50)),
+                            p99_wire_us: acc.map_or(0, |a| a.wire.quantile(0.99)),
                         }
                     })
                     .collect(),
             )
         }
-        Request::Infer { model, input } => {
-            let started = std::time::Instant::now();
+        Request::Infer {
+            model,
+            input,
+            request_id,
+        } => {
             // The engine is the only path to compute: non-blocking
             // admission, then a wait on the guaranteed reply.
             let result = match shared.engines.get(&model) {
-                Some(engine) => engine.infer(input),
+                Some(engine) => engine.infer_traced(input),
                 None => Err(DjinnError::UnknownModel {
                     name: model.clone(),
                 }),
             };
-            let elapsed_us = started.elapsed().as_micros() as u64;
+            let elapsed_us = received.elapsed().as_micros() as u64;
             {
                 let mut stats = shared.stats.lock();
                 let acc = stats.entry(model).or_default();
@@ -367,7 +401,17 @@ fn handle(req: Request, shared: &Shared) -> Response {
                 }
             }
             match result {
-                Ok(output) => Response::Output(output),
+                Ok((tensor, spans)) => Response::Output {
+                    tensor,
+                    // server_total is stamped at response construction:
+                    // server-read → response-encode, the server's whole
+                    // view of the request in its own clock domain.
+                    trace: ServerTrace::new(
+                        request_id,
+                        spans,
+                        received.elapsed().as_micros() as u64,
+                    ),
+                },
                 Err(DjinnError::Busy { model, queue_depth }) => Response::Busy {
                     model,
                     queue_depth: queue_depth.min(u32::MAX as usize) as u32,
@@ -564,15 +608,17 @@ mod tests {
             Request::Infer {
                 model: "tiny".into(),
                 input: input.clone(),
+                request_id: 99,
             },
             &shared,
+            Instant::now(),
         );
         assert!(
             matches!(rsp, Response::Busy { ref model, queue_depth } if model == "tiny" && queue_depth == 1),
             "expected Busy, got {rsp:?}"
         );
         // Sheds are visible in stats as `shed`, never as `errors`.
-        let Response::Stats(stats) = handle(Request::Stats, &shared) else {
+        let Response::Stats(stats) = handle(Request::Stats, &shared, Instant::now()) else {
             panic!("expected stats");
         };
         let tiny = stats.iter().find(|s| s.model == "tiny").unwrap();

@@ -1,0 +1,348 @@
+//! End-to-end request tracing: one u64 request ID per request, span
+//! marks at every pipeline stage, and a per-request latency breakdown.
+//!
+//! # The trace model
+//!
+//! A request ID is assigned **at the client** (see [`next_request_id`])
+//! and travels with the request through the v3 protocol, the server, and
+//! the engine; the response echoes it together with the server-side span
+//! durations. IDs are client-scoped — two clients may reuse an ID, and
+//! the server never interprets them beyond echoing.
+//!
+//! Span marks, in pipeline order:
+//!
+//! ```text
+//! client-send → server-read → admission → queue-exit → batch-formed
+//!            → executor-start → executor-end → response-write → client-recv
+//! ```
+//!
+//! # Clock domains
+//!
+//! Client and server run on *different monotonic clocks*; absolute
+//! timestamps cannot be compared across the wire. Every cross-machine
+//! quantity is therefore a **duration measured in one clock domain**:
+//! the server reports `queue`, `batch`, `service`, and `server_total`
+//! (server-read → response-encode) in its own clock; the client measures
+//! end-to-end latency in its clock and derives
+//! `wire = e2e − server_total` — the request/response serialization,
+//! network transit, and framing the server cannot see. The residual
+//! `server_total − (queue + batch + service)` is server overhead outside
+//! the engine (decode, admission, batch scatter) and is reported as
+//! [`TraceRecord::server_other_us`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use gpusim::obs::{BreakdownTable, Stage, StageSummary};
+use gpusim::queueing::LatencyHistogram;
+
+/// Process-wide request-ID source. IDs are unique within the process and
+/// strictly positive (0 is the "untraced" sentinel a v1/v2 peer decodes).
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Draws the next client-assigned request ID.
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Span durations the engine measures for one admitted job, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineSpans {
+    /// Admission → queue-exit: time in the bounded admission queue.
+    pub queue_us: u64,
+    /// Queue-exit → executor-start: batch coalescing wait plus input
+    /// stacking (0-ish for [`crate::DispatchPolicy::Immediate`]).
+    pub batch_us: u64,
+    /// Executor-start → executor-end: forward-pass wall time. On the
+    /// sim-GPU backend this is the *wall* time of the real math, not the
+    /// modeled device latency — traces account real elapsed time.
+    pub service_us: u64,
+}
+
+/// The server-side trace slice of one request, echoed in v3 responses.
+/// A v1/v2 peer's responses decode as all-zero ([`ServerTrace::default`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerTrace {
+    /// Client-assigned request ID, echoed back (0 from a v1/v2 peer).
+    pub request_id: u64,
+    /// Engine queue wait, microseconds.
+    pub queue_us: u64,
+    /// Batch coalescing wait, microseconds.
+    pub batch_us: u64,
+    /// Forward-pass wall time, microseconds.
+    pub service_us: u64,
+    /// Server-read → response-encode, microseconds: everything the
+    /// server's clock can attribute to this request.
+    pub server_total_us: u64,
+}
+
+impl ServerTrace {
+    /// Builds the wire trace from engine spans plus the connection-level
+    /// total.
+    pub fn new(request_id: u64, spans: EngineSpans, server_total_us: u64) -> Self {
+        ServerTrace {
+            request_id,
+            queue_us: spans.queue_us,
+            batch_us: spans.batch_us,
+            service_us: spans.service_us,
+            server_total_us,
+        }
+    }
+}
+
+/// A complete per-request trace record, assembled at the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Client-assigned request ID (stable across Busy retries).
+    pub request_id: u64,
+    /// Model the request targeted.
+    pub model: String,
+    /// Client-send → client-recv, microseconds.
+    pub e2e_us: u64,
+    /// Engine queue wait, microseconds (server clock).
+    pub queue_us: u64,
+    /// Batch coalescing wait, microseconds (server clock).
+    pub batch_us: u64,
+    /// Forward-pass wall time, microseconds (server clock).
+    pub service_us: u64,
+    /// Server-read → response-encode, microseconds (server clock).
+    pub server_total_us: u64,
+    /// `Busy` replies absorbed before this request succeeded (filled by
+    /// retrying callers; the retried request keeps its ID, so the trace
+    /// stays one record).
+    pub busy_retries: u32,
+}
+
+impl TraceRecord {
+    /// Assembles the record from the client-measured end-to-end latency
+    /// and the server's echoed trace.
+    pub fn new(model: impl Into<String>, e2e_us: u64, server: ServerTrace) -> Self {
+        TraceRecord {
+            request_id: server.request_id,
+            model: model.into(),
+            e2e_us,
+            queue_us: server.queue_us,
+            batch_us: server.batch_us,
+            service_us: server.service_us,
+            server_total_us: server.server_total_us,
+            busy_retries: 0,
+        }
+    }
+
+    /// Time on the wire: end-to-end minus everything the server
+    /// accounted for. Saturates at 0 (the two quantities come from
+    /// different clocks; see the module docs).
+    pub fn wire_us(&self) -> u64 {
+        self.e2e_us.saturating_sub(self.server_total_us)
+    }
+
+    /// Server overhead outside the engine (decode, admission, batch
+    /// scatter, reply delivery).
+    pub fn server_other_us(&self) -> u64 {
+        self.server_total_us
+            .saturating_sub(self.queue_us + self.batch_us + self.service_us)
+    }
+
+    /// Sum of the four additive stages: queue + batch + service + wire.
+    /// By construction `stage_sum_us() + server_other_us() == e2e_us`
+    /// (up to saturation), so the sum approximates the measured
+    /// end-to-end latency whenever non-engine server overhead is small.
+    pub fn stage_sum_us(&self) -> u64 {
+        self.queue_us + self.batch_us + self.service_us + self.wire_us()
+    }
+
+    /// One JSONL line (no trailing newline). Keys are the [`Stage`]
+    /// names plus identity fields; all values are integers or strings,
+    /// so no escaping beyond the model name is needed.
+    pub fn to_json(&self) -> String {
+        // Model names come from the registry (file stems / app names);
+        // escape the two JSON-significant characters defensively.
+        let model = self.model.replace('\\', "\\\\").replace('"', "\\\"");
+        format!(
+            "{{\"request_id\":{},\"model\":\"{}\",\"e2e_us\":{},\"queue_us\":{},\
+             \"batch_us\":{},\"service_us\":{},\"wire_us\":{},\"server_total_us\":{},\
+             \"busy_retries\":{}}}",
+            self.request_id,
+            model,
+            self.e2e_us,
+            self.queue_us,
+            self.batch_us,
+            self.service_us,
+            self.wire_us(),
+            self.server_total_us,
+            self.busy_retries,
+        )
+    }
+}
+
+/// Aggregates trace records into per-stage histograms and renders the
+/// p50/p95/p99 breakdown table the loadgen prints.
+#[derive(Debug, Default)]
+pub struct TraceAggregator {
+    queue: LatencyHistogram,
+    batch: LatencyHistogram,
+    service: LatencyHistogram,
+    wire: LatencyHistogram,
+    total: LatencyHistogram,
+}
+
+impl TraceAggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        TraceAggregator::default()
+    }
+
+    /// Folds one record in.
+    pub fn record(&mut self, r: &TraceRecord) {
+        self.queue.record(r.queue_us);
+        self.batch.record(r.batch_us);
+        self.service.record(r.service_us);
+        self.wire.record(r.wire_us());
+        self.total.record(r.e2e_us);
+    }
+
+    /// Records aggregated so far.
+    pub fn count(&self) -> u64 {
+        self.total.count()
+    }
+
+    /// The per-stage breakdown table (stages with no samples render as
+    /// `n/a`).
+    pub fn table(&self) -> BreakdownTable {
+        let mut t = BreakdownTable::new();
+        t.push(Stage::Queue, StageSummary::of(&self.queue));
+        t.push(Stage::Batch, StageSummary::of(&self.batch));
+        t.push(Stage::Service, StageSummary::of(&self.service));
+        t.push(Stage::Wire, StageSummary::of(&self.wire));
+        t.push(Stage::Total, StageSummary::of(&self.total));
+        t
+    }
+}
+
+/// The `q`-quantile of an ascending-sorted sample vector, or `None` when
+/// there are no samples — the caller renders `None` as `n/a` instead of
+/// inventing a zero (or panicking on an empty index, as the loadgen once
+/// did on an all-shed run).
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)) as usize;
+    Some(sorted[idx])
+}
+
+/// Renders an optional millisecond quantity: `12.34 ms` or `n/a`.
+pub fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(ms) => format!("{ms:.2} ms"),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(e2e: u64, queue: u64, batch: u64, service: u64, total: u64) -> TraceRecord {
+        TraceRecord::new(
+            "dig",
+            e2e,
+            ServerTrace {
+                request_id: 7,
+                queue_us: queue,
+                batch_us: batch,
+                service_us: service,
+                server_total_us: total,
+            },
+        )
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_positive() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(a > 0, "0 is the untraced sentinel");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stage_sum_plus_overhead_is_end_to_end() {
+        let r = record(1_000, 100, 50, 600, 800);
+        assert_eq!(r.wire_us(), 200);
+        assert_eq!(r.server_other_us(), 50);
+        assert_eq!(r.stage_sum_us() + r.server_other_us(), r.e2e_us);
+    }
+
+    #[test]
+    fn wire_saturates_instead_of_underflowing() {
+        // Different clock domains: a server_total slightly above the
+        // client's e2e must not wrap around.
+        let r = record(500, 0, 0, 400, 600);
+        assert_eq!(r.wire_us(), 0);
+    }
+
+    #[test]
+    fn json_line_carries_every_stage() {
+        let r = record(1_000, 100, 50, 600, 800);
+        let line = r.to_json();
+        for key in [
+            "\"request_id\":7",
+            "\"model\":\"dig\"",
+            "\"e2e_us\":1000",
+            "\"queue_us\":100",
+            "\"batch_us\":50",
+            "\"service_us\":600",
+            "\"wire_us\":200",
+            "\"server_total_us\":800",
+            "\"busy_retries\":0",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'), "JSONL lines must be single-line");
+    }
+
+    #[test]
+    fn json_escapes_hostile_model_names() {
+        let mut r = record(10, 1, 1, 1, 5);
+        r.model = "we\"ird\\name".into();
+        let line = r.to_json();
+        assert!(line.contains("we\\\"ird\\\\name"), "{line}");
+    }
+
+    #[test]
+    fn aggregator_builds_a_full_table() {
+        let mut agg = TraceAggregator::new();
+        agg.record(&record(1_000, 100, 50, 600, 800));
+        agg.record(&record(2_000, 300, 70, 900, 1_400));
+        assert_eq!(agg.count(), 2);
+        let rendered = agg.table().render();
+        for stage in Stage::ALL {
+            assert!(rendered.contains(stage.name()), "{rendered}");
+        }
+        assert!(!rendered.contains("n/a"), "{rendered}");
+    }
+
+    /// Regression test for the all-shed loadgen run: with zero successful
+    /// requests the percentile report must say `n/a` — not panic on an
+    /// empty index, not print a fake 0.
+    #[test]
+    fn empty_run_reports_na_everywhere() {
+        let empty: Vec<f64> = Vec::new();
+        assert_eq!(percentile(&empty, 0.50), None);
+        assert_eq!(percentile(&empty, 0.99), None);
+        assert_eq!(fmt_ms(percentile(&empty, 0.95)), "n/a");
+        let agg = TraceAggregator::new();
+        let rendered = agg.table().render();
+        assert!(rendered.contains("n/a"), "{rendered}");
+        assert!(!rendered.contains("0.00 ms"), "{rendered}");
+    }
+
+    #[test]
+    fn percentile_matches_the_workspace_definition_when_non_empty() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), Some(50.0));
+        assert_eq!(percentile(&v, 0.99), Some(99.0));
+        assert_eq!(percentile(&v, 1.0), Some(100.0));
+        assert_eq!(fmt_ms(percentile(&v, 0.5)), "50.00 ms");
+    }
+}

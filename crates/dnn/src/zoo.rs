@@ -402,6 +402,49 @@ pub fn network(app: App) -> Result<Network> {
     Network::with_random_weights(netdef(app), seed)
 }
 
+/// A few-KB convolutional classifier shaped like [`mnist`] (conv → pool →
+/// fc → fc → softmax) for fast integration tests: ~1.8K parameters, so a
+/// forward pass costs microseconds and a full serving-stack test stays
+/// well under a second.
+pub fn tiny_mnist() -> NetDef {
+    NetDef::new(
+        "tiny-mnist",
+        Shape::nchw(1, 1, 12, 12),
+        vec![
+            conv("conv1", 4, 3, 1, 0, 1),
+            maxpool("pool1", 2, 2),
+            fc("ip1", 16),
+            fc("ip2", 10),
+            softmax("prob"),
+        ],
+    )
+    .expect("tiny-mnist definition is statically valid")
+}
+
+/// A few-KB SENNA-shaped tagger (fc → hard-tanh → fc) for fast
+/// integration tests: ~1K parameters over a 30-dim input row.
+pub fn tiny_senna() -> NetDef {
+    NetDef::new(
+        "tiny-senna",
+        Shape::mat(1, 30),
+        vec![
+            fc("l1", 24),
+            act("htanh1", ActivationKind::HardTanh),
+            fc("l3", 9),
+        ],
+    )
+    .expect("tiny-senna definition is statically valid")
+}
+
+/// The tiny test zoo: miniature stand-ins for the two Tonic model shapes
+/// (convolutional image net, fully-connected NLP net), each a few KB.
+/// Serving-stack integration tests load these instead of the real zoo so
+/// an end-to-end request costs microseconds of compute, keeping the whole
+/// test deterministic and under a second.
+pub fn tiny_test_zoo() -> Vec<NetDef> {
+    vec![tiny_mnist(), tiny_senna()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,6 +549,29 @@ mod tests {
                 "{app}: threaded forward diverged"
             );
         }
+    }
+
+    /// The tiny zoo exists so integration tests run in well under a
+    /// second: every net must stay a few KB and still produce sane
+    /// classifier-shaped output.
+    #[test]
+    fn tiny_test_zoo_is_actually_tiny() {
+        let defs = tiny_test_zoo();
+        assert_eq!(defs.len(), 2);
+        for def in &defs {
+            assert!(
+                def.param_count() < 4_000,
+                "{}: {} params is not tiny",
+                def.name(),
+                def.param_count()
+            );
+            let net = Network::with_random_weights(def.clone(), 7).unwrap();
+            let input = tensor::Tensor::random_uniform(def.input_shape().with_batch(3), 1.0, 11);
+            let out = net.forward(&input).unwrap();
+            assert_eq!(out.shape().dims()[0], 3);
+        }
+        assert_eq!(tiny_mnist().output_shape(1).unwrap().dims(), &[1, 10]);
+        assert_eq!(tiny_senna().output_shape(1).unwrap().dims(), &[1, 9]);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! ```
 
 mod engine;
+pub mod obs;
 pub mod openloop;
 pub mod queueing;
 mod server;

@@ -1,0 +1,211 @@
+//! Shared observability types: request-latency *stages* and their
+//! summaries.
+//!
+//! The live DjiNN server and the open-loop simulator attribute a
+//! request's latency to the same pipeline stages the paper's
+//! throughput/latency study measures (Figs. 4–8): time queued before
+//! dispatch, time spent waiting for co-batched company, time on the
+//! compute device, and time on the wire. This module names those stages
+//! once and gives every report in the workspace the same percentile
+//! summary — so a simulated breakdown and a measured one line up column
+//! for column.
+//!
+//! Empty summaries render as `n/a`, never as a fake zero: a run where
+//! every request was shed has *no* latency distribution, and reporting
+//! `0.00 ms` for it misreads as "instant".
+
+use crate::queueing::LatencyHistogram;
+
+/// A stage of a request's life, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Admission → dequeue: time spent in the bounded admission queue.
+    Queue,
+    /// Dequeue → executor start: time waiting for the batch to fill (and
+    /// the stack of co-batched inputs to be assembled).
+    Batch,
+    /// Executor start → executor end: the forward pass itself.
+    Service,
+    /// Everything the server cannot see: request/response serialization,
+    /// network transit, and client-side framing.
+    Wire,
+    /// Client send → client receive: the end-to-end latency.
+    Total,
+}
+
+impl Stage {
+    /// The four additive components plus the end-to-end total, in
+    /// presentation order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Queue,
+        Stage::Batch,
+        Stage::Service,
+        Stage::Wire,
+        Stage::Total,
+    ];
+
+    /// Lower-case stage name used in reports and JSONL keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::Batch => "batch",
+            Stage::Service => "service",
+            Stage::Wire => "wire",
+            Stage::Total => "total",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Percentile summary of one stage's latency distribution, microseconds.
+///
+/// `count == 0` means the distribution is empty and every quantile is
+/// meaningless; [`StageSummary::fmt_us`] renders such entries as `n/a`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageSummary {
+    /// Samples summarized.
+    pub count: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Largest sample (exact), microseconds.
+    pub max_us: u64,
+}
+
+impl StageSummary {
+    /// Summarizes a histogram (the server path: bounded memory over
+    /// months of samples).
+    pub fn of(h: &LatencyHistogram) -> Self {
+        StageSummary {
+            count: h.count(),
+            p50_us: h.quantile(0.50),
+            p95_us: h.quantile(0.95),
+            p99_us: h.quantile(0.99),
+            max_us: h.max(),
+        }
+    }
+
+    /// Formats a microsecond quantity as milliseconds, or `n/a` when this
+    /// summary is empty.
+    pub fn fmt_us(&self, us: u64) -> String {
+        if self.count == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.2} ms", us as f64 / 1e3)
+        }
+    }
+}
+
+/// A per-stage latency breakdown table, ready to render.
+///
+/// Built from one [`LatencyHistogram`] per stage; stages with no samples
+/// print `n/a` across the row.
+#[derive(Debug, Clone, Default)]
+pub struct BreakdownTable {
+    rows: Vec<(Stage, StageSummary)>,
+}
+
+impl BreakdownTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        BreakdownTable::default()
+    }
+
+    /// Appends one stage's summary.
+    pub fn push(&mut self, stage: Stage, summary: StageSummary) {
+        self.rows.push((stage, summary));
+    }
+
+    /// The recorded rows.
+    pub fn rows(&self) -> &[(Stage, StageSummary)] {
+        &self.rows
+    }
+
+    /// Renders the table as aligned text, one stage per line:
+    ///
+    /// ```text
+    /// stage      p50        p95        p99        max
+    /// queue      0.12 ms    0.80 ms    1.40 ms    2.21 ms
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}\n",
+            "stage", "p50", "p95", "p99", "max"
+        );
+        for (stage, s) in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:>12} {:>12} {:>12} {:>12}\n",
+                stage.name(),
+                s.fmt_us(s.p50_us),
+                s.fmt_us(s.p95_us),
+                s.fmt_us(s.p99_us),
+                s.fmt_us(s.max_us),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_stable_wire_keys() {
+        // These strings appear in trace JSONL and reports; renaming them
+        // is a breaking change to downstream tooling.
+        let names: Vec<&str> = Stage::ALL.iter().map(Stage::name).collect();
+        assert_eq!(names, ["queue", "batch", "service", "wire", "total"]);
+    }
+
+    #[test]
+    fn summary_of_histogram_orders_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = StageSummary::of(&h);
+        assert_eq!(s.count, 10_000);
+        assert!(s.p50_us <= s.p95_us);
+        assert!(s.p95_us <= s.p99_us);
+        assert!(s.p99_us <= s.max_us);
+        assert_eq!(s.max_us, 10_000);
+    }
+
+    #[test]
+    fn empty_summary_renders_na_not_zero() {
+        // Regression guard for the all-requests-shed report: an empty
+        // distribution must say "n/a", not pretend latency was 0 ms.
+        let s = StageSummary::of(&LatencyHistogram::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.fmt_us(s.p50_us), "n/a");
+        let mut table = BreakdownTable::new();
+        table.push(Stage::Total, s);
+        let rendered = table.render();
+        assert!(rendered.contains("n/a"), "{rendered}");
+        assert!(!rendered.contains("0.00 ms"), "{rendered}");
+    }
+
+    #[test]
+    fn populated_table_renders_every_stage() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_500);
+        let mut table = BreakdownTable::new();
+        for stage in Stage::ALL {
+            table.push(stage, StageSummary::of(&h));
+        }
+        let rendered = table.render();
+        for stage in Stage::ALL {
+            assert!(rendered.contains(stage.name()), "{rendered}");
+        }
+        assert!(rendered.contains("1.50 ms"), "{rendered}");
+    }
+}

@@ -14,7 +14,8 @@ use perf::GpuSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::queueing::{percentile_sorted, BoundedQueue};
+use crate::obs::StageSummary;
+use crate::queueing::{percentile_sorted, BoundedQueue, LatencyHistogram};
 use crate::workload::ServiceWorkload;
 
 /// Latency distribution summary from an open-loop run.
@@ -39,6 +40,13 @@ pub struct OpenLoopResult {
     /// Whether the queue was still growing when the run ended
     /// (offered load beyond capacity).
     pub saturated: bool,
+    /// Queue-wait stage summary (arrival → batch dispatch), in virtual
+    /// microseconds — the same [`StageSummary`] the live server reports,
+    /// so simulated and measured breakdowns are directly comparable.
+    pub queue_wait: StageSummary,
+    /// Service stage summary (batch dispatch → completion), in virtual
+    /// microseconds.
+    pub service: StageSummary,
 }
 
 /// Configuration of an open-loop experiment.
@@ -110,6 +118,8 @@ pub fn run(app: App, offered_qps: f64, config: &OpenLoopConfig) -> dnn::Result<O
     // virtual time. The queue holds arrival timestamps.
     let mut queue = BoundedQueue::new(config.queue_bound.unwrap_or(usize::MAX - 1));
     let mut latencies = Vec::with_capacity(config.queries);
+    let mut queue_hist = LatencyHistogram::new();
+    let mut service_hist = LatencyHistogram::new();
     let mut server_free_at = 0.0f64;
     let mut next = 0usize;
     let mut batches = 0usize;
@@ -126,9 +136,14 @@ pub fn run(app: App, offered_qps: f64, config: &OpenLoopConfig) -> dnn::Result<O
             next += 1;
         }
         let batch = queue.assemble(config.max_batch, |_| 1);
-        let done = start + service_s[batch.len()];
+        let service = service_s[batch.len()];
+        let done = start + service;
         for arr in batch {
             latencies.push(done - arr);
+            // Stage attribution in virtual time: queued until the batch
+            // dispatched, then the batch's service time.
+            queue_hist.record(((start - arr) * 1e6) as u64);
+            service_hist.record((service * 1e6) as u64);
         }
         batches += 1;
         server_free_at = done;
@@ -150,6 +165,8 @@ pub fn run(app: App, offered_qps: f64, config: &OpenLoopConfig) -> dnn::Result<O
         mean_batch: latencies.len() as f64 / batches as f64,
         shed_queries: queue.shed_count(),
         saturated,
+        queue_wait: StageSummary::of(&queue_hist),
+        service: StageSummary::of(&service_hist),
     })
 }
 
@@ -250,6 +267,21 @@ mod tests {
             b.p99_latency_s,
             u.p99_latency_s
         );
+    }
+
+    #[test]
+    fn stage_breakdown_matches_completed_queries() {
+        let config = cfg(16);
+        let cap = capacity_qps(App::Dig, &config).unwrap();
+        let r = run(App::Dig, cap * 0.7, &config).unwrap();
+        // Every completed query contributed one sample to each stage.
+        assert_eq!(r.queue_wait.count, r.service.count);
+        assert!(r.queue_wait.count > 0);
+        assert!(r.service.p50_us > 0, "service time cannot be zero");
+        // Stage quantiles stay ordered and bounded by the end-to-end p99.
+        assert!(r.queue_wait.p50_us <= r.queue_wait.p99_us);
+        let p99_total_us = (r.p99_latency_s * 1e6) as u64;
+        assert!(r.service.p50_us <= p99_total_us);
     }
 
     #[test]

@@ -216,6 +216,19 @@ impl LatencyHistogram {
         }
     }
 
+    /// Folds another histogram into this one. Bucket counts add, so
+    /// merging is associative and commutative up to the shared bucket
+    /// layout — per-shard histograms can be combined in any order and
+    /// yield the same aggregate (the property the proptests below pin).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// The `q`-quantile (`0.0..=1.0`), accurate to the bucket resolution.
     /// Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -346,6 +359,106 @@ mod tests {
                 assert!(idx < BUCKETS);
                 assert!(bucket_floor(idx) <= probe);
                 last = idx;
+            }
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts_sum_and_max() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [1_000u64, 10_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 10_000);
+        assert!((a.mean() - 11_111.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut a = LatencyHistogram::new();
+        for v in 0..100u64 {
+            a.record(v * 7);
+        }
+        let before = (a.count(), a.max(), a.quantile(0.5), a.quantile(0.99));
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(
+            (a.count(), a.max(), a.quantile(0.5), a.quantile(0.99)),
+            before
+        );
+    }
+
+    proptest::proptest! {
+        /// Bucket monotonicity: a larger value never lands in an earlier
+        /// bucket, and every bucket floor lower-bounds its members.
+        #[test]
+        fn bucket_index_monotone_under_arbitrary_values(
+            mut values in proptest::collection::vec(proptest::prelude::any::<u64>(), 1..64)
+        ) {
+            values.sort_unstable();
+            let mut last = 0usize;
+            for &v in &values {
+                let idx = bucket_index(v);
+                proptest::prop_assert!(idx >= last, "index regressed at {v}");
+                proptest::prop_assert!(idx < BUCKETS);
+                proptest::prop_assert!(bucket_floor(idx) <= v);
+                last = idx;
+            }
+        }
+
+        /// Quantile bounds under arbitrary sample streams:
+        /// p50 ≤ p95 ≤ p99 ≤ max, and every quantile lower-bounds max.
+        #[test]
+        fn quantiles_are_ordered_for_arbitrary_streams(
+            values in proptest::collection::vec(0u64..10_000_000, 1..256)
+        ) {
+            let mut h = LatencyHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+            proptest::prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+            proptest::prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+            proptest::prop_assert!(p99 <= h.max(), "p99 {p99} > max {}", h.max());
+            proptest::prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+            proptest::prop_assert_eq!(h.count(), values.len() as u64);
+        }
+
+        /// Merge associativity: (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) agree on
+        /// every observable (counts, buckets, quantiles, mean, max).
+        #[test]
+        fn merge_is_associative(
+            xs in proptest::collection::vec(0u64..1_000_000, 0..64),
+            ys in proptest::collection::vec(0u64..1_000_000, 0..64),
+            zs in proptest::collection::vec(0u64..1_000_000, 0..64),
+        ) {
+            let build = |vals: &[u64]| {
+                let mut h = LatencyHistogram::new();
+                for &v in vals {
+                    h.record(v);
+                }
+                h
+            };
+            let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+            // Left fold: (a ⊕ b) ⊕ c.
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            // Right fold: a ⊕ (b ⊕ c).
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            proptest::prop_assert_eq!(left.count(), right.count());
+            proptest::prop_assert_eq!(left.max(), right.max());
+            proptest::prop_assert_eq!(left.mean(), right.mean());
+            for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+                proptest::prop_assert_eq!(left.quantile(q), right.quantile(q));
             }
         }
     }

@@ -6,7 +6,7 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use djinn::{DjinnClient, DjinnError};
+use djinn::{trace, DjinnClient, DjinnError, TraceRecord};
 use dnn::zoo::App;
 use dnn::Network;
 use tensor::Tensor;
@@ -30,6 +30,8 @@ pub enum Backend {
         client: DjinnClient,
         /// Model name on the server.
         model: String,
+        /// Trace of the most recent successful request on this backend.
+        last_trace: Option<TraceRecord>,
     },
 }
 
@@ -46,21 +48,33 @@ impl Backend {
     fn infer(&mut self, input: &Tensor) -> djinn::Result<Tensor> {
         match self {
             Backend::Local(net) => Ok(net.forward(input)?),
-            Backend::Remote { client, model } => {
+            Backend::Remote {
+                client,
+                model,
+                last_trace,
+            } => {
                 // A `Busy` reply is the server shedding load at admission;
                 // back off briefly and retry a bounded number of times
                 // before giving up, so short bursts ride through while a
-                // genuinely saturated service still fails fast.
+                // genuinely saturated service still fails fast. The
+                // request ID is drawn once, outside the loop: retries are
+                // the same logical request and must trace under one ID.
+                let request_id = trace::next_request_id();
                 let mut delay = BUSY_BACKOFF;
                 let mut attempts = 0;
                 loop {
-                    match client.infer(model, input) {
+                    match client.infer_traced_with_id(model, input, request_id) {
+                        Ok((tensor, mut record)) => {
+                            record.busy_retries = attempts;
+                            *last_trace = Some(record);
+                            return Ok(tensor);
+                        }
                         Err(DjinnError::Busy { .. }) if attempts < BUSY_RETRIES => {
                             attempts += 1;
                             std::thread::sleep(delay);
                             delay *= 2;
                         }
-                        other => return other,
+                        Err(e) => return Err(e),
                     }
                 }
             }
@@ -112,11 +126,13 @@ impl TonicApp {
         let backend = Backend::Remote {
             client: DjinnClient::connect(addr)?,
             model: app.name().to_lowercase(),
+            last_trace: None,
         };
         let pos_backend = if app == App::Chk {
             Some(Backend::Remote {
                 client: DjinnClient::connect(addr)?,
                 model: "pos".into(),
+                last_trace: None,
             })
         } else {
             None
@@ -131,6 +147,18 @@ impl TonicApp {
     /// Which application this is.
     pub fn app(&self) -> App {
         self.app
+    }
+
+    /// Trace of this driver's most recent successful remote request (the
+    /// primary backend, not CHK's internal POS pass). `None` for local
+    /// backends or before the first success. `busy_retries` on the record
+    /// counts how many `Busy` shed replies the request rode through under
+    /// its single request ID.
+    pub fn last_trace(&self) -> Option<&TraceRecord> {
+        match &self.backend {
+            Backend::Remote { last_trace, .. } => last_trace.as_ref(),
+            Backend::Local(_) => None,
+        }
     }
 
     fn expect(&self, want: App) -> djinn::Result<()> {
@@ -301,6 +329,64 @@ mod tests {
         let mut pos = TonicApp::local(App::Pos).unwrap();
         let imgs = image::synth_digits(1, 1);
         assert!(pos.run_dig(&imgs).is_err());
+    }
+
+    /// A `Busy` retry is the same logical request: the backend must
+    /// resend it under the request ID it drew the first time, and the
+    /// surviving trace must record how many sheds it rode through.
+    #[test]
+    fn busy_retries_keep_one_request_id() {
+        use djinn::protocol::{read_frame, write_frame, Request, Response};
+        use djinn::ServerTrace;
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut ids = Vec::new();
+            for attempt in 0..2 {
+                let frame = read_frame(&mut stream).unwrap();
+                let Request::Infer {
+                    input, request_id, ..
+                } = Request::decode(&frame).unwrap()
+                else {
+                    panic!("expected an infer request");
+                };
+                ids.push(request_id);
+                let rsp = if attempt == 0 {
+                    Response::Busy {
+                        model: "pos".into(),
+                        queue_depth: 1,
+                    }
+                } else {
+                    Response::Output {
+                        tensor: input,
+                        trace: ServerTrace::new(request_id, Default::default(), 5),
+                    }
+                };
+                write_frame(&mut stream, &rsp.encode().unwrap()).unwrap();
+            }
+            ids
+        });
+
+        let mut backend = Backend::Remote {
+            client: DjinnClient::connect(addr).unwrap(),
+            model: "pos".into(),
+            last_trace: None,
+        };
+        let input = Tensor::random_uniform(tensor::Shape::mat(1, 4), 1.0, 7);
+        backend.infer(&input).unwrap();
+
+        let ids = server.join().unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], 0, "a traced request must carry a nonzero ID");
+        assert_eq!(ids[0], ids[1], "the retry must reuse the original ID");
+        let Backend::Remote { last_trace, .. } = backend else {
+            unreachable!()
+        };
+        let record = last_trace.expect("a successful request leaves a trace");
+        assert_eq!(record.request_id, ids[0]);
+        assert_eq!(record.busy_retries, 1);
     }
 
     #[test]

@@ -52,7 +52,10 @@ fn main() {
     let n = shape.volume();
     let mb = (n * 4) as f64 / 1e6;
     let tensor = Tensor::random_uniform(shape, 1.0, 13);
-    let rsp = Response::Output(tensor);
+    let rsp = Response::Output {
+        tensor,
+        trace: Default::default(),
+    };
     let wire = rsp.encode().expect("encode");
     println!(
         "payload: {n} f32 ({mb:.1} MB tensor data, {:.1} MB frame)",
@@ -61,8 +64,8 @@ fn main() {
 
     let iters = 10;
     // Isolate the f32 section: rank byte + 4 dims after the 7-byte
-    // header+status.
-    let data_off = 6 + 1 + 1 + 4 * 4;
+    // header+status and the 40-byte v3 trace block.
+    let data_off = 6 + 1 + 40 + 1 + 4 * 4;
     let f32_section = &wire[data_off..];
 
     let naive = time(iters, || naive_f32_decode(f32_section, n));

@@ -8,8 +8,8 @@ use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
-use djinn_tonic::djinn::protocol::{read_frame, write_frame, Request, Response};
-use djinn_tonic::djinn::{DjinnClient, DjinnServer, ModelRegistry, ServerConfig};
+use djinn_tonic::djinn::protocol::{read_frame, write_frame, Request, Response, VERSION};
+use djinn_tonic::djinn::{DjinnClient, DjinnServer, ModelRegistry, ServerConfig, ServerTrace};
 use djinn_tonic::dnn::{parser, Network};
 use djinn_tonic::tensor::{Shape, Tensor};
 
@@ -34,6 +34,7 @@ fn infer_wire_bytes(input: &Tensor) -> Vec<u8> {
     let payload = Request::Infer {
         model: "tiny".into(),
         input: input.clone(),
+        request_id: 1,
     }
     .encode()
     .unwrap();
@@ -44,9 +45,9 @@ fn infer_wire_bytes(input: &Tensor) -> Vec<u8> {
 
 fn expect_output(wire_response: &[u8], input: &Tensor) {
     match Response::decode(wire_response).unwrap() {
-        Response::Output(out) => {
+        Response::Output { tensor, .. } => {
             let want = reference_net().forward(input).unwrap();
-            assert!(out.max_abs_diff(&want).unwrap() < 1e-5);
+            assert!(tensor.max_abs_diff(&want).unwrap() < 1e-5);
         }
         other => panic!("expected Output, got {other:?}"),
     }
@@ -179,4 +180,232 @@ fn slow_client_does_not_disturb_fast_clients() {
 
     slow.join().unwrap();
     server.shutdown();
+}
+
+/// Protocol compatibility matrix: golden byte vectors for every wire
+/// version, pinned byte-for-byte. These are the frames real v1/v2/v3
+/// peers put on the wire; if encoding drifts, these tests — not a
+/// production incident — catch it.
+mod golden_vectors {
+    use super::*;
+    use djinn_tonic::djinn::ModelStats;
+
+    const MAGIC: &[u8; 4] = b"DJNN";
+
+    /// Golden v3 infer request: model `"m"`, request ID 7, a 1x1 tensor
+    /// holding 2.0. The encoder must reproduce it exactly.
+    fn v3_infer_golden() -> Vec<u8> {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(3); // version
+        wire.push(1); // OP_INFER
+        wire.extend_from_slice(&1u16.to_le_bytes()); // name length
+        wire.push(b'm');
+        wire.extend_from_slice(&7u64.to_le_bytes()); // request id
+        wire.push(2); // rank
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&2.0f32.to_le_bytes());
+        wire
+    }
+
+    fn v3_infer_request() -> Request {
+        Request::Infer {
+            model: "m".into(),
+            input: Tensor::from_vec(Shape::mat(1, 1), vec![2.0]).unwrap(),
+            request_id: 7,
+        }
+    }
+
+    #[test]
+    fn v3_infer_encoding_matches_the_golden_bytes() {
+        assert_eq!(VERSION, 3, "golden vectors pin wire version 3");
+        let wire = v3_infer_request().encode().unwrap();
+        assert_eq!(&wire[..], &v3_infer_golden()[..]);
+    }
+
+    #[test]
+    fn v1_infer_golden_decodes_as_untraced() {
+        // The same request as a v1 peer sends it: no request-id field.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(1); // version 1
+        wire.push(1); // OP_INFER
+        wire.extend_from_slice(&1u16.to_le_bytes());
+        wire.push(b'm');
+        wire.push(2); // rank
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&2.0f32.to_le_bytes());
+        let decoded = Request::decode(&wire).unwrap();
+        let Request::Infer {
+            model, request_id, ..
+        } = decoded
+        else {
+            panic!("expected Infer");
+        };
+        assert_eq!(model, "m");
+        assert_eq!(request_id, 0, "a v1 frame decodes as untraced (ID 0)");
+    }
+
+    /// Golden v2 output response: status OK, no trace block, the same
+    /// 1x1 tensor. Must decode with an all-zero trace.
+    #[test]
+    fn v2_output_golden_decodes_with_zero_trace() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(2); // version 2
+        wire.push(2); // OP_RESULT
+        wire.push(0); // STATUS_OK
+        wire.push(2); // rank
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&2.0f32.to_le_bytes());
+        match Response::decode(&wire).unwrap() {
+            Response::Output { tensor, trace } => {
+                assert_eq!(tensor.data(), &[2.0]);
+                assert_eq!(trace, ServerTrace::default());
+            }
+            other => panic!("expected Output, got {other:?}"),
+        }
+    }
+
+    /// Golden v1 stats response: one 32-byte entry (4 u64 words). The
+    /// queue and breakdown fields a v1 peer cannot send decode as zero —
+    /// the documented zero-fill behaviour.
+    #[test]
+    fn v1_stats_golden_zero_fills_newer_fields() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(1); // version 1
+        wire.push(6); // OP_STATS_RESULT
+        wire.extend_from_slice(&1u16.to_le_bytes()); // one entry
+        wire.extend_from_slice(&3u16.to_le_bytes()); // name length
+        wire.extend_from_slice(b"dig");
+        for word in [42u64, 1, 10_000, 900] {
+            wire.extend_from_slice(&word.to_le_bytes());
+        }
+        let Response::Stats(stats) = Response::decode(&wire).unwrap() else {
+            panic!("expected Stats");
+        };
+        let s = &stats[0];
+        assert_eq!((s.model.as_str(), s.requests, s.errors), ("dig", 42, 1));
+        assert_eq!((s.queue_depth, s.shed, s.p99_queue_wait_us), (0, 0, 0));
+        assert_eq!(
+            (s.p50_batch_wait_us, s.p50_service_us, s.p50_wire_us),
+            (0, 0, 0)
+        );
+    }
+
+    /// Golden v2 stats response: one 72-byte entry (9 u64 words). Queue
+    /// telemetry decodes; the v3 breakdown quantiles zero-fill.
+    #[test]
+    fn v2_stats_golden_zero_fills_v3_fields() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(2); // version 2
+        wire.push(6); // OP_STATS_RESULT
+        wire.extend_from_slice(&1u16.to_le_bytes());
+        wire.extend_from_slice(&3u16.to_le_bytes());
+        wire.extend_from_slice(b"pos");
+        for word in [10u64, 0, 5_000, 800, 3, 2, 7, 120, 4_500] {
+            wire.extend_from_slice(&word.to_le_bytes());
+        }
+        let Response::Stats(stats) = Response::decode(&wire).unwrap() else {
+            panic!("expected Stats");
+        };
+        let s = &stats[0];
+        assert_eq!((s.queue_depth, s.in_flight, s.shed), (3, 2, 7));
+        assert_eq!((s.p50_queue_wait_us, s.p99_queue_wait_us), (120, 4_500));
+        assert_eq!(
+            (s.p50_batch_wait_us, s.p99_service_us, s.p99_wire_us),
+            (0, 0, 0),
+            "v3 breakdown fields zero-fill from a v2 peer"
+        );
+    }
+
+    #[test]
+    fn v2_busy_golden_decodes() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(2); // version 2 — the version that introduced busy
+        wire.push(7); // OP_BUSY
+        wire.extend_from_slice(&3u16.to_le_bytes());
+        wire.extend_from_slice(b"imc");
+        wire.extend_from_slice(&128u32.to_le_bytes());
+        assert_eq!(
+            Response::decode(&wire).unwrap(),
+            Response::Busy {
+                model: "imc".into(),
+                queue_depth: 128,
+            }
+        );
+    }
+
+    #[test]
+    fn decoders_reject_versions_beyond_ours() {
+        let mut wire = v3_infer_golden();
+        wire[4] = VERSION + 1;
+        assert!(
+            Request::decode(&wire).is_err(),
+            "future version must be rejected, not misparsed"
+        );
+        wire[4] = 0;
+        assert!(Request::decode(&wire).is_err(), "version 0 is invalid");
+    }
+
+    /// Round-trip stability: encode → decode → encode is byte-identical
+    /// for every frame type, so re-encoding a relayed frame never
+    /// perturbs the wire image.
+    #[test]
+    fn reencoding_is_byte_stable() {
+        let stats_entry = ModelStats {
+            model: "dig".into(),
+            requests: 42,
+            errors: 1,
+            total_latency_us: 10_000,
+            max_latency_us: 900,
+            queue_depth: 3,
+            in_flight: 2,
+            shed: 7,
+            p50_queue_wait_us: 120,
+            p99_queue_wait_us: 4_500,
+            p50_batch_wait_us: 80,
+            p99_batch_wait_us: 1_900,
+            p50_service_us: 2_400,
+            p99_service_us: 3_100,
+            p50_wire_us: 60,
+            p99_wire_us: 700,
+        };
+        let requests = [v3_infer_request(), Request::ListModels, Request::Stats];
+        for req in requests {
+            let once = req.encode().unwrap();
+            let again = Request::decode(&once).unwrap().encode().unwrap();
+            assert_eq!(once, again, "request re-encode drifted");
+        }
+        let responses = [
+            Response::Output {
+                tensor: Tensor::from_vec(Shape::mat(1, 2), vec![1.0, 2.0]).unwrap(),
+                trace: ServerTrace {
+                    request_id: 7,
+                    queue_us: 1,
+                    batch_us: 2,
+                    service_us: 3,
+                    server_total_us: 9,
+                },
+            },
+            Response::Error("nope".into()),
+            Response::Models(vec!["a".into(), "b".into()]),
+            Response::Stats(vec![stats_entry]),
+            Response::Busy {
+                model: "imc".into(),
+                queue_depth: 128,
+            },
+        ];
+        for rsp in responses {
+            let once = rsp.encode().unwrap();
+            let again = Response::decode(&once).unwrap().encode().unwrap();
+            assert_eq!(once, again, "response re-encode drifted");
+        }
+    }
 }

@@ -1,0 +1,162 @@
+//! End-to-end request tracing over real TCP, against the tiny test zoo
+//! so the whole file runs deterministically in well under a second.
+//!
+//! The acceptance criterion for the trace model: for every traced
+//! request, the per-stage spans the client assembles (queue + batch +
+//! service + wire) must account for the client-observed end-to-end
+//! latency — the unattributed remainder (`server_other_us`: frame
+//! decode/encode and reply bookkeeping inside the server) stays within a
+//! small tolerance, and no span is ever negative or larger than the
+//! whole.
+
+use std::time::{Duration, Instant};
+
+use djinn_tonic::djinn::protocol::{read_frame, write_frame, Request, Response};
+use djinn_tonic::djinn::{
+    BatchConfig, DjinnClient, DjinnServer, ModelRegistry, ServerConfig, TraceRecord,
+};
+use djinn_tonic::tensor::{Shape, Tensor};
+
+/// Everything the server cannot attribute to queue/batch/service/wire
+/// must fit in this budget per request. The work it covers is frame
+/// decode + encode of a few-KB tensor — microseconds in practice; the
+/// bound is generous to stay green on a loaded CI machine.
+const OTHER_BUDGET: Duration = Duration::from_millis(20);
+
+fn tiny_server(batching: Option<BatchConfig>) -> DjinnServer {
+    let registry = ModelRegistry::with_tiny_test_zoo().expect("tiny zoo builds");
+    let config = ServerConfig {
+        batching,
+        ..ServerConfig::default()
+    };
+    DjinnServer::start(registry, config).expect("server starts on an ephemeral port")
+}
+
+fn senna_input(rows: usize) -> Tensor {
+    Tensor::random_uniform(Shape::mat(rows, 30), 1.0, 0x7E57)
+}
+
+fn assert_spans_account_for_e2e(record: &TraceRecord) {
+    assert_ne!(record.request_id, 0, "traced requests carry a nonzero ID");
+    let sum = record.stage_sum_us();
+    assert!(
+        sum <= record.e2e_us,
+        "stage sum {sum}us exceeds end-to-end {}us",
+        record.e2e_us
+    );
+    let other = Duration::from_micros(record.server_other_us());
+    assert!(
+        other <= OTHER_BUDGET,
+        "unattributed server time {other:?} exceeds {OTHER_BUDGET:?} \
+         (queue {} + batch {} + service {} + wire {} vs e2e {})",
+        record.queue_us,
+        record.batch_us,
+        record.service_us,
+        record.wire_us(),
+        record.e2e_us
+    );
+    // Durations are u64 microseconds, so non-negativity is structural;
+    // what can still go wrong is a span exceeding the whole.
+    for (stage, us) in [
+        ("queue", record.queue_us),
+        ("batch", record.batch_us),
+        ("service", record.service_us),
+        ("wire", record.wire_us()),
+    ] {
+        assert!(
+            us <= record.e2e_us,
+            "{stage} span {us}us exceeds end-to-end {}us",
+            record.e2e_us
+        );
+    }
+}
+
+/// Acceptance criterion: queue + batch + service + wire ≈ end-to-end,
+/// for every request of a short run, on the immediate-dispatch path.
+#[test]
+fn spans_account_for_end_to_end_latency_immediate() {
+    let server = tiny_server(None);
+    let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+    let input = senna_input(4);
+    for _ in 0..20 {
+        let (out, record) = client.infer_traced("tiny-senna", &input).unwrap();
+        assert_eq!(out.shape().dims(), &[4, 9]);
+        assert_eq!(record.model, "tiny-senna");
+        assert_spans_account_for_e2e(&record);
+    }
+    server.shutdown();
+}
+
+/// Same criterion on the batched path, where the coalescing wait must be
+/// attributed to the batch span instead of silently inflating service.
+#[test]
+fn spans_account_for_end_to_end_latency_batched() {
+    let max_delay = Duration::from_millis(5);
+    let server = tiny_server(Some(BatchConfig {
+        max_batch: 4,
+        max_delay,
+    }));
+    let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+    let input = senna_input(2);
+    // A lone client: every request waits out the coalescing delay, so
+    // the batch span must absorb roughly max_delay. The tolerance on the
+    // remainder is unchanged — the wait may not leak into `other`.
+    for _ in 0..5 {
+        let (_, record) = client.infer_traced("tiny-senna", &input).unwrap();
+        assert_spans_account_for_e2e(&record);
+        assert!(
+            record.batch_us >= max_delay.as_micros() as u64 / 2,
+            "lone batched request should wait out the coalescing delay, \
+             batch span was {}us",
+            record.batch_us
+        );
+    }
+    server.shutdown();
+}
+
+/// The server must echo the client's request ID verbatim in the trace
+/// block — checked over the raw protocol so the client-side "patch a
+/// zero ID" fallback cannot mask a server that drops the ID.
+#[test]
+fn server_echoes_request_id_on_the_wire() {
+    let server = tiny_server(None);
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let req = Request::Infer {
+        model: "tiny-senna".into(),
+        input: senna_input(1),
+        request_id: 0x00C0FFEE,
+    };
+    write_frame(&mut stream, &req.encode().unwrap()).unwrap();
+    let frame = read_frame(&mut stream).unwrap();
+    let Response::Output { trace, .. } = Response::decode(&frame).unwrap() else {
+        panic!("expected an output response");
+    };
+    assert_eq!(trace.request_id, 0x00C0FFEE);
+    assert!(
+        trace.queue_us + trace.batch_us + trace.service_us <= trace.server_total_us,
+        "span sum must fit inside the server's own total"
+    );
+    server.shutdown();
+}
+
+/// The tiny zoo exists so this whole file stays fast: a full traced
+/// round-trip against it must complete in milliseconds, keeping the
+/// serving-stack integration suite under a second.
+#[test]
+fn tiny_zoo_roundtrip_is_fast() {
+    let server = tiny_server(None);
+    let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+    let input = senna_input(2);
+    // Warm up connection + first dispatch.
+    client.infer_traced("tiny-senna", &input).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..10 {
+        client.infer_traced("tiny-senna", &input).unwrap();
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "10 tiny-zoo round-trips took {elapsed:?}"
+    );
+    server.shutdown();
+}
