@@ -4,8 +4,14 @@
 //! ```text
 //! djinn-loadgen --addr HOST:PORT --model NAME
 //!               [--threads N] [--requests R] [--queries Q]
-//!               [--timeout-ms T] [--trace-out PATH]
+//!               [--pipeline N] [--timeout-ms T] [--trace-out PATH]
 //! ```
+//!
+//! `--pipeline N` keeps up to N requests in flight per connection
+//! (protocol v4 correlates responses by request ID, so replies may
+//! return out of order); the default of 1 is the classic closed loop.
+//! Pipelining is what keeps a batched server's coalescing window full
+//! from a single connection.
 //!
 //! Transient failures (connection refused/reset, I/O timeouts) are
 //! retried by reconnecting with exponential backoff, so a server restart
@@ -22,9 +28,9 @@
 //! A run where every request was shed reports `n/a` percentiles, never
 //! a fake zero.
 //!
-//! Input shapes are discovered from the seven Tonic models by name; for
-//! other models, pass nothing and the tool reports the server's model
-//! list.
+//! Input shapes are discovered from the seven Tonic models (and the tiny
+//! test zoo) by name; for other models, pass nothing and the tool
+//! reports the server's model list.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +48,7 @@ struct Args {
     threads: usize,
     requests: usize,
     queries: usize,
+    pipeline: usize,
     timeout: Duration,
     trace_out: Option<String>,
 }
@@ -53,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 4,
         requests: 50,
         queries: 1,
+        pipeline: 1,
         timeout: Duration::from_secs(30),
         trace_out: None,
     };
@@ -71,6 +79,12 @@ fn parse_args() -> Result<Args, String> {
             "--queries" => {
                 args.queries = value("--queries")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--pipeline" => {
+                args.pipeline = value("--pipeline")?.parse().map_err(|e| format!("{e}"))?;
+                if args.pipeline == 0 {
+                    return Err("--pipeline must be at least 1".into());
+                }
+            }
             "--timeout-ms" => {
                 let ms: u64 = value("--timeout-ms")?.parse().map_err(|e| format!("{e}"))?;
                 args.timeout = Duration::from_millis(ms);
@@ -78,8 +92,8 @@ fn parse_args() -> Result<Args, String> {
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--help" | "-h" => {
                 return Err("usage: djinn-loadgen --addr HOST:PORT --model NAME \
-                            [--threads N] [--requests R] [--queries Q] [--timeout-ms T] \
-                            [--trace-out PATH]"
+                            [--threads N] [--requests R] [--queries Q] [--pipeline N] \
+                            [--timeout-ms T] [--trace-out PATH]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -108,13 +122,131 @@ fn connect_with_backoff(addr: std::net::SocketAddr, timeout: Duration) -> Option
     None
 }
 
-/// Builds an input carrying `queries` stacked queries for a Tonic model.
+/// Builds an input carrying `queries` stacked queries for a Tonic model,
+/// or for one of the tiny test-zoo models (the harness a `--tiny-zoo`
+/// server serves for protocol benchmarks).
 fn input_for(model: &str, queries: usize) -> Option<Tensor> {
-    let app = App::from_name(model)?;
-    let def = dnn::zoo::netdef(app);
-    let items = app.service_meta().inputs_per_query * queries;
-    let shape = def.input_shape().with_batch(items);
+    if let Some(app) = App::from_name(model) {
+        let def = dnn::zoo::netdef(app);
+        let items = app.service_meta().inputs_per_query * queries;
+        let shape = def.input_shape().with_batch(items);
+        return Some(Tensor::random_uniform(shape, 0.5, 99));
+    }
+    let def = dnn::zoo::tiny_test_zoo()
+        .into_iter()
+        .find(|d| d.name() == model)?;
+    let shape = def.input_shape().with_batch(queries);
     Some(Tensor::random_uniform(shape, 0.5, 99))
+}
+
+/// The classic closed loop: one request in flight, reconnect with
+/// backoff on transport failures.
+#[allow(clippy::too_many_arguments)]
+fn run_closed_loop(
+    client: &mut DjinnClient,
+    addr: std::net::SocketAddr,
+    timeout: Duration,
+    model: &str,
+    input: &Tensor,
+    requests: usize,
+    local: &mut Vec<TraceRecord>,
+    errors: &AtomicU64,
+    sheds: &AtomicU64,
+    reconnects: &AtomicU64,
+) {
+    for done in 0..requests {
+        match client.infer_traced(model, input) {
+            Ok((_, record)) => local.push(record),
+            // The server shed the request at admission: the
+            // connection is fine, and this is backpressure, not a
+            // transport failure — count it separately.
+            Err(DjinnError::Busy { .. }) => {
+                sheds.fetch_add(1, Ordering::Relaxed);
+            }
+            // Server-side application error: the connection is
+            // still framed correctly, keep using it.
+            Err(DjinnError::Remote { .. }) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+            // I/O or protocol break: the stream can no longer be
+            // trusted — reconnect with backoff and carry on.
+            Err(_) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+                match connect_with_backoff(addr, timeout) {
+                    Some(c) => {
+                        reconnects.fetch_add(1, Ordering::Relaxed);
+                        *client = c;
+                    }
+                    None => {
+                        let remaining = (requests - done - 1) as u64;
+                        errors.fetch_add(remaining, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pipelined issue: keep up to `window` requests in flight on one
+/// connection. Responses demultiplex by request ID, so per-request sheds
+/// and errors land on the request that caused them even when replies
+/// come back out of order. A transport failure costs the chunk in
+/// flight; the worker reconnects and carries on.
+#[allow(clippy::too_many_arguments)]
+fn run_pipelined(
+    client: &mut DjinnClient,
+    addr: std::net::SocketAddr,
+    timeout: Duration,
+    model: &str,
+    input: &Tensor,
+    requests: usize,
+    window: usize,
+    local: &mut Vec<TraceRecord>,
+    errors: &AtomicU64,
+    sheds: &AtomicU64,
+    reconnects: &AtomicU64,
+) {
+    // Chunking bounds the per-call input clone and gives transport
+    // failures a bounded blast radius.
+    let chunk_len = window.max(16).min(requests.max(1));
+    let mut issued = 0usize;
+    while issued < requests {
+        let n = chunk_len.min(requests - issued);
+        let inputs = vec![input.clone(); n];
+        match client.pipeline(model, &inputs, window) {
+            Ok(results) => {
+                for r in results {
+                    match r {
+                        Ok((_, record)) => local.push(record),
+                        Err(DjinnError::Busy { .. }) => {
+                            sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                // The whole chunk is unaccounted for: charge it as
+                // errors and start over on a fresh connection.
+                errors.fetch_add(n as u64, Ordering::Relaxed);
+                match connect_with_backoff(addr, timeout) {
+                    Some(c) => {
+                        reconnects.fetch_add(1, Ordering::Relaxed);
+                        *client = c;
+                    }
+                    None => {
+                        let remaining = (requests - issued - n) as u64;
+                        errors.fetch_add(remaining, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        }
+        issued += n;
+    }
 }
 
 fn main() -> ExitCode {
@@ -166,6 +298,7 @@ fn main() -> ExitCode {
         let sheds = Arc::clone(&sheds);
         let reconnects = Arc::clone(&reconnects);
         let requests = args.requests;
+        let window = args.pipeline;
         handles.push(std::thread::spawn(move || {
             let mut client = match connect_with_backoff(addr, timeout) {
                 Some(c) => c,
@@ -177,37 +310,33 @@ fn main() -> ExitCode {
             // Per-thread trace buffer, merged once at the end, so the
             // hot loop never contends on the shared lock.
             let mut local = Vec::with_capacity(requests);
-            for done in 0..requests {
-                match client.infer_traced(&model, &input) {
-                    Ok((_, record)) => local.push(record),
-                    // The server shed the request at admission: the
-                    // connection is fine, and this is backpressure, not a
-                    // transport failure — count it separately.
-                    Err(DjinnError::Busy { .. }) => {
-                        sheds.fetch_add(1, Ordering::Relaxed);
-                    }
-                    // Server-side application error: the connection is
-                    // still framed correctly, keep using it.
-                    Err(DjinnError::Remote { .. }) => {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                    // I/O or protocol break: the stream can no longer be
-                    // trusted — reconnect with backoff and carry on.
-                    Err(_) => {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                        match connect_with_backoff(addr, timeout) {
-                            Some(c) => {
-                                reconnects.fetch_add(1, Ordering::Relaxed);
-                                client = c;
-                            }
-                            None => {
-                                let remaining = (requests - done - 1) as u64;
-                                errors.fetch_add(remaining, Ordering::Relaxed);
-                                break;
-                            }
-                        }
-                    }
-                }
+            if window > 1 {
+                run_pipelined(
+                    &mut client,
+                    addr,
+                    timeout,
+                    &model,
+                    &input,
+                    requests,
+                    window,
+                    &mut local,
+                    &errors,
+                    &sheds,
+                    &reconnects,
+                );
+            } else {
+                run_closed_loop(
+                    &mut client,
+                    addr,
+                    timeout,
+                    &model,
+                    &input,
+                    requests,
+                    &mut local,
+                    &errors,
+                    &sheds,
+                    &reconnects,
+                );
             }
             records
                 .lock()

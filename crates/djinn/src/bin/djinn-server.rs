@@ -3,7 +3,7 @@
 //! ```text
 //! djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu]
 //!              [--batch N] [--threads N] [--queue N] [--workers N]
-//!              [--models DIR] [--export DIR]
+//!              [--models DIR] [--tiny-zoo] [--export DIR]
 //! ```
 //!
 //! `--queue` bounds each model's admission queue (requests beyond it are
@@ -12,8 +12,11 @@
 //!
 //! With `--models DIR`, every `*.djnm` model file in the directory is
 //! served under its file stem; otherwise the seven built-in Tonic models
-//! are served. `--export DIR` writes the built-in models as `.djnm` files
-//! and exits (a way to bootstrap a model repository).
+//! are served. `--tiny-zoo` serves the miniature test models instead —
+//! the harness for protocol benchmarks (e.g. measuring `--pipeline`
+//! speedups with djinn-loadgen) where model compute should not dominate.
+//! `--export DIR` writes the built-in models as `.djnm` files and exits
+//! (a way to bootstrap a model repository).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,6 +32,7 @@ struct Args {
     queue: usize,
     workers: usize,
     models: Option<PathBuf>,
+    tiny_zoo: bool,
     export: Option<PathBuf>,
 }
 
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         queue: defaults.queue_capacity,
         workers: defaults.engine_workers,
         models: None,
+        tiny_zoo: false,
         export: None,
     };
     let mut it = std::env::args().skip(1);
@@ -88,12 +93,13 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--models" => args.models = Some(PathBuf::from(value("--models")?)),
+            "--tiny-zoo" => args.tiny_zoo = true,
             "--export" => args.export = Some(PathBuf::from(value("--export")?)),
             "--help" | "-h" => {
                 return Err(
                     "usage: djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu] \
                             [--batch N] [--threads N] [--queue N] [--workers N] \
-                            [--models DIR] [--export DIR]"
+                            [--models DIR] [--tiny-zoo] [--export DIR]"
                         .into(),
                 )
             }
@@ -116,8 +122,12 @@ fn main() -> ExitCode {
         return export_models(&dir);
     }
 
-    let registry = match &args.models {
-        Some(dir) => match ModelRegistry::from_dir(dir) {
+    if args.tiny_zoo && args.models.is_some() {
+        eprintln!("--tiny-zoo and --models are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    let registry = match (&args.models, args.tiny_zoo) {
+        (Some(dir), _) => match ModelRegistry::from_dir(dir) {
             Ok(reg) if !reg.is_empty() => reg,
             Ok(_) => {
                 eprintln!("no .djnm model files found in {}", dir.display());
@@ -128,7 +138,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        None => match ModelRegistry::with_tonic_models() {
+        (None, true) => match ModelRegistry::with_tiny_test_zoo() {
+            Ok(reg) => reg,
+            Err(e) => {
+                eprintln!("failed to build tiny test zoo: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, false) => match ModelRegistry::with_tonic_models() {
             Ok(reg) => reg,
             Err(e) => {
                 eprintln!("failed to build Tonic models: {e}");

@@ -1,5 +1,6 @@
 //! Client library for the DjiNN service.
 
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -9,11 +10,67 @@ use crate::protocol::{write_frame, FrameReader, ModelStats, Request, Response};
 use crate::trace::{self, TraceRecord};
 use crate::{DjinnError, Result};
 
+/// Abandoned request IDs remembered for stale-response draining. A
+/// response whose ID fell off this window poisons the connection — that
+/// takes more consecutive timeouts on one connection than any sane
+/// client survives without reconnecting.
+const ABANDONED_CAP: usize = 64;
+
+/// A completion demultiplexed from a pipelined connection: which request
+/// it answers, and its per-request outcome.
+#[derive(Debug)]
+pub struct PipelinedResponse {
+    /// The client-assigned ID of the request this answers.
+    pub request_id: u64,
+    /// The request's outcome: prediction plus trace, or its own typed
+    /// error ([`DjinnError::Busy`] when shed, [`DjinnError::Remote`] for
+    /// server-side failures). Per-request errors do not poison the
+    /// connection.
+    pub result: Result<(Tensor, TraceRecord)>,
+}
+
+/// What the client remembers about an in-flight infer until its
+/// response arrives.
+#[derive(Debug)]
+struct PendingInfer {
+    model: String,
+    sent: Instant,
+}
+
 /// A synchronous client holding one TCP connection to a DjiNN server.
 ///
 /// Tonic Suite applications use this to send preprocessed inputs and
 /// receive predictions; each client owns its connection, so one client per
 /// thread.
+///
+/// # Correlation, not order
+///
+/// Every request carries a client-assigned ID which the server echoes on
+/// the response (protocol v4 echoes it on *every* frame — `Busy` and
+/// error frames included), and the client matches responses to requests
+/// **by ID, never by arrival order**. A response that outlived its
+/// request (the classic case: a read timeout fired, then the late answer
+/// arrived) is recognized as stale and discarded instead of being
+/// returned as the answer to the next call. A response that correlates
+/// with nothing poisons the connection.
+///
+/// # Pipelining
+///
+/// Because correlation is by ID, one connection can carry many requests
+/// at once: [`DjinnClient::submit`] sends without waiting,
+/// [`DjinnClient::recv_next`] blocks for whichever in-flight request
+/// finishes first (the server answers out of order as its engines
+/// complete), and [`DjinnClient::pipeline`] drives a fixed-size window
+/// over a whole batch of inputs. Pipelining is what lets a single
+/// connection keep the server's batcher fed.
+///
+/// # Poisoned connections
+///
+/// After a failed frame write the server may have received half a frame,
+/// and after an uncorrelatable response the stream's framing can no
+/// longer be trusted. Both poison the connection: every subsequent call
+/// fails fast with [`DjinnError::ConnectionPoisoned`] instead of
+/// desyncing further. The only recovery is a fresh connection.
 ///
 /// By default every call blocks until the server answers. Production
 /// callers should bound that wait with [`DjinnClient::connect_with_timeout`]
@@ -25,6 +82,18 @@ use crate::{DjinnError, Result};
 pub struct DjinnClient {
     stream: TcpStream,
     reader: FrameReader,
+    /// `Some(reason)` once the connection can no longer be trusted.
+    poisoned: Option<String>,
+    /// In-flight infer requests by ID.
+    pending: HashMap<u64, PendingInfer>,
+    /// Pending IDs in submission order — the fallback attribution order
+    /// for uncorrelated (pre-v4 or ID-0) responses.
+    order: VecDeque<u64>,
+    /// IDs whose responses were abandoned (a timeout fired while waiting
+    /// for them); their late responses are drained and discarded.
+    abandoned: VecDeque<u64>,
+    /// Completions that arrived while waiting for a different request.
+    stash: VecDeque<PipelinedResponse>,
 }
 
 impl DjinnClient {
@@ -57,6 +126,11 @@ impl DjinnClient {
         Ok(DjinnClient {
             stream,
             reader: FrameReader::new(),
+            poisoned: None,
+            pending: HashMap::new(),
+            order: VecDeque::new(),
+            abandoned: VecDeque::new(),
+            stash: VecDeque::new(),
         })
     }
 
@@ -80,7 +154,9 @@ impl DjinnClient {
     ///
     /// Returns [`DjinnError::Busy`] when the server shed the request at
     /// admission (back off and retry), [`DjinnError::Remote`] for other
-    /// server-reported failures, and protocol/I/O errors otherwise.
+    /// server-reported failures, [`DjinnError::ConnectionPoisoned`] once
+    /// the connection can no longer be trusted, and protocol/I/O errors
+    /// otherwise.
     pub fn infer(&mut self, model: &str, input: &Tensor) -> Result<Tensor> {
         self.infer_traced(model, input).map(|(tensor, _)| tensor)
     }
@@ -99,7 +175,8 @@ impl DjinnClient {
 
     /// Like [`DjinnClient::infer_traced`], with a caller-supplied request
     /// ID — the hook retrying callers use to keep one ID (hence one
-    /// trace) across `Busy` retries.
+    /// trace) across `Busy` retries. An ID of 0 (the untraced sentinel)
+    /// is replaced with a fresh one so the response stays correlatable.
     ///
     /// # Errors
     ///
@@ -110,33 +187,142 @@ impl DjinnClient {
         input: &Tensor,
         request_id: u64,
     ) -> Result<(Tensor, TraceRecord)> {
+        let request_id = if request_id == 0 {
+            trace::next_request_id()
+        } else {
+            request_id
+        };
+        self.submit_with_id(model, input, request_id)?;
+        self.wait_infer(request_id)
+    }
+
+    /// Sends one inference request *without waiting* and returns its
+    /// request ID; the response is claimed later via
+    /// [`DjinnClient::recv_next`] (or [`DjinnClient::pipeline`], which
+    /// wraps both ends). Any number of submits may be in flight on one
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// [`DjinnError::ConnectionPoisoned`] on an untrusted connection or
+    /// after this write fails mid-frame; encoding errors otherwise.
+    pub fn submit(&mut self, model: &str, input: &Tensor) -> Result<u64> {
+        let request_id = trace::next_request_id();
+        self.submit_with_id(model, input, request_id)?;
+        Ok(request_id)
+    }
+
+    fn submit_with_id(&mut self, model: &str, input: &Tensor, request_id: u64) -> Result<()> {
+        self.check_poisoned()?;
+        if self.pending.contains_key(&request_id) {
+            return Err(DjinnError::Protocol {
+                reason: format!("request id {request_id} is already in flight"),
+            });
+        }
         let req = Request::Infer {
             model: model.to_string(),
             input: input.clone(),
             request_id,
         };
+        self.send(&req)?;
         // The client-send span mark; client-recv is when the decoded
         // response is in hand.
-        let sent = Instant::now();
-        match self.roundtrip(&req)? {
-            Response::Output { tensor, mut trace } => {
-                let e2e_us = sent.elapsed().as_micros() as u64;
-                // A pre-v3 server echoes no trace; keep the ID the caller
-                // chose so the record still identifies the request.
-                if trace.request_id == 0 {
-                    trace.request_id = request_id;
-                }
-                Ok((tensor, TraceRecord::new(model, e2e_us, trace)))
-            }
-            Response::Error(message) => Err(DjinnError::Remote { message }),
-            Response::Busy { model, queue_depth } => Err(DjinnError::Busy {
-                model,
-                queue_depth: queue_depth as usize,
-            }),
-            other => Err(DjinnError::Protocol {
-                reason: format!("unexpected response {other:?}"),
-            }),
+        self.pending.insert(
+            request_id,
+            PendingInfer {
+                model: model.to_string(),
+                sent: Instant::now(),
+            },
+        );
+        self.order.push_back(request_id);
+        Ok(())
+    }
+
+    /// In-flight submits not yet claimed by a receive.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Blocks until *any* in-flight request completes and returns its
+    /// demultiplexed response — completions arrive in the server's
+    /// finish order, not submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`DjinnError::Protocol`] when nothing is in flight; a `TimedOut`
+    /// I/O error when the read stall bound fires (the requests stay in
+    /// flight — call again to keep waiting);
+    /// [`DjinnError::ConnectionPoisoned`] once correlation breaks.
+    pub fn recv_next(&mut self) -> Result<PipelinedResponse> {
+        if let Some(done) = self.stash.pop_front() {
+            return Ok(done);
         }
+        if self.pending.is_empty() {
+            return Err(DjinnError::Protocol {
+                reason: "recv_next with no request in flight".into(),
+            });
+        }
+        self.check_poisoned()?;
+        loop {
+            let rsp = self.read_response()?;
+            if let Some(done) = self.route(rsp)? {
+                return Ok(done);
+            }
+        }
+    }
+
+    /// Runs `inputs` through `model` with up to `window` requests in
+    /// flight on this one connection, and returns one result per input,
+    /// in input order. Per-request failures (shed, inference error) land
+    /// in their own slot; a transport-level failure aborts the whole
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// [`DjinnError::Protocol`] if other requests are already in flight;
+    /// transport errors ([`DjinnError::ConnectionPoisoned`], I/O,
+    /// timeouts) abort the call.
+    pub fn pipeline(
+        &mut self,
+        model: &str,
+        inputs: &[Tensor],
+        window: usize,
+    ) -> Result<Vec<Result<(Tensor, TraceRecord)>>> {
+        if !self.pending.is_empty() || !self.stash.is_empty() {
+            return Err(DjinnError::Protocol {
+                reason: "pipeline requires no other requests in flight".into(),
+            });
+        }
+        let window = window.max(1);
+        let mut results: Vec<Option<Result<(Tensor, TraceRecord)>>> = Vec::new();
+        results.resize_with(inputs.len(), || None);
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
+        let mut next = 0usize;
+        let mut done = 0usize;
+        while done < inputs.len() {
+            // Keep the window full...
+            while next < inputs.len() && slot_of.len() - done < window {
+                let id = self.submit(model, &inputs[next])?;
+                slot_of.insert(id, next);
+                next += 1;
+            }
+            // ...and claim whichever request finishes first.
+            let completion = self.recv_next()?;
+            let Some(&slot) = slot_of.get(&completion.request_id) else {
+                return Err(DjinnError::Protocol {
+                    reason: format!(
+                        "completion for id {} not part of this pipeline",
+                        completion.request_id
+                    ),
+                });
+            };
+            results[slot] = Some(completion.result);
+            done += 1;
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every slot filled by the loop above"))
+            .collect())
     }
 
     /// Asks the server which models it serves.
@@ -145,9 +331,10 @@ impl DjinnClient {
     ///
     /// Same failure modes as [`DjinnClient::infer`].
     pub fn list_models(&mut self) -> Result<Vec<String>> {
-        match self.roundtrip(&Request::ListModels)? {
-            Response::Models(names) => Ok(names),
-            Response::Error(message) => Err(DjinnError::Remote { message }),
+        let request_id = trace::next_request_id();
+        self.send(&Request::ListModels { request_id })?;
+        match self.wait_control(request_id)? {
+            Response::Models { names, .. } => Ok(names),
             other => Err(DjinnError::Protocol {
                 reason: format!("unexpected response {other:?}"),
             }),
@@ -160,27 +347,227 @@ impl DjinnClient {
     ///
     /// Same failure modes as [`DjinnClient::infer`].
     pub fn stats(&mut self) -> Result<Vec<ModelStats>> {
-        match self.roundtrip(&Request::Stats)? {
-            Response::Stats(stats) => Ok(stats),
-            Response::Error(message) => Err(DjinnError::Remote { message }),
+        self.stats_with_unknown_count().map(|(stats, _)| stats)
+    }
+
+    /// Like [`DjinnClient::stats`], additionally returning the server's
+    /// aggregate count of infer requests rejected for naming an
+    /// unregistered model (0 from a pre-v4 server).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DjinnClient::infer`].
+    pub fn stats_with_unknown_count(&mut self) -> Result<(Vec<ModelStats>, u64)> {
+        let request_id = trace::next_request_id();
+        self.send(&Request::Stats { request_id })?;
+        match self.wait_control(request_id)? {
+            Response::Stats {
+                unknown_model_requests,
+                stats,
+                ..
+            } => Ok((stats, unknown_model_requests)),
             other => Err(DjinnError::Protocol {
                 reason: format!("unexpected response {other:?}"),
             }),
         }
     }
 
-    fn roundtrip(&mut self, req: &Request) -> Result<Response> {
-        write_frame(&mut self.stream, &req.encode()?)?;
-        match self.reader.read_frame(&mut self.stream)? {
-            Some(payload) => Response::decode(&payload),
-            // A fired read timeout means the server sent nothing for the
-            // whole window: report the stall instead of waiting forever.
-            // Partial response bytes stay buffered in the reader, so the
-            // stream is still coherent if the caller retries.
-            None => Err(DjinnError::Io(std::io::Error::new(
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(reason) => Err(DjinnError::ConnectionPoisoned {
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    fn poison(&mut self, reason: String) -> DjinnError {
+        self.poisoned = Some(reason.clone());
+        DjinnError::ConnectionPoisoned { reason }
+    }
+
+    /// Writes one request frame. A failed write may have left a partial
+    /// frame on the wire — the server would misparse everything after it
+    /// — so any write error poisons the connection.
+    fn send(&mut self, req: &Request) -> Result<()> {
+        self.check_poisoned()?;
+        let bytes = req.encode()?; // nothing written yet: not poisoning
+        write_frame(&mut self.stream, &bytes)
+            .map_err(|e| self.poison(format!("request write failed mid-frame: {e}")))
+    }
+
+    /// Reads and decodes one response frame. A fired read timeout
+    /// surfaces as a `TimedOut` I/O error (partial bytes stay buffered,
+    /// the stream stays coherent); an undecodable frame poisons the
+    /// connection, since its contents — and the framing after it — can
+    /// no longer be trusted.
+    fn read_response(&mut self) -> Result<Response> {
+        match self.reader.read_frame(&mut self.stream) {
+            Ok(Some(payload)) => Response::decode(&payload)
+                .map_err(|e| self.poison(format!("undecodable response frame: {e}"))),
+            Ok(None) => Err(DjinnError::Io(std::io::Error::new(
                 std::io::ErrorKind::TimedOut,
                 "server made no progress within the read timeout",
             ))),
+            Err(e) => Err(e),
         }
     }
+
+    /// Correlates one response with an in-flight infer request.
+    ///
+    /// Returns `Ok(Some(_))` when a pending request completed,
+    /// `Ok(None)` for a stale response that was drained (its request was
+    /// abandoned after a timeout — the exact frame that used to be
+    /// misattributed to the next call). A response correlating with
+    /// nothing poisons the connection rather than guessing.
+    fn route(&mut self, rsp: Response) -> Result<Option<PipelinedResponse>> {
+        let wire_id = rsp.request_id();
+        if let Some(pos) = self.abandoned.iter().position(|&a| a == wire_id) {
+            self.abandoned.remove(pos);
+            return Ok(None);
+        }
+        let id = if wire_id == 0 {
+            // A pre-v4 peer (or an error for an undecodable request)
+            // carries no ID: fall back to order-based attribution
+            // against the oldest in-flight request — all a legacy,
+            // strictly serial server permits anyway.
+            match self.order.front().copied() {
+                Some(oldest) => oldest,
+                None => {
+                    return Err(
+                        self.poison("uncorrelated response with no request in flight".into())
+                    )
+                }
+            }
+        } else {
+            wire_id
+        };
+        let Some(p) = self.pending.remove(&id) else {
+            return Err(self.poison(format!(
+                "response correlates with no in-flight request (id {id})"
+            )));
+        };
+        self.order.retain(|&o| o != id);
+        let e2e_us = p.sent.elapsed().as_micros() as u64;
+        let result = match rsp {
+            Response::Output { tensor, mut trace } => {
+                // A pre-v3 server echoes no trace; keep the ID the
+                // caller chose so the record still identifies the
+                // request.
+                if trace.request_id == 0 {
+                    trace.request_id = id;
+                }
+                Ok((tensor, TraceRecord::new(&p.model, e2e_us, trace)))
+            }
+            Response::Busy {
+                model, queue_depth, ..
+            } => Err(DjinnError::Busy {
+                model,
+                queue_depth: queue_depth as usize,
+            }),
+            Response::Error { message, .. } => Err(DjinnError::Remote { message }),
+            other => Err(DjinnError::Protocol {
+                reason: format!("unexpected response {other:?} to an infer request"),
+            }),
+        };
+        Ok(Some(PipelinedResponse {
+            request_id: id,
+            result,
+        }))
+    }
+
+    /// Blocks until the infer with `want_id` completes. Completions for
+    /// *other* in-flight requests that arrive meanwhile are stashed, not
+    /// lost. A timeout abandons `want_id`: its late response will be
+    /// drained and discarded, never returned to a later call.
+    fn wait_infer(&mut self, want_id: u64) -> Result<(Tensor, TraceRecord)> {
+        if let Some(pos) = self.stash.iter().position(|r| r.request_id == want_id) {
+            return self
+                .stash
+                .remove(pos)
+                .expect("position came from the stash")
+                .result;
+        }
+        loop {
+            let rsp = match self.read_response() {
+                Ok(r) => r,
+                Err(e) => {
+                    if is_timeout(&e) {
+                        self.abandon_pending(want_id);
+                    }
+                    return Err(e);
+                }
+            };
+            if let Some(done) = self.route(rsp)? {
+                if done.request_id == want_id {
+                    return done.result;
+                }
+                self.stash.push_back(done);
+            }
+        }
+    }
+
+    /// Blocks until the control (list/stats) response for `want_id`
+    /// arrives; infer completions arriving meanwhile are stashed. A
+    /// timeout abandons `want_id` like any other request.
+    fn wait_control(&mut self, want_id: u64) -> Result<Response> {
+        loop {
+            let rsp = match self.read_response() {
+                Ok(r) => r,
+                Err(e) => {
+                    if is_timeout(&e) {
+                        self.abandon(want_id);
+                    }
+                    return Err(e);
+                }
+            };
+            match &rsp {
+                // A pre-v4 server echoes no ID on control frames; with
+                // one blocking control call at a time, the match is
+                // unambiguous.
+                Response::Models { request_id, .. } | Response::Stats { request_id, .. }
+                    if *request_id == want_id || *request_id == 0 =>
+                {
+                    return Ok(rsp);
+                }
+                Response::Error { request_id, .. }
+                    if *request_id == want_id || (*request_id == 0 && self.pending.is_empty()) =>
+                {
+                    let Response::Error { message, .. } = rsp else {
+                        unreachable!("matched Error above");
+                    };
+                    return Err(DjinnError::Remote { message });
+                }
+                _ => {}
+            }
+            if let Some(done) = self.route(rsp)? {
+                self.stash.push_back(done);
+            }
+        }
+    }
+
+    /// Abandons a pending infer after its wait timed out.
+    fn abandon_pending(&mut self, id: u64) {
+        if self.pending.remove(&id).is_some() {
+            self.order.retain(|&o| o != id);
+            self.abandon(id);
+        }
+    }
+
+    /// Remembers `id` so its late response is drained, not misattributed.
+    fn abandon(&mut self, id: u64) {
+        if id == 0 {
+            return;
+        }
+        self.abandoned.push_back(id);
+        while self.abandoned.len() > ABANDONED_CAP {
+            self.abandoned.pop_front();
+        }
+    }
+}
+
+fn is_timeout(e: &DjinnError) -> bool {
+    matches!(e, DjinnError::Io(io)
+        if io.kind() == std::io::ErrorKind::TimedOut
+            || io.kind() == std::io::ErrorKind::WouldBlock)
 }

@@ -125,9 +125,47 @@ struct Completed {
     spans: EngineSpans,
 }
 
+/// A completed routed job, delivered to whatever channel the submitter
+/// registered with [`InferenceEngine::submit_routed`] — in the server,
+/// a connection's reply pump, which may receive completions from many
+/// models in any order.
+#[derive(Debug)]
+pub struct RoutedReply {
+    /// The submitter's opaque token, echoed verbatim so the receiver can
+    /// look up what the completion belongs to.
+    pub token: u64,
+    /// The job's outcome: output and engine spans, or its typed error.
+    pub result: Result<(Tensor, EngineSpans)>,
+}
+
+/// Where a job's completion goes: back to a blocked [`Ticket`] holder,
+/// or routed (with a token) to a shared completion channel.
+enum ReplySlot {
+    Ticket(Sender<Result<Completed>>),
+    Routed { token: u64, tx: Sender<RoutedReply> },
+}
+
+impl ReplySlot {
+    /// Delivers the result; a gone receiver is the receiver's problem,
+    /// never the engine's.
+    fn deliver(self, result: Result<Completed>) {
+        match self {
+            ReplySlot::Ticket(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplySlot::Routed { token, tx } => {
+                let _ = tx.send(RoutedReply {
+                    token,
+                    result: result.map(|c| (c.output, c.spans)),
+                });
+            }
+        }
+    }
+}
+
 struct Job {
     input: Tensor,
-    reply: Sender<Result<Completed>>,
+    reply: ReplySlot,
     enqueued: Instant,
     /// Stamped when a dispatch worker takes the job off the queue — the
     /// queue-exit span mark.
@@ -279,9 +317,35 @@ impl InferenceEngine {
     /// [`DjinnError::Shutdown`] after shutdown has begun.
     pub fn submit(&self, input: Tensor) -> Result<Ticket> {
         let (tx, rx) = bounded(1);
+        self.enqueue(input, ReplySlot::Ticket(tx))?;
+        Ok(Ticket { rx })
+    }
+
+    /// Admits one job without blocking, routing its completion to `tx`
+    /// instead of a per-job [`Ticket`]. The engine echoes `token` on the
+    /// [`RoutedReply`] so the receiver can correlate completions — this
+    /// is the handoff the server's per-connection reply pump uses to
+    /// answer pipelined requests out of order without a worker blocked
+    /// per request.
+    ///
+    /// The reply guarantee is identical to [`InferenceEngine::submit`]:
+    /// every admitted job produces exactly one [`RoutedReply`], including
+    /// during shutdown drain.
+    ///
+    /// # Errors
+    ///
+    /// Same admission failures as [`InferenceEngine::submit`]: a full
+    /// queue returns [`DjinnError::Busy`], a closed engine
+    /// [`DjinnError::Shutdown`] — in both cases nothing was admitted and
+    /// no reply will arrive for `token`.
+    pub fn submit_routed(&self, input: Tensor, token: u64, tx: Sender<RoutedReply>) -> Result<()> {
+        self.enqueue(input, ReplySlot::Routed { token, tx })
+    }
+
+    fn enqueue(&self, input: Tensor, reply: ReplySlot) -> Result<()> {
         let job = Job {
             input,
-            reply: tx,
+            reply,
             enqueued: Instant::now(),
             dequeued: None,
         };
@@ -293,7 +357,7 @@ impl InferenceEngine {
             Ok(_depth) => {
                 drop(st);
                 self.inner.cv.notify_one();
-                Ok(Ticket { rx })
+                Ok(())
             }
             Err(_job) => Err(DjinnError::Busy {
                 model: self.inner.model.clone(),
@@ -470,7 +534,7 @@ fn immediate_loop(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor
         });
         inner.in_flight.fetch_sub(1, Ordering::Relaxed);
         inner.completed.fetch_add(1, Ordering::Relaxed);
-        let _ = job.reply.send(result);
+        job.reply.deliver(result);
     }
 }
 
@@ -555,7 +619,7 @@ fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs
         .iter()
         .map(|j| (j.enqueued, j.dequeued.unwrap_or(j.enqueued)))
         .collect();
-    let (inputs, replies): (Vec<Tensor>, Vec<Sender<Result<Completed>>>) =
+    let (inputs, replies): (Vec<Tensor>, Vec<ReplySlot>) =
         jobs.into_iter().map(|j| (j.input, j.reply)).unzip();
     // Input stacking counts toward the batch span: executor-start is
     // stamped after it, right before the forward pass.
@@ -587,7 +651,7 @@ fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs
     match result {
         Ok(parts) => {
             for ((reply, part), (enqueued, dequeued)) in replies.into_iter().zip(parts).zip(marks) {
-                let _ = reply.send(Ok(Completed {
+                reply.deliver(Ok(Completed {
                     output: part,
                     spans: spans_for(enqueued, dequeued, exec_start, service),
                 }));
@@ -595,7 +659,7 @@ fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs
         }
         Err(e) => {
             for reply in replies {
-                let _ = reply.send(Err(e.clone()));
+                reply.deliver(Err(e.clone()));
             }
         }
     }
@@ -910,6 +974,77 @@ mod tests {
             assert!(t.wait().is_ok());
         }
         assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn routed_submit_answers_every_token_exactly_once() {
+        let net = tiny_net();
+        let eng = InferenceEngine::start(
+            "tiny",
+            Arc::clone(&net),
+            Arc::new(CpuExecutor::default()),
+            EngineConfig {
+                policy: DispatchPolicy::Immediate,
+                queue_capacity: 32,
+                workers: 4,
+            },
+        );
+        let (tx, rx) = bounded(32);
+        let mut want = std::collections::BTreeMap::new();
+        for token in 0..8u64 {
+            let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, token);
+            want.insert(token, net.forward(&input).unwrap());
+            eng.submit_routed(input, token, tx.clone()).unwrap();
+        }
+        // With 4 workers completions may arrive in any order; each token
+        // must show up exactly once with its own output.
+        let mut seen = std::collections::BTreeMap::new();
+        for _ in 0..8 {
+            let RoutedReply { token, result } = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("routed reply");
+            let (output, _spans) = result.unwrap();
+            assert!(
+                seen.insert(token, output).is_none(),
+                "token {token} answered twice"
+            );
+        }
+        for (token, output) in &seen {
+            assert!(
+                output.max_abs_diff(&want[token]).unwrap() < 1e-5,
+                "token {token} got another request's output"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_routed_jobs_too() {
+        let eng = InferenceEngine::start(
+            "tiny",
+            tiny_net(),
+            Arc::new(SlowExecutor {
+                inner: CpuExecutor::default(),
+                delay: Duration::from_millis(20),
+            }),
+            EngineConfig {
+                policy: DispatchPolicy::Immediate,
+                queue_capacity: 16,
+                workers: 1,
+            },
+        );
+        let (tx, rx) = bounded(16);
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 5);
+        for token in 0..5u64 {
+            eng.submit_routed(input.clone(), token, tx.clone()).unwrap();
+        }
+        eng.shutdown();
+        drop(tx);
+        let mut answered = 0;
+        while let Ok(reply) = rx.recv() {
+            assert!(reply.result.is_ok());
+            answered += 1;
+        }
+        assert_eq!(answered, 5, "shutdown drain must answer every routed job");
     }
 
     #[test]

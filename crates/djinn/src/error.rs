@@ -30,6 +30,14 @@ pub enum DjinnError {
         /// Queue depth observed at admission (the configured bound).
         queue_depth: usize,
     },
+    /// The connection can no longer be trusted: a frame may have been
+    /// partially written, or a response arrived that correlates with no
+    /// outstanding request. Every subsequent call on the same connection
+    /// fails fast with this error; the only recovery is reconnecting.
+    ConnectionPoisoned {
+        /// What broke the connection.
+        reason: String,
+    },
     /// The server or a worker is shutting down.
     Shutdown,
 }
@@ -46,6 +54,9 @@ impl fmt::Display for DjinnError {
                 f,
                 "model `{model}` is busy: admission queue full at depth {queue_depth}"
             ),
+            DjinnError::ConnectionPoisoned { reason } => {
+                write!(f, "connection poisoned ({reason}); reconnect required")
+            }
             DjinnError::Shutdown => write!(f, "service is shutting down"),
         }
     }
@@ -70,6 +81,9 @@ impl Clone for DjinnError {
             DjinnError::Busy { model, queue_depth } => DjinnError::Busy {
                 model: model.clone(),
                 queue_depth: *queue_depth,
+            },
+            DjinnError::ConnectionPoisoned { reason } => DjinnError::ConnectionPoisoned {
+                reason: reason.clone(),
             },
             DjinnError::Shutdown => DjinnError::Shutdown,
         }

@@ -49,8 +49,10 @@ mod registry;
 mod server;
 pub mod trace;
 
-pub use client::DjinnClient;
-pub use engine::{BatchConfig, DispatchPolicy, EngineConfig, EngineStats, InferenceEngine, Ticket};
+pub use client::{DjinnClient, PipelinedResponse};
+pub use engine::{
+    BatchConfig, DispatchPolicy, EngineConfig, EngineStats, InferenceEngine, RoutedReply, Ticket,
+};
 pub use error::DjinnError;
 pub use executor::{CpuExecutor, Executor, InferenceOutcome, SimGpuExecutor};
 pub use protocol::ModelStats;

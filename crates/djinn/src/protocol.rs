@@ -5,14 +5,17 @@
 //! byte, then an opcode:
 //!
 //! ```text
-//! request  := magic version opcode=1 name:str id:u64 tensor
-//! response := magic version opcode=2 status:u8 (trace tensor | str)
-//! list_req := magic version opcode=3
-//! list_rsp := magic version opcode=4 count:u16 (str)*
-//! busy     := magic version opcode=7 name:str depth:u32
-//! str      := u16 len, utf-8 bytes
-//! tensor   := u8 rank, u32 dim*, f32 data* (little endian)
-//! trace    := id:u64 queue_us:u64 batch_us:u64 service_us:u64 total_us:u64
+//! request   := magic version opcode=1 name:str id:u64 tensor
+//! result_ok := magic version opcode=2 status=0 trace tensor
+//! result_err:= magic version opcode=2 status=1 id:u64 message:str
+//! list_req  := magic version opcode=3 id:u64
+//! list_rsp  := magic version opcode=4 id:u64 count:u16 (str)*
+//! stats_req := magic version opcode=5 id:u64
+//! stats_rsp := magic version opcode=6 id:u64 unknown:u64 count:u16 entry*
+//! busy      := magic version opcode=7 id:u64 name:str depth:u32
+//! str       := u16 len, utf-8 bytes
+//! tensor    := u8 rank, u32 dim*, f32 data* (little endian)
+//! trace     := id:u64 queue_us:u64 batch_us:u64 service_us:u64 total_us:u64
 //! ```
 //!
 //! # Versioning
@@ -24,11 +27,20 @@
 //! successful response carries a 40-byte `trace` block (the echoed ID
 //! plus queue/batch/service/server-total durations in microseconds)
 //! before the tensor, and each stats entry appends six breakdown
-//! quantiles (p50/p99 × batch-wait, service, wire). Decoders accept
-//! every version from 1 up to [`VERSION`]: fields a version predates
-//! decode as zero (request ID 0 means "untraced"; an all-zero trace
-//! means "the peer reported none"), so a v3 client still understands a
-//! v1 server's reply and vice versa. Encoders always emit [`VERSION`].
+//! quantiles (p50/p99 × batch-wait, service, wire). Version 4 makes
+//! correlation by ID total: *every* request and response frame now
+//! carries the request ID — `result_err` and `busy` echo the ID of the
+//! infer they answer (so a shed or failed request can never be confused
+//! with its neighbor), `list_req`/`stats_req` carry one and
+//! `list_rsp`/`stats_rsp` echo it — and `stats_rsp` gains an aggregate
+//! `unknown:u64` counter of requests rejected for naming an unregistered
+//! model. With IDs on every frame the connection is full-duplex:
+//! responses may arrive in any order and clients demultiplex by ID (see
+//! `DjinnClient::pipeline`). Decoders accept every version from 1 up to
+//! [`VERSION`]: fields a version predates decode as zero (request ID 0
+//! means "untraced"/"uncorrelated"; an all-zero trace means "the peer
+//! reported none"), so a v4 client still understands a v1 server's reply
+//! and vice versa. Encoders always emit [`VERSION`].
 //!
 //! # Framing under timeouts
 //!
@@ -56,7 +68,7 @@ use crate::{DjinnError, Result};
 pub const MAGIC: &[u8; 4] = b"DJNN";
 /// Protocol version this implementation speaks. Decoding accepts any
 /// version in `1..=VERSION`.
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 /// Upper bound on a frame, to reject hostile lengths (64 MiB holds the
 /// largest Tonic batch comfortably).
 pub const MAX_FRAME: usize = 64 << 20;
@@ -89,9 +101,17 @@ pub enum Request {
         request_id: u64,
     },
     /// List registered model names.
-    ListModels,
+    ListModels {
+        /// Client-assigned correlation ID, echoed by the response (0
+        /// from a pre-v4 frame, which carried none).
+        request_id: u64,
+    },
     /// Fetch per-model service statistics.
-    Stats,
+    Stats {
+        /// Client-assigned correlation ID, echoed by the response (0
+        /// from a pre-v4 frame, which carried none).
+        request_id: u64,
+    },
 }
 
 /// Service statistics for one model, as reported by the `Stats` request.
@@ -149,7 +169,10 @@ impl ModelStats {
     }
 }
 
-/// A server→client message.
+/// A server→client message. Since v4 every variant carries the ID of
+/// the request it answers ([`Response::request_id`]), so responses can
+/// arrive in any order and clients correlate by ID instead of trusting
+/// arrival order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Successful inference: the output tensor plus the server-side
@@ -162,19 +185,56 @@ pub enum Response {
         trace: ServerTrace,
     },
     /// Application-level failure.
-    Error(String),
+    Error {
+        /// ID of the request that failed (0 from a pre-v4 peer, or when
+        /// the request itself was undecodable).
+        request_id: u64,
+        /// Server-provided message.
+        message: String,
+    },
     /// Registered model names.
-    Models(Vec<String>),
+    Models {
+        /// Echoed `list_req` correlation ID (0 from a pre-v4 peer).
+        request_id: u64,
+        /// The names.
+        names: Vec<String>,
+    },
     /// Per-model service statistics.
-    Stats(Vec<ModelStats>),
+    Stats {
+        /// Echoed `stats_req` correlation ID (0 from a pre-v4 peer).
+        request_id: u64,
+        /// Total infer requests rejected because they named a model the
+        /// server does not serve. One aggregate counter — unknown names
+        /// never create per-model entries (0 from a pre-v4 peer).
+        unknown_model_requests: u64,
+        /// Per-model entries, registered models only.
+        stats: Vec<ModelStats>,
+    },
     /// The model's admission queue is full: the request was shed, not
     /// queued. The client should back off and retry.
     Busy {
+        /// ID of the shed request (0 from a pre-v4 peer).
+        request_id: u64,
         /// Model whose queue rejected the request.
         model: String,
         /// Queue depth observed at admission (the configured bound).
         queue_depth: u32,
     },
+}
+
+impl Response {
+    /// The ID of the request this response answers. 0 means
+    /// uncorrelated: a pre-v4 peer, an untraced request, or an error
+    /// answering an undecodable frame.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Response::Output { trace, .. } => trace.request_id,
+            Response::Error { request_id, .. }
+            | Response::Models { request_id, .. }
+            | Response::Stats { request_id, .. }
+            | Response::Busy { request_id, .. } => *request_id,
+        }
+    }
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) -> Result<()> {
@@ -271,6 +331,18 @@ fn err(reason: &str) -> DjinnError {
     }
 }
 
+/// Reads the correlation ID v4 added to control and error frames; a
+/// pre-v4 frame has none and decodes as the uncorrelated sentinel 0.
+fn get_request_id(buf: &mut &[u8], version: u8) -> Result<u64> {
+    if version < 4 {
+        return Ok(0);
+    }
+    if buf.remaining() < 8 {
+        return Err(err("truncated request id"));
+    }
+    Ok(buf.get_u64_le())
+}
+
 fn header(buf: &mut BytesMut, opcode: u8) {
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
@@ -316,8 +388,14 @@ impl Request {
                 buf.put_u64_le(*request_id);
                 put_tensor(&mut buf, input);
             }
-            Request::ListModels => header(&mut buf, OP_LIST),
-            Request::Stats => header(&mut buf, OP_STATS),
+            Request::ListModels { request_id } => {
+                header(&mut buf, OP_LIST);
+                buf.put_u64_le(*request_id);
+            }
+            Request::Stats { request_id } => {
+                header(&mut buf, OP_STATS);
+                buf.put_u64_le(*request_id);
+            }
         }
         Ok(buf)
     }
@@ -350,8 +428,12 @@ impl Request {
                     request_id,
                 })
             }
-            OP_LIST => Ok(Request::ListModels),
-            OP_STATS => Ok(Request::Stats),
+            OP_LIST => Ok(Request::ListModels {
+                request_id: get_request_id(buf, version)?,
+            }),
+            OP_STATS => Ok(Request::Stats {
+                request_id: get_request_id(buf, version)?,
+            }),
             other => Err(err(&format!("unexpected request opcode {other}"))),
         }
     }
@@ -381,20 +463,31 @@ impl Response {
                 buf.put_u64_le(trace.server_total_us);
                 put_tensor(&mut buf, tensor);
             }
-            Response::Error(msg) => {
+            Response::Error {
+                request_id,
+                message,
+            } => {
                 header(&mut buf, OP_RESULT);
                 buf.put_u8(STATUS_ERR);
-                put_str(&mut buf, clamp_str(msg))?;
+                buf.put_u64_le(*request_id);
+                put_str(&mut buf, clamp_str(message))?;
             }
-            Response::Models(names) => {
+            Response::Models { request_id, names } => {
                 header(&mut buf, OP_LIST_RESULT);
+                buf.put_u64_le(*request_id);
                 put_count(&mut buf, names.len(), "model names")?;
                 for n in names {
                     put_str(&mut buf, n)?;
                 }
             }
-            Response::Stats(stats) => {
+            Response::Stats {
+                request_id,
+                unknown_model_requests,
+                stats,
+            } => {
                 header(&mut buf, OP_STATS_RESULT);
+                buf.put_u64_le(*request_id);
+                buf.put_u64_le(*unknown_model_requests);
                 put_count(&mut buf, stats.len(), "stats entries")?;
                 for s in stats {
                     put_str(&mut buf, &s.model)?;
@@ -415,8 +508,13 @@ impl Response {
                     buf.put_u64_le(s.p99_wire_us);
                 }
             }
-            Response::Busy { model, queue_depth } => {
+            Response::Busy {
+                request_id,
+                model,
+                queue_depth,
+            } => {
                 header(&mut buf, OP_BUSY);
+                buf.put_u64_le(*request_id);
                 put_str(&mut buf, model)?;
                 buf.put_u32_le(*queue_depth);
             }
@@ -461,11 +559,15 @@ impl Response {
                             trace,
                         })
                     }
-                    STATUS_ERR => Ok(Response::Error(get_str(buf)?)),
+                    STATUS_ERR => Ok(Response::Error {
+                        request_id: get_request_id(buf, version)?,
+                        message: get_str(buf)?,
+                    }),
                     s => Err(err(&format!("unknown status {s}"))),
                 }
             }
             OP_LIST_RESULT => {
+                let request_id = get_request_id(buf, version)?;
                 if buf.remaining() < 2 {
                     return Err(err("truncated model count"));
                 }
@@ -474,9 +576,18 @@ impl Response {
                 for _ in 0..count {
                     names.push(get_str(buf)?);
                 }
-                Ok(Response::Models(names))
+                Ok(Response::Models { request_id, names })
             }
             OP_STATS_RESULT => {
+                let request_id = get_request_id(buf, version)?;
+                let unknown_model_requests = if version >= 4 {
+                    if buf.remaining() < 8 {
+                        return Err(err("truncated unknown-model counter"));
+                    }
+                    buf.get_u64_le()
+                } else {
+                    0
+                };
                 if buf.remaining() < 2 {
                     return Err(err("truncated stats count"));
                 }
@@ -530,14 +641,20 @@ impl Response {
                     }
                     stats.push(entry);
                 }
-                Ok(Response::Stats(stats))
+                Ok(Response::Stats {
+                    request_id,
+                    unknown_model_requests,
+                    stats,
+                })
             }
             OP_BUSY => {
+                let request_id = get_request_id(buf, version)?;
                 let model = get_str(buf)?;
                 if buf.remaining() < 4 {
                     return Err(err("truncated busy depth"));
                 }
                 Ok(Response::Busy {
+                    request_id,
                     model,
                     queue_depth: buf.get_u32_le(),
                 })
@@ -688,9 +805,9 @@ mod tests {
         };
         let decoded = Request::decode(&req.encode().unwrap()).unwrap();
         assert_eq!(decoded, req);
-        let list = Request::ListModels;
+        let list = Request::ListModels { request_id: 31 };
         assert_eq!(Request::decode(&list.encode().unwrap()).unwrap(), list);
-        let stats = Request::Stats;
+        let stats = Request::Stats { request_id: 32 };
         assert_eq!(Request::decode(&stats.encode().unwrap()).unwrap(), stats);
     }
 
@@ -717,7 +834,11 @@ mod tests {
 
     #[test]
     fn stats_response_roundtrip() {
-        let rsp = Response::Stats(vec![stats_entry("dig"), stats_entry("pos")]);
+        let rsp = Response::Stats {
+            request_id: 88,
+            unknown_model_requests: 5,
+            stats: vec![stats_entry("dig"), stats_entry("pos")],
+        };
         assert_eq!(Response::decode(&rsp.encode().unwrap()).unwrap(), rsp);
     }
 
@@ -732,22 +853,131 @@ mod tests {
     }
 
     #[test]
-    fn version_constant_matches_the_tracing_protocol() {
-        // Request IDs, the response trace block, and the stats breakdown
-        // quantiles shipped in v3; bump this test alongside any future
-        // wire change.
-        assert_eq!(VERSION, 3);
-        let wire = Request::ListModels.encode().unwrap();
+    fn version_constant_matches_the_correlated_protocol() {
+        // v4 put the request ID on every frame (Busy/Error/control
+        // included) so correlation is by ID, never by arrival order;
+        // bump this test alongside any future wire change.
+        assert_eq!(VERSION, 4);
+        let wire = Request::ListModels { request_id: 1 }.encode().unwrap();
         assert_eq!(wire[4], VERSION, "encoders must stamp VERSION");
     }
 
     #[test]
     fn busy_response_roundtrips() {
         let rsp = Response::Busy {
+            request_id: 512,
             model: "imc".into(),
             queue_depth: 128,
         };
         assert_eq!(Response::decode(&rsp.encode().unwrap()).unwrap(), rsp);
+    }
+
+    #[test]
+    fn every_response_variant_reports_its_request_id() {
+        let variants: Vec<Response> = vec![
+            Response::Output {
+                tensor: Tensor::zeros(Shape::mat(1, 1)),
+                trace: ServerTrace {
+                    request_id: 7,
+                    ..ServerTrace::default()
+                },
+            },
+            Response::Error {
+                request_id: 7,
+                message: "boom".into(),
+            },
+            Response::Models {
+                request_id: 7,
+                names: vec![],
+            },
+            Response::Stats {
+                request_id: 7,
+                unknown_model_requests: 0,
+                stats: vec![],
+            },
+            Response::Busy {
+                request_id: 7,
+                model: "imc".into(),
+                queue_depth: 1,
+            },
+        ];
+        for rsp in variants {
+            assert_eq!(rsp.request_id(), 7, "{rsp:?}");
+            let back = Response::decode(&rsp.encode().unwrap()).unwrap();
+            assert_eq!(back.request_id(), 7, "id lost on the wire: {back:?}");
+        }
+    }
+
+    #[test]
+    fn pre_v4_control_and_error_frames_decode_with_zero_id() {
+        // v3 frames carry no correlation ID outside Infer/Output: splice
+        // the v4 id (and the stats unknown-counter) bytes out and rewrite
+        // the version byte; everything must decode with id 0.
+        let mut list = Request::ListModels { request_id: 9 }
+            .encode()
+            .unwrap()
+            .to_vec();
+        list.drain(6..14);
+        list[4] = 3;
+        assert_eq!(
+            Request::decode(&list).unwrap(),
+            Request::ListModels { request_id: 0 }
+        );
+
+        let mut error = Response::Error {
+            request_id: 9,
+            message: "bad".into(),
+        }
+        .encode()
+        .unwrap()
+        .to_vec();
+        error.drain(7..15); // id sits after magic+ver+op+status
+        error[4] = 3;
+        assert_eq!(
+            Response::decode(&error).unwrap(),
+            Response::Error {
+                request_id: 0,
+                message: "bad".into(),
+            }
+        );
+
+        let mut busy = Response::Busy {
+            request_id: 9,
+            model: "imc".into(),
+            queue_depth: 3,
+        }
+        .encode()
+        .unwrap()
+        .to_vec();
+        busy.drain(6..14);
+        busy[4] = 3;
+        assert_eq!(
+            Response::decode(&busy).unwrap(),
+            Response::Busy {
+                request_id: 0,
+                model: "imc".into(),
+                queue_depth: 3,
+            }
+        );
+
+        let mut stats = Response::Stats {
+            request_id: 9,
+            unknown_model_requests: 4,
+            stats: vec![stats_entry("dig")],
+        }
+        .encode()
+        .unwrap()
+        .to_vec();
+        stats.drain(6..22); // id + unknown counter
+        stats[4] = 3;
+        assert_eq!(
+            Response::decode(&stats).unwrap(),
+            Response::Stats {
+                request_id: 0,
+                unknown_model_requests: 0,
+                stats: vec![stats_entry("dig")],
+            }
+        );
     }
 
     #[test]
@@ -765,9 +995,19 @@ mod tests {
         buf.put_u64_le(10_000); // total_latency_us
         buf.put_u64_le(900); // max_latency_us
         let decoded = Response::decode(&buf).unwrap();
-        let Response::Stats(stats) = decoded else {
+        let Response::Stats {
+            request_id,
+            unknown_model_requests,
+            stats,
+        } = decoded
+        else {
             panic!("expected Stats, got {decoded:?}");
         };
+        assert_eq!(
+            (request_id, unknown_model_requests),
+            (0, 0),
+            "v4 correlation fields must decode as zero from a v1 peer"
+        );
         assert_eq!(stats.len(), 1);
         let s = &stats[0];
         assert_eq!((s.model.as_str(), s.requests, s.errors), ("dig", 42, 1));
@@ -861,8 +1101,14 @@ mod tests {
                     server_total_us: 2_300,
                 },
             },
-            Response::Error("nope".into()),
-            Response::Models(vec!["a".into(), "b".into()]),
+            Response::Error {
+                request_id: 10,
+                message: "nope".into(),
+            },
+            Response::Models {
+                request_id: 11,
+                names: vec!["a".into(), "b".into()],
+            },
         ] {
             assert_eq!(Response::decode(&rsp.encode().unwrap()).unwrap(), rsp);
         }
@@ -870,10 +1116,11 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_version() {
-        let mut buf = Request::ListModels.encode().unwrap().to_vec();
+        let list = Request::ListModels { request_id: 0 };
+        let mut buf = list.encode().unwrap().to_vec();
         buf[0] = b'X';
         assert!(Request::decode(&buf).is_err());
-        let mut buf2 = Request::ListModels.encode().unwrap().to_vec();
+        let mut buf2 = list.encode().unwrap().to_vec();
         buf2[4] = 99;
         assert!(Request::decode(&buf2).is_err());
     }
@@ -904,7 +1151,10 @@ mod tests {
             request_id: 0,
         };
         assert!(matches!(req.encode(), Err(DjinnError::Protocol { .. })));
-        let rsp = Response::Models(vec!["y".repeat(70_000)]);
+        let rsp = Response::Models {
+            request_id: 0,
+            names: vec!["y".repeat(70_000)],
+        };
         assert!(matches!(rsp.encode(), Err(DjinnError::Protocol { .. })));
     }
 
@@ -913,10 +1163,17 @@ mod tests {
         // 70k of a multi-byte char: clamping must stay on a char boundary
         // and the frame must decode with a consistent length.
         let msg = "é".repeat(40_000);
-        let rsp = Response::Error(msg.clone());
+        let rsp = Response::Error {
+            request_id: 3,
+            message: msg.clone(),
+        };
         let wire = rsp.encode().unwrap();
         match Response::decode(&wire).unwrap() {
-            Response::Error(m) => {
+            Response::Error {
+                request_id,
+                message: m,
+            } => {
+                assert_eq!(request_id, 3);
                 assert!(m.len() <= MAX_STR);
                 assert!(msg.starts_with(&m));
                 assert!(!m.is_empty());

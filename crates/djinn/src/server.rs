@@ -2,26 +2,32 @@
 //! shared read-only model registry, one [`InferenceEngine`] per model.
 //!
 //! Every inference request — batched or not — goes through its model's
-//! engine: connection workers only admit jobs and wait for replies, never
-//! touch the executor directly. Admission is non-blocking; a full queue
-//! answers with a `Busy` frame instead of wedging the connection worker.
+//! engine: connection workers only admit jobs, never touch the executor
+//! directly, and never block on a ticket. Each connection is
+//! **full-duplex**: the worker reads and admits frames while a small
+//! per-connection *reply pump* thread writes completions back as the
+//! engines finish them — possibly out of order, which protocol v4's
+//! ID-correlated frames make safe. Admission is non-blocking; a full
+//! queue answers with a `Busy` frame (echoing the request's ID) instead
+//! of wedging the connection worker.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel::{bounded, Receiver, Sender};
 use gpusim::queueing::LatencyHistogram;
 use parking_lot::Mutex;
-use tensor::Threading;
+use tensor::{Tensor, Threading};
 
 use crate::protocol::{write_frame, FrameReader, ModelStats, Request, Response};
 use crate::trace::ServerTrace;
 use crate::{
     BatchConfig, CpuExecutor, DispatchPolicy, DjinnError, EngineConfig, Executor, InferenceEngine,
-    ModelRegistry, Result, SimGpuExecutor,
+    ModelRegistry, Result, RoutedReply, SimGpuExecutor,
 };
 
 /// Which compute backend the server uses.
@@ -130,6 +136,10 @@ struct Shared {
     registry: ModelRegistry,
     engines: BTreeMap<String, InferenceEngine>,
     stats: Mutex<BTreeMap<String, StatsAcc>>,
+    /// Infer requests rejected for naming an unregistered model. One
+    /// aggregate counter: unknown names never create stats-map entries,
+    /// so a client spraying random names cannot grow server memory.
+    unknown_models: AtomicU64,
     stop: Arc<AtomicBool>,
 }
 
@@ -176,6 +186,7 @@ impl DjinnServer {
             registry,
             engines,
             stats: Mutex::new(BTreeMap::new()),
+            unknown_models: AtomicU64::new(0),
             stop: Arc::clone(&stop),
         });
         let accept_stop = Arc::clone(&stop);
@@ -208,9 +219,10 @@ impl DjinnServer {
     }
 
     /// Stops accepting connections, then joins the accept thread and every
-    /// connection worker. Workers notice the stop flag within [`READ_POLL`]
-    /// when idle and after their in-flight request otherwise, so teardown
-    /// is bounded and nothing races test (or process) exit.
+    /// connection worker. Workers notice the stop flag within one read
+    /// poll (100 ms) when idle and after their in-flight request
+    /// otherwise, so teardown is bounded and nothing races test (or
+    /// process) exit.
     pub fn shutdown(mut self) {
         self.stop_accepting();
     }
@@ -279,55 +291,270 @@ fn accept_loop(
     }
 }
 
-fn connection_loop(stream: TcpStream, shared: &Shared) {
+/// Bound on the per-connection completion channel between engine
+/// dispatch workers and the reply pump. Deep enough that a draining pump
+/// never stalls dispatch in practice; if a stalled client does fill it,
+/// engine workers briefly block on send — backpressure, not loss.
+const PUMP_CHANNEL: usize = 1024;
+
+/// What the connection worker remembers about an admitted Infer until
+/// its completion comes back through the reply pump. Keyed by a
+/// per-connection token (not the client's request ID, which may be 0 or
+/// reused), allocated before admission.
+struct PendingInfer {
+    request_id: u64,
+    model: String,
+    /// The server-read span mark: everything from here to response
+    /// encoding is the server's view of the request, in its own clock.
+    received: Instant,
+}
+
+/// The write half of a connection, shared by the worker (control and
+/// rejection frames) and the reply pump (completions). With v4's
+/// ID-correlated frames the interleaving order is free; only frame
+/// *atomicity* matters, which the mutex provides.
+struct ConnWriter {
+    stream: TcpStream,
+    /// Set after any failed write: the frame may have been partially
+    /// sent, so the byte stream can no longer be trusted and every
+    /// later write is refused.
+    poisoned: bool,
+}
+
+impl ConnWriter {
+    /// Encodes and writes one response frame; returns `false` once the
+    /// connection is poisoned (now or previously).
+    fn write_response(&mut self, response: &Response) -> bool {
+        if self.poisoned {
+            return false;
+        }
+        let bytes = match response.encode() {
+            Ok(b) => b,
+            // Unencodable response (e.g. oversized model name in a list):
+            // degrade to a clamped error frame carrying the same ID
+            // rather than dropping the response.
+            Err(e) => {
+                let fallback = Response::Error {
+                    request_id: response.request_id(),
+                    message: e.to_string(),
+                };
+                match fallback.encode() {
+                    Ok(b) => b,
+                    Err(_) => {
+                        self.poisoned = true;
+                        return false;
+                    }
+                }
+            }
+        };
+        if write_frame(&mut self.stream, &bytes).is_err() {
+            self.poisoned = true;
+            return false;
+        }
+        true
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     // Bounded reads so workers poll the stop flag while idle; the
     // FrameReader keeps partial bytes across fired timeouts, so a slow
     // writer mid-frame never desyncs the stream (see protocol.rs).
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_write_timeout(Some(WRITE_STALL));
+    // Split the socket: the worker keeps the read half, and a cloned
+    // write half (same fd, same timeouts) goes behind a mutex shared
+    // with the reply pump.
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(ConnWriter {
+            stream: w,
+            poisoned: false,
+        })),
+        Err(_) => return,
+    };
+    let pending: Arc<Mutex<HashMap<u64, PendingInfer>>> = Arc::new(Mutex::new(HashMap::new()));
+    let (pump_tx, pump_rx) = bounded::<RoutedReply>(PUMP_CHANNEL);
+    let pump = {
+        let shared = Arc::clone(shared);
+        let pending = Arc::clone(&pending);
+        let writer = Arc::clone(&writer);
+        std::thread::Builder::new()
+            .name("djinn-reply-pump".into())
+            .spawn(move || reply_pump(&pump_rx, &pending, &writer, &shared))
+    };
+    let Ok(pump) = pump else { return };
     let mut stream = stream;
     let mut reader = FrameReader::new();
+    let mut next_token: u64 = 0;
     loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
+        if shared.stop.load(Ordering::SeqCst) || writer.lock().poisoned {
+            break;
         }
         let payload = match reader.read_frame(&mut stream) {
             Ok(Some(p)) => p,
             Ok(None) => continue, // no complete frame yet; poll stop again
-            Err(_) => return,     // EOF or protocol break: drop the connection
+            Err(_) => break,      // EOF or protocol break: drop the connection
         };
-        // The server-read span mark: everything from here to response
-        // encoding is attributed to the server in the echoed trace.
         let received = Instant::now();
-        let decoded = Request::decode(&payload);
-        let infer_model = match &decoded {
-            Ok(Request::Infer { model, .. }) => Some(model.clone()),
-            _ => None,
+        let immediate = match Request::decode(&payload) {
+            // Infer is full-duplex: admit to the engine and go read the
+            // next frame — the reply pump answers when the job
+            // completes, possibly after later requests.
+            Ok(Request::Infer {
+                model,
+                input,
+                request_id,
+            }) => {
+                let token = next_token;
+                next_token += 1;
+                admit_infer(
+                    shared, &pending, &pump_tx, token, model, input, request_id, received,
+                )
+            }
+            Ok(Request::ListModels { request_id }) => Some(Response::Models {
+                request_id,
+                names: shared.registry.names(),
+            }),
+            Ok(Request::Stats { request_id }) => Some(stats_response(shared, request_id)),
+            // An undecodable request has no recoverable ID; 0 marks the
+            // error as uncorrelated.
+            Err(e) => Some(Response::Error {
+                request_id: 0,
+                message: e.to_string(),
+            }),
         };
-        let response = match decoded {
-            Ok(req) => handle(req, shared, received),
-            Err(e) => Response::Error(e.to_string()),
+        if let Some(response) = immediate {
+            if !writer.lock().write_response(&response) {
+                break;
+            }
+        }
+    }
+    // Dropping the worker's sender lets the pump drain what the engines
+    // still owe this connection (every admitted job is answered, even
+    // during shutdown) and exit once the channel disconnects.
+    drop(pump_tx);
+    let _ = pump.join();
+}
+
+/// Admits one decoded Infer. `Some(response)` means the request was
+/// answered synchronously (unknown model, shed, shutdown) and nothing
+/// was admitted; `None` means the job is in flight and the reply pump
+/// will answer under `token` when it completes.
+#[allow(clippy::too_many_arguments)]
+fn admit_infer(
+    shared: &Shared,
+    pending: &Mutex<HashMap<u64, PendingInfer>>,
+    pump_tx: &Sender<RoutedReply>,
+    token: u64,
+    model: String,
+    input: Tensor,
+    request_id: u64,
+    received: Instant,
+) -> Option<Response> {
+    let Some(engine) = shared.engines.get(&model) else {
+        // Reject before touching the stats map: unknown names bump one
+        // aggregate counter and never create per-model entries, so a
+        // client spraying names cannot grow the map without bound.
+        shared.unknown_models.fetch_add(1, Ordering::Relaxed);
+        return Some(Response::Error {
+            request_id,
+            message: DjinnError::UnknownModel { name: model }.to_string(),
+        });
+    };
+    // Register the token before admission: the completion may race the
+    // return of `submit_routed`.
+    pending.lock().insert(
+        token,
+        PendingInfer {
+            request_id,
+            model,
+            received,
+        },
+    );
+    match engine.submit_routed(input, token, pump_tx.clone()) {
+        Ok(()) => None,
+        Err(e) => {
+            // Nothing was admitted; no reply will arrive for the token.
+            pending.lock().remove(&token);
+            Some(match e {
+                DjinnError::Busy { model, queue_depth } => Response::Busy {
+                    request_id,
+                    model,
+                    queue_depth: queue_depth.min(u32::MAX as usize) as u32,
+                },
+                other => Response::Error {
+                    request_id,
+                    message: other.to_string(),
+                },
+            })
+        }
+    }
+}
+
+/// Receives engine completions for one connection and writes them back
+/// in completion order — the write side of the full-duplex connection.
+/// Runs until every sender is gone (the worker's handle plus the clone
+/// each in-flight job holds) and the channel drains, so no admitted job
+/// is ever dropped unanswered.
+fn reply_pump(
+    rx: &Receiver<RoutedReply>,
+    pending: &Mutex<HashMap<u64, PendingInfer>>,
+    writer: &Mutex<ConnWriter>,
+    shared: &Shared,
+) {
+    while let Ok(RoutedReply { token, result }) = rx.recv() {
+        let Some(p) = pending.lock().remove(&token) else {
+            continue; // unreachable: tokens are registered before admission
         };
-        let bytes = match response.encode() {
-            Ok(b) => b,
-            // Unencodable response (e.g. oversized model name in a list):
-            // degrade to a clamped error frame rather than dropping.
-            Err(e) => match Response::Error(e.to_string()).encode() {
-                Ok(b) => b,
-                Err(_) => return,
+        let elapsed_us = p.received.elapsed().as_micros() as u64;
+        {
+            let mut stats = shared.stats.lock();
+            let acc = stats.entry(p.model.clone()).or_default();
+            match &result {
+                Ok(_) => {
+                    acc.requests += 1;
+                    acc.total_latency_us += elapsed_us;
+                    acc.max_latency_us = acc.max_latency_us.max(elapsed_us);
+                }
+                // Sheds are backpressure, not failures: the engine
+                // counts them; `errors` stays inference failures only.
+                Err(DjinnError::Busy { .. }) => {}
+                Err(_) => acc.errors += 1,
+            }
+        }
+        let response = match result {
+            Ok((tensor, spans)) => Response::Output {
+                tensor,
+                // server_total is stamped at response construction:
+                // server-read → response-encode, the server's whole view
+                // of the request in its own clock domain.
+                trace: ServerTrace::new(
+                    p.request_id,
+                    spans,
+                    p.received.elapsed().as_micros() as u64,
+                ),
+            },
+            Err(DjinnError::Busy { model, queue_depth }) => Response::Busy {
+                request_id: p.request_id,
+                model,
+                queue_depth: queue_depth.min(u32::MAX as usize) as u32,
+            },
+            // Stringify only here, at the wire boundary.
+            Err(e) => Response::Error {
+                request_id: p.request_id,
+                message: e.to_string(),
             },
         };
+        let is_output = matches!(response, Response::Output { .. });
         let write_start = Instant::now();
-        if write_frame(&mut stream, &bytes).is_err() {
-            return;
-        }
-        // The response-write span mark closes the server's view of the
-        // request: successful inferences feed the per-model wire
-        // histogram reported by `Stats`.
-        if let (Some(model), Response::Output { .. }) = (infer_model, &response) {
+        // A poisoned writer refuses silently; the pump keeps draining so
+        // engine workers are never blocked on a dead connection.
+        if writer.lock().write_response(&response) && is_output {
+            // The response-write span mark closes the server's view of
+            // the request: successful inferences feed the per-model wire
+            // histogram reported by `Stats`.
             let mut stats = shared.stats.lock();
             stats
-                .entry(model)
+                .entry(p.model)
                 .or_default()
                 .wire
                 .record(write_start.elapsed().as_micros() as u64);
@@ -335,91 +562,40 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn handle(req: Request, shared: &Shared, received: Instant) -> Response {
-    match req {
-        Request::ListModels => Response::Models(shared.registry.names()),
-        Request::Stats => {
-            // Merge the wire-level accumulators with each engine's queue
-            // telemetry; every registered model gets an entry.
-            let stats = shared.stats.lock();
-            Response::Stats(
-                shared
-                    .engines
-                    .iter()
-                    .map(|(model, engine)| {
-                        let q = engine.stats();
-                        let acc = stats.get(model);
-                        ModelStats {
-                            model: model.clone(),
-                            requests: acc.map_or(0, |a| a.requests),
-                            errors: acc.map_or(0, |a| a.errors),
-                            total_latency_us: acc.map_or(0, |a| a.total_latency_us),
-                            max_latency_us: acc.map_or(0, |a| a.max_latency_us),
-                            queue_depth: q.queue_depth as u64,
-                            in_flight: q.in_flight as u64,
-                            shed: q.shed,
-                            p50_queue_wait_us: q.p50_queue_wait_us,
-                            p99_queue_wait_us: q.p99_queue_wait_us,
-                            p50_batch_wait_us: q.p50_batch_wait_us,
-                            p99_batch_wait_us: q.p99_batch_wait_us,
-                            p50_service_us: q.p50_service_us,
-                            p99_service_us: q.p99_service_us,
-                            p50_wire_us: acc.map_or(0, |a| a.wire.quantile(0.50)),
-                            p99_wire_us: acc.map_or(0, |a| a.wire.quantile(0.99)),
-                        }
-                    })
-                    .collect(),
-            )
-        }
-        Request::Infer {
-            model,
-            input,
-            request_id,
-        } => {
-            // The engine is the only path to compute: non-blocking
-            // admission, then a wait on the guaranteed reply.
-            let result = match shared.engines.get(&model) {
-                Some(engine) => engine.infer_traced(input),
-                None => Err(DjinnError::UnknownModel {
-                    name: model.clone(),
-                }),
-            };
-            let elapsed_us = received.elapsed().as_micros() as u64;
-            {
-                let mut stats = shared.stats.lock();
-                let acc = stats.entry(model).or_default();
-                match &result {
-                    Ok(_) => {
-                        acc.requests += 1;
-                        acc.total_latency_us += elapsed_us;
-                        acc.max_latency_us = acc.max_latency_us.max(elapsed_us);
-                    }
-                    // Sheds are backpressure, not failures: the engine
-                    // counts them; `errors` stays inference failures only.
-                    Err(DjinnError::Busy { .. }) => {}
-                    Err(_) => acc.errors += 1,
+/// Merges the wire-level accumulators with each engine's queue
+/// telemetry; every registered model gets an entry, and requests for
+/// unregistered models surface only in the aggregate counter.
+fn stats_response(shared: &Shared, request_id: u64) -> Response {
+    let stats = shared.stats.lock();
+    Response::Stats {
+        request_id,
+        unknown_model_requests: shared.unknown_models.load(Ordering::Relaxed),
+        stats: shared
+            .engines
+            .iter()
+            .map(|(model, engine)| {
+                let q = engine.stats();
+                let acc = stats.get(model);
+                ModelStats {
+                    model: model.clone(),
+                    requests: acc.map_or(0, |a| a.requests),
+                    errors: acc.map_or(0, |a| a.errors),
+                    total_latency_us: acc.map_or(0, |a| a.total_latency_us),
+                    max_latency_us: acc.map_or(0, |a| a.max_latency_us),
+                    queue_depth: q.queue_depth as u64,
+                    in_flight: q.in_flight as u64,
+                    shed: q.shed,
+                    p50_queue_wait_us: q.p50_queue_wait_us,
+                    p99_queue_wait_us: q.p99_queue_wait_us,
+                    p50_batch_wait_us: q.p50_batch_wait_us,
+                    p99_batch_wait_us: q.p99_batch_wait_us,
+                    p50_service_us: q.p50_service_us,
+                    p99_service_us: q.p99_service_us,
+                    p50_wire_us: acc.map_or(0, |a| a.wire.quantile(0.50)),
+                    p99_wire_us: acc.map_or(0, |a| a.wire.quantile(0.99)),
                 }
-            }
-            match result {
-                Ok((tensor, spans)) => Response::Output {
-                    tensor,
-                    // server_total is stamped at response construction:
-                    // server-read → response-encode, the server's whole
-                    // view of the request in its own clock domain.
-                    trace: ServerTrace::new(
-                        request_id,
-                        spans,
-                        received.elapsed().as_micros() as u64,
-                    ),
-                },
-                Err(DjinnError::Busy { model, queue_depth }) => Response::Busy {
-                    model,
-                    queue_depth: queue_depth.min(u32::MAX as usize) as u32,
-                },
-                // Stringify only here, at the wire boundary.
-                Err(e) => Response::Error(e.to_string()),
-            }
-        }
+            })
+            .collect(),
     }
 }
 
@@ -590,6 +766,7 @@ mod tests {
             registry,
             engines,
             stats: Mutex::new(BTreeMap::new()),
+            unknown_models: AtomicU64::new(0),
             stop: Arc::new(AtomicBool::new(false)),
         };
         let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 6);
@@ -603,22 +780,32 @@ mod tests {
                 Err(other) => panic!("unexpected admission error: {other}"),
             }
         }
-        // The request path sheds with a Busy frame, not a stringly error.
-        let rsp = handle(
-            Request::Infer {
-                model: "tiny".into(),
-                input: input.clone(),
-                request_id: 99,
-            },
+        // The request path sheds with a Busy frame echoing the request's
+        // ID, not a stringly error.
+        let pending = Mutex::new(HashMap::new());
+        let (pump_tx, _pump_rx) = bounded(8);
+        let rsp = admit_infer(
             &shared,
+            &pending,
+            &pump_tx,
+            0,
+            "tiny".into(),
+            input.clone(),
+            99,
             Instant::now(),
+        )
+        .expect("a shed request is answered synchronously");
+        assert!(
+            matches!(rsp, Response::Busy { request_id: 99, ref model, queue_depth }
+                if model == "tiny" && queue_depth == 1),
+            "expected Busy echoing id 99, got {rsp:?}"
         );
         assert!(
-            matches!(rsp, Response::Busy { ref model, queue_depth } if model == "tiny" && queue_depth == 1),
-            "expected Busy, got {rsp:?}"
+            pending.lock().is_empty(),
+            "a rejected admission must not leave a pending token"
         );
         // Sheds are visible in stats as `shed`, never as `errors`.
-        let Response::Stats(stats) = handle(Request::Stats, &shared, Instant::now()) else {
+        let Response::Stats { stats, .. } = stats_response(&shared, 7) else {
             panic!("expected stats");
         };
         let tiny = stats.iter().find(|s| s.model == "tiny").unwrap();
@@ -628,6 +815,58 @@ mod tests {
         for t in tickets {
             t.wait().unwrap();
         }
+    }
+
+    #[test]
+    fn unknown_models_count_in_aggregate_and_never_grow_the_stats_map() {
+        let server = DjinnServer::start(small_registry(), ServerConfig::default()).unwrap();
+        let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+        let input = Tensor::zeros(Shape::mat(1, 8));
+        for i in 0..5 {
+            let err = client.infer(&format!("ghost-{i}"), &input).unwrap_err();
+            assert!(matches!(err, DjinnError::Remote { .. }), "{err}");
+        }
+        // A real request keeps working and the aggregate counter reports
+        // the rejections without any per-name entries appearing.
+        client.infer("tiny", &input).unwrap();
+        let (stats, unknown) = client.stats_with_unknown_count().unwrap();
+        assert_eq!(unknown, 5);
+        assert!(
+            stats.iter().all(|s| s.model == "tiny"),
+            "unknown names leaked into per-model stats: {stats:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_responses_are_correlated_not_ordered() {
+        // A batched engine with a long coalescing delay makes replies to
+        // a window of pipelined requests come back together — correctness
+        // must come from ID correlation, not luck of arrival order.
+        let config = ServerConfig {
+            batching: Some(BatchConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(5),
+            }),
+            ..ServerConfig::default()
+        };
+        let server = DjinnServer::start(small_registry(), config).unwrap();
+        let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+        let inputs: Vec<Tensor> = (0..8)
+            .map(|seed| Tensor::random_uniform(Shape::mat(1, 8), 1.0, 40 + seed))
+            .collect();
+        let results = client.pipeline("tiny", &inputs, 4).unwrap();
+        let reg = small_registry();
+        let net = reg.get("tiny").unwrap();
+        for (input, result) in inputs.iter().zip(results) {
+            let (got, _trace) = result.unwrap();
+            let want = net.forward(input).unwrap();
+            assert!(
+                got.max_abs_diff(&want).unwrap() < 1e-5,
+                "pipelined response attributed to the wrong request"
+            );
+        }
+        server.shutdown();
     }
 
     #[test]

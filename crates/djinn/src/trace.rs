@@ -222,12 +222,21 @@ impl TraceAggregator {
 /// there are no samples — the caller renders `None` as `n/a` instead of
 /// inventing a zero (or panicking on an empty index, as the loadgen once
 /// did on an all-shed run).
+///
+/// Uses the ceiling nearest-rank convention (`rank = max(1, ceil(q·n))`,
+/// 1-based) — the same one `LatencyHistogram::quantile` uses — so the
+/// loadgen's client-side report and the server's stats report agree on
+/// what "p99" means. The old truncating index `(n-1)·q` rounded *down*,
+/// which at small sample counts understated tail quantiles (e.g. 10
+/// samples at q=0.99 reported the 9th value instead of the 10th).
 pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
-    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)) as usize;
-    Some(sorted[idx])
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+        .max(1)
+        .min(sorted.len());
+    Some(sorted[rank - 1])
 }
 
 /// Renders an optional millisecond quantity: `12.34 ms` or `n/a`.
@@ -344,5 +353,24 @@ mod tests {
         assert_eq!(percentile(&v, 0.99), Some(99.0));
         assert_eq!(percentile(&v, 1.0), Some(100.0));
         assert_eq!(fmt_ms(percentile(&v, 0.5)), "50.00 ms");
+    }
+
+    /// Pins the ceiling nearest-rank convention at sample sizes where it
+    /// *differs* from the old truncating `(n-1)·q` index — the n=100
+    /// checks above coincide under both conventions and would not catch
+    /// a regression to the old formula.
+    #[test]
+    fn percentile_uses_ceiling_nearest_rank_like_the_histogram() {
+        // 10 samples at q=0.99: rank = ceil(9.9) = 10 → the maximum.
+        // The truncating index gave (9 * 0.99) = 8 → the 9th value.
+        let small: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&small, 0.99), Some(10.0));
+        // 200 samples at q=0.999: rank = ceil(199.8) = 200 → 200.0.
+        // The truncating index gave (199 * 0.999) = 198 → 199.0.
+        let large: Vec<f64> = (1..=200).map(f64::from).collect();
+        assert_eq!(percentile(&large, 0.999), Some(200.0));
+        // A single sample answers every quantile, q=0.0 included.
+        assert_eq!(percentile(&[7.5], 0.0), Some(7.5));
+        assert_eq!(percentile(&[7.5], 1.0), Some(7.5));
     }
 }

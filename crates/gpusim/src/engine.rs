@@ -133,8 +133,16 @@ pub fn simulate(
     let mut last_proc: Vec<Option<usize>> = vec![None; cfg.num_gpus];
     let mut now = 0.0f64;
     let mut total_batches = 0usize;
-    // Generous safety bound on event count.
-    let max_events = target_total * (insts[0].workload.kernels.len() + 8) * 4 + 10_000;
+    // Generous safety bound on event count, sized by the *deepest*
+    // workload in the mix — deriving it from `insts[0]` alone truncated
+    // heterogeneous runs whenever a shallow workload happened to come
+    // first (batch counts silently came up short).
+    let deepest = insts
+        .iter()
+        .map(|i| i.workload.kernels.len())
+        .max()
+        .expect("instances is non-empty");
+    let max_events = target_total * (deepest + 8) * 4 + 10_000;
 
     for _ in 0..max_events {
         if total_batches >= target_total {
@@ -279,6 +287,15 @@ pub fn simulate(
             inst.begin_phase(next, &mut ticket);
         }
     }
+
+    // The loop must exit because the batch target was reached, never
+    // because the event bound ran out (several instances can complete in
+    // the same event, so the total may overshoot by at most a handful).
+    assert!(
+        total_batches >= target_total,
+        "event bound truncated the run: {total_batches}/{target_total} batches \
+         after {max_events} events"
+    );
 
     let elapsed = now.max(1e-12);
     let per_instance: Vec<InstanceStats> = insts
@@ -460,6 +477,64 @@ mod tests {
             scaling_limited < scaling_pinned,
             "limited {scaling_limited} vs pinned {scaling_pinned}"
         );
+    }
+
+    /// A synthetic workload with a chosen kernel depth and per-kernel
+    /// runtime, for exercising the event bound independently of the real
+    /// model zoo.
+    fn synthetic(name: &str, kernel_count: usize, kernel_seconds: f64) -> ServiceWorkload {
+        use perf::{KernelTiming, Limiter};
+        let kernel = KernelTiming {
+            seconds: kernel_seconds,
+            occupancy: 0.5,
+            compute_demand: 0.3,
+            memory_demand: 0.2,
+            limiter: Limiter::Compute,
+            ipc_ratio: 0.5,
+        };
+        ServiceWorkload {
+            name: name.into(),
+            kernels: vec![kernel; kernel_count],
+            h2d_bytes: 4096.0,
+            d2h_bytes: 1024.0,
+            host_prep_s: 1e-6,
+            queries_per_batch: 1,
+        }
+    }
+
+    /// Regression: the event bound used to be derived from the *first*
+    /// instance's kernel count only. With a 1-kernel workload listed
+    /// first and a 400-kernel one carrying the load, the bound ran out
+    /// mid-run and the simulation silently returned with far fewer
+    /// batches than asked for. The bound now sizes by the deepest
+    /// workload in the mix, and the engine asserts the batch target was
+    /// actually reached — a recurrence panics instead of returning
+    /// quietly-wrong throughput.
+    #[test]
+    fn heterogeneous_kernel_depths_complete_every_batch() {
+        let batches = 60; // 120 total across the two instances
+                          // The shallow instance's single kernel is six orders of magnitude
+                          // slower, so essentially every completed batch — and every event —
+                          // belongs to the deep instance the old bound did not account for.
+        let shallow_first = [
+            (synthetic("shallow", 1, 1.0), 0),
+            (synthetic("deep", 400, 1e-6), 0),
+        ];
+        let r = simulate(&mps_cfg(1), &shallow_first, batches);
+        let total = |r: &SimResult| -> usize { r.per_instance.iter().map(|i| i.batches).sum() };
+        assert!(
+            total(&r) >= batches * 2,
+            "event bound truncated the run: {}/{} batches",
+            total(&r),
+            batches * 2
+        );
+        // Instance order must not change how much gets simulated.
+        let deep_first = [
+            (synthetic("deep", 400, 1e-6), 0),
+            (synthetic("shallow", 1, 1.0), 0),
+        ];
+        let r2 = simulate(&mps_cfg(1), &deep_first, batches);
+        assert_eq!(total(&r), total(&r2));
     }
 
     #[test]

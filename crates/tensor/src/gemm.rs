@@ -206,7 +206,7 @@ pub fn gemm_naive(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32]
 
 /// Cache-blocked kernel for small problems: loops over `NC`/`KC`/`MC`
 /// panels with a 2-row micro-kernel, no packing. Below
-/// [`PACK_MIN_VOLUME`] the packing copies would dominate, so this is the
+/// `PACK_MIN_VOLUME` the packing copies would dominate, so this is the
 /// fast path for tiny matrices. Public (like [`gemm_naive`]) as an
 /// ablation tier for the GEMM benchmarks; `C += alpha * A B` with no
 /// transposes or beta scaling — use [`sgemm`] for real work.

@@ -24,10 +24,12 @@ const BUSY_BACKOFF: Duration = Duration::from_millis(1);
 pub enum Backend {
     /// In-process forward pass (useful for tests and offline runs).
     Local(Arc<Network>),
-    /// Remote DjiNN service over TCP.
+    /// Remote DjiNN service over TCP. The client is boxed: it carries
+    /// correlation state (pending/abandoned request maps) and would
+    /// otherwise dwarf the `Local` variant.
     Remote {
         /// Connected client.
-        client: DjinnClient,
+        client: Box<DjinnClient>,
         /// Model name on the server.
         model: String,
         /// Trace of the most recent successful request on this backend.
@@ -124,13 +126,13 @@ impl TonicApp {
     /// Propagates connection failures.
     pub fn remote(app: App, addr: SocketAddr) -> djinn::Result<Self> {
         let backend = Backend::Remote {
-            client: DjinnClient::connect(addr)?,
+            client: Box::new(DjinnClient::connect(addr)?),
             model: app.name().to_lowercase(),
             last_trace: None,
         };
         let pos_backend = if app == App::Chk {
             Some(Backend::Remote {
-                client: DjinnClient::connect(addr)?,
+                client: Box::new(DjinnClient::connect(addr)?),
                 model: "pos".into(),
                 last_trace: None,
             })
@@ -355,6 +357,7 @@ mod tests {
                 ids.push(request_id);
                 let rsp = if attempt == 0 {
                     Response::Busy {
+                        request_id,
                         model: "pos".into(),
                         queue_depth: 1,
                     }
@@ -370,7 +373,7 @@ mod tests {
         });
 
         let mut backend = Backend::Remote {
-            client: DjinnClient::connect(addr).unwrap(),
+            client: Box::new(DjinnClient::connect(addr).unwrap()),
             model: "pos".into(),
             last_trace: None,
         };

@@ -3,13 +3,21 @@
 //! slow-client / large-payload conditions of the paper's warehouse-scale
 //! deployment. Before the stateful `FrameReader`, a read timeout firing
 //! mid-frame silently discarded consumed bytes and desynced the stream.
+//!
+//! The `stale_responses` module pins the companion client-side bug: with
+//! order-based correlation, a response that arrived *after* its request
+//! timed out used to be returned as the answer to the **next** request.
+//! Protocol v4 stamps every response with the ID of the request it
+//! answers, and the client discards responses to abandoned requests.
 
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
 use djinn_tonic::djinn::protocol::{read_frame, write_frame, Request, Response, VERSION};
-use djinn_tonic::djinn::{DjinnClient, DjinnServer, ModelRegistry, ServerConfig, ServerTrace};
+use djinn_tonic::djinn::{
+    DjinnClient, DjinnError, DjinnServer, ModelRegistry, ServerConfig, ServerTrace,
+};
 use djinn_tonic::dnn::{parser, Network};
 use djinn_tonic::tensor::{Shape, Tensor};
 
@@ -192,12 +200,13 @@ mod golden_vectors {
 
     const MAGIC: &[u8; 4] = b"DJNN";
 
-    /// Golden v3 infer request: model `"m"`, request ID 7, a 1x1 tensor
-    /// holding 2.0. The encoder must reproduce it exactly.
-    fn v3_infer_golden() -> Vec<u8> {
+    /// Golden infer request: model `"m"`, request ID 7, a 1x1 tensor
+    /// holding 2.0. The infer layout is identical in v3 and v4 — only the
+    /// version byte differs — so one builder covers both.
+    fn infer_golden(version: u8) -> Vec<u8> {
         let mut wire = Vec::new();
         wire.extend_from_slice(MAGIC);
-        wire.push(3); // version
+        wire.push(version);
         wire.push(1); // OP_INFER
         wire.extend_from_slice(&1u16.to_le_bytes()); // name length
         wire.push(b'm');
@@ -209,7 +218,7 @@ mod golden_vectors {
         wire
     }
 
-    fn v3_infer_request() -> Request {
+    fn infer_request() -> Request {
         Request::Infer {
             model: "m".into(),
             input: Tensor::from_vec(Shape::mat(1, 1), vec![2.0]).unwrap(),
@@ -218,10 +227,84 @@ mod golden_vectors {
     }
 
     #[test]
-    fn v3_infer_encoding_matches_the_golden_bytes() {
-        assert_eq!(VERSION, 3, "golden vectors pin wire version 3");
-        let wire = v3_infer_request().encode().unwrap();
-        assert_eq!(&wire[..], &v3_infer_golden()[..]);
+    fn v4_infer_encoding_matches_the_golden_bytes() {
+        assert_eq!(VERSION, 4, "golden vectors pin wire version 4");
+        let wire = infer_request().encode().unwrap();
+        assert_eq!(&wire[..], &infer_golden(4)[..]);
+    }
+
+    #[test]
+    fn v3_infer_golden_still_decodes_with_its_id() {
+        let Request::Infer {
+            model, request_id, ..
+        } = Request::decode(&infer_golden(3)).unwrap()
+        else {
+            panic!("expected Infer");
+        };
+        assert_eq!((model.as_str(), request_id), ("m", 7));
+    }
+
+    /// Golden v4 busy response, pinned byte-for-byte: the request ID the
+    /// shed request carried comes right after the header — the field
+    /// that makes `Busy` attributable under pipelining.
+    #[test]
+    fn v4_busy_encoding_matches_the_golden_bytes() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(4); // version 4
+        wire.push(7); // OP_BUSY
+        wire.extend_from_slice(&512u64.to_le_bytes()); // request id
+        wire.extend_from_slice(&3u16.to_le_bytes());
+        wire.extend_from_slice(b"imc");
+        wire.extend_from_slice(&128u32.to_le_bytes());
+        let rsp = Response::Busy {
+            request_id: 512,
+            model: "imc".into(),
+            queue_depth: 128,
+        };
+        assert_eq!(&rsp.encode().unwrap()[..], &wire[..]);
+        assert_eq!(Response::decode(&wire).unwrap(), rsp);
+    }
+
+    /// Golden v4 error response, pinned byte-for-byte: the request ID
+    /// follows the error status, so a pipelined client knows *which*
+    /// request failed.
+    #[test]
+    fn v4_error_encoding_matches_the_golden_bytes() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(4); // version 4
+        wire.push(2); // OP_RESULT
+        wire.push(1); // STATUS_ERR
+        wire.extend_from_slice(&9u64.to_le_bytes()); // request id
+        wire.extend_from_slice(&4u16.to_le_bytes());
+        wire.extend_from_slice(b"nope");
+        let rsp = Response::Error {
+            request_id: 9,
+            message: "nope".into(),
+        };
+        assert_eq!(&rsp.encode().unwrap()[..], &wire[..]);
+        assert_eq!(Response::decode(&wire).unwrap(), rsp);
+    }
+
+    /// Golden v3 error response: no ID on the wire — decodes as the
+    /// uncorrelated sentinel 0.
+    #[test]
+    fn v3_error_golden_decodes_with_zero_id() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(3); // version 3 — last version without response IDs
+        wire.push(2); // OP_RESULT
+        wire.push(1); // STATUS_ERR
+        wire.extend_from_slice(&4u16.to_le_bytes());
+        wire.extend_from_slice(b"nope");
+        assert_eq!(
+            Response::decode(&wire).unwrap(),
+            Response::Error {
+                request_id: 0,
+                message: "nope".into(),
+            }
+        );
     }
 
     #[test]
@@ -285,9 +368,19 @@ mod golden_vectors {
         for word in [42u64, 1, 10_000, 900] {
             wire.extend_from_slice(&word.to_le_bytes());
         }
-        let Response::Stats(stats) = Response::decode(&wire).unwrap() else {
+        let Response::Stats {
+            request_id,
+            unknown_model_requests,
+            stats,
+        } = Response::decode(&wire).unwrap()
+        else {
             panic!("expected Stats");
         };
+        assert_eq!(
+            (request_id, unknown_model_requests),
+            (0, 0),
+            "v1 peers carry neither response IDs nor the unknown-model counter"
+        );
         let s = &stats[0];
         assert_eq!((s.model.as_str(), s.requests, s.errors), ("dig", 42, 1));
         assert_eq!((s.queue_depth, s.shed, s.p99_queue_wait_us), (0, 0, 0));
@@ -311,7 +404,7 @@ mod golden_vectors {
         for word in [10u64, 0, 5_000, 800, 3, 2, 7, 120, 4_500] {
             wire.extend_from_slice(&word.to_le_bytes());
         }
-        let Response::Stats(stats) = Response::decode(&wire).unwrap() else {
+        let Response::Stats { stats, .. } = Response::decode(&wire).unwrap() else {
             panic!("expected Stats");
         };
         let s = &stats[0];
@@ -336,6 +429,7 @@ mod golden_vectors {
         assert_eq!(
             Response::decode(&wire).unwrap(),
             Response::Busy {
+                request_id: 0,
                 model: "imc".into(),
                 queue_depth: 128,
             }
@@ -344,7 +438,7 @@ mod golden_vectors {
 
     #[test]
     fn decoders_reject_versions_beyond_ours() {
-        let mut wire = v3_infer_golden();
+        let mut wire = infer_golden(4);
         wire[4] = VERSION + 1;
         assert!(
             Request::decode(&wire).is_err(),
@@ -377,7 +471,11 @@ mod golden_vectors {
             p50_wire_us: 60,
             p99_wire_us: 700,
         };
-        let requests = [v3_infer_request(), Request::ListModels, Request::Stats];
+        let requests = [
+            infer_request(),
+            Request::ListModels { request_id: 3 },
+            Request::Stats { request_id: 4 },
+        ];
         for req in requests {
             let once = req.encode().unwrap();
             let again = Request::decode(&once).unwrap().encode().unwrap();
@@ -394,10 +492,21 @@ mod golden_vectors {
                     server_total_us: 9,
                 },
             },
-            Response::Error("nope".into()),
-            Response::Models(vec!["a".into(), "b".into()]),
-            Response::Stats(vec![stats_entry]),
+            Response::Error {
+                request_id: 9,
+                message: "nope".into(),
+            },
+            Response::Models {
+                request_id: 5,
+                names: vec!["a".into(), "b".into()],
+            },
+            Response::Stats {
+                request_id: 6,
+                unknown_model_requests: 2,
+                stats: vec![stats_entry],
+            },
             Response::Busy {
+                request_id: 512,
                 model: "imc".into(),
                 queue_depth: 128,
             },
@@ -407,5 +516,140 @@ mod golden_vectors {
             let again = Response::decode(&once).unwrap().encode().unwrap();
             assert_eq!(once, again, "response re-encode drifted");
         }
+    }
+}
+
+/// The headline regression: before ID correlation, a response that
+/// arrived after its request timed out sat in the read buffer and was
+/// returned — wrong tensor and all — to whatever call read next.
+mod stale_responses {
+    use super::*;
+
+    /// A scripted single-connection peer: decodes infer requests and
+    /// answers them with caller-chosen tensors at caller-chosen times,
+    /// so the test controls exactly when each response hits the wire.
+    fn accept_one(listener: &TcpListener) -> TcpStream {
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+    }
+
+    fn read_infer(stream: &mut TcpStream) -> u64 {
+        let payload = read_frame(stream).unwrap();
+        let Request::Infer { request_id, .. } = Request::decode(&payload).unwrap() else {
+            panic!("expected Infer");
+        };
+        request_id
+    }
+
+    fn write_output(stream: &mut TcpStream, request_id: u64, value: f32) {
+        let rsp = Response::Output {
+            tensor: Tensor::from_vec(Shape::mat(1, 1), vec![value]).unwrap(),
+            trace: ServerTrace {
+                request_id,
+                ..ServerTrace::default()
+            },
+        };
+        write_frame(stream, &rsp.encode().unwrap()).unwrap();
+    }
+
+    /// A response delayed past the client's timeout must be *discarded*,
+    /// never returned as the answer to the next call. Against the old
+    /// order-based correlation this test fails: the second `infer`
+    /// returned the first request's 111.0 tensor.
+    #[test]
+    fn late_response_is_never_returned_to_the_next_call() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let mut stream = accept_one(&listener);
+            let first = read_infer(&mut stream);
+            // Answer the first request only after the client's 500 ms
+            // timeout has long fired.
+            std::thread::sleep(Duration::from_millis(800));
+            write_output(&mut stream, first, 111.0);
+            let second = read_infer(&mut stream);
+            write_output(&mut stream, second, 222.0);
+        });
+
+        let mut client =
+            DjinnClient::connect_with_timeout(addr, Duration::from_millis(500)).unwrap();
+        let input = Tensor::from_vec(Shape::mat(1, 1), vec![1.0]).unwrap();
+
+        let err = client.infer("m", &input).unwrap_err();
+        assert!(
+            matches!(&err, DjinnError::Io(e) if e.kind() == std::io::ErrorKind::TimedOut),
+            "first call must surface the timeout, got: {err}"
+        );
+
+        // The stale 111.0 response arrives *during* this second call; it
+        // must be drained, and the call must return its own answer.
+        let (out, record) = client.infer_traced("m", &input).unwrap();
+        assert_eq!(
+            out.data(),
+            &[222.0],
+            "second call returned the first call's stale response"
+        );
+        assert_ne!(record.request_id, 0);
+        peer.join().unwrap();
+    }
+
+    /// The stale-only variant: the peer answers the timed-out request
+    /// and then goes mute. The next call must time out — reporting the
+    /// truth that *its* answer never came — rather than dressing the
+    /// stale tensor up as a success.
+    #[test]
+    fn next_call_times_out_rather_than_accept_a_stale_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let mut stream = accept_one(&listener);
+            let first = read_infer(&mut stream);
+            std::thread::sleep(Duration::from_millis(700));
+            write_output(&mut stream, first, 111.0);
+            let _second = read_infer(&mut stream);
+            // Never answer the second request; keep the socket open so
+            // the client's timeout — not a closed connection — decides.
+            std::thread::sleep(Duration::from_millis(1500));
+        });
+
+        let mut client =
+            DjinnClient::connect_with_timeout(addr, Duration::from_millis(400)).unwrap();
+        let input = Tensor::from_vec(Shape::mat(1, 1), vec![1.0]).unwrap();
+
+        client.infer("m", &input).unwrap_err();
+        let err = client.infer("m", &input).unwrap_err();
+        assert!(
+            matches!(&err, DjinnError::Io(e) if e.kind() == std::io::ErrorKind::TimedOut),
+            "stale response must not satisfy the second call, got: {err}"
+        );
+        peer.join().unwrap();
+    }
+
+    /// A response whose ID matches no in-flight request means the stream
+    /// can no longer be trusted: the call fails with a poisoned-connection
+    /// error and every later call fails fast the same way.
+    #[test]
+    fn uncorrelatable_response_poisons_the_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let mut stream = accept_one(&listener);
+            let _id = read_infer(&mut stream);
+            write_output(&mut stream, 0xDEAD_BEEF, 333.0);
+        });
+
+        let mut client = DjinnClient::connect_with_timeout(addr, Duration::from_secs(2)).unwrap();
+        let input = Tensor::from_vec(Shape::mat(1, 1), vec![1.0]).unwrap();
+
+        let err = client.infer("m", &input).unwrap_err();
+        assert!(
+            matches!(err, DjinnError::ConnectionPoisoned { .. }),
+            "unknown correlation ID must poison, got: {err}"
+        );
+        // Fail-fast: no further I/O is attempted on a poisoned stream.
+        let err = client.infer("m", &input).unwrap_err();
+        assert!(matches!(err, DjinnError::ConnectionPoisoned { .. }));
+        peer.join().unwrap();
     }
 }
