@@ -189,9 +189,12 @@ fn run_closed_loop(
 }
 
 /// Pipelined issue: keep up to `window` requests in flight on one
-/// connection. Responses demultiplex by request ID, so per-request sheds
+/// connection, submitting and claiming completions directly so every
+/// request encodes from the one shared input through the client's
+/// reusable scratch buffer — no per-request tensor clone, no chunk
+/// batching. Responses demultiplex by request ID, so per-request sheds
 /// and errors land on the request that caused them even when replies
-/// come back out of order. A transport failure costs the chunk in
+/// come back out of order. A transport failure costs the requests in
 /// flight; the worker reconnects and carries on.
 #[allow(clippy::too_many_arguments)]
 fn run_pipelined(
@@ -207,17 +210,26 @@ fn run_pipelined(
     sheds: &AtomicU64,
     reconnects: &AtomicU64,
 ) {
-    // Chunking bounds the per-call input clone and gives transport
-    // failures a bounded blast radius.
-    let chunk_len = window.max(16).min(requests.max(1));
-    let mut issued = 0usize;
-    while issued < requests {
-        let n = chunk_len.min(requests - issued);
-        let inputs = vec![input.clone(); n];
-        match client.pipeline(model, &inputs, window) {
-            Ok(results) => {
-                for r in results {
-                    match r {
+    let mut submitted = 0usize; // requests written to any connection
+    let mut accounted = 0usize; // responses received or charged as lost
+    while accounted < requests {
+        // Keep the window full...
+        let mut transport_broke = false;
+        while submitted < requests && client.in_flight() < window {
+            match client.submit(model, input) {
+                Ok(_) => submitted += 1,
+                Err(_) => {
+                    transport_broke = true;
+                    break;
+                }
+            }
+        }
+        // ...and claim whichever in-flight request finishes first.
+        if !transport_broke {
+            match client.recv_next() {
+                Ok(done) => {
+                    accounted += 1;
+                    match done.result {
                         Ok((_, record)) => local.push(record),
                         Err(DjinnError::Busy { .. }) => {
                             sheds.fetch_add(1, Ordering::Relaxed);
@@ -226,26 +238,30 @@ fn run_pipelined(
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    continue;
                 }
-            }
-            Err(_) => {
-                // The whole chunk is unaccounted for: charge it as
-                // errors and start over on a fresh connection.
-                errors.fetch_add(n as u64, Ordering::Relaxed);
-                match connect_with_backoff(addr, timeout) {
-                    Some(c) => {
-                        reconnects.fetch_add(1, Ordering::Relaxed);
-                        *client = c;
-                    }
-                    None => {
-                        let remaining = (requests - issued - n) as u64;
-                        errors.fetch_add(remaining, Ordering::Relaxed);
-                        return;
-                    }
-                }
+                Err(_) => transport_broke = true,
             }
         }
-        issued += n;
+        debug_assert!(transport_broke);
+        // I/O or protocol break: every request still in flight is lost —
+        // charge them as errors and start over on a fresh connection.
+        let lost = (submitted - accounted) as u64;
+        errors.fetch_add(lost, Ordering::Relaxed);
+        accounted = submitted;
+        if accounted >= requests {
+            return;
+        }
+        match connect_with_backoff(addr, timeout) {
+            Some(c) => {
+                reconnects.fetch_add(1, Ordering::Relaxed);
+                *client = c;
+            }
+            None => {
+                errors.fetch_add((requests - accounted) as u64, Ordering::Relaxed);
+                return;
+            }
+        }
     }
 }
 
@@ -374,11 +390,24 @@ fn main() -> ExitCode {
     );
 
     // Per-stage latency breakdown from the server's echoed trace blocks.
+    // Pre-v3 servers echo none: the aggregator leaves the wire (and
+    // other server-side) rows `n/a` rather than printing fake zeros.
     let mut agg = TraceAggregator::new();
     for r in &records {
         agg.record(r);
     }
     print!("{}", agg.table().render());
+
+    // Payload efficiency: what the measured throughput cost on the wire,
+    // from the actual frame sizes (length prefixes included).
+    let wire_bytes: u64 = records.iter().map(|r| r.wire_bytes).sum();
+    if ok > 0 && wire_bytes > 0 {
+        println!(
+            "wire bytes: {:.0} per request, {:.2} MB/s on the wire",
+            wire_bytes as f64 / ok as f64,
+            wire_bytes as f64 / 1e6 / elapsed,
+        );
+    }
 
     if let Some(path) = args.trace_out {
         let mut jsonl = String::with_capacity(records.len() * 160);

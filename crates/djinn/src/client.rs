@@ -1,12 +1,14 @@
 //! Client library for the DjiNN service.
 
 use std::collections::{HashMap, VecDeque};
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+use bytes::BytesMut;
 use tensor::Tensor;
 
-use crate::protocol::{write_frame, FrameReader, ModelStats, Request, Response};
+use crate::protocol::{encode_infer_framed_into, FrameReader, ModelStats, Request, Response};
 use crate::trace::{self, TraceRecord};
 use crate::{DjinnError, Result};
 
@@ -35,6 +37,10 @@ pub struct PipelinedResponse {
 struct PendingInfer {
     model: String,
     sent: Instant,
+    /// Size of the request frame on the wire (length prefix included),
+    /// combined with the response frame's size into the trace record's
+    /// bytes-per-request accounting.
+    sent_bytes: u64,
 }
 
 /// A synchronous client holding one TCP connection to a DjiNN server.
@@ -82,6 +88,11 @@ struct PendingInfer {
 pub struct DjinnClient {
     stream: TcpStream,
     reader: FrameReader,
+    /// Scratch for framed request encoding, reused across sends: each
+    /// request is laid out as one `[len | payload]` image here and written
+    /// with a single `write_all` — one syscall, zero steady-state
+    /// allocations per frame.
+    send_buf: BytesMut,
     /// `Some(reason)` once the connection can no longer be trusted.
     poisoned: Option<String>,
     /// In-flight infer requests by ID.
@@ -126,6 +137,7 @@ impl DjinnClient {
         Ok(DjinnClient {
             stream,
             reader: FrameReader::new(),
+            send_buf: BytesMut::new(),
             poisoned: None,
             pending: HashMap::new(),
             order: VecDeque::new(),
@@ -219,19 +231,23 @@ impl DjinnClient {
                 reason: format!("request id {request_id} is already in flight"),
             });
         }
-        let req = Request::Infer {
-            model: model.to_string(),
-            input: input.clone(),
-            request_id,
-        };
-        self.send(&req)?;
+        // Encode straight from the borrowed parts into the reusable
+        // scratch: no Request construction, no input clone.
+        encode_infer_framed_into(&mut self.send_buf, model, input, request_id)?;
+        let sent_bytes = self.send_buf.len() as u64;
         // The client-send span mark; client-recv is when the decoded
-        // response is in hand.
+        // response is in hand. Stamped *before* the write: on a fast
+        // localhost path the server can process the whole request before
+        // this thread is rescheduled, so stamping after the write would
+        // yield e2e readings smaller than the server's own span sum.
+        let sent = Instant::now();
+        self.write_send_buf()?;
         self.pending.insert(
             request_id,
             PendingInfer {
                 model: model.to_string(),
-                sent: Instant::now(),
+                sent,
+                sent_bytes,
             },
         );
         self.order.push_back(request_id);
@@ -264,8 +280,8 @@ impl DjinnClient {
         }
         self.check_poisoned()?;
         loop {
-            let rsp = self.read_response()?;
-            if let Some(done) = self.route(rsp)? {
+            let (rsp, frame_len) = self.read_response()?;
+            if let Some(done) = self.route(rsp, frame_len)? {
                 return Ok(done);
             }
         }
@@ -391,25 +407,41 @@ impl DjinnClient {
     /// — so any write error poisons the connection.
     fn send(&mut self, req: &Request) -> Result<()> {
         self.check_poisoned()?;
-        let bytes = req.encode()?; // nothing written yet: not poisoning
-        write_frame(&mut self.stream, &bytes)
-            .map_err(|e| self.poison(format!("request write failed mid-frame: {e}")))
+        req.encode_framed_into(&mut self.send_buf)?; // nothing written yet: not poisoning
+        self.write_send_buf()
     }
 
-    /// Reads and decodes one response frame. A fired read timeout
-    /// surfaces as a `TimedOut` I/O error (partial bytes stay buffered,
-    /// the stream stays coherent); an undecodable frame poisons the
+    /// Ships the pre-framed contents of `send_buf` in one `write_all`
+    /// (one syscall on an unbuffered socket), poisoning on failure.
+    fn write_send_buf(&mut self) -> Result<()> {
+        let sent = self
+            .stream
+            .write_all(&self.send_buf)
+            .and_then(|()| self.stream.flush());
+        sent.map_err(|e| self.poison(format!("request write failed mid-frame: {e}")))
+    }
+
+    /// Reads and decodes one response frame, returning it with the
+    /// frame's payload size on the wire. A fired read timeout surfaces
+    /// as a `TimedOut` I/O error (partial bytes stay buffered, the
+    /// stream stays coherent); an undecodable frame poisons the
     /// connection, since its contents — and the framing after it — can
     /// no longer be trusted.
-    fn read_response(&mut self) -> Result<Response> {
-        match self.reader.read_frame(&mut self.stream) {
-            Ok(Some(payload)) => Response::decode(&payload)
-                .map_err(|e| self.poison(format!("undecodable response frame: {e}"))),
-            Ok(None) => Err(DjinnError::Io(std::io::Error::new(
+    fn read_response(&mut self) -> Result<(Response, usize)> {
+        // Decode borrows the frame straight from the reader's buffer —
+        // no per-frame payload copy.
+        let decoded = match self.reader.read_frame_ref(&mut self.stream) {
+            Ok(Some(payload)) => Some((Response::decode(payload), payload.len())),
+            Ok(None) => None,
+            Err(e) => return Err(e),
+        };
+        match decoded {
+            Some((Ok(rsp), frame_len)) => Ok((rsp, frame_len)),
+            Some((Err(e), _)) => Err(self.poison(format!("undecodable response frame: {e}"))),
+            None => Err(DjinnError::Io(std::io::Error::new(
                 std::io::ErrorKind::TimedOut,
                 "server made no progress within the read timeout",
             ))),
-            Err(e) => Err(e),
         }
     }
 
@@ -420,7 +452,7 @@ impl DjinnClient {
     /// abandoned after a timeout — the exact frame that used to be
     /// misattributed to the next call). A response correlating with
     /// nothing poisons the connection rather than guessing.
-    fn route(&mut self, rsp: Response) -> Result<Option<PipelinedResponse>> {
+    fn route(&mut self, rsp: Response, frame_len: usize) -> Result<Option<PipelinedResponse>> {
         let wire_id = rsp.request_id();
         if let Some(pos) = self.abandoned.iter().position(|&a| a == wire_id) {
             self.abandoned.remove(pos);
@@ -457,7 +489,12 @@ impl DjinnClient {
                 if trace.request_id == 0 {
                     trace.request_id = id;
                 }
-                Ok((tensor, TraceRecord::new(&p.model, e2e_us, trace)))
+                // Both frames' wire footprint: each is payload + the
+                // 4-byte length prefix (the request size already
+                // includes its prefix).
+                let wire_bytes = p.sent_bytes + frame_len as u64 + 4;
+                let record = TraceRecord::new(&p.model, e2e_us, trace).with_wire_bytes(wire_bytes);
+                Ok((tensor, record))
             }
             Response::Busy {
                 model, queue_depth, ..
@@ -489,7 +526,7 @@ impl DjinnClient {
                 .result;
         }
         loop {
-            let rsp = match self.read_response() {
+            let (rsp, frame_len) = match self.read_response() {
                 Ok(r) => r,
                 Err(e) => {
                     if is_timeout(&e) {
@@ -498,7 +535,7 @@ impl DjinnClient {
                     return Err(e);
                 }
             };
-            if let Some(done) = self.route(rsp)? {
+            if let Some(done) = self.route(rsp, frame_len)? {
                 if done.request_id == want_id {
                     return done.result;
                 }
@@ -512,7 +549,7 @@ impl DjinnClient {
     /// timeout abandons `want_id` like any other request.
     fn wait_control(&mut self, want_id: u64) -> Result<Response> {
         loop {
-            let rsp = match self.read_response() {
+            let (rsp, frame_len) = match self.read_response() {
                 Ok(r) => r,
                 Err(e) => {
                     if is_timeout(&e) {
@@ -540,7 +577,7 @@ impl DjinnClient {
                 }
                 _ => {}
             }
-            if let Some(done) = self.route(rsp)? {
+            if let Some(done) = self.route(rsp, frame_len)? {
                 self.stash.push_back(done);
             }
         }

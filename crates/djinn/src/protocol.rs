@@ -57,7 +57,7 @@
 //! blocking sockets without a read timeout.
 
 use bytes::{Buf, BufMut, BytesMut};
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 
 use tensor::{Shape, Tensor};
 
@@ -270,13 +270,31 @@ fn put_count(buf: &mut BytesMut, n: usize, what: &str) -> Result<()> {
     Ok(())
 }
 
+/// Encoded size of a tensor on the wire: rank byte + u32 dims + f32 data.
+fn tensor_wire_len(t: &Tensor) -> usize {
+    1 + 4 * t.shape().rank() + 4 * t.data().len()
+}
+
+/// f32s converted per stack-buffer flush in [`put_tensor`]: 1 KiB chunks —
+/// bulk enough to amortize the `put_slice` bounds check, small enough for
+/// the stack.
+const F32_ENC_CHUNK: usize = 256;
+
 fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+    buf.reserve(tensor_wire_len(t));
     buf.put_u8(t.shape().rank() as u8);
     for &d in t.shape().dims() {
         buf.put_u32_le(d as u32);
     }
-    for &v in t.data() {
-        buf.put_f32_le(v);
+    // Bulk-encode the f32 payload through a stack chunk: multi-MB
+    // FACE/ASR tensors dominate the frame, so one `put_slice` per float
+    // is a hot spot.
+    let mut chunk = [0u8; 4 * F32_ENC_CHUNK];
+    for vals in t.data().chunks(F32_ENC_CHUNK) {
+        for (slot, &v) in chunk.chunks_exact_mut(4).zip(vals) {
+            slot.copy_from_slice(&v.to_le_bytes());
+        }
+        buf.put_slice(&chunk[..4 * vals.len()]);
     }
 }
 
@@ -294,6 +312,17 @@ fn get_str(buf: &mut &[u8]) -> Result<String> {
 }
 
 fn get_tensor(buf: &mut &[u8]) -> Result<Tensor> {
+    let mut data = Vec::new();
+    let shape = get_tensor_into(buf, &mut data)?;
+    Ok(Tensor::from_vec(shape, data).expect("volume matches by construction"))
+}
+
+/// Decodes a wire tensor into `data` (cleared first, capacity reused);
+/// returns the decoded shape. The borrow-on-decode primitive behind
+/// [`get_tensor`] and [`Response::decode_output_into`]: a consumer that
+/// keeps one `Vec<f32>` per connection pays no per-frame allocation for
+/// the multi-MB f32 section.
+fn get_tensor_into(buf: &mut &[u8], data: &mut Vec<f32>) -> Result<Shape> {
     if buf.remaining() < 1 {
         return Err(err("truncated tensor rank"));
     }
@@ -304,25 +333,26 @@ fn get_tensor(buf: &mut &[u8]) -> Result<Tensor> {
     if buf.remaining() < rank * 4 {
         return Err(err("truncated tensor dims"));
     }
-    let mut dims = Vec::with_capacity(rank);
-    for _ in 0..rank {
-        dims.push(buf.get_u32_le() as usize);
+    let mut dims = [0usize; 4];
+    for d in dims.iter_mut().take(rank) {
+        *d = buf.get_u32_le() as usize;
     }
-    let shape = Shape::new(&dims).map_err(|e| err(&format!("bad tensor shape: {e}")))?;
+    let shape = Shape::new(&dims[..rank]).map_err(|e| err(&format!("bad tensor shape: {e}")))?;
     let n = shape.volume();
     if buf.remaining() < n * 4 {
         return Err(err("truncated tensor data"));
     }
     // Bulk-decode the f32 payload: multi-MB FACE/ASR tensors dominate the
     // frame, so the per-element `get_f32_le` cursor loop is a hot spot.
-    let mut data = Vec::with_capacity(n);
+    data.clear();
+    data.reserve(n);
     data.extend(
         buf[..n * 4]
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
     );
     buf.advance(n * 4);
-    Ok(Tensor::from_vec(shape, data).expect("volume matches by construction"))
+    Ok(shape)
 }
 
 fn err(reason: &str) -> DjinnError {
@@ -341,6 +371,25 @@ fn get_request_id(buf: &mut &[u8], version: u8) -> Result<u64> {
         return Err(err("truncated request id"));
     }
     Ok(buf.get_u64_le())
+}
+
+/// Reads the 40-byte trace block v3 prefixed to successful results; a
+/// pre-v3 response has none and decodes as the all-zero "peer reported
+/// none" trace.
+fn get_trace(buf: &mut &[u8], version: u8) -> Result<ServerTrace> {
+    if version < 3 {
+        return Ok(ServerTrace::default());
+    }
+    if buf.remaining() < 40 {
+        return Err(err("truncated trace block"));
+    }
+    Ok(ServerTrace {
+        request_id: buf.get_u64_le(),
+        queue_us: buf.get_u64_le(),
+        batch_us: buf.get_u64_le(),
+        service_us: buf.get_u64_le(),
+        server_total_us: buf.get_u64_le(),
+    })
 }
 
 fn header(buf: &mut BytesMut, opcode: u8) {
@@ -368,6 +417,56 @@ fn check_header(buf: &mut &[u8]) -> Result<(u8, u8)> {
     Ok((version, buf.get_u8()))
 }
 
+/// Encodes an infer payload from borrowed parts — shared by
+/// [`Request::encode_into`] and [`encode_infer_framed_into`] so the
+/// borrowed fast path is byte-identical by construction.
+fn put_infer_payload(
+    buf: &mut BytesMut,
+    model: &str,
+    input: &Tensor,
+    request_id: u64,
+) -> Result<()> {
+    header(buf, OP_INFER);
+    put_str(buf, model)?;
+    buf.put_u64_le(request_id);
+    put_tensor(buf, input);
+    Ok(())
+}
+
+/// Lays out one complete `[u32 len | payload]` frame in `buf`: clears it
+/// (keeping capacity), reserves the length slot, runs the payload
+/// encoder, then backfills the little-endian length — leaving `buf` ready
+/// for a single `write_all`.
+fn frame_into(buf: &mut BytesMut, encode: impl FnOnce(&mut BytesMut) -> Result<()>) -> Result<()> {
+    buf.clear();
+    buf.put_u32_le(0); // length, backfilled below
+    encode(buf)?;
+    let len = buf.len() - 4;
+    if len > MAX_FRAME {
+        return Err(err(&format!("frame length {len} exceeds cap {MAX_FRAME}")));
+    }
+    buf[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Encodes a complete infer request *frame* (length prefix included) from
+/// borrowed parts into a reusable buffer: no `Request` construction, no
+/// tensor clone, no steady-state allocation. Byte-identical to encoding
+/// `Request::Infer { .. }` with [`Request::encode_framed_into`].
+///
+/// # Errors
+///
+/// Returns [`DjinnError::Protocol`] if a field cannot be represented on
+/// the wire (e.g. a model name longer than [`MAX_STR`]).
+pub fn encode_infer_framed_into(
+    buf: &mut BytesMut,
+    model: &str,
+    input: &Tensor,
+    request_id: u64,
+) -> Result<()> {
+    frame_into(buf, |b| put_infer_payload(b, model, input, request_id))
+}
+
 impl Request {
     /// Serializes the request into a payload (without the frame length).
     ///
@@ -377,27 +476,44 @@ impl Request {
     /// on the wire (e.g. a model name longer than [`MAX_STR`]).
     pub fn encode(&self) -> Result<BytesMut> {
         let mut buf = BytesMut::new();
+        self.encode_into(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Appends the encoded payload to `buf` without clearing it, so hot
+    /// paths can reuse one scratch buffer across frames.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Request::encode`].
+    pub fn encode_into(&self, buf: &mut BytesMut) -> Result<()> {
         match self {
             Request::Infer {
                 model,
                 input,
                 request_id,
-            } => {
-                header(&mut buf, OP_INFER);
-                put_str(&mut buf, model)?;
-                buf.put_u64_le(*request_id);
-                put_tensor(&mut buf, input);
-            }
+            } => put_infer_payload(buf, model, input, *request_id)?,
             Request::ListModels { request_id } => {
-                header(&mut buf, OP_LIST);
+                header(buf, OP_LIST);
                 buf.put_u64_le(*request_id);
             }
             Request::Stats { request_id } => {
-                header(&mut buf, OP_STATS);
+                header(buf, OP_STATS);
                 buf.put_u64_le(*request_id);
             }
         }
-        Ok(buf)
+        Ok(())
+    }
+
+    /// Encodes one complete `[len | payload]` frame into `buf` (cleared
+    /// first, capacity kept), ready for a single `write_all` — the
+    /// zero-allocation steady-state send path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Request::encode`].
+    pub fn encode_framed_into(&self, buf: &mut BytesMut) -> Result<()> {
+        frame_into(buf, |b| self.encode_into(b))
     }
 
     /// Parses a request payload.
@@ -452,32 +568,43 @@ impl Response {
     /// on the wire.
     pub fn encode(&self) -> Result<BytesMut> {
         let mut buf = BytesMut::new();
+        self.encode_into(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Appends the encoded payload to `buf` without clearing it, so hot
+    /// paths can reuse one scratch buffer across frames.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Response::encode`].
+    pub fn encode_into(&self, buf: &mut BytesMut) -> Result<()> {
         match self {
             Response::Output { tensor, trace } => {
-                header(&mut buf, OP_RESULT);
+                header(buf, OP_RESULT);
                 buf.put_u8(STATUS_OK);
                 buf.put_u64_le(trace.request_id);
                 buf.put_u64_le(trace.queue_us);
                 buf.put_u64_le(trace.batch_us);
                 buf.put_u64_le(trace.service_us);
                 buf.put_u64_le(trace.server_total_us);
-                put_tensor(&mut buf, tensor);
+                put_tensor(buf, tensor);
             }
             Response::Error {
                 request_id,
                 message,
             } => {
-                header(&mut buf, OP_RESULT);
+                header(buf, OP_RESULT);
                 buf.put_u8(STATUS_ERR);
                 buf.put_u64_le(*request_id);
-                put_str(&mut buf, clamp_str(message))?;
+                put_str(buf, clamp_str(message))?;
             }
             Response::Models { request_id, names } => {
-                header(&mut buf, OP_LIST_RESULT);
+                header(buf, OP_LIST_RESULT);
                 buf.put_u64_le(*request_id);
-                put_count(&mut buf, names.len(), "model names")?;
+                put_count(buf, names.len(), "model names")?;
                 for n in names {
-                    put_str(&mut buf, n)?;
+                    put_str(buf, n)?;
                 }
             }
             Response::Stats {
@@ -485,12 +612,12 @@ impl Response {
                 unknown_model_requests,
                 stats,
             } => {
-                header(&mut buf, OP_STATS_RESULT);
+                header(buf, OP_STATS_RESULT);
                 buf.put_u64_le(*request_id);
                 buf.put_u64_le(*unknown_model_requests);
-                put_count(&mut buf, stats.len(), "stats entries")?;
+                put_count(buf, stats.len(), "stats entries")?;
                 for s in stats {
-                    put_str(&mut buf, &s.model)?;
+                    put_str(buf, &s.model)?;
                     buf.put_u64_le(s.requests);
                     buf.put_u64_le(s.errors);
                     buf.put_u64_le(s.total_latency_us);
@@ -513,13 +640,60 @@ impl Response {
                 model,
                 queue_depth,
             } => {
-                header(&mut buf, OP_BUSY);
+                header(buf, OP_BUSY);
                 buf.put_u64_le(*request_id);
-                put_str(&mut buf, model)?;
+                put_str(buf, model)?;
                 buf.put_u32_le(*queue_depth);
             }
         }
-        Ok(buf)
+        Ok(())
+    }
+
+    /// Encodes one complete `[len | payload]` frame into `buf` (cleared
+    /// first, capacity kept), ready for a single `write_all` — the
+    /// zero-allocation steady-state reply path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Response::encode`].
+    pub fn encode_framed_into(&self, buf: &mut BytesMut) -> Result<()> {
+        frame_into(buf, |b| self.encode_into(b))
+    }
+
+    /// Decodes a successful `Output` payload, landing the f32 tensor data
+    /// in the caller's reusable buffer (cleared first, capacity kept)
+    /// instead of allocating per frame. Returns the tensor's shape and
+    /// the server trace. Any other frame kind — including a well-formed
+    /// `Error` or `Busy` — is a protocol error; general consumers that
+    /// must handle those use [`Response::decode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::Protocol`] for malformed frames and for
+    /// frames that are not a successful inference result.
+    pub fn decode_output_into(
+        mut payload: &[u8],
+        data: &mut Vec<f32>,
+    ) -> Result<(Shape, ServerTrace)> {
+        let buf = &mut payload;
+        let (version, opcode) = check_header(buf)?;
+        if opcode != OP_RESULT {
+            return Err(err(&format!(
+                "expected an inference result, got opcode {opcode}"
+            )));
+        }
+        if buf.remaining() < 1 {
+            return Err(err("truncated status"));
+        }
+        let status = buf.get_u8();
+        if status != STATUS_OK {
+            return Err(err(&format!(
+                "expected a successful result, got status {status}"
+            )));
+        }
+        let trace = get_trace(buf, version)?;
+        let shape = get_tensor_into(buf, data)?;
+        Ok((shape, trace))
     }
 
     /// Parses a response payload.
@@ -537,23 +711,7 @@ impl Response {
                 }
                 match buf.get_u8() {
                     STATUS_OK => {
-                        // v3 prefixes the tensor with the 40-byte trace
-                        // block; a pre-v3 response has none and decodes
-                        // with an all-zero trace.
-                        let trace = if version >= 3 {
-                            if buf.remaining() < 40 {
-                                return Err(err("truncated trace block"));
-                            }
-                            ServerTrace {
-                                request_id: buf.get_u64_le(),
-                                queue_us: buf.get_u64_le(),
-                                batch_us: buf.get_u64_le(),
-                                service_us: buf.get_u64_le(),
-                                server_total_us: buf.get_u64_le(),
-                            }
-                        } else {
-                            ServerTrace::default()
-                        };
+                        let trace = get_trace(buf, version)?;
                         Ok(Response::Output {
                             tensor: get_tensor(buf)?,
                             trace,
@@ -664,15 +822,56 @@ impl Response {
     }
 }
 
-/// Writes one length-prefixed frame. The writer may be a `&mut` reference.
+/// Writes one length-prefixed frame as a *single* vectored write.
+///
+/// The old implementation issued two `write_all` calls (4-byte length
+/// prefix, then payload); on an unbuffered `TcpStream` without
+/// `TCP_NODELAY` that two-syscall pattern triggers the Nagle +
+/// delayed-ACK interaction and pins small-frame latency at ~40 ms. Here
+/// prefix and payload go out together through `write_vectored` (`writev`
+/// on a socket: one syscall, one segment). The partial-write loop is
+/// correct for *any* writer, including those whose default
+/// `write_vectored` degrades to writing only the first non-empty buffer
+/// per call — the loop simply advances through both slices until done.
+/// Hot paths that must guarantee one syscall regardless of writer
+/// support instead pre-frame into a scratch buffer with
+/// [`Request::encode_framed_into`]/[`Response::encode_framed_into`] and
+/// issue a single contiguous `write_all`.
 ///
 /// # Errors
 ///
-/// Propagates I/O failures.
+/// Returns [`DjinnError::Protocol`] for a payload exceeding
+/// [`MAX_FRAME`]; propagates I/O failures (a writer that accepts zero
+/// bytes surfaces as `WriteZero`).
 pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> Result<()> {
-    let len = payload.len() as u32;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
+    if payload.len() > MAX_FRAME {
+        return Err(err(&format!(
+            "frame length {} exceeds cap {MAX_FRAME}",
+            payload.len()
+        )));
+    }
+    let len = (payload.len() as u32).to_le_bytes();
+    let mut prefix: &[u8] = &len;
+    let mut rest = payload;
+    while !prefix.is_empty() || !rest.is_empty() {
+        let bufs = [IoSlice::new(prefix), IoSlice::new(rest)];
+        match w.write_vectored(&bufs) {
+            Ok(0) => {
+                return Err(DjinnError::Io(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "writer accepted zero bytes mid-frame",
+                )));
+            }
+            Ok(mut n) => {
+                let from_prefix = n.min(prefix.len());
+                prefix = &prefix[from_prefix..];
+                n -= from_prefix;
+                rest = &rest[n..];
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
     w.flush()?;
     Ok(())
 }
@@ -695,8 +894,20 @@ pub fn read_frame<R: Read>(mut r: R) -> Result<Vec<u8>> {
     if len > MAX_FRAME {
         return Err(err(&format!("frame length {len} exceeds cap {MAX_FRAME}")));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    // Read into reserved-but-uninitialized capacity via `take` +
+    // `read_to_end`: no zero-fill pass over a multi-MB payload before the
+    // bytes land. The up-front reservation is capped so a hostile prefix
+    // (already bounded by MAX_FRAME) can claim at most 1 MiB before any
+    // payload byte arrives; `read_to_end` grows the rest on demand.
+    const INITIAL_FRAME_RESERVE: usize = 1 << 20;
+    let mut payload = Vec::with_capacity(len.min(INITIAL_FRAME_RESERVE));
+    let got = (&mut r).take(len as u64).read_to_end(&mut payload)?;
+    if got < len {
+        return Err(DjinnError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-frame",
+        )));
+    }
     Ok(payload)
 }
 
@@ -712,12 +923,32 @@ pub fn read_frame<R: Read>(mut r: R) -> Result<Vec<u8>> {
 /// lifetime; bytes of a later frame that arrive early (pipelined
 /// requests) are kept and yielded on the next call without touching the
 /// socket.
+///
+/// Internally the buffer is managed as a read/consume cursor pair:
+/// consuming a frame just advances `pos` (the old implementation
+/// `drain`ed the front of the buffer, copying every remaining byte once
+/// per frame), the socket reads directly into the spare tail of the
+/// buffer (no intermediate stack chunk), and compaction runs only when
+/// the tail is exhausted *and* at least half the filled region is
+/// already consumed — so the copy cost stays amortized O(1) per byte.
+/// [`FrameReader::read_frame_ref`] additionally yields the frame as a
+/// borrowed slice of this buffer: the steady-state receive path performs
+/// zero per-frame allocations.
 #[derive(Debug, Default)]
 pub struct FrameReader {
+    /// Backing storage: `buf[pos..end]` is buffered-but-unconsumed wire
+    /// data, `buf[end..]` is initialized spare space the next socket
+    /// read lands in. `buf.len()` only grows, so the zero-fill of new
+    /// spare space is paid once per growth, not per read.
     buf: Vec<u8>,
+    /// Consume cursor: start of unconsumed bytes.
+    pos: usize,
+    /// Fill cursor: end of unconsumed bytes.
+    end: usize,
 }
 
-/// Read granularity: one syscall pulls at most this much into the buffer.
+/// Read granularity: spare buffer space grows in steps of this size, so
+/// one syscall can pull at most this much past what is already buffered.
 const READ_CHUNK: usize = 64 * 1024;
 
 impl FrameReader {
@@ -728,7 +959,7 @@ impl FrameReader {
 
     /// Bytes buffered toward the next frame (diagnostics and tests).
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.end - self.pos
     }
 
     /// Pulls the next complete frame, reading from `r` as needed.
@@ -742,15 +973,27 @@ impl FrameReader {
     /// Returns [`DjinnError::Protocol`] for a length prefix exceeding
     /// [`MAX_FRAME`], `UnexpectedEof` when the stream closes (mid-frame or
     /// between frames), and propagates other I/O failures.
-    pub fn read_frame<R: Read>(&mut self, mut r: R) -> Result<Option<Vec<u8>>> {
-        let mut chunk = [0u8; READ_CHUNK];
+    pub fn read_frame<R: Read>(&mut self, r: R) -> Result<Option<Vec<u8>>> {
+        Ok(self.read_frame_ref(r)?.map(<[u8]>::to_vec))
+    }
+
+    /// Like [`FrameReader::read_frame`], but yields the frame as a slice
+    /// borrowed from the internal buffer — no per-frame allocation. The
+    /// slice is valid until the next call on this reader; decode it (or
+    /// copy what outlives the call) before reading again.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FrameReader::read_frame`].
+    pub fn read_frame_ref<R: Read>(&mut self, mut r: R) -> Result<Option<&[u8]>> {
         loop {
-            if let Some(frame) = self.take_buffered_frame()? {
-                return Ok(Some(frame));
+            if let Some(range) = self.buffered_frame_range()? {
+                return Ok(Some(&self.buf[range]));
             }
-            match r.read(&mut chunk) {
+            self.ensure_read_space();
+            match r.read(&mut self.buf[self.end..]) {
                 Ok(0) => {
-                    let reason = if self.buf.is_empty() {
+                    let reason = if self.buffered() == 0 {
                         "connection closed"
                     } else {
                         "connection closed mid-frame"
@@ -760,7 +1003,7 @@ impl FrameReader {
                         reason,
                     )));
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.end += n,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
@@ -773,21 +1016,46 @@ impl FrameReader {
         }
     }
 
-    /// Extracts one frame from the buffer if a complete one is present.
-    fn take_buffered_frame(&mut self) -> Result<Option<Vec<u8>>> {
-        if self.buf.len() < 4 {
+    /// Locates the next complete frame in the buffer and consumes it by
+    /// advancing the cursor; returns the payload's range within `buf`.
+    /// (Returning a range instead of a slice keeps the borrow short, so
+    /// the caller's read loop can keep mutating the buffer.)
+    fn buffered_frame_range(&mut self) -> Result<Option<std::ops::Range<usize>>> {
+        if self.buffered() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        let prefix = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4 bytes");
+        let len = u32::from_le_bytes(prefix) as usize;
         if len > MAX_FRAME {
             return Err(err(&format!("frame length {len} exceeds cap {MAX_FRAME}")));
         }
-        if self.buf.len() < 4 + len {
+        if self.buffered() < 4 + len {
             return Ok(None);
         }
-        let payload = self.buf[4..4 + len].to_vec();
-        self.buf.drain(..4 + len);
-        Ok(Some(payload))
+        let start = self.pos + 4;
+        self.pos = start + len;
+        Ok(Some(start..start + len))
+    }
+
+    /// Guarantees `buf[end..]` is non-empty so a read can make progress:
+    /// resets the cursors when everything is consumed (free), compacts
+    /// when the filled region hits the end and at least half of it is
+    /// consumed (the copy recovers more space than it moves), and
+    /// otherwise grows the initialized region by [`READ_CHUNK`].
+    fn ensure_read_space(&mut self) {
+        if self.pos == self.end {
+            self.pos = 0;
+            self.end = 0;
+        } else if self.end == self.buf.len() && self.pos >= self.end - self.pos {
+            self.buf.copy_within(self.pos..self.end, 0);
+            self.end -= self.pos;
+            self.pos = 0;
+        }
+        if self.end == self.buf.len() {
+            self.buf.resize(self.end + READ_CHUNK, 0);
+        }
     }
 }
 
@@ -1270,6 +1538,330 @@ mod tests {
         }
     }
 
+    /// Same as [`collect_frames`] but through the borrowing fast path.
+    fn collect_frames_ref(stream: &mut ChunkedStream) -> (Vec<Vec<u8>>, DjinnError) {
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match reader.read_frame_ref(&mut *stream) {
+                Ok(Some(f)) => frames.push(f.to_vec()),
+                Ok(None) => continue,
+                Err(e) => return (frames, e),
+            }
+        }
+    }
+
+    /// A writer that accepts at most `max` bytes per call — plain and
+    /// vectored alike — forcing `write_frame`'s partial-write loop to
+    /// straddle the prefix/payload boundary at every offset.
+    struct TrickleWriter {
+        out: Vec<u8>,
+        max: usize,
+        vectored_calls: usize,
+    }
+
+    impl TrickleWriter {
+        fn new(max: usize) -> Self {
+            TrickleWriter {
+                out: Vec::new(),
+                max,
+                vectored_calls: 0,
+            }
+        }
+    }
+
+    impl Write for TrickleWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.max);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            self.vectored_calls += 1;
+            let mut budget = self.max;
+            let mut written = 0;
+            for b in bufs {
+                let n = b.len().min(budget);
+                self.out.extend_from_slice(&b[..n]);
+                written += n;
+                budget -= n;
+                if budget == 0 {
+                    break;
+                }
+            }
+            Ok(written)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A writer with *no* `write_vectored` override: the std default
+    /// forwards only the first non-empty buffer to `write`, which is the
+    /// degraded path `write_frame` must also survive.
+    struct FirstBufferOnly {
+        out: Vec<u8>,
+        max: usize,
+    }
+
+    impl Write for FirstBufferOnly {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.max);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(payload);
+        wire
+    }
+
+    #[test]
+    fn write_frame_survives_partial_vectored_writes() {
+        for payload in [&b""[..], &b"x"[..], &b"hello djinn, twelve"[..]] {
+            for max in 1..=6 {
+                let mut w = TrickleWriter::new(max);
+                write_frame(&mut w, payload).unwrap();
+                assert_eq!(w.out, framed(payload), "max={max}");
+                assert!(w.vectored_calls >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn write_frame_survives_default_first_buffer_vectored_impl() {
+        let payload = b"prefix straddling payload";
+        for max in [1, 3, 4, 7, 1024] {
+            let mut w = FirstBufferOnly {
+                out: Vec::new(),
+                max,
+            };
+            write_frame(&mut w, payload).unwrap();
+            assert_eq!(w.out, framed(payload), "max={max}");
+        }
+    }
+
+    #[test]
+    fn write_frame_retries_interrupted_writes() {
+        /// Fails every other call with `Interrupted`.
+        struct Flaky {
+            inner: TrickleWriter,
+            next_fails: bool,
+        }
+        impl Write for Flaky {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.inner.write(buf)
+            }
+            fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+                self.next_fails = !self.next_fails;
+                if self.next_fails {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "signal",
+                    ));
+                }
+                self.inner.write_vectored(bufs)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = Flaky {
+            inner: TrickleWriter::new(2),
+            next_fails: false,
+        };
+        write_frame(&mut w, b"abcdef").unwrap();
+        assert_eq!(w.inner.out, framed(b"abcdef"));
+    }
+
+    #[test]
+    fn write_frame_errors_on_writer_that_accepts_nothing() {
+        struct Stuck;
+        impl Write for Stuck {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let got = write_frame(Stuck, b"payload");
+        assert!(matches!(got, Err(DjinnError::Io(ref e))
+            if e.kind() == std::io::ErrorKind::WriteZero));
+    }
+
+    #[test]
+    fn framed_encode_matches_write_frame_bytes() {
+        let request = Request::Infer {
+            model: "imc".into(),
+            input: Tensor::random_uniform(Shape::nchw(1, 3, 4, 4), 1.0, 9),
+            request_id: 41,
+        };
+        let responses = [
+            Response::Output {
+                tensor: Tensor::random_uniform(Shape::mat(3, 5), 1.0, 2),
+                trace: ServerTrace {
+                    request_id: 9,
+                    queue_us: 120,
+                    batch_us: 40,
+                    service_us: 2_000,
+                    server_total_us: 2_300,
+                },
+            },
+            Response::Error {
+                request_id: 10,
+                message: "nope".into(),
+            },
+            Response::Busy {
+                request_id: 11,
+                model: "imc".into(),
+                queue_depth: 64,
+            },
+        ];
+        // One dirty scratch buffer reused across every frame: framed
+        // encoding must clear it and still match write_frame(encode())
+        // byte for byte.
+        let mut scratch = BytesMut::new();
+        scratch.put_slice(b"stale bytes from a previous frame");
+
+        let mut expected = Vec::new();
+        write_frame(&mut expected, &request.encode().unwrap()).unwrap();
+        request.encode_framed_into(&mut scratch).unwrap();
+        assert_eq!(&scratch[..], &expected[..]);
+
+        for rsp in &responses {
+            let mut expected = Vec::new();
+            write_frame(&mut expected, &rsp.encode().unwrap()).unwrap();
+            rsp.encode_framed_into(&mut scratch).unwrap();
+            assert_eq!(&scratch[..], &expected[..], "{rsp:?}");
+        }
+    }
+
+    #[test]
+    fn borrowed_infer_encoder_matches_owned() {
+        let input = Tensor::random_uniform(Shape::nchw(2, 1, 3, 3), 1.0, 5);
+        let owned = Request::Infer {
+            model: "face".into(),
+            input: input.clone(),
+            request_id: 99,
+        };
+        let mut via_owned = BytesMut::new();
+        owned.encode_framed_into(&mut via_owned).unwrap();
+        let mut via_borrowed = BytesMut::new();
+        encode_infer_framed_into(&mut via_borrowed, "face", &input, 99).unwrap();
+        assert_eq!(&via_owned[..], &via_borrowed[..]);
+    }
+
+    #[test]
+    fn decode_output_into_matches_decode() {
+        let tensor = Tensor::random_uniform(Shape::mat(4, 7), 2.0, 8);
+        let trace = ServerTrace {
+            request_id: 17,
+            queue_us: 1,
+            batch_us: 2,
+            service_us: 3,
+            server_total_us: 6,
+        };
+        let rsp = Response::Output {
+            tensor: tensor.clone(),
+            trace,
+        };
+        let wire = rsp.encode().unwrap();
+        // A pre-dirtied, pre-sized buffer must be cleared and refilled.
+        let mut data = vec![f32::NAN; 3];
+        let (shape, got_trace) = Response::decode_output_into(&wire, &mut data).unwrap();
+        assert_eq!(shape, *tensor.shape());
+        assert_eq!(&data[..], tensor.data());
+        assert_eq!(got_trace, trace);
+
+        // Non-output frames are protocol errors, not silent misreads.
+        for other in [
+            Response::Error {
+                request_id: 1,
+                message: "boom".into(),
+            },
+            Response::Busy {
+                request_id: 1,
+                model: "imc".into(),
+                queue_depth: 2,
+            },
+            Response::Models {
+                request_id: 1,
+                names: vec![],
+            },
+        ] {
+            let wire = other.encode().unwrap();
+            assert!(
+                matches!(
+                    Response::decode_output_into(&wire, &mut data),
+                    Err(DjinnError::Protocol { .. })
+                ),
+                "{other:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stateless_read_frame_reports_eof_mid_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0xCD; 100]).unwrap();
+        wire.truncate(40);
+        let got = read_frame(&wire[..]);
+        assert!(matches!(got, Err(DjinnError::Io(ref e))
+            if e.kind() == std::io::ErrorKind::UnexpectedEof));
+    }
+
+    #[test]
+    fn frame_reader_ref_consumes_pipelined_frames_by_cursor() {
+        // Several frames delivered in one chunk: each read_frame_ref call
+        // must yield the next one from the buffer (advancing the cursor,
+        // not copying), and `buffered()` must count only unconsumed bytes.
+        let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 3 + i as usize * 7]).collect();
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let total = wire.len();
+        let mut consumed = 0;
+        let mut stream = ChunkedStream::new(vec![wire]);
+        let mut reader = FrameReader::new();
+        for expect in &payloads {
+            let got = reader.read_frame_ref(&mut stream).unwrap().unwrap();
+            assert_eq!(got, &expect[..]);
+            consumed += 4 + expect.len();
+            assert_eq!(reader.buffered(), total - consumed);
+        }
+    }
+
+    #[test]
+    fn frame_reader_compacts_partial_frames_across_chunk_growth() {
+        // A stream of frames sized near READ_CHUNK forces the cursor to
+        // wrap: full frames are consumed from the front while a partial
+        // frame's tail is still arriving, exercising compaction + growth.
+        let payloads: Vec<Vec<u8>> = (0..6u8)
+            .map(|i| vec![i ^ 0x5A; READ_CHUNK / 2 + i as usize * 1_000])
+            .collect();
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        // Deliver in chunks that never align with frame boundaries.
+        let chunks: Vec<Vec<u8>> = wire
+            .chunks(READ_CHUNK / 3 + 17)
+            .map(<[u8]>::to_vec)
+            .collect();
+        let mut stream = ChunkedStream::new(chunks);
+        let (frames, end) = collect_frames_ref(&mut stream);
+        assert_eq!(frames, payloads);
+        assert!(matches!(end, DjinnError::Io(ref e)
+            if e.kind() == std::io::ErrorKind::UnexpectedEof));
+    }
+
     #[test]
     fn frame_reader_survives_timeouts_mid_frame() {
         let payload = Request::Infer {
@@ -1391,9 +1983,15 @@ mod tests {
                 prev = c;
             }
             chunks.push(wire[prev..].to_vec());
-            let mut stream = ChunkedStream::new(chunks);
+            // Owned and borrowed paths must reassemble identically.
+            let mut stream = ChunkedStream::new(chunks.clone());
             let (frames, end) = collect_frames(&mut stream);
-            prop_assert_eq!(frames, payloads);
+            prop_assert_eq!(&frames, &payloads);
+            prop_assert!(matches!(end, DjinnError::Io(ref e)
+                if e.kind() == std::io::ErrorKind::UnexpectedEof));
+            let mut stream = ChunkedStream::new(chunks);
+            let (frames_ref, end) = collect_frames_ref(&mut stream);
+            prop_assert_eq!(frames_ref, payloads);
             prop_assert!(matches!(end, DjinnError::Io(ref e)
                 if e.kind() == std::io::ErrorKind::UnexpectedEof));
         }

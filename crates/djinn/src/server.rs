@@ -12,6 +12,7 @@
 //! of wedging the connection worker.
 
 use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,7 +24,9 @@ use gpusim::queueing::LatencyHistogram;
 use parking_lot::Mutex;
 use tensor::{Tensor, Threading};
 
-use crate::protocol::{write_frame, FrameReader, ModelStats, Request, Response};
+use bytes::BytesMut;
+
+use crate::protocol::{FrameReader, ModelStats, Request, Response};
 use crate::trace::ServerTrace;
 use crate::{
     BatchConfig, CpuExecutor, DispatchPolicy, DjinnError, EngineConfig, Executor, InferenceEngine,
@@ -315,6 +318,12 @@ struct PendingInfer {
 /// *atomicity* matters, which the mutex provides.
 struct ConnWriter {
     stream: TcpStream,
+    /// Per-connection scratch for framed encoding: each response is laid
+    /// out as one `[len | payload]` image here and sent with a single
+    /// `write_all` — one syscall per frame, zero steady-state
+    /// allocations once the buffer has grown to the connection's working
+    /// frame size.
+    scratch: BytesMut,
     /// Set after any failed write: the frame may have been partially
     /// sent, so the byte stream can no longer be trusted and every
     /// later write is refused.
@@ -322,32 +331,38 @@ struct ConnWriter {
 }
 
 impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        ConnWriter {
+            stream,
+            scratch: BytesMut::new(),
+            poisoned: false,
+        }
+    }
+
     /// Encodes and writes one response frame; returns `false` once the
     /// connection is poisoned (now or previously).
     fn write_response(&mut self, response: &Response) -> bool {
         if self.poisoned {
             return false;
         }
-        let bytes = match response.encode() {
-            Ok(b) => b,
+        if let Err(e) = response.encode_framed_into(&mut self.scratch) {
             // Unencodable response (e.g. oversized model name in a list):
             // degrade to a clamped error frame carrying the same ID
             // rather than dropping the response.
-            Err(e) => {
-                let fallback = Response::Error {
-                    request_id: response.request_id(),
-                    message: e.to_string(),
-                };
-                match fallback.encode() {
-                    Ok(b) => b,
-                    Err(_) => {
-                        self.poisoned = true;
-                        return false;
-                    }
-                }
+            let fallback = Response::Error {
+                request_id: response.request_id(),
+                message: e.to_string(),
+            };
+            if fallback.encode_framed_into(&mut self.scratch).is_err() {
+                self.poisoned = true;
+                return false;
             }
-        };
-        if write_frame(&mut self.stream, &bytes).is_err() {
+        }
+        let sent = self
+            .stream
+            .write_all(&self.scratch)
+            .and_then(|()| self.stream.flush());
+        if sent.is_err() {
             self.poisoned = true;
             return false;
         }
@@ -361,14 +376,16 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     // writer mid-frame never desyncs the stream (see protocol.rs).
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_write_timeout(Some(WRITE_STALL));
+    // Disable Nagle: response frames go out as single writes, and
+    // letting the kernel hold one back waiting for the client's delayed
+    // ACK pins small-frame latency at ~40 ms (the client sets this on
+    // its end already; both halves of the fd share the option).
+    let _ = stream.set_nodelay(true);
     // Split the socket: the worker keeps the read half, and a cloned
     // write half (same fd, same timeouts) goes behind a mutex shared
     // with the reply pump.
     let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(ConnWriter {
-            stream: w,
-            poisoned: false,
-        })),
+        Ok(w) => Arc::new(Mutex::new(ConnWriter::new(w))),
         Err(_) => return,
     };
     let pending: Arc<Mutex<HashMap<u64, PendingInfer>>> = Arc::new(Mutex::new(HashMap::new()));
@@ -389,13 +406,16 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         if shared.stop.load(Ordering::SeqCst) || writer.lock().poisoned {
             break;
         }
-        let payload = match reader.read_frame(&mut stream) {
-            Ok(Some(p)) => p,
+        // Frames are decoded straight out of the reader's buffer (no
+        // per-frame payload copy); Request::decode produces the owned
+        // tensor the engine needs.
+        let decoded = match reader.read_frame_ref(&mut stream) {
+            Ok(Some(p)) => Request::decode(p),
             Ok(None) => continue, // no complete frame yet; poll stop again
             Err(_) => break,      // EOF or protocol break: drop the connection
         };
         let received = Instant::now();
-        let immediate = match Request::decode(&payload) {
+        let immediate = match decoded {
             // Infer is full-duplex: admit to the engine and go read the
             // next frame — the reply pump answers when the job
             // completes, possibly after later requests.

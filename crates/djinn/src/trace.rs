@@ -110,6 +110,10 @@ pub struct TraceRecord {
     /// retrying callers; the retried request keeps its ID, so the trace
     /// stays one record).
     pub busy_retries: u32,
+    /// Bytes this request put on the wire: request frame + response
+    /// frame, length prefixes included (0 when the transport did not
+    /// report sizes — e.g. records assembled outside `DjinnClient`).
+    pub wire_bytes: u64,
 }
 
 impl TraceRecord {
@@ -125,7 +129,16 @@ impl TraceRecord {
             service_us: server.service_us,
             server_total_us: server.server_total_us,
             busy_retries: 0,
+            wire_bytes: 0,
         }
+    }
+
+    /// Attaches the request's wire footprint (request + response frame
+    /// sizes, prefixes included).
+    #[must_use]
+    pub fn with_wire_bytes(mut self, wire_bytes: u64) -> Self {
+        self.wire_bytes = wire_bytes;
+        self
     }
 
     /// Time on the wire: end-to-end minus everything the server
@@ -133,6 +146,15 @@ impl TraceRecord {
     /// different clocks; see the module docs).
     pub fn wire_us(&self) -> u64 {
         self.e2e_us.saturating_sub(self.server_total_us)
+    }
+
+    /// Whether the server reported its side of the trace. A pre-v3 peer
+    /// echoes nothing, so `server_total_us` (and every other server
+    /// span) decodes as 0 — in that case `wire_us()` would equal the
+    /// whole end-to-end latency and the queue/batch/service spans would
+    /// be fake zeros, so reports render those columns as `n/a` instead.
+    pub fn has_server_trace(&self) -> bool {
+        self.server_total_us > 0
     }
 
     /// Server overhead outside the engine (decode, admission, batch
@@ -160,7 +182,7 @@ impl TraceRecord {
         format!(
             "{{\"request_id\":{},\"model\":\"{}\",\"e2e_us\":{},\"queue_us\":{},\
              \"batch_us\":{},\"service_us\":{},\"wire_us\":{},\"server_total_us\":{},\
-             \"busy_retries\":{}}}",
+             \"busy_retries\":{},\"wire_bytes\":{}}}",
             self.request_id,
             model,
             self.e2e_us,
@@ -170,6 +192,7 @@ impl TraceRecord {
             self.wire_us(),
             self.server_total_us,
             self.busy_retries,
+            self.wire_bytes,
         )
     }
 }
@@ -191,12 +214,18 @@ impl TraceAggregator {
         TraceAggregator::default()
     }
 
-    /// Folds one record in.
+    /// Folds one record in. Server-side stages (queue/batch/service) and
+    /// the derived wire span are recorded only when the server actually
+    /// reported its trace: a pre-v3 peer's all-zero echo would otherwise
+    /// render as a misleading `0.00 ms` wire column (and fake-zero server
+    /// stages) instead of `n/a`.
     pub fn record(&mut self, r: &TraceRecord) {
-        self.queue.record(r.queue_us);
-        self.batch.record(r.batch_us);
-        self.service.record(r.service_us);
-        self.wire.record(r.wire_us());
+        if r.has_server_trace() {
+            self.queue.record(r.queue_us);
+            self.batch.record(r.batch_us);
+            self.service.record(r.service_us);
+            self.wire.record(r.wire_us());
+        }
         self.total.record(r.e2e_us);
     }
 
@@ -303,6 +332,7 @@ mod tests {
             "\"wire_us\":200",
             "\"server_total_us\":800",
             "\"busy_retries\":0",
+            "\"wire_bytes\":0",
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }
@@ -329,6 +359,42 @@ mod tests {
             assert!(rendered.contains(stage.name()), "{rendered}");
         }
         assert!(!rendered.contains("n/a"), "{rendered}");
+    }
+
+    #[test]
+    fn wire_bytes_travel_through_record_and_json() {
+        let r = record(1_000, 100, 50, 600, 800).with_wire_bytes(3_210);
+        assert_eq!(r.wire_bytes, 3_210);
+        assert!(
+            r.to_json().contains("\"wire_bytes\":3210"),
+            "{}",
+            r.to_json()
+        );
+    }
+
+    /// A pre-v3 server echoes no trace: every server span decodes as 0.
+    /// The aggregator must render the wire (and server-stage) columns as
+    /// `n/a`, not claim the whole e2e was 0.00 ms of wire.
+    #[test]
+    fn untraced_records_leave_server_stages_na() {
+        let untraced = record(40_000, 0, 0, 0, 0);
+        assert!(!untraced.has_server_trace());
+        let mut agg = TraceAggregator::new();
+        agg.record(&untraced);
+        agg.record(&record(41_000, 0, 0, 0, 0));
+        assert_eq!(agg.count(), 2, "e2e totals still aggregate");
+        let rendered = agg.table().render();
+        let wire_row = rendered
+            .lines()
+            .find(|l| l.starts_with("wire"))
+            .expect("wire row");
+        assert!(wire_row.contains("n/a"), "{rendered}");
+        assert!(!wire_row.contains("ms"), "{rendered}");
+        let total_row = rendered
+            .lines()
+            .find(|l| l.starts_with("total"))
+            .expect("total row");
+        assert!(total_row.contains("ms"), "{rendered}");
     }
 
     /// Regression test for the all-shed loadgen run: with zero successful

@@ -11,7 +11,8 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use djinn_tonic::djinn::protocol::Response;
+use bytes::BytesMut;
+use djinn_tonic::djinn::protocol::{FrameReader, Response};
 use djinn_tonic::tensor::{Shape, Tensor};
 
 /// The per-element decode loop `get_tensor` used before the bulk copy:
@@ -93,5 +94,62 @@ fn main() {
         "frame encode (Response): {:8.2} ms  ({:7.1} MB/s)",
         full_encode * 1e3,
         mb / full_encode
+    );
+
+    // Buffer-reuse fast path: same frame encoded into a retained scratch
+    // buffer (zero allocations after the first call) vs a fresh Vec each
+    // time, and borrowed frame reads vs the owning copy-out.
+    let mut scratch = BytesMut::new();
+    rsp.encode_framed_into(&mut scratch).expect("warmup");
+    let reuse_encode = time(iters, || {
+        rsp.encode_framed_into(&mut scratch).expect("encode");
+        scratch.len()
+    });
+    println!(
+        "frame encode (reused buf): {:6.2} ms  ({:7.1} MB/s)   {:.2}x vs fresh-Vec",
+        reuse_encode * 1e3,
+        mb / reuse_encode,
+        full_encode / reuse_encode
+    );
+
+    let mut framed = Vec::with_capacity(scratch.len());
+    framed.extend_from_slice(&scratch);
+    let mut reader = FrameReader::new();
+    let owning_read = time(iters, || {
+        let mut cursor = &framed[..];
+        reader
+            .read_frame(&mut cursor)
+            .expect("read")
+            .map(|v| v.len())
+    });
+    let borrowed_read = time(iters, || {
+        let mut cursor = &framed[..];
+        reader
+            .read_frame_ref(&mut cursor)
+            .expect("read")
+            .map(<[u8]>::len)
+    });
+    println!(
+        "frame read  owned  (old): {:7.2} ms  ({:7.1} MB/s)",
+        owning_read * 1e3,
+        mb / owning_read
+    );
+    println!(
+        "frame read  borrow (new): {:7.2} ms  ({:7.1} MB/s)   {:.2}x faster",
+        borrowed_read * 1e3,
+        mb / borrowed_read,
+        owning_read / borrowed_read
+    );
+
+    let mut out = Vec::new();
+    Response::decode_output_into(&wire, &mut out).expect("warmup");
+    let decode_into = time(iters, || {
+        Response::decode_output_into(&wire, &mut out).expect("decode")
+    });
+    println!(
+        "output decode into (new): {:7.2} ms  ({:7.1} MB/s)   {:.2}x vs owning decode",
+        decode_into * 1e3,
+        mb / decode_into,
+        full_decode / decode_into
     );
 }

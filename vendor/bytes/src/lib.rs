@@ -34,6 +34,31 @@ impl BytesMut {
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
     }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Clears the buffer, keeping its capacity for reuse.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Appends the contents of `extend`.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.inner.extend_from_slice(extend);
+    }
 }
 
 impl Deref for BytesMut {
@@ -201,6 +226,28 @@ mod tests {
         r.copy_to_slice(&mut two);
         assert_eq!(&two, b"xy");
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_slice(b"abcdefgh1234");
+        let cap = buf.capacity();
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap);
+        buf.reserve(cap + 1);
+        assert!(buf.capacity() > cap);
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"abcdef");
+        buf.truncate(2);
+        assert_eq!(&buf[..], b"ab");
+        buf.truncate(10);
+        assert_eq!(buf.len(), 2);
     }
 
     #[test]
