@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! djinn-loadgen --addr HOST:PORT --model NAME
-//!               [--threads N] [--requests R] [--queries Q]
-//!               [--pipeline N] [--timeout-ms T] [--trace-out PATH]
+//!               [--mix NAME=W,NAME=W] [--threads N] [--requests R]
+//!               [--queries Q] [--pipeline N] [--timeout-ms T]
+//!               [--trace-out PATH]
 //! ```
 //!
 //! `--pipeline N` keeps up to N requests in flight per connection
@@ -28,6 +29,14 @@
 //! A run where every request was shed reports `n/a` percentiles, never
 //! a fake zero.
 //!
+//! `--mix "tiny-mnist=7,tiny-senna=3"` replaces `--model` with a
+//! weighted model mix: each request picks a model by weight from a
+//! per-thread deterministic PRNG. This is the multi-replica router
+//! scenario — point `--addr` at a `djinn-router` and the mix exercises
+//! model-affinity routing across a sharded fleet with a skewed
+//! popularity distribution, the shape that separates load-aware from
+//! round-robin replica selection.
+//!
 //! Input shapes are discovered from the seven Tonic models (and the tiny
 //! test zoo) by name; for other models, pass nothing and the tool
 //! reports the server's model list.
@@ -45,6 +54,7 @@ use tensor::Tensor;
 struct Args {
     addr: String,
     model: Option<String>,
+    mix: Option<String>,
     threads: usize,
     requests: usize,
     queries: usize,
@@ -57,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7400".into(),
         model: None,
+        mix: None,
         threads: 4,
         requests: 50,
         queries: 1,
@@ -70,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
             "--model" => args.model = Some(value("--model")?),
+            "--mix" => args.mix = Some(value("--mix")?),
             "--threads" => {
                 args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
             }
@@ -92,8 +104,9 @@ fn parse_args() -> Result<Args, String> {
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--help" | "-h" => {
                 return Err("usage: djinn-loadgen --addr HOST:PORT --model NAME \
-                            [--threads N] [--requests R] [--queries Q] [--pipeline N] \
-                            [--timeout-ms T] [--trace-out PATH]"
+                            [--mix NAME=W,NAME=W] [--threads N] [--requests R] \
+                            [--queries Q] [--pipeline N] [--timeout-ms T] \
+                            [--trace-out PATH]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -139,6 +152,72 @@ fn input_for(model: &str, queries: usize) -> Option<Tensor> {
     Some(Tensor::random_uniform(shape, 0.5, 99))
 }
 
+/// A weighted model mix: each request draws a model by weight from the
+/// caller's PRNG state. A single `--model` run is the one-entry case.
+struct Workload {
+    /// (model name, pre-built input) per mix entry.
+    targets: Vec<(String, Tensor)>,
+    /// Cumulative weights, parallel to `targets`.
+    cum: Vec<u32>,
+}
+
+impl Workload {
+    fn single(model: String, input: Tensor) -> Self {
+        Workload {
+            targets: vec![(model, input)],
+            cum: vec![1],
+        }
+    }
+
+    /// Parses `"name=w,name=w"`, building one input per entry.
+    fn from_mix(spec: &str, queries: usize) -> Result<Self, String> {
+        let mut targets = Vec::new();
+        let mut cum = Vec::new();
+        let mut total = 0u32;
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, weight) = match part.split_once('=') {
+                Some((n, w)) => {
+                    let w: u32 = w
+                        .parse()
+                        .map_err(|e| format!("bad weight in `{part}`: {e}"))?;
+                    (n.trim(), w)
+                }
+                None => (part, 1),
+            };
+            if weight == 0 {
+                return Err(format!("weight 0 in `{part}` would never be sent"));
+            }
+            let input = input_for(name, queries)
+                .ok_or_else(|| format!("unknown model `{name}` in --mix"))?;
+            total += weight;
+            targets.push((name.to_string(), input));
+            cum.push(total);
+        }
+        if targets.is_empty() {
+            return Err("--mix named no models".into());
+        }
+        Ok(Workload { targets, cum })
+    }
+
+    /// Picks a target index by weight; `rng` is a caller-owned xorshift
+    /// state, so every thread samples its own deterministic sequence.
+    fn pick(&self, rng: &mut u64) -> usize {
+        if self.targets.len() == 1 {
+            return 0;
+        }
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let total = *self.cum.last().expect("non-empty mix");
+        let draw = (*rng % total as u64) as u32;
+        self.cum.partition_point(|&c| c <= draw)
+    }
+}
+
 /// The classic closed loop: one request in flight, reconnect with
 /// backoff on transport failures.
 #[allow(clippy::too_many_arguments)]
@@ -146,8 +225,8 @@ fn run_closed_loop(
     client: &mut DjinnClient,
     addr: std::net::SocketAddr,
     timeout: Duration,
-    model: &str,
-    input: &Tensor,
+    workload: &Workload,
+    rng: &mut u64,
     requests: usize,
     local: &mut Vec<TraceRecord>,
     errors: &AtomicU64,
@@ -155,6 +234,7 @@ fn run_closed_loop(
     reconnects: &AtomicU64,
 ) {
     for done in 0..requests {
+        let (model, input) = &workload.targets[workload.pick(rng)];
         match client.infer_traced(model, input) {
             Ok((_, record)) => local.push(record),
             // The server shed the request at admission: the
@@ -201,8 +281,8 @@ fn run_pipelined(
     client: &mut DjinnClient,
     addr: std::net::SocketAddr,
     timeout: Duration,
-    model: &str,
-    input: &Tensor,
+    workload: &Workload,
+    rng: &mut u64,
     requests: usize,
     window: usize,
     local: &mut Vec<TraceRecord>,
@@ -216,6 +296,7 @@ fn run_pipelined(
         // Keep the window full...
         let mut transport_broke = false;
         while submitted < requests && client.in_flight() < window {
+            let (model, input) = &workload.targets[workload.pick(rng)];
             match client.submit(model, input) {
                 Ok(_) => submitted += 1,
                 Err(_) => {
@@ -281,23 +362,41 @@ fn main() -> ExitCode {
         }
     };
 
-    let Some(model) = args.model else {
-        // No model: just show what the server offers.
-        match DjinnClient::connect(addr).and_then(|mut c| c.list_models()) {
-            Ok(names) => {
-                println!("models: {}", names.join(", "));
-                return ExitCode::SUCCESS;
-            }
+    if args.model.is_some() && args.mix.is_some() {
+        eprintln!("--model and --mix are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    let (workload, label) = match (&args.model, &args.mix) {
+        (Some(model), None) => {
+            let Some(input) = input_for(model, args.queries) else {
+                eprintln!("unknown Tonic model `{model}` (known: imc dig face asr pos chk ner)");
+                return ExitCode::FAILURE;
+            };
+            (Workload::single(model.clone(), input), model.clone())
+        }
+        (None, Some(spec)) => match Workload::from_mix(spec, args.queries) {
+            Ok(w) => (w, format!("mix({spec})")),
             Err(e) => {
-                eprintln!("cannot reach server: {e}");
+                eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
+        },
+        (None, None) => {
+            // No model: just show what the server offers.
+            match DjinnClient::connect(addr).and_then(|mut c| c.list_models()) {
+                Ok(names) => {
+                    println!("models: {}", names.join(", "));
+                    return ExitCode::SUCCESS;
+                }
+                Err(e) => {
+                    eprintln!("cannot reach server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
+        (Some(_), Some(_)) => unreachable!("checked above"),
     };
-    let Some(input) = input_for(&model, args.queries) else {
-        eprintln!("unknown Tonic model `{model}` (known: imc dig face asr pos chk ner)");
-        return ExitCode::FAILURE;
-    };
+    let workload = Arc::new(workload);
 
     let records = Arc::new(Mutex::new(Vec::<TraceRecord>::new()));
     let errors = Arc::new(AtomicU64::new(0));
@@ -306,9 +405,8 @@ fn main() -> ExitCode {
     let timeout = args.timeout;
     let started = Instant::now();
     let mut handles = Vec::new();
-    for _ in 0..args.threads {
-        let input = input.clone();
-        let model = model.clone();
+    for thread_idx in 0..args.threads {
+        let workload = Arc::clone(&workload);
         let records = Arc::clone(&records);
         let errors = Arc::clone(&errors);
         let sheds = Arc::clone(&sheds);
@@ -324,15 +422,19 @@ fn main() -> ExitCode {
                 }
             };
             // Per-thread trace buffer, merged once at the end, so the
-            // hot loop never contends on the shared lock.
+            // hot loop never contends on the shared lock. The PRNG seed
+            // is per-thread and deterministic: rerunning a mix replays
+            // the same model sequence.
+            let mut rng =
+                0x9E37_79B9_7F4A_7C15u64 ^ ((thread_idx as u64 + 1) * 0x2545_F491_4F6C_DD1D);
             let mut local = Vec::with_capacity(requests);
             if window > 1 {
                 run_pipelined(
                     &mut client,
                     addr,
                     timeout,
-                    &model,
-                    &input,
+                    &workload,
+                    &mut rng,
                     requests,
                     window,
                     &mut local,
@@ -345,8 +447,8 @@ fn main() -> ExitCode {
                     &mut client,
                     addr,
                     timeout,
-                    &model,
-                    &input,
+                    &workload,
+                    &mut rng,
                     requests,
                     &mut local,
                     &errors,
@@ -374,7 +476,7 @@ fn main() -> ExitCode {
     // empty index or printing a fake 0 ms.
     let mean = (ok > 0).then(|| lat_ms.iter().sum::<f64>() / ok as f64);
     println!(
-        "{model}: {ok}/{sent} ok in {elapsed:.2}s  ->  {:.1} req/s ({:.1} q/s), \
+        "{label}: {ok}/{sent} ok in {elapsed:.2}s  ->  {:.1} req/s ({:.1} q/s), \
          mean {}, p50 {}, p95 {}, p99 {}, \
          max {}, {} shed (busy), {} errors, {} reconnects",
         ok as f64 / elapsed,

@@ -3,7 +3,8 @@
 //! ```text
 //! djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu]
 //!              [--batch N] [--threads N] [--queue N] [--workers N]
-//!              [--models DIR] [--tiny-zoo] [--export DIR]
+//!              [--models DIR] [--tiny-zoo] [--only NAME,NAME]
+//!              [--service-delay-us N] [--export DIR]
 //! ```
 //!
 //! `--queue` bounds each model's admission queue (requests beyond it are
@@ -17,6 +18,13 @@
 //! speedups with djinn-loadgen) where model compute should not dominate.
 //! `--export DIR` writes the built-in models as `.djnm` files and exits
 //! (a way to bootstrap a model repository).
+//!
+//! `--only a,b` restricts the loaded registry to the named models — how
+//! a replica in a sharded, router-fronted deployment serves its slice.
+//! `--service-delay-us N` adds a fixed sleep to every forward pass,
+//! modeling a device-bound backend so scale-out experiments on a small
+//! host measure the serving tier, not CPU contention between colocated
+//! replicas.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,6 +41,8 @@ struct Args {
     workers: usize,
     models: Option<PathBuf>,
     tiny_zoo: bool,
+    only: Vec<String>,
+    service_delay: Option<Duration>,
     export: Option<PathBuf>,
 }
 
@@ -47,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
         workers: defaults.engine_workers,
         models: None,
         tiny_zoo: false,
+        only: Vec::new(),
+        service_delay: None,
         export: None,
     };
     let mut it = std::env::args().skip(1);
@@ -94,12 +106,28 @@ fn parse_args() -> Result<Args, String> {
             }
             "--models" => args.models = Some(PathBuf::from(value("--models")?)),
             "--tiny-zoo" => args.tiny_zoo = true,
+            "--only" => {
+                args.only.extend(
+                    value("--only")?
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                );
+            }
+            "--service-delay-us" => {
+                let us: u64 = value("--service-delay-us")?
+                    .parse()
+                    .map_err(|e| format!("bad --service-delay-us: {e}"))?;
+                args.service_delay = Some(Duration::from_micros(us));
+            }
             "--export" => args.export = Some(PathBuf::from(value("--export")?)),
             "--help" | "-h" => {
                 return Err(
                     "usage: djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu] \
                             [--batch N] [--threads N] [--queue N] [--workers N] \
-                            [--models DIR] [--tiny-zoo] [--export DIR]"
+                            [--models DIR] [--tiny-zoo] [--only NAME,NAME] \
+                            [--service-delay-us N] [--export DIR]"
                         .into(),
                 )
             }
@@ -126,7 +154,7 @@ fn main() -> ExitCode {
         eprintln!("--tiny-zoo and --models are mutually exclusive");
         return ExitCode::FAILURE;
     }
-    let registry = match (&args.models, args.tiny_zoo) {
+    let mut registry = match (&args.models, args.tiny_zoo) {
         (Some(dir), _) => match ModelRegistry::from_dir(dir) {
             Ok(reg) if !reg.is_empty() => reg,
             Ok(_) => {
@@ -153,6 +181,12 @@ fn main() -> ExitCode {
             }
         },
     };
+    if !args.only.is_empty() {
+        if let Err(e) = registry.retain_only(&args.only) {
+            eprintln!("bad --only: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     eprintln!(
         "loaded {} models ({:.1} MB resident): {}",
         registry.len(),
@@ -170,6 +204,7 @@ fn main() -> ExitCode {
         threads: args.threads,
         queue_capacity: args.queue,
         engine_workers: args.workers,
+        service_delay: args.service_delay,
         ..ServerConfig::default()
     };
     let server = match DjinnServer::start(registry, config) {

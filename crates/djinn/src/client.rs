@@ -567,8 +567,19 @@ impl DjinnClient {
                 {
                     return Ok(rsp);
                 }
+                // An uncorrelated (id-0) error while a control call is
+                // blocked answers the control call, *regardless* of
+                // infers in flight: a v4 server stamps every infer's ID
+                // on its error frames, so the only request of ours an
+                // id-0 error can answer is one the server failed to
+                // decode — and the frame most recently at risk is this
+                // control request. The old rule (`id == 0` only with no
+                // infers pending) dropped such an error into `route()`'s
+                // order-front fallback instead, misattributing it to the
+                // oldest in-flight infer and leaving this call blocked
+                // until the read timeout.
                 Response::Error { request_id, .. }
-                    if *request_id == want_id || (*request_id == 0 && self.pending.is_empty()) =>
+                    if *request_id == want_id || *request_id == 0 =>
                 {
                     let Response::Error { message, .. } = rsp else {
                         unreachable!("matched Error above");

@@ -166,6 +166,52 @@ impl Executor for SimGpuExecutor {
     }
 }
 
+/// Wraps another executor and *occupies the worker* for a fixed extra
+/// duration on every call, modeling a device-bound backend: a replica
+/// whose service time is dominated by an accelerator (or a remote
+/// device) the host merely feeds.
+///
+/// Scale-out experiments need this on machines with fewer cores than
+/// replicas: with a purely CPU-bound backend, N colocated replicas
+/// contend for the same cycles and adding replicas cannot raise
+/// aggregate throughput, which says something about the host, not about
+/// the serving tier under test. A sleep-bound service time makes each
+/// replica's capacity `workers / delay` regardless of colocated
+/// neighbors, so router experiments measure tier behavior (balancing,
+/// queueing, shedding) rather than host contention. The sleep is added
+/// to the reported device latency, keeping traces consistent with the
+/// modeled device.
+#[derive(Debug, Clone)]
+pub struct DelayExecutor<E> {
+    inner: E,
+    delay: Duration,
+}
+
+impl<E> DelayExecutor<E> {
+    /// Wraps `inner`, holding each call for an extra `delay`.
+    pub fn new(inner: E, delay: Duration) -> Self {
+        DelayExecutor { inner, delay }
+    }
+
+    /// The configured per-call delay.
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+}
+
+impl<E: Executor> Executor for DelayExecutor<E> {
+    fn infer(&self, network: &Arc<Network>, input: &Tensor) -> Result<InferenceOutcome> {
+        std::thread::sleep(self.delay);
+        let mut outcome = self.inner.infer(network, input)?;
+        outcome.device_latency += self.delay;
+        Ok(outcome)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "delayed"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +297,20 @@ mod tests {
         ];
         assert_eq!(backends[0].backend_name(), "cpu");
         assert_eq!(backends[1].backend_name(), "sim-gpu");
+    }
+
+    #[test]
+    fn delay_executor_holds_the_call_and_attributes_the_delay() {
+        let net = mnist();
+        let input = Tensor::random_uniform(Shape::nchw(1, 1, 28, 28), 1.0, 5);
+        let plain = CpuExecutor::default().infer(&net, &input).unwrap();
+        let delay = Duration::from_millis(20);
+        let delayed = DelayExecutor::new(CpuExecutor::default(), delay);
+        let start = Instant::now();
+        let out = delayed.infer(&net, &input).unwrap();
+        assert!(start.elapsed() >= delay, "the worker must be occupied");
+        assert_eq!(out.output, plain.output, "delay must not change math");
+        assert!(out.device_latency >= delay);
+        assert_eq!(delayed.backend_name(), "delayed");
     }
 }

@@ -46,6 +46,7 @@ mod error;
 mod executor;
 pub mod protocol;
 mod registry;
+mod router;
 mod server;
 pub mod trace;
 
@@ -54,9 +55,10 @@ pub use engine::{
     BatchConfig, DispatchPolicy, EngineConfig, EngineStats, InferenceEngine, RoutedReply, Ticket,
 };
 pub use error::DjinnError;
-pub use executor::{CpuExecutor, Executor, InferenceOutcome, SimGpuExecutor};
+pub use executor::{CpuExecutor, DelayExecutor, Executor, InferenceOutcome, SimGpuExecutor};
 pub use protocol::ModelStats;
 pub use registry::ModelRegistry;
+pub use router::{DjinnRouter, RoutePolicy, RouterConfig};
 pub use server::{Backend, DjinnServer, ServerConfig};
 pub use trace::{EngineSpans, ServerTrace, TraceRecord};
 

@@ -1059,6 +1059,225 @@ impl FrameReader {
     }
 }
 
+/// The routing-relevant fields of a request frame, read without decoding
+/// the payload.
+///
+/// A proxy (see [`crate::DjinnRouter`]) needs three things from an inbound
+/// frame: which kind of request it is, which model it names, and where
+/// the correlation ID sits so the ID can be rewritten *in place* — the
+/// multi-MB tensor section is never parsed, validated, or copied beyond
+/// the forwarding memcpy. `id_at` is the byte offset of the 8-byte
+/// little-endian ID within the payload, or `None` when the frame's
+/// version predates that field (pre-v3 `Infer`, pre-v4 control frames),
+/// in which case `request_id` is the uncorrelated sentinel 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestPeek<'a> {
+    /// An `Infer` frame for `model`; the tensor bytes are untouched.
+    Infer {
+        /// Model name, borrowed from the frame.
+        model: &'a str,
+        /// Client-assigned ID (0 for a pre-v3 frame).
+        request_id: u64,
+        /// Offset of the ID field, `None` on a pre-v3 frame.
+        id_at: Option<usize>,
+    },
+    /// A `ListModels` control frame.
+    ListModels {
+        /// Client-assigned ID (0 for a pre-v4 frame).
+        request_id: u64,
+        /// Offset of the ID field, `None` on a pre-v4 frame.
+        id_at: Option<usize>,
+    },
+    /// A `Stats` control frame.
+    Stats {
+        /// Client-assigned ID (0 for a pre-v4 frame).
+        request_id: u64,
+        /// Offset of the ID field, `None` on a pre-v4 frame.
+        id_at: Option<usize>,
+    },
+}
+
+impl RequestPeek<'_> {
+    /// The frame's correlation ID (0 when the version carries none).
+    pub fn request_id(&self) -> u64 {
+        match self {
+            RequestPeek::Infer { request_id, .. }
+            | RequestPeek::ListModels { request_id, .. }
+            | RequestPeek::Stats { request_id, .. } => *request_id,
+        }
+    }
+
+    /// Byte offset of the ID field within the payload, if the frame's
+    /// version carries one.
+    pub fn id_at(&self) -> Option<usize> {
+        match self {
+            RequestPeek::Infer { id_at, .. }
+            | RequestPeek::ListModels { id_at, .. }
+            | RequestPeek::Stats { id_at, .. } => *id_at,
+        }
+    }
+}
+
+/// Reads a request frame's kind, model name, and correlation-ID location
+/// without decoding the tensor payload. See [`RequestPeek`].
+///
+/// # Errors
+///
+/// Returns [`DjinnError::Protocol`] for a malformed header, a truncated
+/// name/ID field, or an unknown request opcode. The tensor section is
+/// *not* validated — the serving backend that eventually decodes the
+/// frame still performs the full check.
+pub fn peek_request(payload: &[u8]) -> Result<RequestPeek<'_>> {
+    let mut hdr = payload;
+    let (version, opcode) = check_header(&mut hdr)?;
+    match opcode {
+        OP_INFER => {
+            if payload.len() < 8 {
+                return Err(err("truncated string length"));
+            }
+            let name_len = u16::from_le_bytes([payload[6], payload[7]]) as usize;
+            let name_end = 8 + name_len;
+            if payload.len() < name_end {
+                return Err(err("truncated string body"));
+            }
+            let model = std::str::from_utf8(&payload[8..name_end])
+                .map_err(|_| err("string is not utf-8"))?;
+            if version >= 3 {
+                if payload.len() < name_end + 8 {
+                    return Err(err("truncated request id"));
+                }
+                let request_id = u64::from_le_bytes(
+                    payload[name_end..name_end + 8].try_into().expect("8 bytes"),
+                );
+                Ok(RequestPeek::Infer {
+                    model,
+                    request_id,
+                    id_at: Some(name_end),
+                })
+            } else {
+                Ok(RequestPeek::Infer {
+                    model,
+                    request_id: 0,
+                    id_at: None,
+                })
+            }
+        }
+        OP_LIST | OP_STATS => {
+            let (request_id, id_at) = if version >= 4 {
+                if payload.len() < 14 {
+                    return Err(err("truncated request id"));
+                }
+                let id = u64::from_le_bytes(payload[6..14].try_into().expect("8 bytes"));
+                (id, Some(6))
+            } else {
+                (0, None)
+            };
+            Ok(if opcode == OP_LIST {
+                RequestPeek::ListModels { request_id, id_at }
+            } else {
+                RequestPeek::Stats { request_id, id_at }
+            })
+        }
+        other => Err(err(&format!("unexpected request opcode {other}"))),
+    }
+}
+
+/// Locates a response frame's correlation ID without decoding the
+/// payload: returns `(request_id, byte offset of the 8-byte field)`, or
+/// `None` when the frame's version predates the field (pre-v3 `Output`
+/// trace, pre-v4 `Error`/`Busy`/control responses) and the response is
+/// therefore uncorrelated. The tensor/stats sections are not validated.
+///
+/// # Errors
+///
+/// Returns [`DjinnError::Protocol`] for a malformed header, a truncated
+/// ID field, an unknown status byte, or an unknown response opcode.
+/// Whether a response payload is a `Busy` (load-shed) frame, checked
+/// from the header bytes alone. A router uses this to feed its live
+/// shed signal without decoding the frame it is forwarding: a replica
+/// at queue-full answers instantly, so by outstanding-count alone it
+/// looks *idle* — exactly the trap that floods a shedding replica.
+pub fn is_busy_response(payload: &[u8]) -> bool {
+    payload.len() > 5 && payload[..4] == *MAGIC && payload[5] == OP_BUSY
+}
+
+pub fn response_id_slot(payload: &[u8]) -> Result<Option<(u64, usize)>> {
+    let mut hdr = payload;
+    let (version, opcode) = check_header(&mut hdr)?;
+    let at = match opcode {
+        OP_RESULT => {
+            if payload.len() < 7 {
+                return Err(err("truncated status"));
+            }
+            match payload[6] {
+                // A successful result leads with the v3 trace block whose
+                // first word is the echoed ID; an error result leads with
+                // the v4 ID field. Both land at offset 7.
+                STATUS_OK if version >= 3 => Some(7),
+                STATUS_ERR if version >= 4 => Some(7),
+                STATUS_OK | STATUS_ERR => None,
+                s => return Err(err(&format!("unknown status {s}"))),
+            }
+        }
+        OP_LIST_RESULT | OP_STATS_RESULT | OP_BUSY => {
+            if version >= 4 {
+                Some(6)
+            } else {
+                None
+            }
+        }
+        other => return Err(err(&format!("unexpected response opcode {other}"))),
+    };
+    match at {
+        Some(at) => {
+            if payload.len() < at + 8 {
+                return Err(err("truncated request id"));
+            }
+            let id = u64::from_le_bytes(payload[at..at + 8].try_into().expect("8 bytes"));
+            Ok(Some((id, at)))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Rewrites a request frame's correlation ID in place, returning the old
+/// ID. The forwarding primitive behind [`crate::DjinnRouter`]: a proxy
+/// stamps
+/// its own upstream ID into the client's frame and relays the bytes
+/// untouched otherwise.
+///
+/// # Errors
+///
+/// Returns [`DjinnError::Protocol`] for malformed frames and for frames
+/// whose version carries no ID slot (pre-v3 `Infer`, pre-v4 control) —
+/// those cannot participate in ID-correlated forwarding.
+pub fn rewrite_request_id(payload: &mut [u8], new_id: u64) -> Result<u64> {
+    let peek = peek_request(payload)?;
+    let Some(at) = peek.id_at() else {
+        return Err(err("frame version carries no request-id slot"));
+    };
+    let old = peek.request_id();
+    payload[at..at + 8].copy_from_slice(&new_id.to_le_bytes());
+    Ok(old)
+}
+
+/// Rewrites a response frame's correlation ID in place, returning the old
+/// ID — the return leg of [`rewrite_request_id`]: the proxy looks up the
+/// answered upstream ID and restores the originating client's ID before
+/// relaying the bytes.
+///
+/// # Errors
+///
+/// Returns [`DjinnError::Protocol`] for malformed frames and for
+/// uncorrelated frames (versions predating the ID field).
+pub fn rewrite_response_id(payload: &mut [u8], new_id: u64) -> Result<u64> {
+    let Some((old, at)) = response_id_slot(payload)? else {
+        return Err(err("frame version carries no request-id slot"));
+    };
+    payload[at..at + 8].copy_from_slice(&new_id.to_le_bytes());
+    Ok(old)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1995,5 +2214,200 @@ mod tests {
             prop_assert!(matches!(end, DjinnError::Io(ref e)
                 if e.kind() == std::io::ErrorKind::UnexpectedEof));
         }
+    }
+
+    #[test]
+    fn peek_request_reads_kind_model_and_id_without_decoding() {
+        let infer = Request::Infer {
+            model: "imc".into(),
+            input: Tensor::random_uniform(Shape::nchw(1, 3, 4, 4), 1.0, 9),
+            request_id: 0xAB,
+        };
+        let wire = infer.encode().unwrap();
+        let peek = peek_request(&wire).unwrap();
+        assert_eq!(
+            peek,
+            RequestPeek::Infer {
+                model: "imc",
+                request_id: 0xAB,
+                id_at: Some(4 + 1 + 1 + 2 + 3),
+            }
+        );
+        assert_eq!(peek.request_id(), 0xAB);
+
+        let list = Request::ListModels { request_id: 7 }.encode().unwrap();
+        assert_eq!(
+            peek_request(&list).unwrap(),
+            RequestPeek::ListModels {
+                request_id: 7,
+                id_at: Some(6),
+            }
+        );
+        let stats = Request::Stats { request_id: 8 }.encode().unwrap();
+        assert_eq!(
+            peek_request(&stats).unwrap(),
+            RequestPeek::Stats {
+                request_id: 8,
+                id_at: Some(6),
+            }
+        );
+    }
+
+    #[test]
+    fn peek_request_reports_legacy_frames_as_slotless() {
+        // Pre-v3 infer: splice out the 8 ID bytes after the name.
+        let mut infer = Request::Infer {
+            model: "m".into(),
+            input: Tensor::zeros(Shape::mat(1, 1)),
+            request_id: 3,
+        }
+        .encode()
+        .unwrap()
+        .to_vec();
+        let id_at = 4 + 1 + 1 + 2 + 1;
+        infer.drain(id_at..id_at + 8);
+        infer[4] = 2;
+        assert_eq!(
+            peek_request(&infer).unwrap(),
+            RequestPeek::Infer {
+                model: "m",
+                request_id: 0,
+                id_at: None,
+            }
+        );
+        assert!(rewrite_request_id(&mut infer, 9).is_err());
+
+        // Pre-v4 control frame: no ID field at all.
+        let mut list = Request::ListModels { request_id: 7 }
+            .encode()
+            .unwrap()
+            .to_vec();
+        list.drain(6..14);
+        list[4] = 3;
+        assert_eq!(
+            peek_request(&list).unwrap(),
+            RequestPeek::ListModels {
+                request_id: 0,
+                id_at: None,
+            }
+        );
+        assert!(rewrite_request_id(&mut list, 9).is_err());
+    }
+
+    #[test]
+    fn rewrite_request_id_matches_a_full_reencode() {
+        let input = Tensor::random_uniform(Shape::mat(2, 5), 1.0, 3);
+        for req in [
+            Request::Infer {
+                model: "dig".into(),
+                input: input.clone(),
+                request_id: 41,
+            },
+            Request::ListModels { request_id: 41 },
+            Request::Stats { request_id: 41 },
+        ] {
+            let mut wire = req.encode().unwrap().to_vec();
+            let old = rewrite_request_id(&mut wire, 0x1234_5678_9ABC).unwrap();
+            assert_eq!(old, 41);
+            // The patched frame must be byte-identical to encoding the
+            // request with the new ID directly.
+            let renumbered = match req {
+                Request::Infer { model, input, .. } => Request::Infer {
+                    model,
+                    input,
+                    request_id: 0x1234_5678_9ABC,
+                },
+                Request::ListModels { .. } => Request::ListModels {
+                    request_id: 0x1234_5678_9ABC,
+                },
+                Request::Stats { .. } => Request::Stats {
+                    request_id: 0x1234_5678_9ABC,
+                },
+            };
+            assert_eq!(&wire[..], &renumbered.encode().unwrap()[..]);
+        }
+    }
+
+    #[test]
+    fn rewrite_response_id_round_trips_every_variant() {
+        let variants: Vec<Response> = vec![
+            Response::Output {
+                tensor: Tensor::random_uniform(Shape::mat(1, 4), 1.0, 2),
+                trace: ServerTrace {
+                    request_id: 55,
+                    queue_us: 1,
+                    batch_us: 2,
+                    service_us: 3,
+                    server_total_us: 4,
+                },
+            },
+            Response::Error {
+                request_id: 55,
+                message: "boom".into(),
+            },
+            Response::Models {
+                request_id: 55,
+                names: vec!["a".into(), "b".into()],
+            },
+            Response::Stats {
+                request_id: 55,
+                unknown_model_requests: 2,
+                stats: vec![stats_entry("dig")],
+            },
+            Response::Busy {
+                request_id: 55,
+                model: "dig".into(),
+                queue_depth: 16,
+            },
+        ];
+        for rsp in variants {
+            let mut wire = rsp.encode().unwrap().to_vec();
+            let (id, _) = response_id_slot(&wire).unwrap().expect("v4 has a slot");
+            assert_eq!(id, 55, "{rsp:?}");
+            let old = rewrite_response_id(&mut wire, 77).unwrap();
+            assert_eq!(old, 55);
+            let back = Response::decode(&wire).unwrap();
+            assert_eq!(back.request_id(), 77, "{back:?}");
+            // Only the ID changed: restoring it reproduces the original.
+            rewrite_response_id(&mut wire, 55).unwrap();
+            assert_eq!(Response::decode(&wire).unwrap(), rsp);
+        }
+    }
+
+    #[test]
+    fn response_id_slot_reports_uncorrelated_legacy_frames() {
+        // v3 error: status byte, no ID field.
+        let mut error = Response::Error {
+            request_id: 9,
+            message: "bad".into(),
+        }
+        .encode()
+        .unwrap()
+        .to_vec();
+        error.drain(7..15);
+        error[4] = 3;
+        assert_eq!(response_id_slot(&error).unwrap(), None);
+        assert!(rewrite_response_id(&mut error, 1).is_err());
+
+        // v2 output: no trace block, hence no echoed ID.
+        let mut out = Response::Output {
+            tensor: Tensor::zeros(Shape::mat(1, 1)),
+            trace: ServerTrace::default(),
+        }
+        .encode()
+        .unwrap()
+        .to_vec();
+        out.drain(7..47);
+        out[4] = 2;
+        assert_eq!(response_id_slot(&out).unwrap(), None);
+
+        // Truncated-just-after-status frames fail loudly, not as None.
+        let wire = Response::Error {
+            request_id: 9,
+            message: "bad".into(),
+        }
+        .encode()
+        .unwrap();
+        assert!(response_id_slot(&wire[..8]).is_err());
     }
 }

@@ -124,6 +124,30 @@ impl ModelRegistry {
         self.models.is_empty()
     }
 
+    /// Keeps only the models named in `names`, dropping the rest — how a
+    /// replica in a sharded deployment restricts a fully-loaded registry
+    /// to its assigned slice (`djinn-server --only a,b`). Runs at service
+    /// initialization, before worker threads exist, like
+    /// [`ModelRegistry::register`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::UnknownModel`] if any requested name is not
+    /// registered — a misspelled shard assignment should fail loudly at
+    /// startup, not silently serve fewer models.
+    pub fn retain_only<S: AsRef<str>>(&mut self, names: &[S]) -> Result<()> {
+        for name in names {
+            if !self.models.contains_key(name.as_ref()) {
+                return Err(DjinnError::UnknownModel {
+                    name: name.as_ref().to_string(),
+                });
+            }
+        }
+        self.models
+            .retain(|k, _| names.iter().any(|n| n.as_ref() == k));
+        Ok(())
+    }
+
     /// Total bytes of model weights held in memory — what the paper's
     /// DjiNN instance keeps resident for its applications.
     pub fn resident_bytes(&self) -> usize {
@@ -189,6 +213,19 @@ mod tests {
         assert_eq!(reg.names(), vec!["pos".to_string()]);
         assert_eq!(*reg.get("pos").unwrap(), net);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retain_only_keeps_the_named_slice_and_rejects_typos() {
+        let mut reg = ModelRegistry::with_tiny_test_zoo().unwrap();
+        assert!(matches!(
+            reg.retain_only(&["tiny-mnist", "ghost"]),
+            Err(DjinnError::UnknownModel { .. })
+        ));
+        // A failed retain must not have dropped anything.
+        assert_eq!(reg.len(), 2);
+        reg.retain_only(&["tiny-mnist"]).unwrap();
+        assert_eq!(reg.names(), vec!["tiny-mnist".to_string()]);
     }
 
     #[test]

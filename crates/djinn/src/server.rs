@@ -29,8 +29,8 @@ use bytes::BytesMut;
 use crate::protocol::{FrameReader, ModelStats, Request, Response};
 use crate::trace::ServerTrace;
 use crate::{
-    BatchConfig, CpuExecutor, DispatchPolicy, DjinnError, EngineConfig, Executor, InferenceEngine,
-    ModelRegistry, Result, RoutedReply, SimGpuExecutor,
+    BatchConfig, CpuExecutor, DelayExecutor, DispatchPolicy, DjinnError, EngineConfig, Executor,
+    InferenceEngine, ModelRegistry, Result, RoutedReply, SimGpuExecutor,
 };
 
 /// Which compute backend the server uses.
@@ -67,6 +67,11 @@ pub struct ServerConfig {
     /// (`batching: None`); a batching engine always uses one coalescing
     /// worker.
     pub engine_workers: usize,
+    /// Extra per-call service time, modeling a device-bound backend (see
+    /// [`crate::DelayExecutor`]). `None` runs the backend as-is. Used by
+    /// scale-out experiments so colocated replicas on a small host don't
+    /// contend for CPU and hide the serving-tier behavior under test.
+    pub service_delay: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +84,7 @@ impl Default for ServerConfig {
             threads: 1,
             queue_capacity: 128,
             engine_workers: 4,
+            service_delay: None,
         }
     }
 }
@@ -156,9 +162,16 @@ impl DjinnServer {
         let listener = TcpListener::bind(&config.bind_addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let executor: Arc<dyn Executor> = match config.backend {
-            Backend::Cpu => Arc::new(CpuExecutor::new(Threading::new(config.threads))),
-            Backend::SimGpu => Arc::new(SimGpuExecutor::default()),
+        let executor: Arc<dyn Executor> = match (config.backend, config.service_delay) {
+            (Backend::Cpu, None) => Arc::new(CpuExecutor::new(Threading::new(config.threads))),
+            (Backend::SimGpu, None) => Arc::new(SimGpuExecutor::default()),
+            (Backend::Cpu, Some(d)) => Arc::new(DelayExecutor::new(
+                CpuExecutor::new(Threading::new(config.threads)),
+                d,
+            )),
+            (Backend::SimGpu, Some(d)) => {
+                Arc::new(DelayExecutor::new(SimGpuExecutor::default(), d))
+            }
         };
         // Engines are created eagerly at initialization, one per model,
         // mirroring DjiNN's load-everything-up-front design. Batched and
@@ -233,7 +246,7 @@ impl DjinnServer {
     fn stop_accepting(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        let _ = TcpStream::connect(wake_addr(self.local_addr));
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
@@ -241,6 +254,28 @@ impl DjinnServer {
         for h in workers {
             let _ = h.join();
         }
+    }
+}
+
+/// The address the shutdown path dials to wake a blocked `accept`.
+///
+/// `local_addr()` on a wildcard bind reports the *unspecified* address
+/// (`0.0.0.0:PORT` / `[::]:PORT`), which is a listen address, not a
+/// destination: connecting to it is platform-dependent (outright refused
+/// on some systems), and when it fails the accept loop stays blocked
+/// until an unrelated client happens to connect. The listener is always
+/// reachable via loopback on the bound port, so map an unspecified IP to
+/// its family's loopback and leave concrete addresses untouched.
+fn wake_addr(local: SocketAddr) -> SocketAddr {
+    use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+    match local.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => {
+            SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), local.port())
+        }
+        IpAddr::V6(ip) if ip.is_unspecified() => {
+            SocketAddr::new(IpAddr::V6(Ipv6Addr::LOCALHOST), local.port())
+        }
+        _ => local,
     }
 }
 
@@ -544,14 +579,12 @@ fn reply_pump(
         let response = match result {
             Ok((tensor, spans)) => Response::Output {
                 tensor,
-                // server_total is stamped at response construction:
-                // server-read → response-encode, the server's whole view
-                // of the request in its own clock domain.
-                trace: ServerTrace::new(
-                    p.request_id,
-                    spans,
-                    p.received.elapsed().as_micros() as u64,
-                ),
+                // server_total reuses the single measurement taken above:
+                // server-read → completion, the server's whole view of
+                // the request in its own clock domain. Stamping the clock
+                // a second time here would let `Stats` and the trace
+                // block disagree about the same request.
+                trace: ServerTrace::new(p.request_id, spans, elapsed_us),
             },
             Err(DjinnError::Busy { model, queue_depth }) => Response::Busy {
                 request_id: p.request_id,
@@ -586,15 +619,23 @@ fn reply_pump(
 /// telemetry; every registered model gets an entry, and requests for
 /// unregistered models surface only in the aggregate counter.
 fn stats_response(shared: &Shared, request_id: u64) -> Response {
+    // Snapshot engine telemetry *before* taking the wire-stats lock: the
+    // reply pump grabs that lock on every completion, so holding it
+    // across per-engine snapshots would serialize a Stats poll against a
+    // busy pump and stale-ify the queue-depth/in-flight numbers a
+    // router's load poller steers by.
+    let engine_stats: Vec<(&String, crate::EngineStats)> = shared
+        .engines
+        .iter()
+        .map(|(model, engine)| (model, engine.stats()))
+        .collect();
     let stats = shared.stats.lock();
     Response::Stats {
         request_id,
         unknown_model_requests: shared.unknown_models.load(Ordering::Relaxed),
-        stats: shared
-            .engines
-            .iter()
-            .map(|(model, engine)| {
-                let q = engine.stats();
+        stats: engine_stats
+            .into_iter()
+            .map(|(model, q)| {
                 let acc = stats.get(model);
                 ModelStats {
                     model: model.clone(),
@@ -728,6 +769,101 @@ mod tests {
         // returned within a few read-poll periods rather than hanging.
         assert!(workers.lock().is_empty());
         assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn wake_addr_maps_unspecified_addresses_to_loopback() {
+        // `connect(0.0.0.0:p)` is a platform-dependent accident — the
+        // shutdown wake must dial loopback explicitly, same family, same
+        // port. Concrete addresses pass through untouched.
+        let v4: SocketAddr = "0.0.0.0:7741".parse().unwrap();
+        assert_eq!(wake_addr(v4), "127.0.0.1:7741".parse().unwrap());
+        let v6: SocketAddr = "[::]:7741".parse().unwrap();
+        assert_eq!(wake_addr(v6), "[::1]:7741".parse().unwrap());
+        let concrete: SocketAddr = "127.0.0.1:7741".parse().unwrap();
+        assert_eq!(wake_addr(concrete), concrete);
+    }
+
+    #[test]
+    fn shutdown_is_prompt_on_a_wildcard_bind() {
+        // Regression: stop_accepting used to dial `local_addr()`
+        // verbatim, which for a wildcard bind is the unspecified address
+        // — where that connect fails, shutdown hangs until an unrelated
+        // client happens to arrive.
+        let config = ServerConfig {
+            bind_addr: "0.0.0.0:0".into(),
+            ..ServerConfig::default()
+        };
+        let server = DjinnServer::start(small_registry(), config).unwrap();
+        assert!(server.local_addr().ip().is_unspecified());
+        // The listener serves real traffic via loopback.
+        let reach = wake_addr(server.local_addr());
+        let mut client = DjinnClient::connect(reach).unwrap();
+        assert_eq!(client.list_models().unwrap(), vec!["tiny".to_string()]);
+        drop(client);
+        let t0 = Instant::now();
+        server.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "shutdown must not wait for an external connection"
+        );
+    }
+
+    #[test]
+    fn stats_and_trace_report_the_same_latency() {
+        // Regression: the reply pump used to read the clock twice per
+        // request — once for the stats accumulator, again for the trace
+        // block — so the two views of the same request could disagree.
+        // With a single measurement, the stats totals must equal the
+        // trace sums *exactly*, summed over enough requests that a
+        // stray double-stamp cannot hide in microsecond truncation.
+        let server = DjinnServer::start(small_registry(), ServerConfig::default()).unwrap();
+        let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+        let mut sum_us = 0u64;
+        let mut max_us = 0u64;
+        for seed in 0..50 {
+            let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, seed);
+            let (_, record) = client.infer_traced("tiny", &input).unwrap();
+            sum_us += record.server_total_us;
+            max_us = max_us.max(record.server_total_us);
+        }
+        let stats = client.stats().unwrap();
+        let tiny = stats.iter().find(|s| s.model == "tiny").unwrap();
+        assert_eq!(tiny.requests, 50);
+        assert_eq!(
+            tiny.total_latency_us, sum_us,
+            "stats and trace must come from the same measurement"
+        );
+        assert_eq!(tiny.max_latency_us, max_us);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unencodable_response_degrades_to_a_correlated_error() {
+        // A model name longer than the wire's u16 string limit makes the
+        // Models response unencodable; ConnWriter must degrade to an
+        // Error frame carrying the same request ID — the client sees a
+        // correlated Remote error and the connection stays usable.
+        let mut registry = small_registry();
+        let def = dnn::parser::parse_netdef(
+            "name: big\ninput: 8\nlayer fc1 fc out=4\nlayer prob softmax\n",
+        )
+        .unwrap();
+        let net = dnn::Network::with_random_weights(def, 2).unwrap();
+        registry.register("x".repeat(crate::protocol::MAX_STR + 1), net);
+        let server = DjinnServer::start(registry, ServerConfig::default()).unwrap();
+        let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+        let err = client.list_models().unwrap_err();
+        assert!(
+            matches!(err, DjinnError::Remote { ref message }
+                if message.contains("exceeds the wire limit")),
+            "expected the degrade-path Remote error, got {err:?}"
+        );
+        // Not poisoned: the same connection still serves inference.
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 3);
+        let out = client.infer("tiny", &input).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4]);
+        server.shutdown();
     }
 
     #[test]

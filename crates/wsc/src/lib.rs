@@ -24,11 +24,13 @@
 //! ```
 
 pub mod bandwidth;
+mod cluster;
 mod designs;
 mod interconnect;
 mod perfdb;
 mod tco;
 
+pub use cluster::{ServingTierMeasurement, ServingTierPlan};
 pub use designs::{
     network_upgrade_study, provision, provision_with, Mix, ProvisionResult, UpgradeStudy, WscDesign,
 };

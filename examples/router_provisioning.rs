@@ -1,0 +1,78 @@
+//! Serving-tier provisioning study: feed the *measured* router and
+//! replica throughput (see `results/router_bench.txt`) into the TCO
+//! model and print what a warehouse-scale deployment of the
+//! router-fronted tier costs at several target loads.
+//!
+//! ```text
+//! cargo run --example router_provisioning --release \
+//!     [replica_rps] [router_rps]
+//! ```
+//!
+//! Defaults are the numbers measured on this repository's bench: a
+//! delay-bound tiny-zoo replica (~2.6k req/s) and one router process
+//! (throughput of the 3-replica aggregate run — the router was not the
+//! bottleneck there, so its measured capacity is a lower bound).
+
+use djinn_tonic::wsc::{ServingTierMeasurement, ServingTierPlan, TcoParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let replica_rps: f64 = args
+        .next()
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(2600.0);
+    let router_rps: f64 = args
+        .next()
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(7800.0);
+    let measured = ServingTierMeasurement {
+        replica_rps,
+        router_rps,
+    };
+    let params = TcoParams::paper();
+
+    println!(
+        "measured: replica {replica_rps:.0} req/s, router {router_rps:.0} req/s (lower bound)"
+    );
+    println!(
+        "replicas are beefy servers + 1 GPU, routers are wimpy servers; \
+         70% planned utilization\n"
+    );
+    println!(
+        "{:>12} {:>10} {:>9} {:>10} {:>14} {:>12}",
+        "target req/s", "replicas", "routers", "repl/rtr", "3y TCO $", "$/M reqs"
+    );
+    for target in [10_000.0, 100_000.0, 1_000_000.0] {
+        let plan = ServingTierPlan::provision(&params, &measured, target, 0.7, 1.0);
+        println!(
+            "{:>12.0} {:>10.1} {:>9.1} {:>10.1} {:>14.0} {:>12.3}",
+            plan.target_rps,
+            plan.replicas,
+            plan.routers,
+            plan.replicas_per_router(),
+            plan.cost.total(),
+            plan.cost_per_million_requests(&params),
+        );
+    }
+    println!(
+        "\nthe router tier is a rounding error: at every load the wimpy \
+         front ends are <{:.0}% of fleet TCO",
+        {
+            let plan = ServingTierPlan::provision(&params, &measured, 100_000.0, 0.7, 1.0);
+            let routers_only = ServingTierPlan::provision(
+                &params,
+                &ServingTierMeasurement {
+                    replica_rps: f64::MAX,
+                    router_rps,
+                },
+                100_000.0,
+                0.7,
+                0.0,
+            );
+            routers_only.cost.total() / plan.cost.total() * 100.0 + 1.0
+        }
+    );
+    Ok(())
+}

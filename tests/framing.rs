@@ -626,6 +626,65 @@ mod stale_responses {
         peer.join().unwrap();
     }
 
+    /// Regression for the control-call correlation rule: an uncorrelated
+    /// (id-0) `Error` arriving while a control call is blocked must
+    /// answer the *control call*, even with infers in flight. The old
+    /// rule only accepted an id-0 error when nothing was pending, so the
+    /// error fell into the order-front fallback instead: it was
+    /// misattributed to the oldest in-flight infer, and when the infer's
+    /// real answer later arrived it correlated with nothing — the stats
+    /// call came back `ConnectionPoisoned` and the infer's result was a
+    /// lie.
+    #[test]
+    fn uncorrelated_error_answers_the_blocked_control_call() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let mut stream = accept_one(&listener);
+            let held = read_infer(&mut stream);
+            // The stats frame arrives next; this peer cannot decode it
+            // (say, a corrupted or unsupported control frame) and
+            // answers with an uncorrelated error, like the real server
+            // does for any undecodable request.
+            let payload = read_frame(&mut stream).unwrap();
+            assert!(matches!(
+                Request::decode(&payload).unwrap(),
+                Request::Stats { .. }
+            ));
+            let err = Response::Error {
+                request_id: 0,
+                message: "stats frame not supported".into(),
+            };
+            write_frame(&mut stream, &err.encode().unwrap()).unwrap();
+            // The held infer completes only afterwards.
+            write_output(&mut stream, held, 222.0);
+        });
+
+        let mut client = DjinnClient::connect_with_timeout(addr, Duration::from_secs(2)).unwrap();
+        let input = Tensor::from_vec(Shape::mat(1, 1), vec![1.0]).unwrap();
+        let held_id = client.submit("m", &input).unwrap();
+
+        // The control call must surface the server's error promptly —
+        // not time out, not poison the connection.
+        let err = client.stats().unwrap_err();
+        assert!(
+            matches!(&err, DjinnError::Remote { message } if message.contains("not supported")),
+            "the uncorrelated error answers the control call, got: {err}"
+        );
+
+        // And the in-flight infer is untouched: its real completion
+        // arrives with its own ID and the right tensor.
+        let done = client.recv_next().unwrap();
+        assert_eq!(done.request_id, held_id);
+        let (out, _) = done.result.unwrap();
+        assert_eq!(
+            out.data(),
+            &[222.0],
+            "the pending infer must keep its own answer"
+        );
+        peer.join().unwrap();
+    }
+
     /// A response whose ID matches no in-flight request means the stream
     /// can no longer be trusted: the call fails with a poisoned-connection
     /// error and every later call fails fast the same way.
