@@ -4,7 +4,7 @@
 //! ```text
 //! djinn-loadgen --addr HOST:PORT --model NAME
 //!               [--mix NAME=W,NAME=W] [--threads N] [--requests R]
-//!               [--queries Q] [--pipeline N] [--timeout-ms T]
+//!               [--queries Q] [--pipeline N] [--rate R] [--timeout-ms T]
 //!               [--trace-out PATH]
 //! ```
 //!
@@ -13,6 +13,18 @@
 //! return out of order); the default of 1 is the classic closed loop.
 //! Pipelining is what keeps a batched server's coalescing window full
 //! from a single connection.
+//!
+//! `--rate R` switches from the closed loop to an *open* loop: arrivals
+//! are a Poisson process at R requests/second aggregate (split evenly
+//! across threads, exponential inter-arrival gaps from the per-thread
+//! PRNG), submitted without waiting for earlier responses. Closed loops
+//! self-throttle when the server slows — the offered load falls to
+//! match service capacity and queueing delay hides — so latency-vs-load
+//! questions (SLA attainment under a fixed arrival mix, coordinated
+//! omission) need the open loop. Completions are drained between
+//! arrivals; an arrival whose send would block still goes out on time
+//! because submission is a buffered write, so the arrival process stays
+//! faithful even under overload.
 //!
 //! Transient failures (connection refused/reset, I/O timeouts) are
 //! retried by reconnecting with exponential backoff, so a server restart
@@ -59,6 +71,7 @@ struct Args {
     requests: usize,
     queries: usize,
     pipeline: usize,
+    rate: Option<f64>,
     timeout: Duration,
     trace_out: Option<String>,
 }
@@ -72,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         requests: 50,
         queries: 1,
         pipeline: 1,
+        rate: None,
         timeout: Duration::from_secs(30),
         trace_out: None,
     };
@@ -97,6 +111,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--pipeline must be at least 1".into());
                 }
             }
+            "--rate" => {
+                let r: f64 = value("--rate")?.parse().map_err(|e| format!("{e}"))?;
+                if !r.is_finite() || r <= 0.0 {
+                    return Err("--rate must be positive".into());
+                }
+                args.rate = Some(r);
+            }
             "--timeout-ms" => {
                 let ms: u64 = value("--timeout-ms")?.parse().map_err(|e| format!("{e}"))?;
                 args.timeout = Duration::from_millis(ms);
@@ -105,7 +126,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: djinn-loadgen --addr HOST:PORT --model NAME \
                             [--mix NAME=W,NAME=W] [--threads N] [--requests R] \
-                            [--queries Q] [--pipeline N] [--timeout-ms T] \
+                            [--queries Q] [--pipeline N] [--rate R] [--timeout-ms T] \
                             [--trace-out PATH]"
                     .into())
             }
@@ -346,6 +367,130 @@ fn run_pipelined(
     }
 }
 
+/// Draws an exponential inter-arrival gap at `rate` arrivals/second
+/// from the caller's xorshift state — the gap sequence is the Poisson
+/// arrival process of the open loop, deterministic per thread.
+fn exp_gap(rng: &mut u64, rate: f64) -> Duration {
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    // Map to (0, 1]: never ln(0). 2^-64 scales the full u64 range.
+    let u = (*rng as f64 + 1.0) * 5.421_010_862_427_522e-20;
+    Duration::from_secs_f64(-u.ln() / rate)
+}
+
+/// A read that timed out leaves its requests in flight (see
+/// [`DjinnClient::recv_next`]); everything else is a real failure.
+fn is_timeout(e: &DjinnError) -> bool {
+    matches!(e, DjinnError::Io(io)
+        if io.kind() == std::io::ErrorKind::TimedOut
+            || io.kind() == std::io::ErrorKind::WouldBlock)
+}
+
+/// Open-loop issue: requests arrive on a Poisson schedule at `rate`
+/// per second regardless of how fast responses come back, so the
+/// offered load — not the server's service rate — sets the pace.
+/// Between arrivals the worker drains completions under a short read
+/// timeout (timed-out reads leave requests in flight); after the last
+/// arrival it drains the tail under the full `timeout`. A transport
+/// break loses the requests in flight, and the worker reconnects
+/// without pausing the arrival clock — missed arrivals are sent
+/// immediately, preserving the schedule rather than resampling it.
+#[allow(clippy::too_many_arguments)]
+fn run_open_loop(
+    client: &mut DjinnClient,
+    addr: std::net::SocketAddr,
+    timeout: Duration,
+    workload: &Workload,
+    rng: &mut u64,
+    requests: usize,
+    rate: f64,
+    local: &mut Vec<TraceRecord>,
+    errors: &AtomicU64,
+    sheds: &AtomicU64,
+    reconnects: &AtomicU64,
+) {
+    /// Read-stall bound while waiting between arrivals: long enough to
+    /// amortize the syscall, short enough to never hold up an arrival
+    /// by more than a scheduling quantum.
+    const DRAIN_TIMEOUT: Duration = Duration::from_millis(1);
+
+    let mut submitted = 0usize;
+    let mut accounted = 0usize;
+    let started = Instant::now();
+    let mut next_arrival = Duration::ZERO;
+    let drain_ok = client.set_io_timeout(Some(DRAIN_TIMEOUT)).is_ok();
+    while accounted < requests {
+        let now = started.elapsed();
+        if submitted < requests && now >= next_arrival {
+            let (model, input) = &workload.targets[workload.pick(rng)];
+            match client.submit(model, input) {
+                Ok(_) => {
+                    submitted += 1;
+                    next_arrival += exp_gap(rng, rate);
+                    continue;
+                }
+                Err(_) => {
+                    // Transport break on send: charge the in-flight
+                    // window plus this arrival, then reconnect below.
+                    errors.fetch_add((submitted - accounted) as u64 + 1, Ordering::Relaxed);
+                    accounted = submitted;
+                    submitted += 1; // the failed arrival is spent
+                    next_arrival += exp_gap(rng, rate);
+                }
+            }
+        } else if client.in_flight() > 0 {
+            // Wait for completions, but never past the next arrival.
+            if submitted >= requests {
+                // Tail drain: no more arrivals to protect.
+                let _ = client.set_io_timeout(Some(timeout));
+            }
+            match client.recv_next() {
+                Ok(done) => {
+                    accounted += 1;
+                    match done.result {
+                        Ok((_, record)) => local.push(record),
+                        Err(DjinnError::Busy { .. }) => {
+                            sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    continue;
+                }
+                Err(ref e) if is_timeout(e) && submitted < requests => continue,
+                Err(_) => {
+                    errors.fetch_add((submitted - accounted) as u64, Ordering::Relaxed);
+                    accounted = submitted;
+                    if accounted >= requests {
+                        return;
+                    }
+                }
+            }
+        } else {
+            // Idle until the next arrival is due.
+            std::thread::sleep(next_arrival.saturating_sub(now).min(DRAIN_TIMEOUT));
+            continue;
+        }
+        // Only reachable after a transport failure: reconnect and keep
+        // the arrival clock running.
+        match connect_with_backoff(addr, timeout) {
+            Some(c) => {
+                reconnects.fetch_add(1, Ordering::Relaxed);
+                *client = c;
+                if drain_ok && submitted < requests {
+                    let _ = client.set_io_timeout(Some(DRAIN_TIMEOUT));
+                }
+            }
+            None => {
+                errors.fetch_add((requests - accounted) as u64, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -364,6 +509,10 @@ fn main() -> ExitCode {
 
     if args.model.is_some() && args.mix.is_some() {
         eprintln!("--model and --mix are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    if args.rate.is_some() && args.pipeline > 1 {
+        eprintln!("--rate (open loop) and --pipeline (closed-loop window) are mutually exclusive");
         return ExitCode::FAILURE;
     }
     let (workload, label) = match (&args.model, &args.mix) {
@@ -413,6 +562,7 @@ fn main() -> ExitCode {
         let reconnects = Arc::clone(&reconnects);
         let requests = args.requests;
         let window = args.pipeline;
+        let thread_rate = args.rate.map(|r| r / args.threads as f64);
         handles.push(std::thread::spawn(move || {
             let mut client = match connect_with_backoff(addr, timeout) {
                 Some(c) => c,
@@ -428,7 +578,21 @@ fn main() -> ExitCode {
             let mut rng =
                 0x9E37_79B9_7F4A_7C15u64 ^ ((thread_idx as u64 + 1) * 0x2545_F491_4F6C_DD1D);
             let mut local = Vec::with_capacity(requests);
-            if window > 1 {
+            if let Some(rate) = thread_rate {
+                run_open_loop(
+                    &mut client,
+                    addr,
+                    timeout,
+                    &workload,
+                    &mut rng,
+                    requests,
+                    rate,
+                    &mut local,
+                    &errors,
+                    &sheds,
+                    &reconnects,
+                );
+            } else if window > 1 {
                 run_pipelined(
                     &mut client,
                     addr,

@@ -3,7 +3,8 @@
 //! ```text
 //! djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu]
 //!              [--batch N] [--threads N] [--queue N] [--workers N]
-//!              [--models DIR] [--tiny-zoo] [--only NAME,NAME]
+//!              [--device-threads N] [--policy batch|colocate|dynamic]
+//!              [--sla-ms N] [--models DIR] [--tiny-zoo] [--only NAME,NAME]
 //!              [--service-delay-us N] [--export DIR]
 //! ```
 //!
@@ -25,12 +26,21 @@
 //! modeling a device-bound backend so scale-out experiments on a small
 //! host measure the serving tier, not CPU contention between colocated
 //! replicas.
+//!
+//! `--device-threads N` puts every model on one shared device of `N`
+//! compute units (CPU threads, or MPS kernel slots under `sim-gpu`):
+//! engines then acquire bounded leases from a single scheduler before
+//! running inference, and lease waits show up as the `lease` trace
+//! stage. `--policy` picks how batched engines trade batching against
+//! co-location (`batch` coalesces up to the full window, `colocate`
+//! dispatches immediately, `dynamic` splits the difference from queue
+//! depth and the `--sla-ms` latency budget; defaults to `batch`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use djinn::{Backend, BatchConfig, DjinnServer, ModelRegistry, ServerConfig};
+use djinn::{Backend, BatchConfig, ColocationPolicy, DjinnServer, ModelRegistry, ServerConfig};
 
 struct Args {
     addr: String,
@@ -43,6 +53,9 @@ struct Args {
     tiny_zoo: bool,
     only: Vec<String>,
     service_delay: Option<Duration>,
+    device_threads: Option<usize>,
+    policy: String,
+    sla: Duration,
     export: Option<PathBuf>,
 }
 
@@ -59,6 +72,9 @@ fn parse_args() -> Result<Args, String> {
         tiny_zoo: false,
         only: Vec::new(),
         service_delay: None,
+        device_threads: None,
+        policy: "batch".into(),
+        sla: Duration::from_millis(50),
         export: None,
     };
     let mut it = std::env::args().skip(1);
@@ -115,6 +131,33 @@ fn parse_args() -> Result<Args, String> {
                         .map(String::from),
                 );
             }
+            "--device-threads" => {
+                let n: usize = value("--device-threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --device-threads: {e}"))?;
+                if n == 0 {
+                    return Err("--device-threads must be at least 1".into());
+                }
+                args.device_threads = Some(n);
+            }
+            "--policy" => {
+                args.policy = value("--policy")?;
+                if !matches!(args.policy.as_str(), "batch" | "colocate" | "dynamic") {
+                    return Err(format!(
+                        "unknown policy `{}` (want batch|colocate|dynamic)",
+                        args.policy
+                    ));
+                }
+            }
+            "--sla-ms" => {
+                let ms: u64 = value("--sla-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --sla-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--sla-ms must be at least 1".into());
+                }
+                args.sla = Duration::from_millis(ms);
+            }
             "--service-delay-us" => {
                 let us: u64 = value("--service-delay-us")?
                     .parse()
@@ -126,7 +169,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu] \
                             [--batch N] [--threads N] [--queue N] [--workers N] \
-                            [--models DIR] [--tiny-zoo] [--only NAME,NAME] \
+                            [--device-threads N] [--policy batch|colocate|dynamic] \
+                            [--sla-ms N] [--models DIR] [--tiny-zoo] [--only NAME,NAME] \
                             [--service-delay-us N] [--export DIR]"
                         .into(),
                 )
@@ -205,6 +249,12 @@ fn main() -> ExitCode {
         queue_capacity: args.queue,
         engine_workers: args.workers,
         service_delay: args.service_delay,
+        device_capacity: args.device_threads,
+        colocation: match args.policy.as_str() {
+            "colocate" => ColocationPolicy::AlwaysColocate,
+            "dynamic" => ColocationPolicy::Dynamic { sla: args.sla },
+            _ => ColocationPolicy::AlwaysBatch,
+        },
         ..ServerConfig::default()
     };
     let server = match DjinnServer::start(registry, config) {

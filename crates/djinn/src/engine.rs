@@ -31,6 +31,7 @@ use dnn::Network;
 use gpusim::queueing::{BoundedQueue, LatencyHistogram};
 use tensor::Tensor;
 
+use crate::device::{ColocationPolicy, DeviceScheduler};
 use crate::trace::EngineSpans;
 use crate::{DjinnError, Executor, Result};
 
@@ -79,6 +80,11 @@ pub struct EngineConfig {
     /// Dispatch workers for [`DispatchPolicy::Immediate`] (ignored by
     /// `Batched`, which always runs exactly one coalescing worker).
     pub workers: usize,
+    /// Batch-more vs. co-locate-more choice for the batched coalescing
+    /// loop on a shared device. [`ColocationPolicy::AlwaysBatch`] (the
+    /// default) reproduces the pre-scheduler behavior of always waiting
+    /// out [`BatchConfig::max_delay`].
+    pub colocation: ColocationPolicy,
 }
 
 impl Default for EngineConfig {
@@ -87,6 +93,7 @@ impl Default for EngineConfig {
             policy: DispatchPolicy::Immediate,
             queue_capacity: 128,
             workers: 4,
+            colocation: ColocationPolicy::AlwaysBatch,
         }
     }
 }
@@ -113,6 +120,11 @@ pub struct EngineStats {
     pub p50_batch_wait_us: u64,
     /// 99th-percentile batch coalescing wait, microseconds.
     pub p99_batch_wait_us: u64,
+    /// Median time a dispatch blocked acquiring its device lease,
+    /// microseconds. Zero on a dedicated (unshared) device.
+    pub p50_lease_wait_us: u64,
+    /// 99th-percentile lease wait, microseconds.
+    pub p99_lease_wait_us: u64,
     /// Median device/service time per dispatch, microseconds.
     pub p50_service_us: u64,
     /// 99th-percentile device/service time per dispatch, microseconds.
@@ -193,7 +205,13 @@ struct Inner {
     completed: AtomicU64,
     queue_wait: Mutex<LatencyHistogram>,
     batch_wait: Mutex<LatencyHistogram>,
+    lease_wait: Mutex<LatencyHistogram>,
     service: Mutex<LatencyHistogram>,
+    /// The device this engine leases compute from. Engines started
+    /// without an explicit scheduler get a dedicated (unbounded) one, so
+    /// acquisition never blocks and grants never shrink.
+    scheduler: Arc<DeviceScheduler>,
+    colocation: ColocationPolicy,
 }
 
 impl Inner {
@@ -258,14 +276,38 @@ impl std::fmt::Debug for InferenceEngine {
 }
 
 impl InferenceEngine {
-    /// Spawns the engine for one model.
+    /// Spawns the engine for one model on a dedicated (engine-private)
+    /// device: lease acquisition never blocks and grants never shrink,
+    /// so behavior is identical to the pre-scheduler engine.
     pub fn start(
         model: impl Into<String>,
         network: Arc<Network>,
         executor: Arc<dyn Executor>,
         config: EngineConfig,
     ) -> Self {
+        Self::start_shared(
+            model,
+            network,
+            executor,
+            config,
+            Arc::new(DeviceScheduler::dedicated()),
+        )
+    }
+
+    /// Spawns the engine for one model on a *shared* device: every
+    /// dispatch acquires a bounded [`crate::ComputeLease`] from
+    /// `scheduler` before touching the executor, and the executor runs
+    /// under the granted thread budget. Pass the same scheduler to every
+    /// engine placed on the device.
+    pub fn start_shared(
+        model: impl Into<String>,
+        network: Arc<Network>,
+        executor: Arc<dyn Executor>,
+        config: EngineConfig,
+        scheduler: Arc<DeviceScheduler>,
+    ) -> Self {
         let model = model.into();
+        scheduler.register_sharer();
         let inner = Arc::new(Inner {
             model: model.clone(),
             state: Mutex::new(State {
@@ -277,7 +319,10 @@ impl InferenceEngine {
             completed: AtomicU64::new(0),
             queue_wait: Mutex::new(LatencyHistogram::new()),
             batch_wait: Mutex::new(LatencyHistogram::new()),
+            lease_wait: Mutex::new(LatencyHistogram::new()),
             service: Mutex::new(LatencyHistogram::new()),
+            scheduler,
+            colocation: config.colocation,
         });
         let worker_count = match config.policy {
             DispatchPolicy::Immediate => config.workers.max(1),
@@ -409,6 +454,14 @@ impl InferenceEngine {
                 .unwrap_or_else(|e| e.into_inner());
             (h.quantile(0.50), h.quantile(0.99))
         };
+        let (p50_lease_wait_us, p99_lease_wait_us) = {
+            let h = self
+                .inner
+                .lease_wait
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            (h.quantile(0.50), h.quantile(0.99))
+        };
         let (p50_service_us, p99_service_us) = {
             let h = self.inner.service.lock().unwrap_or_else(|e| e.into_inner());
             (h.quantile(0.50), h.quantile(0.99))
@@ -423,6 +476,8 @@ impl InferenceEngine {
             p99_queue_wait_us,
             p50_batch_wait_us,
             p99_batch_wait_us,
+            p50_lease_wait_us,
+            p99_lease_wait_us,
             p50_service_us,
             p99_service_us,
         }
@@ -443,6 +498,7 @@ impl InferenceEngine {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        self.inner.scheduler.unregister_sharer();
     }
 }
 
@@ -499,16 +555,32 @@ fn record_service(inner: &Inner, device_latency: Duration) {
         .record(device_latency.as_micros() as u64);
 }
 
-/// Assembles one job's span measurements from its timeline marks.
+/// Records how long a dispatch blocked acquiring its device lease (once
+/// per job in the dispatch, mirroring the other per-job spans).
+fn record_lease_wait(inner: &Inner, waited: Duration, jobs: usize) {
+    let mut h = inner.lease_wait.lock().unwrap_or_else(|e| e.into_inner());
+    let us = waited.as_micros() as u64;
+    for _ in 0..jobs.max(1) {
+        h.record(us);
+    }
+}
+
+/// Assembles one job's span measurements from its timeline marks. The
+/// lease wait is carved out of the dequeue→exec interval so the batch
+/// span keeps meaning "time spent coalescing", not "time blocked on the
+/// device".
 fn spans_for(
     enqueued: Instant,
     dequeued: Instant,
+    lease_wait: Duration,
     exec_start: Instant,
     service: Duration,
 ) -> EngineSpans {
+    let dequeue_to_exec = exec_start.duration_since(dequeued);
     EngineSpans {
         queue_us: dequeued.duration_since(enqueued).as_micros() as u64,
-        batch_us: exec_start.duration_since(dequeued).as_micros() as u64,
+        batch_us: dequeue_to_exec.saturating_sub(lease_wait).as_micros() as u64,
+        lease_us: lease_wait.min(dequeue_to_exec).as_micros() as u64,
         service_us: service.as_micros() as u64,
     }
 }
@@ -519,17 +591,26 @@ fn immediate_loop(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor
         job.dequeued = Some(dequeued);
         record_wait(inner, std::slice::from_ref(&job));
         inner.in_flight.fetch_add(1, Ordering::Relaxed);
-        // Immediate dispatch has no coalescing phase: executor start is
-        // the queue-exit mark, so the batch span is ~0.
+        // Acquire the device slice before touching the executor; on a
+        // dedicated scheduler this is an immediate full grant.
+        // Immediate dispatch has no coalescing phase: the batch span
+        // closes at the queue-exit mark (~0) and any time blocked here
+        // is lease wait, not batching.
+        record_batch_wait(inner, &[dequeued], dequeued);
+        let lease = inner
+            .scheduler
+            .acquire(executor.preferred_threads(job.queries()));
+        let lease_waited = lease.waited();
+        record_lease_wait(inner, lease_waited, 1);
         let exec_start = Instant::now();
-        record_batch_wait(inner, &[dequeued], exec_start);
-        let outcome = executor.infer(network, &job.input);
+        let outcome = executor.infer_budgeted(network, &job.input, lease.threading());
+        drop(lease);
         let service = exec_start.elapsed();
         let result = outcome.map(|outcome| {
             record_service(inner, outcome.device_latency);
             Completed {
                 output: outcome.output,
-                spans: spans_for(job.enqueued, dequeued, exec_start, service),
+                spans: spans_for(job.enqueued, dequeued, lease_waited, exec_start, service),
             }
         });
         inner.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -568,11 +649,33 @@ fn batched_loop(
         for job in &mut jobs {
             job.dequeued = Some(assembled);
         }
-        // Phase 2: coalesce up to the cap until `max_delay` expires. A
-        // draining engine skips the wait — queued jobs are answered as
-        // fast as possible.
-        if !draining {
-            let deadline = Instant::now() + config.max_delay;
+        // Phase 2: coalesce up to the cap until the policy's budget
+        // expires. `AlwaysBatch` spends the full `max_delay` (the
+        // classic §5.1 loop); `AlwaysColocate` dispatches the partial
+        // batch at once; `Dynamic` weighs SLA headroom, batch fill, and
+        // device availability. A draining engine skips the wait —
+        // queued jobs are answered as fast as possible.
+        let budget = if draining {
+            Duration::ZERO
+        } else {
+            let queries: usize = jobs.iter().map(Job::queries).sum();
+            let oldest_wait = jobs
+                .iter()
+                .map(|j| assembled.duration_since(j.enqueued))
+                .max()
+                .unwrap_or(Duration::ZERO);
+            let queue_empty = inner.lock().queue.is_empty();
+            inner.colocation.coalesce_budget(
+                config.max_delay,
+                oldest_wait,
+                queries,
+                config.max_batch,
+                queue_empty,
+                inner.scheduler.free_units() > 0,
+            )
+        };
+        if !budget.is_zero() {
+            let deadline = assembled + budget;
             let mut queries: usize = jobs.iter().map(Job::queries).sum();
             while queries < config.max_batch {
                 let now = Instant::now();
@@ -621,16 +724,25 @@ fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs
         .collect();
     let (inputs, replies): (Vec<Tensor>, Vec<ReplySlot>) =
         jobs.into_iter().map(|j| (j.input, j.reply)).unzip();
-    // Input stacking counts toward the batch span: executor-start is
-    // stamped after it, right before the forward pass.
+    // Input stacking counts toward the batch span: the lease is taken
+    // after it (a batch waiting on compute is lease wait, not
+    // coalescing) and executor-start is stamped after the grant, right
+    // before the forward pass.
     let mut exec_start = Instant::now();
     let mut service = Duration::ZERO;
+    let mut lease_waited = Duration::ZERO;
+    let total_queries: usize = counts.iter().sum();
     let result = Tensor::stack_batch_owned(inputs)
         .map_err(dnn::DnnError::from)
         .map_err(DjinnError::from)
         .and_then(|stacked| {
+            let lease = inner
+                .scheduler
+                .acquire(executor.preferred_threads(total_queries));
+            lease_waited = lease.waited();
             exec_start = Instant::now();
-            let outcome = executor.infer(network, &stacked)?;
+            let outcome = executor.infer_budgeted(network, &stacked, lease.threading())?;
+            drop(lease);
             service = exec_start.elapsed();
             record_service(inner, outcome.device_latency);
             if counts.len() == 1 {
@@ -644,8 +756,10 @@ fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs
                 .map_err(dnn::DnnError::from)
                 .map_err(DjinnError::from)
         });
+    record_lease_wait(inner, lease_waited, n);
+    let lease_mark = exec_start.checked_sub(lease_waited).unwrap_or(exec_start);
     let dequeue_marks: Vec<Instant> = marks.iter().map(|&(_, d)| d).collect();
-    record_batch_wait(inner, &dequeue_marks, exec_start);
+    record_batch_wait(inner, &dequeue_marks, lease_mark);
     inner.in_flight.fetch_sub(n, Ordering::Relaxed);
     inner.completed.fetch_add(n as u64, Ordering::Relaxed);
     match result {
@@ -653,7 +767,7 @@ fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs
             for ((reply, part), (enqueued, dequeued)) in replies.into_iter().zip(parts).zip(marks) {
                 reply.deliver(Ok(Completed {
                     output: part,
-                    spans: spans_for(enqueued, dequeued, exec_start, service),
+                    spans: spans_for(enqueued, dequeued, lease_waited, exec_start, service),
                 }));
             }
         }
@@ -861,6 +975,7 @@ mod tests {
                 policy: DispatchPolicy::Immediate,
                 queue_capacity: 2,
                 workers: 1,
+                ..EngineConfig::default()
             },
         ));
         let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 1);
@@ -939,6 +1054,7 @@ mod tests {
                 policy: DispatchPolicy::Immediate,
                 queue_capacity: 16,
                 workers: 1,
+                ..EngineConfig::default()
             },
         );
         let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 5);
@@ -987,6 +1103,7 @@ mod tests {
                 policy: DispatchPolicy::Immediate,
                 queue_capacity: 32,
                 workers: 4,
+                ..EngineConfig::default()
             },
         );
         let (tx, rx) = bounded(32);
@@ -1030,6 +1147,7 @@ mod tests {
                 policy: DispatchPolicy::Immediate,
                 queue_capacity: 16,
                 workers: 1,
+                ..EngineConfig::default()
             },
         );
         let (tx, rx) = bounded(16);
@@ -1063,6 +1181,7 @@ mod tests {
                 policy: DispatchPolicy::Immediate,
                 queue_capacity: 8,
                 workers: 2,
+                ..EngineConfig::default()
             },
         );
         let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 2);
@@ -1088,6 +1207,7 @@ mod tests {
                 policy: DispatchPolicy::Immediate,
                 queue_capacity: 8,
                 workers: 1,
+                ..EngineConfig::default()
             },
         );
         let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 3);
@@ -1112,6 +1232,149 @@ mod tests {
             "batch span {} us does not reflect the {:?} coalescing wait",
             spans.batch_us,
             max_delay
+        );
+    }
+
+    #[test]
+    fn always_colocate_skips_the_coalescing_delay() {
+        let max_delay = Duration::from_millis(200); // >> test budget
+        let eng = InferenceEngine::start(
+            "tiny",
+            tiny_net(),
+            Arc::new(CpuExecutor::default()),
+            EngineConfig {
+                colocation: crate::ColocationPolicy::AlwaysColocate,
+                ..batched(4, max_delay)
+            },
+        );
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 4);
+        let t0 = Instant::now();
+        let (_, spans) = eng.infer_traced(input).unwrap();
+        assert!(
+            t0.elapsed() < max_delay / 2,
+            "co-locate policy must dispatch partial batches immediately"
+        );
+        assert!(
+            spans.batch_us < (max_delay.as_micros() as u64) / 2,
+            "no coalescing wait should be attributed: {spans:?}"
+        );
+    }
+
+    #[test]
+    fn dynamic_policy_dispatches_lone_jobs_on_an_idle_device() {
+        // Queue empty + device free: batching amortizes nothing, so the
+        // dynamic policy must not hold a lone job for the full window.
+        let max_delay = Duration::from_millis(200);
+        let eng = InferenceEngine::start_shared(
+            "tiny",
+            tiny_net(),
+            Arc::new(CpuExecutor::default()),
+            EngineConfig {
+                colocation: crate::ColocationPolicy::Dynamic {
+                    sla: Duration::from_secs(1),
+                },
+                ..batched(4, max_delay)
+            },
+            Arc::new(crate::DeviceScheduler::new(crate::Device::Cpu {
+                threads: 2,
+            })),
+        );
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 4);
+        let t0 = Instant::now();
+        eng.infer(input).unwrap();
+        assert!(
+            t0.elapsed() < max_delay / 2,
+            "dynamic policy held an idle-device lone job for {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn engines_sharing_a_device_stay_correct_under_partial_leases() {
+        // Two engines on a 2-thread shared device, executors configured
+        // for 4 threads: every grant is a partial slice (fair share 1),
+        // and outputs must stay bitwise-identical to direct forward.
+        let net = tiny_net();
+        let sched = Arc::new(crate::DeviceScheduler::new(crate::Device::Cpu {
+            threads: 2,
+        }));
+        let mk = |name: &str| {
+            InferenceEngine::start_shared(
+                name,
+                Arc::clone(&net),
+                Arc::new(CpuExecutor::new(tensor::Threading::new(4))),
+                EngineConfig {
+                    policy: DispatchPolicy::Immediate,
+                    queue_capacity: 64,
+                    workers: 2,
+                    colocation: crate::ColocationPolicy::AlwaysColocate,
+                },
+                Arc::clone(&sched),
+            )
+        };
+        let a = Arc::new(mk("a"));
+        let b = Arc::new(mk("b"));
+        assert_eq!(sched.sharers(), 2);
+        let mut handles = Vec::new();
+        for (idx, eng) in [&a, &b].into_iter().enumerate() {
+            let eng = Arc::clone(eng);
+            let net = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                for seed in 0..8u64 {
+                    let input =
+                        Tensor::random_uniform(Shape::mat(6, 8), 1.0, seed * 2 + idx as u64);
+                    let got = eng.infer(input.clone()).unwrap();
+                    let want = net.forward(&input).unwrap();
+                    assert_eq!(got, want, "partial lease changed the math");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All leases returned: the device is whole again.
+        assert_eq!(sched.free_units(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(sched.sharers(), 0, "shutdown must unregister sharers");
+    }
+
+    #[test]
+    fn lease_contention_is_visible_in_stats() {
+        // One-thread device, two busy engines with slow executors: some
+        // dispatch must block on the lease and the p99 must show it.
+        let sched = Arc::new(crate::DeviceScheduler::new(crate::Device::Cpu {
+            threads: 1,
+        }));
+        let mk = |name: &str| {
+            InferenceEngine::start_shared(
+                name,
+                tiny_net(),
+                Arc::new(SlowExecutor {
+                    inner: CpuExecutor::default(),
+                    delay: Duration::from_millis(15),
+                }),
+                EngineConfig {
+                    policy: DispatchPolicy::Immediate,
+                    queue_capacity: 32,
+                    workers: 1,
+                    colocation: crate::ColocationPolicy::AlwaysColocate,
+                },
+                Arc::clone(&sched),
+            )
+        };
+        let a = mk("a");
+        let b = mk("b");
+        let input = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 9);
+        let ta: Vec<Ticket> = (0..4).map(|_| a.submit(input.clone()).unwrap()).collect();
+        let tb: Vec<Ticket> = (0..4).map(|_| b.submit(input.clone()).unwrap()).collect();
+        for t in ta.into_iter().chain(tb) {
+            t.wait().unwrap();
+        }
+        let waited = a.stats().p99_lease_wait_us + b.stats().p99_lease_wait_us;
+        assert!(
+            waited > 1_000,
+            "8 jobs serialized over a 1-thread device must show lease wait, got {waited} us"
         );
     }
 

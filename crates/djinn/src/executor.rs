@@ -40,6 +40,33 @@ pub trait Executor: Send + Sync {
     /// Propagates shape mismatches and layer failures.
     fn infer(&self, network: &Arc<Network>, input: &Tensor) -> Result<InferenceOutcome>;
 
+    /// Runs the forward pass under an externally granted thread `budget`
+    /// (a device-scheduler lease). Backends that spend host threads cap
+    /// their configured parallelism at the budget; backends that don't
+    /// (modeled GPU, test doubles) ignore it, which is what the default
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches and layer failures.
+    fn infer_budgeted(
+        &self,
+        network: &Arc<Network>,
+        input: &Tensor,
+        budget: Threading,
+    ) -> Result<InferenceOutcome> {
+        let _ = budget;
+        self.infer(network, input)
+    }
+
+    /// Host threads this backend would like for a `batch`-item call —
+    /// what an engine asks the device scheduler for. Backends without
+    /// host-thread parallelism want one.
+    fn preferred_threads(&self, batch: usize) -> usize {
+        let _ = batch;
+        1
+    }
+
     /// Short backend name for logs and stats.
     fn backend_name(&self) -> &'static str;
 }
@@ -91,10 +118,14 @@ impl CpuExecutor {
     }
 }
 
-impl Executor for CpuExecutor {
-    fn infer(&self, network: &Arc<Network>, input: &Tensor) -> Result<InferenceOutcome> {
+impl CpuExecutor {
+    fn infer_with(
+        &self,
+        network: &Arc<Network>,
+        input: &Tensor,
+        threading: Threading,
+    ) -> Result<InferenceOutcome> {
         let start = Instant::now();
-        let threading = self.threading;
         let output = if !threading.is_parallel() {
             network.forward(input)?
         } else if Self::prefer_sharding(network, input.shape().batch(), threading.threads) {
@@ -106,6 +137,28 @@ impl Executor for CpuExecutor {
             output,
             device_latency: start.elapsed(),
         })
+    }
+}
+
+impl Executor for CpuExecutor {
+    fn infer(&self, network: &Arc<Network>, input: &Tensor) -> Result<InferenceOutcome> {
+        self.infer_with(network, input, self.threading)
+    }
+
+    fn infer_budgeted(
+        &self,
+        network: &Arc<Network>,
+        input: &Tensor,
+        budget: Threading,
+    ) -> Result<InferenceOutcome> {
+        // A lease can shrink the configured budget, never grow it. The
+        // tensor kernels are bitwise-identical at any thread count, so a
+        // partial grant only changes timing, not outputs.
+        self.infer_with(network, input, self.threading.min(budget))
+    }
+
+    fn preferred_threads(&self, _batch: usize) -> usize {
+        self.threading.threads
     }
 
     fn backend_name(&self) -> &'static str {
@@ -166,7 +219,7 @@ impl Executor for SimGpuExecutor {
     }
 }
 
-/// Wraps another executor and *occupies the worker* for a fixed extra
+/// Wraps another executor and *occupies the worker* for an extra
 /// duration on every call, modeling a device-bound backend: a replica
 /// whose service time is dominated by an accelerator (or a remote
 /// device) the host merely feeds.
@@ -181,30 +234,92 @@ impl Executor for SimGpuExecutor {
 /// queueing, shedding) rather than host contention. The sleep is added
 /// to the reported device latency, keeping traces consistent with the
 /// modeled device.
+///
+/// # Delay semantics under batching
+///
+/// A call's added delay is `base + per_item × batch`, where `batch` is
+/// the input's leading (N) dimension:
+///
+/// * `base` is paid **once per dispatch**, regardless of batch size —
+///   kernel-launch / transfer / framework overhead. This is what makes
+///   batching profitable: a batch of 8 pays one base, eight singles pay
+///   eight.
+/// * `per_item` scales **linearly with the items in the batch** — the
+///   per-sample compute a bigger batch cannot amortize away.
+///
+/// [`DelayExecutor::new`] sets only `base` (the historical behavior of
+/// `--service-delay-us`, under which a batched call and a single call
+/// cost the same — accurate for launch-bound devices but badly skewed
+/// for co-location benches, where it made batching look free).
+/// [`DelayExecutor::with_per_item`] sets both terms explicitly.
 #[derive(Debug, Clone)]
 pub struct DelayExecutor<E> {
     inner: E,
-    delay: Duration,
+    base: Duration,
+    per_item: Duration,
 }
 
 impl<E> DelayExecutor<E> {
-    /// Wraps `inner`, holding each call for an extra `delay`.
+    /// Wraps `inner`, holding each dispatch for an extra `delay`
+    /// (per-dispatch base only; no per-item term).
     pub fn new(inner: E, delay: Duration) -> Self {
-        DelayExecutor { inner, delay }
+        DelayExecutor {
+            inner,
+            base: delay,
+            per_item: Duration::ZERO,
+        }
     }
 
-    /// The configured per-call delay.
+    /// Wraps `inner` with an explicit per-dispatch `base` and a
+    /// `per_item` term paid for every item in the batch.
+    pub fn with_per_item(inner: E, base: Duration, per_item: Duration) -> Self {
+        DelayExecutor {
+            inner,
+            base,
+            per_item,
+        }
+    }
+
+    /// The per-dispatch base delay.
     pub fn delay(&self) -> Duration {
-        self.delay
+        self.base
+    }
+
+    /// The per-item delay term.
+    pub fn per_item(&self) -> Duration {
+        self.per_item
+    }
+
+    /// The total delay a `batch`-item dispatch incurs.
+    pub fn delay_for_batch(&self, batch: usize) -> Duration {
+        self.base + self.per_item * batch.max(1) as u32
     }
 }
 
 impl<E: Executor> Executor for DelayExecutor<E> {
     fn infer(&self, network: &Arc<Network>, input: &Tensor) -> Result<InferenceOutcome> {
-        std::thread::sleep(self.delay);
+        let delay = self.delay_for_batch(input.shape().batch());
+        std::thread::sleep(delay);
         let mut outcome = self.inner.infer(network, input)?;
-        outcome.device_latency += self.delay;
+        outcome.device_latency += delay;
         Ok(outcome)
+    }
+
+    fn infer_budgeted(
+        &self,
+        network: &Arc<Network>,
+        input: &Tensor,
+        budget: Threading,
+    ) -> Result<InferenceOutcome> {
+        let delay = self.delay_for_batch(input.shape().batch());
+        std::thread::sleep(delay);
+        let mut outcome = self.inner.infer_budgeted(network, input, budget)?;
+        outcome.device_latency += delay;
+        Ok(outcome)
+    }
+
+    fn preferred_threads(&self, batch: usize) -> usize {
+        self.inner.preferred_threads(batch)
     }
 
     fn backend_name(&self) -> &'static str {
@@ -287,6 +402,106 @@ mod tests {
         assert!(!CpuExecutor::prefer_sharding(&asr, 64, 4));
         // Narrow batches never shard: workers would idle.
         assert!(!CpuExecutor::prefer_sharding(&pos, 4, 4));
+    }
+
+    #[test]
+    fn sharding_batch_width_boundary_is_exactly_two_per_thread() {
+        // The batch gate is `batch >= 2 * threads`: each worker must get
+        // at least two items before splitting the batch pays. Probe the
+        // boundary on a model whose GEMMs are always skinny enough.
+        let pos = dnn::zoo::network(App::Pos).unwrap();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let at = 2 * threads;
+            assert!(
+                CpuExecutor::prefer_sharding(&pos, at, threads),
+                "batch {at} == 2x{threads} must shard"
+            );
+            assert!(
+                !CpuExecutor::prefer_sharding(&pos, at - 1, threads),
+                "batch {} < 2x{threads} must not shard",
+                at - 1
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_gemm_cutoff_scales_with_thread_count() {
+        // The GEMM gate is `m*n*k < threads * 256^3`: a model that is
+        // "fat" for few threads becomes shard-worthy once enough threads
+        // share it. Kaldi's largest GEMM at batch `b` is (b, 3482, 2048):
+        // per the cutoff, threads=4 needs b*3482*2048 >= 4*256^3 i.e.
+        // b >= ~9.4 to stay in-layer, so a wide batch stays in-layer and
+        // the same shapes shard once the product dips under the line.
+        let asr = dnn::zoo::network(App::Asr).unwrap();
+        let gemm = |batch: usize| {
+            use dnn::profile::WorkloadProfile;
+            WorkloadProfile::of(asr.def(), batch)
+                .unwrap()
+                .largest_gemm()
+                .unwrap()
+        };
+        for threads in [2usize, 4] {
+            let cutoff = threads * 256 * 256 * 256;
+            // Find batches on each side of the cutoff that still pass
+            // the width gate, and check the heuristic follows the line.
+            for batch in (2 * threads)..=64 {
+                let (m, n, k) = gemm(batch);
+                let expect = m * n * k < cutoff;
+                assert_eq!(
+                    CpuExecutor::prefer_sharding(&asr, batch, threads),
+                    expect,
+                    "batch {batch}, threads {threads}: gemm {m}x{n}x{k} vs cutoff {cutoff}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_inference_caps_threads_and_matches_serial_bitwise() {
+        // A lease can only shrink the configured budget, and any grant
+        // must stay bitwise-equal to sequential execution.
+        let net = mnist();
+        let input = Tensor::random_uniform(Shape::nchw(6, 1, 28, 28), 1.0, 11);
+        let serial = CpuExecutor::default().infer(&net, &input).unwrap();
+        let exec = CpuExecutor::new(Threading::new(4));
+        for grant in [1usize, 2, 3, 8] {
+            let out = exec
+                .infer_budgeted(&net, &input, Threading::new(grant))
+                .unwrap();
+            assert_eq!(
+                out.output, serial.output,
+                "grant {grant} must be bitwise-equal to serial"
+            );
+        }
+        assert_eq!(exec.preferred_threads(32), 4);
+    }
+
+    #[test]
+    fn delay_executor_scales_per_item_with_batch() {
+        // Per-dispatch base is paid once; per-item scales with N. A
+        // batch of 4 with base=6ms, per_item=2ms costs 6+4*2 = 14ms,
+        // where four singles would cost 4*(6+2) = 32ms — the
+        // amortization batching is supposed to buy.
+        let exec = DelayExecutor::with_per_item(
+            CpuExecutor::default(),
+            Duration::from_millis(6),
+            Duration::from_millis(2),
+        );
+        assert_eq!(exec.delay_for_batch(1), Duration::from_millis(8));
+        assert_eq!(exec.delay_for_batch(4), Duration::from_millis(14));
+        // Degenerate zero-batch counts as one item.
+        assert_eq!(exec.delay_for_batch(0), Duration::from_millis(8));
+
+        let net = mnist();
+        let batched = Tensor::random_uniform(Shape::nchw(4, 1, 28, 28), 1.0, 2);
+        let start = Instant::now();
+        let out = exec.infer(&net, &batched).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(14));
+        assert!(out.device_latency >= Duration::from_millis(14));
+
+        // `new` keeps the historical per-dispatch-only semantics.
+        let flat = DelayExecutor::new(CpuExecutor::default(), Duration::from_millis(5));
+        assert_eq!(flat.delay_for_batch(1), flat.delay_for_batch(16));
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! ```
 
 mod client;
+pub mod device;
 mod engine;
 mod error;
 mod executor;
@@ -51,6 +52,7 @@ mod server;
 pub mod trace;
 
 pub use client::{DjinnClient, PipelinedResponse};
+pub use device::{ColocationPolicy, ComputeLease, Device, DeviceScheduler};
 pub use engine::{
     BatchConfig, DispatchPolicy, EngineConfig, EngineStats, InferenceEngine, RoutedReply, Ticket,
 };

@@ -15,7 +15,7 @@
 //! busy      := magic version opcode=7 id:u64 name:str depth:u32
 //! str       := u16 len, utf-8 bytes
 //! tensor    := u8 rank, u32 dim*, f32 data* (little endian)
-//! trace     := id:u64 queue_us:u64 batch_us:u64 service_us:u64 total_us:u64
+//! trace     := id:u64 queue_us:u64 batch_us:u64 [lease_us:u64] service_us:u64 total_us:u64
 //! ```
 //!
 //! # Versioning
@@ -36,7 +36,11 @@
 //! `unknown:u64` counter of requests rejected for naming an unregistered
 //! model. With IDs on every frame the connection is full-duplex:
 //! responses may arrive in any order and clients demultiplex by ID (see
-//! `DjinnClient::pipeline`). Decoders accept every version from 1 up to
+//! `DjinnClient::pipeline`). Version 5 adds shared-device scheduling
+//! telemetry: the trace block grows to 48 bytes with a `lease_us:u64`
+//! (time the dispatch blocked acquiring its compute lease) between
+//! `batch_us` and `service_us`, and each stats entry appends two lease
+//! quantiles (p50/p99 lease wait). Decoders accept every version from 1 up to
 //! [`VERSION`]: fields a version predates decode as zero (request ID 0
 //! means "untraced"/"uncorrelated"; an all-zero trace means "the peer
 //! reported none"), so a v4 client still understands a v1 server's reply
@@ -68,7 +72,7 @@ use crate::{DjinnError, Result};
 pub const MAGIC: &[u8; 4] = b"DJNN";
 /// Protocol version this implementation speaks. Decoding accepts any
 /// version in `1..=VERSION`.
-pub const VERSION: u8 = 4;
+pub const VERSION: u8 = 5;
 /// Upper bound on a frame, to reject hostile lengths (64 MiB holds the
 /// largest Tonic batch comfortably).
 pub const MAX_FRAME: usize = 64 << 20;
@@ -144,6 +148,12 @@ pub struct ModelStats {
     /// 99th-percentile batch coalescing wait, microseconds (0 from a
     /// pre-v3 peer).
     pub p99_batch_wait_us: u64,
+    /// Median device-lease wait (shared-device scheduling), microseconds
+    /// (0 from a pre-v5 peer or a dedicated device).
+    pub p50_lease_wait_us: u64,
+    /// 99th-percentile device-lease wait, microseconds (0 from a pre-v5
+    /// peer).
+    pub p99_lease_wait_us: u64,
     /// Median service (forward-pass) latency, microseconds (0 from a
     /// pre-v3 peer).
     pub p50_service_us: u64,
@@ -373,20 +383,27 @@ fn get_request_id(buf: &mut &[u8], version: u8) -> Result<u64> {
     Ok(buf.get_u64_le())
 }
 
-/// Reads the 40-byte trace block v3 prefixed to successful results; a
-/// pre-v3 response has none and decodes as the all-zero "peer reported
-/// none" trace.
+/// Reads the trace block prefixed to successful results: 40 bytes from
+/// a v3/v4 peer, 48 from v5 (which inserts `lease_us` between the batch
+/// and service spans). A pre-v3 response has none and decodes as the
+/// all-zero "peer reported none" trace.
 fn get_trace(buf: &mut &[u8], version: u8) -> Result<ServerTrace> {
     if version < 3 {
         return Ok(ServerTrace::default());
     }
-    if buf.remaining() < 40 {
+    let len = if version >= 5 { 48 } else { 40 };
+    if buf.remaining() < len {
         return Err(err("truncated trace block"));
     }
+    let request_id = buf.get_u64_le();
+    let queue_us = buf.get_u64_le();
+    let batch_us = buf.get_u64_le();
+    let lease_us = if version >= 5 { buf.get_u64_le() } else { 0 };
     Ok(ServerTrace {
-        request_id: buf.get_u64_le(),
-        queue_us: buf.get_u64_le(),
-        batch_us: buf.get_u64_le(),
+        request_id,
+        queue_us,
+        batch_us,
+        lease_us,
         service_us: buf.get_u64_le(),
         server_total_us: buf.get_u64_le(),
     })
@@ -586,6 +603,7 @@ impl Response {
                 buf.put_u64_le(trace.request_id);
                 buf.put_u64_le(trace.queue_us);
                 buf.put_u64_le(trace.batch_us);
+                buf.put_u64_le(trace.lease_us);
                 buf.put_u64_le(trace.service_us);
                 buf.put_u64_le(trace.server_total_us);
                 put_tensor(buf, tensor);
@@ -633,6 +651,8 @@ impl Response {
                     buf.put_u64_le(s.p99_service_us);
                     buf.put_u64_le(s.p50_wire_us);
                     buf.put_u64_le(s.p99_wire_us);
+                    buf.put_u64_le(s.p50_lease_wait_us);
+                    buf.put_u64_le(s.p99_lease_wait_us);
                 }
             }
             Response::Busy {
@@ -751,12 +771,14 @@ impl Response {
                 }
                 let count = buf.get_u16_le() as usize;
                 // v1 entries carry 4 u64 counters; v2 appends 5 more for
-                // queue telemetry; v3 appends 6 breakdown quantiles.
-                // Fields a version predates decode as 0.
+                // queue telemetry; v3 appends 6 breakdown quantiles; v5
+                // appends 2 lease-wait quantiles. Fields a version
+                // predates decode as 0.
                 let words = match version {
                     1 => 4,
                     2 => 9,
-                    _ => 15,
+                    3 | 4 => 15,
+                    _ => 17,
                 };
                 let mut stats = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -781,6 +803,8 @@ impl Response {
                         p99_service_us: 0,
                         p50_wire_us: 0,
                         p99_wire_us: 0,
+                        p50_lease_wait_us: 0,
+                        p99_lease_wait_us: 0,
                     };
                     if version >= 2 {
                         entry.queue_depth = buf.get_u64_le();
@@ -796,6 +820,10 @@ impl Response {
                         entry.p99_service_us = buf.get_u64_le();
                         entry.p50_wire_us = buf.get_u64_le();
                         entry.p99_wire_us = buf.get_u64_le();
+                    }
+                    if version >= 5 {
+                        entry.p50_lease_wait_us = buf.get_u64_le();
+                        entry.p99_lease_wait_us = buf.get_u64_le();
                     }
                     stats.push(entry);
                 }
@@ -1316,6 +1344,8 @@ mod tests {
             p99_service_us: 3_100,
             p50_wire_us: 60,
             p99_wire_us: 700,
+            p50_lease_wait_us: 35,
+            p99_lease_wait_us: 880,
         }
     }
 
@@ -1341,10 +1371,10 @@ mod tests {
 
     #[test]
     fn version_constant_matches_the_correlated_protocol() {
-        // v4 put the request ID on every frame (Busy/Error/control
-        // included) so correlation is by ID, never by arrival order;
-        // bump this test alongside any future wire change.
-        assert_eq!(VERSION, 4);
+        // v5 added shared-device lease telemetry (48-byte trace block,
+        // two extra stats quantiles) on top of v4's total ID
+        // correlation; bump this test alongside any future wire change.
+        assert_eq!(VERSION, 5);
         let wire = Request::ListModels { request_id: 1 }.encode().unwrap();
         assert_eq!(wire[4], VERSION, "encoders must stamp VERSION");
     }
@@ -1457,12 +1487,17 @@ mod tests {
         .to_vec();
         stats.drain(6..22); // id + unknown counter
         stats[4] = 3;
+        // A v3 entry has no lease quantiles: they decode as zero (the
+        // two extra encoded words trail the entry and are ignored).
+        let mut v3_entry = stats_entry("dig");
+        v3_entry.p50_lease_wait_us = 0;
+        v3_entry.p99_lease_wait_us = 0;
         assert_eq!(
             Response::decode(&stats).unwrap(),
             Response::Stats {
                 request_id: 0,
                 unknown_model_requests: 0,
-                stats: vec![stats_entry("dig")],
+                stats: vec![v3_entry],
             }
         );
     }
@@ -1555,14 +1590,15 @@ mod tests {
                 request_id: 1,
                 queue_us: 2,
                 batch_us: 3,
+                lease_us: 9,
                 service_us: 4,
                 server_total_us: 5,
             },
         };
-        // A v2 frame has no trace block: splice out the 40 bytes that
+        // A v2 frame has no trace block: splice out the 48 bytes that
         // follow the status byte and rewrite the version.
         let mut wire = rsp.encode().unwrap().to_vec();
-        wire.drain(7..47);
+        wire.drain(7..55);
         wire[4] = 2;
         let decoded = Response::decode(&wire).unwrap();
         assert_eq!(
@@ -1576,6 +1612,44 @@ mod tests {
     }
 
     #[test]
+    fn v4_output_frames_decode_with_zero_lease() {
+        let tensor = Tensor::random_uniform(Shape::mat(1, 2), 1.0, 8);
+        let rsp = Response::Output {
+            tensor: tensor.clone(),
+            trace: ServerTrace {
+                request_id: 4,
+                queue_us: 10,
+                batch_us: 20,
+                lease_us: 30,
+                service_us: 40,
+                server_total_us: 100,
+            },
+        };
+        // A v4 frame has a 40-byte trace block without the lease word:
+        // splice lease_us out (it sits after id+queue+batch) and rewrite
+        // the version byte.
+        let mut wire = rsp.encode().unwrap().to_vec();
+        wire.drain(7 + 24..7 + 32);
+        wire[4] = 4;
+        let decoded = Response::decode(&wire).unwrap();
+        assert_eq!(
+            decoded,
+            Response::Output {
+                tensor,
+                trace: ServerTrace {
+                    request_id: 4,
+                    queue_us: 10,
+                    batch_us: 20,
+                    lease_us: 0,
+                    service_us: 40,
+                    server_total_us: 100,
+                },
+            },
+            "v4 peers report no lease wait"
+        );
+    }
+
+    #[test]
     fn response_roundtrip() {
         for rsp in [
             Response::Output {
@@ -1584,6 +1658,7 @@ mod tests {
                     request_id: 9,
                     queue_us: 120,
                     batch_us: 40,
+                    lease_us: 15,
                     service_us: 2_000,
                     server_total_us: 2_300,
                 },
@@ -1695,7 +1770,7 @@ mod tests {
         let mut buf = BytesMut::new();
         header(&mut buf, OP_RESULT);
         buf.put_u8(STATUS_OK);
-        buf.put_slice(&[0u8; 40]);
+        buf.put_slice(&[0u8; 48]);
         buf.put_u8(0);
         assert!(Response::decode(&buf).is_err());
     }
@@ -1928,6 +2003,7 @@ mod tests {
                     request_id: 9,
                     queue_us: 120,
                     batch_us: 40,
+                    lease_us: 15,
                     service_us: 2_000,
                     server_total_us: 2_300,
                 },
@@ -1983,6 +2059,7 @@ mod tests {
             request_id: 17,
             queue_us: 1,
             batch_us: 2,
+            lease_us: 0,
             service_us: 3,
             server_total_us: 6,
         };
@@ -2156,6 +2233,7 @@ mod tests {
                     request_id: seed,
                     queue_us: seed % 997,
                     batch_us: seed % 31,
+                    lease_us: seed % 211,
                     service_us: seed % 4_001,
                     server_total_us: seed % 5_003,
                 },
@@ -2337,6 +2415,7 @@ mod tests {
                     request_id: 55,
                     queue_us: 1,
                     batch_us: 2,
+                    lease_us: 0,
                     service_us: 3,
                     server_total_us: 4,
                 },

@@ -1023,6 +1023,8 @@ mod tests {
             p99_service_us: 200,
             p50_wire_us: 1,
             p99_wire_us: 10,
+            p50_lease_wait_us: 0,
+            p99_lease_wait_us: 0,
         }
     }
 

@@ -26,6 +26,7 @@ use tensor::{Tensor, Threading};
 
 use bytes::BytesMut;
 
+use crate::device::{ColocationPolicy, Device, DeviceScheduler};
 use crate::protocol::{FrameReader, ModelStats, Request, Response};
 use crate::trace::ServerTrace;
 use crate::{
@@ -72,6 +73,17 @@ pub struct ServerConfig {
     /// scale-out experiments so colocated replicas on a small host don't
     /// contend for CPU and hide the serving-tier behavior under test.
     pub service_delay: Option<Duration>,
+    /// Shared-device capacity. `None` keeps the legacy engine-private
+    /// model (each engine spends `threads` as if alone). `Some(n)` puts
+    /// every model's engine on one [`DeviceScheduler`] over an `n`-unit
+    /// device — `n` CPU threads, or `n` MPS kernel slots on the
+    /// simulated GPU — so dispatches acquire bounded compute leases and
+    /// lease waits become a visible trace stage.
+    pub device_capacity: Option<usize>,
+    /// Batch-more vs. co-locate-more policy for batched engines (see
+    /// [`ColocationPolicy`]). Only meaningful with `batching` set;
+    /// defaults to the classic always-batch coalescing loop.
+    pub colocation: ColocationPolicy,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +97,8 @@ impl Default for ServerConfig {
             queue_capacity: 128,
             engine_workers: 4,
             service_delay: None,
+            device_capacity: None,
+            colocation: ColocationPolicy::AlwaysBatch,
         }
     }
 }
@@ -173,6 +187,16 @@ impl DjinnServer {
                 Arc::new(DelayExecutor::new(SimGpuExecutor::default(), d))
             }
         };
+        // One scheduler fronts the device all engines share; without
+        // --device-threads each engine gets the legacy dedicated
+        // (unbounded) scheduler and behavior is exactly pre-v5.
+        let scheduler = Arc::new(match config.device_capacity {
+            Some(units) => DeviceScheduler::new(match config.backend {
+                Backend::Cpu => Device::Cpu { threads: units },
+                Backend::SimGpu => Device::SimGpuMps { slots: units },
+            }),
+            None => DeviceScheduler::dedicated(),
+        });
         // Engines are created eagerly at initialization, one per model,
         // mirroring DjiNN's load-everything-up-front design. Batched and
         // unbatched serving are just dispatch policies of the same engine.
@@ -193,9 +217,15 @@ impl DjinnServer {
                 policy,
                 queue_capacity: config.queue_capacity,
                 workers: config.engine_workers,
+                colocation: config.colocation,
             };
-            let engine =
-                InferenceEngine::start(name.clone(), net, Arc::clone(&executor), engine_config);
+            let engine = InferenceEngine::start_shared(
+                name.clone(),
+                net,
+                Arc::clone(&executor),
+                engine_config,
+                Arc::clone(&scheduler),
+            );
             engines.insert(name, engine);
         }
         let shared = Arc::new(Shared {
@@ -654,6 +684,8 @@ fn stats_response(shared: &Shared, request_id: u64) -> Response {
                     p99_service_us: q.p99_service_us,
                     p50_wire_us: acc.map_or(0, |a| a.wire.quantile(0.50)),
                     p99_wire_us: acc.map_or(0, |a| a.wire.quantile(0.99)),
+                    p50_lease_wait_us: q.p50_lease_wait_us,
+                    p99_lease_wait_us: q.p99_lease_wait_us,
                 }
             })
             .collect(),
@@ -914,6 +946,7 @@ mod tests {
                 policy: DispatchPolicy::Immediate,
                 queue_capacity: 1,
                 workers: 1,
+                ..EngineConfig::default()
             },
         );
         let mut engines = BTreeMap::new();

@@ -52,6 +52,9 @@ pub struct EngineSpans {
     /// Queue-exit → executor-start: batch coalescing wait plus input
     /// stacking (0-ish for [`crate::DispatchPolicy::Immediate`]).
     pub batch_us: u64,
+    /// Time the dispatch blocked acquiring its device lease from the
+    /// shared-device scheduler. Zero on a dedicated (unshared) device.
+    pub lease_us: u64,
     /// Executor-start → executor-end: forward-pass wall time. On the
     /// sim-GPU backend this is the *wall* time of the real math, not the
     /// modeled device latency — traces account real elapsed time.
@@ -68,6 +71,9 @@ pub struct ServerTrace {
     pub queue_us: u64,
     /// Batch coalescing wait, microseconds.
     pub batch_us: u64,
+    /// Device-lease wait, microseconds (0 from a pre-v5 peer or a
+    /// dedicated device).
+    pub lease_us: u64,
     /// Forward-pass wall time, microseconds.
     pub service_us: u64,
     /// Server-read → response-encode, microseconds: everything the
@@ -83,6 +89,7 @@ impl ServerTrace {
             request_id,
             queue_us: spans.queue_us,
             batch_us: spans.batch_us,
+            lease_us: spans.lease_us,
             service_us: spans.service_us,
             server_total_us,
         }
@@ -102,6 +109,9 @@ pub struct TraceRecord {
     pub queue_us: u64,
     /// Batch coalescing wait, microseconds (server clock).
     pub batch_us: u64,
+    /// Device-lease wait, microseconds (server clock; 0 from a pre-v5
+    /// peer or a dedicated device).
+    pub lease_us: u64,
     /// Forward-pass wall time, microseconds (server clock).
     pub service_us: u64,
     /// Server-read → response-encode, microseconds (server clock).
@@ -126,6 +136,7 @@ impl TraceRecord {
             e2e_us,
             queue_us: server.queue_us,
             batch_us: server.batch_us,
+            lease_us: server.lease_us,
             service_us: server.service_us,
             server_total_us: server.server_total_us,
             busy_retries: 0,
@@ -161,15 +172,16 @@ impl TraceRecord {
     /// scatter, reply delivery).
     pub fn server_other_us(&self) -> u64 {
         self.server_total_us
-            .saturating_sub(self.queue_us + self.batch_us + self.service_us)
+            .saturating_sub(self.queue_us + self.batch_us + self.lease_us + self.service_us)
     }
 
-    /// Sum of the four additive stages: queue + batch + service + wire.
-    /// By construction `stage_sum_us() + server_other_us() == e2e_us`
-    /// (up to saturation), so the sum approximates the measured
-    /// end-to-end latency whenever non-engine server overhead is small.
+    /// Sum of the five additive stages: queue, batch, lease, service,
+    /// and wire. By construction `stage_sum_us() + server_other_us()
+    /// == e2e_us` (up to saturation), so the sum approximates the
+    /// measured end-to-end latency whenever non-engine server overhead
+    /// is small.
     pub fn stage_sum_us(&self) -> u64 {
-        self.queue_us + self.batch_us + self.service_us + self.wire_us()
+        self.queue_us + self.batch_us + self.lease_us + self.service_us + self.wire_us()
     }
 
     /// One JSONL line (no trailing newline). Keys are the [`Stage`]
@@ -181,13 +193,14 @@ impl TraceRecord {
         let model = self.model.replace('\\', "\\\\").replace('"', "\\\"");
         format!(
             "{{\"request_id\":{},\"model\":\"{}\",\"e2e_us\":{},\"queue_us\":{},\
-             \"batch_us\":{},\"service_us\":{},\"wire_us\":{},\"server_total_us\":{},\
-             \"busy_retries\":{},\"wire_bytes\":{}}}",
+             \"batch_us\":{},\"lease_us\":{},\"service_us\":{},\"wire_us\":{},\
+             \"server_total_us\":{},\"busy_retries\":{},\"wire_bytes\":{}}}",
             self.request_id,
             model,
             self.e2e_us,
             self.queue_us,
             self.batch_us,
+            self.lease_us,
             self.service_us,
             self.wire_us(),
             self.server_total_us,
@@ -203,6 +216,7 @@ impl TraceRecord {
 pub struct TraceAggregator {
     queue: LatencyHistogram,
     batch: LatencyHistogram,
+    lease: LatencyHistogram,
     service: LatencyHistogram,
     wire: LatencyHistogram,
     total: LatencyHistogram,
@@ -223,6 +237,7 @@ impl TraceAggregator {
         if r.has_server_trace() {
             self.queue.record(r.queue_us);
             self.batch.record(r.batch_us);
+            self.lease.record(r.lease_us);
             self.service.record(r.service_us);
             self.wire.record(r.wire_us());
         }
@@ -240,6 +255,7 @@ impl TraceAggregator {
         let mut t = BreakdownTable::new();
         t.push(Stage::Queue, StageSummary::of(&self.queue));
         t.push(Stage::Batch, StageSummary::of(&self.batch));
+        t.push(Stage::Lease, StageSummary::of(&self.lease));
         t.push(Stage::Service, StageSummary::of(&self.service));
         t.push(Stage::Wire, StageSummary::of(&self.wire));
         t.push(Stage::Total, StageSummary::of(&self.total));
@@ -288,6 +304,7 @@ mod tests {
                 request_id: 7,
                 queue_us: queue,
                 batch_us: batch,
+                lease_us: 0,
                 service_us: service,
                 server_total_us: total,
             },
@@ -328,6 +345,7 @@ mod tests {
             "\"e2e_us\":1000",
             "\"queue_us\":100",
             "\"batch_us\":50",
+            "\"lease_us\":0",
             "\"service_us\":600",
             "\"wire_us\":200",
             "\"server_total_us\":800",
@@ -359,6 +377,24 @@ mod tests {
             assert!(rendered.contains(stage.name()), "{rendered}");
         }
         assert!(!rendered.contains("n/a"), "{rendered}");
+    }
+
+    #[test]
+    fn lease_wait_is_an_additive_stage() {
+        let mut r = record(1_000, 100, 50, 500, 800);
+        r.lease_us = 100;
+        assert_eq!(r.wire_us(), 200);
+        assert_eq!(r.server_other_us(), 50);
+        assert_eq!(r.stage_sum_us() + r.server_other_us(), r.e2e_us);
+        assert!(r.to_json().contains("\"lease_us\":100"), "{}", r.to_json());
+        let mut agg = TraceAggregator::new();
+        agg.record(&r);
+        let rendered = agg.table().render();
+        let lease_row = rendered
+            .lines()
+            .find(|l| l.starts_with("lease"))
+            .expect("lease row in breakdown");
+        assert!(lease_row.contains("ms"), "{rendered}");
     }
 
     #[test]

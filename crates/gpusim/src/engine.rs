@@ -76,6 +76,22 @@ impl Instance {
     }
 }
 
+/// The MPS interference model: kernels sharing a GPU all slow down by
+/// the oversubscription of the most contended resource. Each entry is
+/// one active kernel's `(compute_demand, memory_demand)` as a fraction
+/// of the GPU; the returned slowdown is `max(Σcompute, Σmemory, 1)`, so
+/// co-located kernels run at full rate until some resource is saturated
+/// and then degrade in proportion. Exposed so schedulers (e.g. the
+/// djinn device layer) can price a prospective co-location without
+/// running the event loop.
+#[must_use]
+pub fn mps_slowdown(demands: &[(f64, f64)]) -> f64 {
+    let (sc, sm) = demands
+        .iter()
+        .fold((0.0f64, 0.0f64), |(c, m), &(dc, dm)| (c + dc, m + dm));
+    sc.max(sm).max(1.0)
+}
+
 /// Runs the closed-loop simulation until `batches_per_instance` batches
 /// have completed per instance on average, then reports throughput and
 /// latency.
@@ -165,15 +181,18 @@ pub fn simulate(
             }
             match cfg.mode {
                 ConcurrencyMode::Mps => {
-                    let (mut sc, mut sm) = (0.0f64, 0.0f64);
-                    for &idx in &active {
-                        if let Phase::Kernel(ki) = insts[idx].phase {
-                            let kt = &insts[idx].workload.kernels[ki];
-                            sc += kt.compute_demand;
-                            sm += kt.memory_demand;
-                        }
-                    }
-                    let slowdown = sc.max(sm).max(1.0);
+                    let demands: Vec<(f64, f64)> = active
+                        .iter()
+                        .filter_map(|&idx| {
+                            if let Phase::Kernel(ki) = insts[idx].phase {
+                                let kt = &insts[idx].workload.kernels[ki];
+                                Some((kt.compute_demand, kt.memory_demand))
+                            } else {
+                                None
+                            }
+                        })
+                        .collect();
+                    let slowdown = mps_slowdown(&demands);
                     for &idx in &active {
                         rates[idx] = 1.0 / slowdown;
                     }
@@ -357,6 +376,18 @@ mod tests {
 
     fn mps_cfg(gpus: usize) -> ServerConfig {
         ServerConfig::k40_server(gpus)
+    }
+
+    #[test]
+    fn mps_slowdown_tracks_the_bottleneck_resource() {
+        // Under-subscribed: everyone runs at full rate.
+        assert_eq!(mps_slowdown(&[]), 1.0);
+        assert_eq!(mps_slowdown(&[(0.3, 0.2)]), 1.0);
+        assert_eq!(mps_slowdown(&[(0.4, 0.1), (0.5, 0.2)]), 1.0);
+        // Compute saturates first: slowdown is the compute sum.
+        assert!((mps_slowdown(&[(0.9, 0.1), (0.9, 0.2)]) - 1.8).abs() < 1e-12);
+        // Memory saturates first even though compute fits.
+        assert!((mps_slowdown(&[(0.2, 1.5), (0.1, 1.0)]) - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod queueing;
 mod server;
 mod workload;
 
-pub use engine::{simulate, InstanceStats, SimResult};
+pub use engine::{mps_slowdown, simulate, InstanceStats, SimResult};
 pub use server::{server_sweep, standard_server_result, ConcurrencyMode, ServerConfig};
 pub use workload::ServiceWorkload;

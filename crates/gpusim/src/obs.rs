@@ -24,6 +24,10 @@ pub enum Stage {
     /// Dequeue → executor start: time waiting for the batch to fill (and
     /// the stack of co-batched inputs to be assembled).
     Batch,
+    /// Batch-ready → executor start: time blocked acquiring a compute
+    /// lease from the shared-device scheduler (zero on a dedicated
+    /// device).
+    Lease,
     /// Executor start → executor end: the forward pass itself.
     Service,
     /// Everything the server cannot see: request/response serialization,
@@ -34,11 +38,12 @@ pub enum Stage {
 }
 
 impl Stage {
-    /// The four additive components plus the end-to-end total, in
+    /// The five additive components plus the end-to-end total, in
     /// presentation order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
         Stage::Queue,
         Stage::Batch,
+        Stage::Lease,
         Stage::Service,
         Stage::Wire,
         Stage::Total,
@@ -49,6 +54,7 @@ impl Stage {
         match self {
             Stage::Queue => "queue",
             Stage::Batch => "batch",
+            Stage::Lease => "lease",
             Stage::Service => "service",
             Stage::Wire => "wire",
             Stage::Total => "total",
@@ -163,7 +169,10 @@ mod tests {
         // These strings appear in trace JSONL and reports; renaming them
         // is a breaking change to downstream tooling.
         let names: Vec<&str> = Stage::ALL.iter().map(Stage::name).collect();
-        assert_eq!(names, ["queue", "batch", "service", "wire", "total"]);
+        assert_eq!(
+            names,
+            ["queue", "batch", "lease", "service", "wire", "total"]
+        );
     }
 
     #[test]

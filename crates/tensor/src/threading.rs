@@ -36,6 +36,14 @@ impl Threading {
     pub fn workers_for(&self, items: usize) -> usize {
         self.threads.max(1).min(items.max(1))
     }
+
+    /// The smaller of two budgets — how a configured budget is capped by
+    /// an externally granted one (e.g. a device-scheduler lease) without
+    /// ever exceeding either.
+    #[must_use]
+    pub fn min(self, other: Threading) -> Threading {
+        Threading::new(self.threads.min(other.threads))
+    }
 }
 
 impl Default for Threading {
@@ -71,6 +79,14 @@ mod tests {
         assert_eq!(Threading::SINGLE.workers_for(64), 1);
         assert!(!Threading::default().is_parallel());
         assert!(Threading::new(4).is_parallel());
+    }
+
+    #[test]
+    fn min_caps_a_budget_without_dropping_to_zero() {
+        assert_eq!(Threading::new(8).min(Threading::new(3)).threads, 3);
+        assert_eq!(Threading::new(2).min(Threading::new(5)).threads, 2);
+        assert_eq!(Threading::new(4).min(Threading::new(0)).threads, 1);
+        assert_eq!(Threading::SINGLE.min(Threading::new(16)), Threading::SINGLE);
     }
 
     #[test]

@@ -227,10 +227,21 @@ mod golden_vectors {
     }
 
     #[test]
-    fn v4_infer_encoding_matches_the_golden_bytes() {
-        assert_eq!(VERSION, 4, "golden vectors pin wire version 4");
+    fn v5_infer_encoding_matches_the_golden_bytes() {
+        assert_eq!(VERSION, 5, "golden vectors pin wire version 5");
         let wire = infer_request().encode().unwrap();
-        assert_eq!(&wire[..], &infer_golden(4)[..]);
+        assert_eq!(&wire[..], &infer_golden(5)[..]);
+    }
+
+    #[test]
+    fn v4_infer_golden_still_decodes_with_its_id() {
+        let Request::Infer {
+            model, request_id, ..
+        } = Request::decode(&infer_golden(4)).unwrap()
+        else {
+            panic!("expected Infer");
+        };
+        assert_eq!((model.as_str(), request_id), ("m", 7));
     }
 
     #[test]
@@ -244,14 +255,16 @@ mod golden_vectors {
         assert_eq!((model.as_str(), request_id), ("m", 7));
     }
 
-    /// Golden v4 busy response, pinned byte-for-byte: the request ID the
+    /// Golden busy response, pinned byte-for-byte: the request ID the
     /// shed request carried comes right after the header — the field
-    /// that makes `Busy` attributable under pipelining.
+    /// that makes `Busy` attributable under pipelining. The layout is
+    /// identical in v4 and v5 (only the version byte differs), so the
+    /// same bytes double as the v4 decode-compat check.
     #[test]
-    fn v4_busy_encoding_matches_the_golden_bytes() {
+    fn v5_busy_encoding_matches_the_golden_bytes() {
         let mut wire = Vec::new();
         wire.extend_from_slice(MAGIC);
-        wire.push(4); // version 4
+        wire.push(5); // version 5
         wire.push(7); // OP_BUSY
         wire.extend_from_slice(&512u64.to_le_bytes()); // request id
         wire.extend_from_slice(&3u16.to_le_bytes());
@@ -264,16 +277,19 @@ mod golden_vectors {
         };
         assert_eq!(&rsp.encode().unwrap()[..], &wire[..]);
         assert_eq!(Response::decode(&wire).unwrap(), rsp);
+        wire[4] = 4; // same bytes at version 4 still decode identically
+        assert_eq!(Response::decode(&wire).unwrap(), rsp);
     }
 
-    /// Golden v4 error response, pinned byte-for-byte: the request ID
+    /// Golden error response, pinned byte-for-byte: the request ID
     /// follows the error status, so a pipelined client knows *which*
-    /// request failed.
+    /// request failed. Layout unchanged from v4 — the same bytes with
+    /// the old version byte double as the decode-compat check.
     #[test]
-    fn v4_error_encoding_matches_the_golden_bytes() {
+    fn v5_error_encoding_matches_the_golden_bytes() {
         let mut wire = Vec::new();
         wire.extend_from_slice(MAGIC);
-        wire.push(4); // version 4
+        wire.push(5); // version 5
         wire.push(2); // OP_RESULT
         wire.push(1); // STATUS_ERR
         wire.extend_from_slice(&9u64.to_le_bytes()); // request id
@@ -284,6 +300,8 @@ mod golden_vectors {
             message: "nope".into(),
         };
         assert_eq!(&rsp.encode().unwrap()[..], &wire[..]);
+        assert_eq!(Response::decode(&wire).unwrap(), rsp);
+        wire[4] = 4; // same bytes at version 4 still decode identically
         assert_eq!(Response::decode(&wire).unwrap(), rsp);
     }
 
@@ -470,6 +488,8 @@ mod golden_vectors {
             p99_service_us: 3_100,
             p50_wire_us: 60,
             p99_wire_us: 700,
+            p50_lease_wait_us: 35,
+            p99_lease_wait_us: 880,
         };
         let requests = [
             infer_request(),
@@ -488,6 +508,7 @@ mod golden_vectors {
                     request_id: 7,
                     queue_us: 1,
                     batch_us: 2,
+                    lease_us: 4,
                     service_us: 3,
                     server_total_us: 9,
                 },
