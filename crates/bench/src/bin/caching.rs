@@ -1,0 +1,267 @@
+//! Content-keyed cache sweep (DESIGN.md §14): duplicate rate vs. cost.
+//!
+//! ```text
+//! cargo run -p bench --bin caching --release [-- --smoke]
+//! ```
+//!
+//! Each cell replays the *same* deterministic request sequence against
+//! two in-process servers — `--cache off` and `--cache both` — at a
+//! controlled duplicate rate (0%, 50%, 90%). The sequence is built so a
+//! target duplicate rate is exact by construction: `D = R·(1−dup)`
+//! distinct inputs, each repeated back-to-back, so the cached arm takes
+//! `R − D` exact-cache hits. Three claims are checked per run:
+//!
+//! 1. **Correctness**: every response from the cached arm is bitwise
+//!    identical to the uncached arm's response for the same request.
+//! 2. **Hit economics**: on the 90%-duplicate row, the p50 of
+//!    hit-flagged requests is at least 2x cheaper than the p50 of
+//!    misses — a hit skips queue, lease, and the forward pass entirely.
+//! 3. **Accounting**: client-observed hits equal the duplicate count
+//!    the sequence was built to offer.
+//!
+//! Output: a summary table over (duplicate rate × cache mode) with p50
+//! end-to-end latency, throughput, and hit rate, written to stdout and
+//! `results/caching_bench.txt` (plus CSV). `--smoke` runs only the
+//! 90%-duplicate cell against the tiny zoo in well under a minute and
+//! exits nonzero unless the measured hit rate exceeds 0.8 — the CI
+//! gate.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use bench::render::{num, Table};
+use djinn::{DjinnClient, DjinnServer, ModelRegistry, ServerConfig, TraceRecord};
+use dnn::zoo::{self, App};
+use tensor::Tensor;
+
+/// Requests per (cell, arm) run.
+const REQUESTS_FULL: usize = 240;
+const REQUESTS_SMOKE: usize = 120;
+
+/// Duplicate-rate sweep: fraction of requests whose input bytes were
+/// already seen earlier in the sequence.
+const DUP_RATES: [f64; 3] = [0.0, 0.5, 0.9];
+
+/// Outcome of one (cell, arm) run.
+struct RunResult {
+    outputs: Vec<Vec<u32>>,
+    records: Vec<TraceRecord>,
+    elapsed: Duration,
+}
+
+/// The deterministic request sequence for a duplicate rate: index `i`
+/// maps to distinct-input slot `i * distinct / requests`, so each of the
+/// `distinct` inputs is sent in one consecutive run and the realized
+/// duplicate rate is exactly `1 - distinct/requests`.
+fn sequence(requests: usize, dup: f64) -> Vec<usize> {
+    let distinct = (((requests as f64) * (1.0 - dup)).round() as usize).clamp(1, requests);
+    (0..requests).map(|i| i * distinct / requests).collect()
+}
+
+/// Builds the shared input pool: `distinct` tensors for `model`, seeded
+/// per slot so both arms replay identical bytes.
+fn pool(model: &str, slots: usize) -> Vec<Tensor> {
+    let shape = if let Some(app) = App::from_name(model) {
+        zoo::netdef(app).input_shape().with_batch(1)
+    } else {
+        let def = zoo::tiny_test_zoo()
+            .into_iter()
+            .find(|d| d.name() == model)
+            .expect("known model");
+        def.input_shape().with_batch(1)
+    };
+    (0..slots)
+        .map(|slot| Tensor::random_uniform(shape.clone(), 0.5, 99 + 7919 * slot as u64))
+        .collect()
+}
+
+fn registry_for(model: &str) -> ModelRegistry {
+    if let Some(app) = App::from_name(model) {
+        let mut reg = ModelRegistry::new();
+        reg.register(model, zoo::network(app).expect("zoo model builds"));
+        reg
+    } else {
+        ModelRegistry::with_tiny_test_zoo().expect("tiny zoo builds")
+    }
+}
+
+fn run_arm(
+    model: &str,
+    cache: &str,
+    seq: &[usize],
+    inputs: &[Tensor],
+) -> Result<RunResult, String> {
+    let config = ServerConfig {
+        cache_mode: cache.parse().expect("valid cache mode"),
+        cache_bytes: 64 * 1024 * 1024,
+        ..ServerConfig::default()
+    };
+    let server =
+        DjinnServer::start(registry_for(model), config).map_err(|e| format!("server: {e}"))?;
+    let mut client =
+        DjinnClient::connect(server.local_addr()).map_err(|e| format!("connect: {e}"))?;
+    let mut outputs = Vec::with_capacity(seq.len());
+    let mut records = Vec::with_capacity(seq.len());
+    let started = Instant::now();
+    for &slot in seq {
+        let (out, record) = client
+            .infer_traced(model, &inputs[slot])
+            .map_err(|e| format!("infer: {e}"))?;
+        outputs.push(out.data().iter().map(|f| f.to_bits()).collect());
+        records.push(record);
+    }
+    let elapsed = started.elapsed();
+    server.shutdown();
+    Ok(RunResult {
+        outputs,
+        records,
+        elapsed,
+    })
+}
+
+fn p50_ms(mut samples: Vec<f64>) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(f64::total_cmp);
+    Some(samples[samples.len() / 2])
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".into(), num)
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (model, requests) = if smoke {
+        ("tiny-senna", REQUESTS_SMOKE)
+    } else {
+        ("pos", REQUESTS_FULL)
+    };
+    let rates: &[f64] = if smoke { &[0.9] } else { &DUP_RATES };
+
+    let mut summary = Table::new(
+        "caching_sweep",
+        "Content-keyed cache vs. duplicate rate (closed loop, one \
+         connection, exact+embed cache vs. off)",
+        &[
+            "Dup %",
+            "Cache",
+            "p50 ms",
+            "req/s",
+            "Hit rate",
+            "Hit p50 ms",
+            "Miss p50 ms",
+        ],
+    );
+    let mut all_bitwise_identical = true;
+    let mut hit_twice_as_cheap = true;
+    let mut smoke_hit_rate = 0.0f64;
+
+    for &dup in rates {
+        let seq = sequence(requests, dup);
+        let distinct = seq.iter().max().copied().unwrap_or(0) + 1;
+        let inputs = pool(model, distinct);
+        let expected_hits = (requests - distinct) as u64;
+
+        let mut off_outputs: Option<Vec<Vec<u32>>> = None;
+        for cache in ["off", "both"] {
+            let r = match run_arm(model, cache, &seq, &inputs) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("run failed (dup={dup}, cache={cache}): {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let hits = r.records.iter().filter(|rec| rec.cache_hit).count() as u64;
+            let hit_rate = hits as f64 / requests as f64;
+            let lat = |pred: &dyn Fn(&TraceRecord) -> bool| {
+                p50_ms(
+                    r.records
+                        .iter()
+                        .filter(|rec| pred(rec))
+                        .map(|rec| rec.e2e_us as f64 / 1e3)
+                        .collect(),
+                )
+            };
+            let p50 = lat(&|_| true);
+            let hit_p50 = lat(&|rec: &TraceRecord| rec.cache_hit);
+            let miss_p50 = lat(&|rec: &TraceRecord| !rec.cache_hit);
+            summary.push(vec![
+                format!("{:.0}", dup * 100.0),
+                cache.into(),
+                fmt_opt(p50),
+                num(requests as f64 / r.elapsed.as_secs_f64()),
+                num(hit_rate),
+                fmt_opt(hit_p50),
+                fmt_opt(miss_p50),
+            ]);
+            match cache {
+                "off" => {
+                    if hits != 0 {
+                        eprintln!("cache-off arm reported {hits} hits");
+                        return ExitCode::FAILURE;
+                    }
+                    off_outputs = Some(r.outputs);
+                }
+                _ => {
+                    if hits != expected_hits {
+                        eprintln!(
+                            "dup={dup}: {hits} hits, sequence offers exactly {expected_hits}"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    smoke_hit_rate = hit_rate;
+                    let off = off_outputs.as_ref().expect("off arm ran first");
+                    for (i, (a, b)) in off.iter().zip(&r.outputs).enumerate() {
+                        if a != b {
+                            eprintln!("dup={dup}: request {i} differs bitwise between arms");
+                            all_bitwise_identical = false;
+                        }
+                    }
+                    // The hit-economics gate applies to the full run
+                    // only: tiny-zoo forward passes cost single-digit
+                    // microseconds, so in --smoke the wire dominates
+                    // both sides and the ratio is meaningless.
+                    if dup >= 0.89 && !smoke {
+                        if let (Some(h), Some(m)) = (hit_p50, miss_p50) {
+                            if h * 2.0 > m {
+                                hit_twice_as_cheap = false;
+                                eprintln!(
+                                    "NOTE: hit p50 {h:.3} ms is not 2x cheaper than \
+                                     miss p50 {m:.3} ms"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&summary.to_text());
+    out.push('\n');
+    out.push_str(&format!(
+        "verdict: cached outputs bitwise-identical to uncached: {}; \
+         hit p50 at least 2x cheaper than miss p50 on the 90%-dup row: {}\n",
+        if all_bitwise_identical { "yes" } else { "NO" },
+        if hit_twice_as_cheap { "yes" } else { "NO" },
+    ));
+    print!("{out}");
+    if !smoke {
+        let _ = summary.write_csv(std::path::Path::new("results"));
+        if let Err(e) = std::fs::write("results/caching_bench.txt", &out) {
+            eprintln!("warning: could not write results/caching_bench.txt: {e}");
+        }
+    }
+    if smoke && smoke_hit_rate <= 0.8 {
+        eprintln!("smoke gate: hit rate {smoke_hit_rate:.2} <= 0.8");
+        return ExitCode::FAILURE;
+    }
+    if all_bitwise_identical && hit_twice_as_cheap {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

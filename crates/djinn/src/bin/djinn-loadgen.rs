@@ -5,7 +5,7 @@
 //! djinn-loadgen --addr HOST:PORT --model NAME
 //!               [--mix NAME=W,NAME=W] [--threads N] [--requests R]
 //!               [--queries Q] [--pipeline N] [--rate R] [--timeout-ms T]
-//!               [--trace-out PATH]
+//!               [--vocab N] [--zipf S] [--trace-out PATH]
 //! ```
 //!
 //! `--pipeline N` keeps up to N requests in flight per connection
@@ -49,6 +49,16 @@
 //! popularity distribution, the shape that separates load-aware from
 //! round-robin replica selection.
 //!
+//! `--vocab N` draws each request's input from a pool of N distinct,
+//! deterministically seeded tensors shared by every worker thread, so
+//! repeats are *byte-identical* across threads — the redundancy a
+//! content-keyed server cache (`djinn-server --cache`) can actually
+//! exploit. `--zipf S` skews the draw toward low pool ranks with
+//! weight 1/(rank+1)^S (S=0 is uniform, the default); larger S models
+//! a hotter vocabulary and yields higher duplicate rates at the same
+//! pool size. The default `--vocab 1` replays one input per target —
+//! the legacy behavior, a 100% duplicate stream.
+//!
 //! Input shapes are discovered from the seven Tonic models (and the tiny
 //! test zoo) by name; for other models, pass nothing and the tool
 //! reports the server's model list.
@@ -73,6 +83,8 @@ struct Args {
     pipeline: usize,
     rate: Option<f64>,
     timeout: Duration,
+    vocab: usize,
+    zipf: f64,
     trace_out: Option<String>,
 }
 
@@ -87,6 +99,8 @@ fn parse_args() -> Result<Args, String> {
         pipeline: 1,
         rate: None,
         timeout: Duration::from_secs(30),
+        vocab: 1,
+        zipf: 0.0,
         trace_out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -122,12 +136,25 @@ fn parse_args() -> Result<Args, String> {
                 let ms: u64 = value("--timeout-ms")?.parse().map_err(|e| format!("{e}"))?;
                 args.timeout = Duration::from_millis(ms);
             }
+            "--vocab" => {
+                args.vocab = value("--vocab")?.parse().map_err(|e| format!("{e}"))?;
+                if args.vocab == 0 {
+                    return Err("--vocab must be at least 1".into());
+                }
+            }
+            "--zipf" => {
+                let s: f64 = value("--zipf")?.parse().map_err(|e| format!("{e}"))?;
+                if !s.is_finite() || s < 0.0 {
+                    return Err("--zipf must be finite and non-negative".into());
+                }
+                args.zipf = s;
+            }
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--help" | "-h" => {
                 return Err("usage: djinn-loadgen --addr HOST:PORT --model NAME \
                             [--mix NAME=W,NAME=W] [--threads N] [--requests R] \
                             [--queries Q] [--pipeline N] [--rate R] [--timeout-ms T] \
-                            [--trace-out PATH]"
+                            [--vocab N] [--zipf S] [--trace-out PATH]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -156,42 +183,75 @@ fn connect_with_backoff(addr: std::net::SocketAddr, timeout: Duration) -> Option
     None
 }
 
-/// Builds an input carrying `queries` stacked queries for a Tonic model,
-/// or for one of the tiny test-zoo models (the harness a `--tiny-zoo`
-/// server serves for protocol benchmarks).
-fn input_for(model: &str, queries: usize) -> Option<Tensor> {
-    if let Some(app) = App::from_name(model) {
+/// Builds a pool of `vocab` distinct inputs, each carrying `queries`
+/// stacked queries, for a Tonic model or one of the tiny test-zoo
+/// models (the harness a `--tiny-zoo` server serves for protocol
+/// benchmarks).
+///
+/// Seeds are fixed per pool slot (`99 + 7919 * slot`), so every worker
+/// thread — and every rerun — draws from the *same* byte-identical
+/// tensors: the duplicate rate a `--vocab`/`--zipf` run offers to a
+/// content-keyed server cache is a property of the workload, not of
+/// thread scheduling. Slot 0 keeps the legacy seed (99), so `--vocab 1`
+/// replays exactly the input earlier versions sent.
+fn inputs_for(model: &str, queries: usize, vocab: usize) -> Option<Vec<Tensor>> {
+    let shape = if let Some(app) = App::from_name(model) {
         let def = dnn::zoo::netdef(app);
         let items = app.service_meta().inputs_per_query * queries;
-        let shape = def.input_shape().with_batch(items);
-        return Some(Tensor::random_uniform(shape, 0.5, 99));
-    }
-    let def = dnn::zoo::tiny_test_zoo()
-        .into_iter()
-        .find(|d| d.name() == model)?;
-    let shape = def.input_shape().with_batch(queries);
-    Some(Tensor::random_uniform(shape, 0.5, 99))
+        def.input_shape().with_batch(items)
+    } else {
+        let def = dnn::zoo::tiny_test_zoo()
+            .into_iter()
+            .find(|d| d.name() == model)?;
+        def.input_shape().with_batch(queries)
+    };
+    Some(
+        (0..vocab)
+            .map(|slot| Tensor::random_uniform(shape.clone(), 0.5, 99 + 7919 * slot as u64))
+            .collect(),
+    )
 }
 
-/// A weighted model mix: each request draws a model by weight from the
-/// caller's PRNG state. A single `--model` run is the one-entry case.
+/// A weighted model mix: each request draws a model by weight, then an
+/// input from that model's shared pool, from the caller's PRNG state. A
+/// single `--model` run is the one-entry case.
 struct Workload {
-    /// (model name, pre-built input) per mix entry.
-    targets: Vec<(String, Tensor)>,
+    /// (model name, shared deterministic input pool) per mix entry.
+    targets: Vec<(String, Vec<Tensor>)>,
     /// Cumulative weights, parallel to `targets`.
     cum: Vec<u32>,
+    /// Cumulative Zipf mass over pool ranks, normalized to 1.0; length
+    /// is the pool size (`--vocab`). Rank r carries weight
+    /// 1/(r+1)^S — S=0 degenerates to uniform.
+    zipf_cum: Vec<f64>,
+}
+
+/// Builds the cumulative rank-selection table for `pick_slot`.
+fn zipf_table(vocab: usize, s: f64) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(vocab);
+    let mut total = 0.0f64;
+    for rank in 0..vocab {
+        total += 1.0 / ((rank + 1) as f64).powf(s);
+        cum.push(total);
+    }
+    for c in &mut cum {
+        *c /= total;
+    }
+    cum
 }
 
 impl Workload {
-    fn single(model: String, input: Tensor) -> Self {
+    fn single(model: String, pool: Vec<Tensor>, zipf: f64) -> Self {
+        let vocab = pool.len();
         Workload {
-            targets: vec![(model, input)],
+            targets: vec![(model, pool)],
             cum: vec![1],
+            zipf_cum: zipf_table(vocab, zipf),
         }
     }
 
-    /// Parses `"name=w,name=w"`, building one input per entry.
-    fn from_mix(spec: &str, queries: usize) -> Result<Self, String> {
+    /// Parses `"name=w,name=w"`, building one input pool per entry.
+    fn from_mix(spec: &str, queries: usize, vocab: usize, zipf: f64) -> Result<Self, String> {
         let mut targets = Vec::new();
         let mut cum = Vec::new();
         let mut total = 0u32;
@@ -212,16 +272,20 @@ impl Workload {
             if weight == 0 {
                 return Err(format!("weight 0 in `{part}` would never be sent"));
             }
-            let input = input_for(name, queries)
+            let pool = inputs_for(name, queries, vocab)
                 .ok_or_else(|| format!("unknown model `{name}` in --mix"))?;
             total += weight;
-            targets.push((name.to_string(), input));
+            targets.push((name.to_string(), pool));
             cum.push(total);
         }
         if targets.is_empty() {
             return Err("--mix named no models".into());
         }
-        Ok(Workload { targets, cum })
+        Ok(Workload {
+            targets,
+            cum,
+            zipf_cum: zipf_table(vocab, zipf),
+        })
     }
 
     /// Picks a target index by weight; `rng` is a caller-owned xorshift
@@ -236,6 +300,23 @@ impl Workload {
         let total = *self.cum.last().expect("non-empty mix");
         let draw = (*rng % total as u64) as u32;
         self.cum.partition_point(|&c| c <= draw)
+    }
+
+    /// Picks a pool slot by Zipf rank weight from the caller's PRNG
+    /// state. With `--vocab 1` (or S=0 and a one-entry pool) this is
+    /// always slot 0.
+    fn pick_slot(&self, rng: &mut u64) -> usize {
+        if self.zipf_cum.len() == 1 {
+            return 0;
+        }
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        // Map to [0, 1): 2^-64 scales the full u64 range.
+        let u = *rng as f64 * 5.421_010_862_427_522e-20;
+        self.zipf_cum
+            .partition_point(|&c| c <= u)
+            .min(self.zipf_cum.len() - 1)
     }
 }
 
@@ -255,7 +336,8 @@ fn run_closed_loop(
     reconnects: &AtomicU64,
 ) {
     for done in 0..requests {
-        let (model, input) = &workload.targets[workload.pick(rng)];
+        let (model, pool) = &workload.targets[workload.pick(rng)];
+        let input = &pool[workload.pick_slot(rng)];
         match client.infer_traced(model, input) {
             Ok((_, record)) => local.push(record),
             // The server shed the request at admission: the
@@ -317,7 +399,8 @@ fn run_pipelined(
         // Keep the window full...
         let mut transport_broke = false;
         while submitted < requests && client.in_flight() < window {
-            let (model, input) = &workload.targets[workload.pick(rng)];
+            let (model, pool) = &workload.targets[workload.pick(rng)];
+            let input = &pool[workload.pick_slot(rng)];
             match client.submit(model, input) {
                 Ok(_) => submitted += 1,
                 Err(_) => {
@@ -423,7 +506,8 @@ fn run_open_loop(
     while accounted < requests {
         let now = started.elapsed();
         if submitted < requests && now >= next_arrival {
-            let (model, input) = &workload.targets[workload.pick(rng)];
+            let (model, pool) = &workload.targets[workload.pick(rng)];
+            let input = &pool[workload.pick_slot(rng)];
             match client.submit(model, input) {
                 Ok(_) => {
                     submitted += 1;
@@ -517,13 +601,16 @@ fn main() -> ExitCode {
     }
     let (workload, label) = match (&args.model, &args.mix) {
         (Some(model), None) => {
-            let Some(input) = input_for(model, args.queries) else {
+            let Some(pool) = inputs_for(model, args.queries, args.vocab) else {
                 eprintln!("unknown Tonic model `{model}` (known: imc dig face asr pos chk ner)");
                 return ExitCode::FAILURE;
             };
-            (Workload::single(model.clone(), input), model.clone())
+            (
+                Workload::single(model.clone(), pool, args.zipf),
+                model.clone(),
+            )
         }
-        (None, Some(spec)) => match Workload::from_mix(spec, args.queries) {
+        (None, Some(spec)) => match Workload::from_mix(spec, args.queries, args.vocab, args.zipf) {
             Ok(w) => (w, format!("mix({spec})")),
             Err(e) => {
                 eprintln!("{e}");
@@ -639,10 +726,11 @@ fn main() -> ExitCode {
     // shed or failed): the report says `n/a` instead of panicking on an
     // empty index or printing a fake 0 ms.
     let mean = (ok > 0).then(|| lat_ms.iter().sum::<f64>() / ok as f64);
+    let cache_hits = records.iter().filter(|r| r.cache_hit).count();
     println!(
         "{label}: {ok}/{sent} ok in {elapsed:.2}s  ->  {:.1} req/s ({:.1} q/s), \
          mean {}, p50 {}, p95 {}, p99 {}, \
-         max {}, {} shed (busy), {} errors, {} reconnects",
+         max {}, {} shed (busy), {} errors, {} reconnects, {} cache hits",
         ok as f64 / elapsed,
         ok as f64 * args.queries as f64 / elapsed,
         fmt_ms(mean),
@@ -653,6 +741,7 @@ fn main() -> ExitCode {
         sheds.load(Ordering::Relaxed),
         errors.load(Ordering::Relaxed),
         reconnects.load(Ordering::Relaxed),
+        cache_hits,
     );
 
     // Per-stage latency breakdown from the server's echoed trace blocks.

@@ -5,7 +5,8 @@
 //!              [--batch N] [--threads N] [--queue N] [--workers N]
 //!              [--device-threads N] [--policy batch|colocate|dynamic]
 //!              [--sla-ms N] [--models DIR] [--tiny-zoo] [--only NAME,NAME]
-//!              [--service-delay-us N] [--export DIR]
+//!              [--service-delay-us N] [--cache off|exact|embed|both]
+//!              [--cache-mb N] [--export DIR]
 //! ```
 //!
 //! `--queue` bounds each model's admission queue (requests beyond it are
@@ -35,12 +36,20 @@
 //! co-location (`batch` coalesces up to the full window, `colocate`
 //! dispatches immediately, `dynamic` splits the difference from queue
 //! depth and the `--sla-ms` latency budget; defaults to `batch`).
+//!
+//! `--cache` turns on content-keyed inference caching (`exact` memoizes
+//! whole outputs by input bytes, `embed` caches per-row embedding-layer
+//! lookups, `both` layers the two; defaults to `off`). `--cache-mb`
+//! bounds the total cache budget in MiB, split across the loaded
+//! models (default 64).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use djinn::{Backend, BatchConfig, ColocationPolicy, DjinnServer, ModelRegistry, ServerConfig};
+use djinn::{
+    Backend, BatchConfig, CacheMode, ColocationPolicy, DjinnServer, ModelRegistry, ServerConfig,
+};
 
 struct Args {
     addr: String,
@@ -56,6 +65,8 @@ struct Args {
     device_threads: Option<usize>,
     policy: String,
     sla: Duration,
+    cache: CacheMode,
+    cache_mb: usize,
     export: Option<PathBuf>,
 }
 
@@ -75,6 +86,8 @@ fn parse_args() -> Result<Args, String> {
         device_threads: None,
         policy: "batch".into(),
         sla: Duration::from_millis(50),
+        cache: CacheMode::Off,
+        cache_mb: 64,
         export: None,
     };
     let mut it = std::env::args().skip(1);
@@ -164,6 +177,19 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --service-delay-us: {e}"))?;
                 args.service_delay = Some(Duration::from_micros(us));
             }
+            "--cache" => {
+                args.cache = value("--cache")?
+                    .parse()
+                    .map_err(|e: String| format!("bad --cache: {e}"))?;
+            }
+            "--cache-mb" => {
+                args.cache_mb = value("--cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-mb: {e}"))?;
+                if args.cache_mb == 0 {
+                    return Err("--cache-mb must be at least 1".into());
+                }
+            }
             "--export" => args.export = Some(PathBuf::from(value("--export")?)),
             "--help" | "-h" => {
                 return Err(
@@ -171,7 +197,8 @@ fn parse_args() -> Result<Args, String> {
                             [--batch N] [--threads N] [--queue N] [--workers N] \
                             [--device-threads N] [--policy batch|colocate|dynamic] \
                             [--sla-ms N] [--models DIR] [--tiny-zoo] [--only NAME,NAME] \
-                            [--service-delay-us N] [--export DIR]"
+                            [--service-delay-us N] [--cache off|exact|embed|both] \
+                            [--cache-mb N] [--export DIR]"
                         .into(),
                 )
             }
@@ -255,6 +282,8 @@ fn main() -> ExitCode {
             "dynamic" => ColocationPolicy::Dynamic { sla: args.sla },
             _ => ColocationPolicy::AlwaysBatch,
         },
+        cache_mode: args.cache,
+        cache_bytes: args.cache_mb * 1024 * 1024,
         ..ServerConfig::default()
     };
     let server = match DjinnServer::start(registry, config) {

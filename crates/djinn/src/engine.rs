@@ -27,6 +27,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use dnn::cache::InferenceCache;
 use dnn::Network;
 use gpusim::queueing::{BoundedQueue, LatencyHistogram};
 use tensor::Tensor;
@@ -129,6 +130,13 @@ pub struct EngineStats {
     pub p50_service_us: u64,
     /// 99th-percentile device/service time per dispatch, microseconds.
     pub p99_service_us: u64,
+    /// Requests (exact) or rows (embed) answered by the inference
+    /// cache. 0 with caching off.
+    pub cache_hits: u64,
+    /// Cache lookups that fell through to compute. 0 with caching off.
+    pub cache_misses: u64,
+    /// Cache entries evicted under the byte budget. 0 with caching off.
+    pub cache_evictions: u64,
 }
 
 /// A finished job: the output plus the engine's span measurements.
@@ -212,6 +220,10 @@ struct Inner {
     /// acquisition never blocks and grants never shrink.
     scheduler: Arc<DeviceScheduler>,
     colocation: ColocationPolicy,
+    /// Content-keyed inference cache, when enabled. The exact layer is
+    /// probed at admission (a hit never queues); the embed layer rides
+    /// into the executor with every dispatch.
+    cache: Option<Arc<InferenceCache>>,
 }
 
 impl Inner {
@@ -306,6 +318,23 @@ impl InferenceEngine {
         config: EngineConfig,
         scheduler: Arc<DeviceScheduler>,
     ) -> Self {
+        Self::start_cached(model, network, executor, config, scheduler, None)
+    }
+
+    /// [`InferenceEngine::start_shared`] with a content-keyed inference
+    /// cache. The exact-match layer is probed at admission — a hit is
+    /// answered before the job touches the queue, the device lease, or
+    /// the executor — and the embedding layer is consulted row-by-row
+    /// inside the executor's forward pass. `None` is byte-for-byte the
+    /// uncached engine.
+    pub fn start_cached(
+        model: impl Into<String>,
+        network: Arc<Network>,
+        executor: Arc<dyn Executor>,
+        config: EngineConfig,
+        scheduler: Arc<DeviceScheduler>,
+        cache: Option<Arc<InferenceCache>>,
+    ) -> Self {
         let model = model.into();
         scheduler.register_sharer();
         let inner = Arc::new(Inner {
@@ -323,6 +352,7 @@ impl InferenceEngine {
             service: Mutex::new(LatencyHistogram::new()),
             scheduler,
             colocation: config.colocation,
+            cache,
         });
         let worker_count = match config.policy {
             DispatchPolicy::Immediate => config.workers.max(1),
@@ -388,6 +418,24 @@ impl InferenceEngine {
     }
 
     fn enqueue(&self, input: Tensor, reply: ReplySlot) -> Result<()> {
+        // Probe the exact-match cache before admission: a hit skips the
+        // queue, the device lease, and the forward pass entirely, and is
+        // stamped with the `cache` disposition (all spans ~0). A miss
+        // falls through to the normal bounded-queue path and is inserted
+        // by the dispatch worker that computes it.
+        if let Some(exact) = self.inner.cache.as_deref().and_then(InferenceCache::exact) {
+            if let Some(output) = exact.get(&input) {
+                self.inner.completed.fetch_add(1, Ordering::Relaxed);
+                reply.deliver(Ok(Completed {
+                    output,
+                    spans: EngineSpans {
+                        cache_hit: true,
+                        ..EngineSpans::default()
+                    },
+                }));
+                return Ok(());
+            }
+        }
         let job = Job {
             input,
             reply,
@@ -466,6 +514,12 @@ impl InferenceEngine {
             let h = self.inner.service.lock().unwrap_or_else(|e| e.into_inner());
             (h.quantile(0.50), h.quantile(0.99))
         };
+        let cache = self
+            .inner
+            .cache
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default();
         EngineStats {
             model: self.inner.model.clone(),
             queue_depth,
@@ -480,6 +534,9 @@ impl InferenceEngine {
             p99_lease_wait_us,
             p50_service_us,
             p99_service_us,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
         }
     }
 
@@ -582,6 +639,7 @@ fn spans_for(
         batch_us: dequeue_to_exec.saturating_sub(lease_wait).as_micros() as u64,
         lease_us: lease_wait.min(dequeue_to_exec).as_micros() as u64,
         service_us: service.as_micros() as u64,
+        cache_hit: false,
     }
 }
 
@@ -603,11 +661,17 @@ fn immediate_loop(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor
         let lease_waited = lease.waited();
         record_lease_wait(inner, lease_waited, 1);
         let exec_start = Instant::now();
-        let outcome = executor.infer_budgeted(network, &job.input, lease.threading());
+        let embed = inner.cache.as_deref().and_then(InferenceCache::embed);
+        let outcome = executor.infer_budgeted_cached(network, &job.input, lease.threading(), embed);
         drop(lease);
         let service = exec_start.elapsed();
         let result = outcome.map(|outcome| {
             record_service(inner, outcome.device_latency);
+            // This input missed at admission (hits never reach a
+            // worker): memoize it so the next identical request hits.
+            if let Some(exact) = inner.cache.as_deref().and_then(InferenceCache::exact) {
+                exact.insert(&job.input, &outcome.output);
+            }
             Completed {
                 output: outcome.output,
                 spans: spans_for(job.enqueued, dequeued, lease_waited, exec_start, service),
@@ -724,6 +788,11 @@ fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs
         .collect();
     let (inputs, replies): (Vec<Tensor>, Vec<ReplySlot>) =
         jobs.into_iter().map(|j| (j.input, j.reply)).unzip();
+    // Keep per-job input copies only when an exact cache wants them for
+    // miss insertion — stacking consumes the originals. With caching off
+    // this is free.
+    let exact = inner.cache.as_deref().and_then(InferenceCache::exact);
+    let kept_inputs: Option<Vec<Tensor>> = exact.map(|_| inputs.clone());
     // Input stacking counts toward the batch span: the lease is taken
     // after it (a batch waiting on compute is lease wait, not
     // coalescing) and executor-start is stamped after the grant, right
@@ -741,7 +810,9 @@ fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs
                 .acquire(executor.preferred_threads(total_queries));
             lease_waited = lease.waited();
             exec_start = Instant::now();
-            let outcome = executor.infer_budgeted(network, &stacked, lease.threading())?;
+            let embed = inner.cache.as_deref().and_then(InferenceCache::embed);
+            let outcome =
+                executor.infer_budgeted_cached(network, &stacked, lease.threading(), embed)?;
             drop(lease);
             service = exec_start.elapsed();
             record_service(inner, outcome.device_latency);
@@ -764,7 +835,12 @@ fn dispatch(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor, jobs
     inner.completed.fetch_add(n as u64, Ordering::Relaxed);
     match result {
         Ok(parts) => {
-            for ((reply, part), (enqueued, dequeued)) in replies.into_iter().zip(parts).zip(marks) {
+            for (i, ((reply, part), (enqueued, dequeued))) in
+                replies.into_iter().zip(parts).zip(marks).enumerate()
+            {
+                if let (Some(exact), Some(kept)) = (exact, kept_inputs.as_ref()) {
+                    exact.insert(&kept[i], &part);
+                }
                 reply.deliver(Ok(Completed {
                     output: part,
                     spans: spans_for(enqueued, dequeued, lease_waited, exec_start, service),

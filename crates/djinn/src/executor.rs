@@ -10,6 +10,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dnn::cache::EmbedCache;
 use dnn::profile::WorkloadProfile;
 use dnn::Network;
 use perf::GpuSpec;
@@ -57,6 +58,27 @@ pub trait Executor: Send + Sync {
     ) -> Result<InferenceOutcome> {
         let _ = budget;
         self.infer(network, input)
+    }
+
+    /// [`Executor::infer_budgeted`] with an optional embedding-layer
+    /// cache to consult/populate. Backends that run the real layer
+    /// stack on the host route through
+    /// [`Network::forward_embed_cached`]; backends whose math happens
+    /// elsewhere (modeled GPU, test doubles) ignore the cache — the
+    /// default does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches and layer failures.
+    fn infer_budgeted_cached(
+        &self,
+        network: &Arc<Network>,
+        input: &Tensor,
+        budget: Threading,
+        embed: Option<&EmbedCache>,
+    ) -> Result<InferenceOutcome> {
+        let _ = embed;
+        self.infer_budgeted(network, input, budget)
     }
 
     /// Host threads this backend would like for a `batch`-item call —
@@ -155,6 +177,26 @@ impl Executor for CpuExecutor {
         // tensor kernels are bitwise-identical at any thread count, so a
         // partial grant only changes timing, not outputs.
         self.infer_with(network, input, self.threading.min(budget))
+    }
+
+    fn infer_budgeted_cached(
+        &self,
+        network: &Arc<Network>,
+        input: &Tensor,
+        budget: Threading,
+        embed: Option<&EmbedCache>,
+    ) -> Result<InferenceOutcome> {
+        let Some(cache) = embed else {
+            return self.infer_budgeted(network, input, budget);
+        };
+        // The row-at-a-time prefix does its own (cached) work; the
+        // remaining layers still honor the lease budget.
+        let start = Instant::now();
+        let output = network.forward_embed_cached(input, cache, self.threading.min(budget))?;
+        Ok(InferenceOutcome {
+            output,
+            device_latency: start.elapsed(),
+        })
     }
 
     fn preferred_threads(&self, _batch: usize) -> usize {
@@ -314,6 +356,22 @@ impl<E: Executor> Executor for DelayExecutor<E> {
         let delay = self.delay_for_batch(input.shape().batch());
         std::thread::sleep(delay);
         let mut outcome = self.inner.infer_budgeted(network, input, budget)?;
+        outcome.device_latency += delay;
+        Ok(outcome)
+    }
+
+    fn infer_budgeted_cached(
+        &self,
+        network: &Arc<Network>,
+        input: &Tensor,
+        budget: Threading,
+        embed: Option<&EmbedCache>,
+    ) -> Result<InferenceOutcome> {
+        let delay = self.delay_for_batch(input.shape().batch());
+        std::thread::sleep(delay);
+        let mut outcome = self
+            .inner
+            .infer_budgeted_cached(network, input, budget, embed)?;
         outcome.device_latency += delay;
         Ok(outcome)
     }

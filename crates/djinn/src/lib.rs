@@ -53,6 +53,7 @@ pub mod trace;
 
 pub use client::{DjinnClient, PipelinedResponse};
 pub use device::{ColocationPolicy, ComputeLease, Device, DeviceScheduler};
+pub use dnn::cache::{CacheMode, CacheStats, InferenceCache};
 pub use engine::{
     BatchConfig, DispatchPolicy, EngineConfig, EngineStats, InferenceEngine, RoutedReply, Ticket,
 };

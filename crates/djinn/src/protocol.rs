@@ -72,7 +72,7 @@ use crate::{DjinnError, Result};
 pub const MAGIC: &[u8; 4] = b"DJNN";
 /// Protocol version this implementation speaks. Decoding accepts any
 /// version in `1..=VERSION`.
-pub const VERSION: u8 = 5;
+pub const VERSION: u8 = 6;
 /// Upper bound on a frame, to reject hostile lengths (64 MiB holds the
 /// largest Tonic batch comfortably).
 pub const MAX_FRAME: usize = 64 << 20;
@@ -166,6 +166,17 @@ pub struct ModelStats {
     /// 99th-percentile response-write time, microseconds (0 from a
     /// pre-v3 peer).
     pub p99_wire_us: u64,
+    /// Requests answered by the inference cache without touching the
+    /// queue, lease, or executor (0 from a pre-v6 peer or with
+    /// caching off). Exact-match hits count requests; embedding-layer
+    /// hits count rows.
+    pub cache_hits: u64,
+    /// Cache lookups that found nothing and fell through to the full
+    /// serving path (0 from a pre-v6 peer).
+    pub cache_misses: u64,
+    /// Cache entries evicted to stay under the byte budget (0 from a
+    /// pre-v6 peer).
+    pub cache_evictions: u64,
 }
 
 impl ModelStats {
@@ -175,6 +186,17 @@ impl ModelStats {
             0.0
         } else {
             self.total_latency_us as f64 / self.requests as f64
+        }
+    }
+
+    /// Cache hits over cache lookups, 0.0 when nothing was looked up
+    /// (caching off, or a pre-v6 peer).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
         }
     }
 }
@@ -385,13 +407,19 @@ fn get_request_id(buf: &mut &[u8], version: u8) -> Result<u64> {
 
 /// Reads the trace block prefixed to successful results: 40 bytes from
 /// a v3/v4 peer, 48 from v5 (which inserts `lease_us` between the batch
-/// and service spans). A pre-v3 response has none and decodes as the
-/// all-zero "peer reported none" trace.
+/// and service spans), 56 from v6 (which appends a cache-hit word — at
+/// the *end*, so the request ID keeps its fixed offset for in-place
+/// rewriting; see [`response_id_slot`]). A pre-v3 response has none and
+/// decodes as the all-zero "peer reported none" trace.
 fn get_trace(buf: &mut &[u8], version: u8) -> Result<ServerTrace> {
     if version < 3 {
         return Ok(ServerTrace::default());
     }
-    let len = if version >= 5 { 48 } else { 40 };
+    let len = match version {
+        3 | 4 => 40,
+        5 => 48,
+        _ => 56,
+    };
     if buf.remaining() < len {
         return Err(err("truncated trace block"));
     }
@@ -399,13 +427,17 @@ fn get_trace(buf: &mut &[u8], version: u8) -> Result<ServerTrace> {
     let queue_us = buf.get_u64_le();
     let batch_us = buf.get_u64_le();
     let lease_us = if version >= 5 { buf.get_u64_le() } else { 0 };
+    let service_us = buf.get_u64_le();
+    let server_total_us = buf.get_u64_le();
+    let cache_hit = version >= 6 && buf.get_u64_le() != 0;
     Ok(ServerTrace {
         request_id,
         queue_us,
         batch_us,
         lease_us,
-        service_us: buf.get_u64_le(),
-        server_total_us: buf.get_u64_le(),
+        service_us,
+        server_total_us,
+        cache_hit,
     })
 }
 
@@ -606,6 +638,7 @@ impl Response {
                 buf.put_u64_le(trace.lease_us);
                 buf.put_u64_le(trace.service_us);
                 buf.put_u64_le(trace.server_total_us);
+                buf.put_u64_le(trace.cache_hit as u64);
                 put_tensor(buf, tensor);
             }
             Response::Error {
@@ -653,6 +686,9 @@ impl Response {
                     buf.put_u64_le(s.p99_wire_us);
                     buf.put_u64_le(s.p50_lease_wait_us);
                     buf.put_u64_le(s.p99_lease_wait_us);
+                    buf.put_u64_le(s.cache_hits);
+                    buf.put_u64_le(s.cache_misses);
+                    buf.put_u64_le(s.cache_evictions);
                 }
             }
             Response::Busy {
@@ -772,13 +808,14 @@ impl Response {
                 let count = buf.get_u16_le() as usize;
                 // v1 entries carry 4 u64 counters; v2 appends 5 more for
                 // queue telemetry; v3 appends 6 breakdown quantiles; v5
-                // appends 2 lease-wait quantiles. Fields a version
-                // predates decode as 0.
+                // appends 2 lease-wait quantiles; v6 appends 3 cache
+                // counters. Fields a version predates decode as 0.
                 let words = match version {
                     1 => 4,
                     2 => 9,
                     3 | 4 => 15,
-                    _ => 17,
+                    5 => 17,
+                    _ => 20,
                 };
                 let mut stats = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -805,6 +842,9 @@ impl Response {
                         p99_wire_us: 0,
                         p50_lease_wait_us: 0,
                         p99_lease_wait_us: 0,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                        cache_evictions: 0,
                     };
                     if version >= 2 {
                         entry.queue_depth = buf.get_u64_le();
@@ -824,6 +864,11 @@ impl Response {
                     if version >= 5 {
                         entry.p50_lease_wait_us = buf.get_u64_le();
                         entry.p99_lease_wait_us = buf.get_u64_le();
+                    }
+                    if version >= 6 {
+                        entry.cache_hits = buf.get_u64_le();
+                        entry.cache_misses = buf.get_u64_le();
+                        entry.cache_evictions = buf.get_u64_le();
                     }
                     stats.push(entry);
                 }
@@ -1346,6 +1391,9 @@ mod tests {
             p99_wire_us: 700,
             p50_lease_wait_us: 35,
             p99_lease_wait_us: 880,
+            cache_hits: 18,
+            cache_misses: 24,
+            cache_evictions: 2,
         }
     }
 
@@ -1371,10 +1419,11 @@ mod tests {
 
     #[test]
     fn version_constant_matches_the_correlated_protocol() {
-        // v5 added shared-device lease telemetry (48-byte trace block,
-        // two extra stats quantiles) on top of v4's total ID
-        // correlation; bump this test alongside any future wire change.
-        assert_eq!(VERSION, 5);
+        // v6 added inference-cache telemetry (56-byte trace block with a
+        // trailing hit flag, three extra stats counters) on top of v5's
+        // lease telemetry; bump this test alongside any future wire
+        // change.
+        assert_eq!(VERSION, 6);
         let wire = Request::ListModels { request_id: 1 }.encode().unwrap();
         assert_eq!(wire[4], VERSION, "encoders must stamp VERSION");
     }
@@ -1487,11 +1536,15 @@ mod tests {
         .to_vec();
         stats.drain(6..22); // id + unknown counter
         stats[4] = 3;
-        // A v3 entry has no lease quantiles: they decode as zero (the
-        // two extra encoded words trail the entry and are ignored).
+        // A v3 entry has no lease quantiles or cache counters: they
+        // decode as zero (the five extra encoded words trail the entry
+        // and are ignored).
         let mut v3_entry = stats_entry("dig");
         v3_entry.p50_lease_wait_us = 0;
         v3_entry.p99_lease_wait_us = 0;
+        v3_entry.cache_hits = 0;
+        v3_entry.cache_misses = 0;
+        v3_entry.cache_evictions = 0;
         assert_eq!(
             Response::decode(&stats).unwrap(),
             Response::Stats {
@@ -1500,6 +1553,77 @@ mod tests {
                 stats: vec![v3_entry],
             }
         );
+    }
+
+    #[test]
+    fn v5_frames_decode_with_zero_cache_fields() {
+        // v5 → v6 compat: splice the trailing cache word out of an
+        // Output trace block (and the three cache counters out of a
+        // stats entry), rewrite the version byte, and everything must
+        // decode with the cache fields zero-filled.
+        let tensor = Tensor::random_uniform(Shape::mat(1, 3), 1.0, 6);
+        let rsp = Response::Output {
+            tensor: tensor.clone(),
+            trace: ServerTrace {
+                request_id: 12,
+                queue_us: 1,
+                batch_us: 2,
+                lease_us: 3,
+                service_us: 4,
+                server_total_us: 10,
+                cache_hit: true,
+            },
+        };
+        let mut wire = rsp.encode().unwrap().to_vec();
+        wire.drain(7 + 48..7 + 56); // the v6 cache-hit word
+        wire[4] = 5;
+        let decoded = Response::decode(&wire).unwrap();
+        assert_eq!(
+            decoded,
+            Response::Output {
+                tensor,
+                trace: ServerTrace {
+                    request_id: 12,
+                    queue_us: 1,
+                    batch_us: 2,
+                    lease_us: 3,
+                    service_us: 4,
+                    server_total_us: 10,
+                    cache_hit: false,
+                },
+            },
+            "v5 peers report no cache disposition"
+        );
+
+        let mut stats = Response::Stats {
+            request_id: 9,
+            unknown_model_requests: 0,
+            stats: vec![stats_entry("pos")],
+        }
+        .encode()
+        .unwrap()
+        .to_vec();
+        stats.drain(stats.len() - 24..); // the 3 trailing cache counters
+        stats[4] = 5;
+        let mut v5_entry = stats_entry("pos");
+        v5_entry.cache_hits = 0;
+        v5_entry.cache_misses = 0;
+        v5_entry.cache_evictions = 0;
+        assert_eq!(v5_entry.cache_hit_rate(), 0.0);
+        assert_eq!(
+            Response::decode(&stats).unwrap(),
+            Response::Stats {
+                request_id: 9,
+                unknown_model_requests: 0,
+                stats: vec![v5_entry],
+            }
+        );
+    }
+
+    #[test]
+    fn cache_hit_rate_is_hits_over_lookups() {
+        let s = stats_entry("pos"); // 18 hits, 24 misses
+        assert!((s.cache_hit_rate() - 18.0 / 42.0).abs() < 1e-12);
     }
 
     #[test]
@@ -1593,12 +1717,13 @@ mod tests {
                 lease_us: 9,
                 service_us: 4,
                 server_total_us: 5,
+                cache_hit: true,
             },
         };
-        // A v2 frame has no trace block: splice out the 48 bytes that
+        // A v2 frame has no trace block: splice out the 56 bytes that
         // follow the status byte and rewrite the version.
         let mut wire = rsp.encode().unwrap().to_vec();
-        wire.drain(7..55);
+        wire.drain(7..63);
         wire[4] = 2;
         let decoded = Response::decode(&wire).unwrap();
         assert_eq!(
@@ -1623,12 +1748,15 @@ mod tests {
                 lease_us: 30,
                 service_us: 40,
                 server_total_us: 100,
+                cache_hit: true,
             },
         };
-        // A v4 frame has a 40-byte trace block without the lease word:
-        // splice lease_us out (it sits after id+queue+batch) and rewrite
-        // the version byte.
+        // A v4 frame has a 40-byte trace block without the lease word or
+        // the v6 cache word: splice the trailing cache flag out, then
+        // lease_us (it sits after id+queue+batch), and rewrite the
+        // version byte.
         let mut wire = rsp.encode().unwrap().to_vec();
+        wire.drain(7 + 48..7 + 56);
         wire.drain(7 + 24..7 + 32);
         wire[4] = 4;
         let decoded = Response::decode(&wire).unwrap();
@@ -1643,9 +1771,10 @@ mod tests {
                     lease_us: 0,
                     service_us: 40,
                     server_total_us: 100,
+                    cache_hit: false,
                 },
             },
-            "v4 peers report no lease wait"
+            "v4 peers report no lease wait and no cache flag"
         );
     }
 
@@ -1661,6 +1790,7 @@ mod tests {
                     lease_us: 15,
                     service_us: 2_000,
                     server_total_us: 2_300,
+                    cache_hit: true,
                 },
             },
             Response::Error {
@@ -1770,7 +1900,7 @@ mod tests {
         let mut buf = BytesMut::new();
         header(&mut buf, OP_RESULT);
         buf.put_u8(STATUS_OK);
-        buf.put_slice(&[0u8; 48]);
+        buf.put_slice(&[0u8; 56]);
         buf.put_u8(0);
         assert!(Response::decode(&buf).is_err());
     }
@@ -2006,6 +2136,7 @@ mod tests {
                     lease_us: 15,
                     service_us: 2_000,
                     server_total_us: 2_300,
+                    cache_hit: false,
                 },
             },
             Response::Error {
@@ -2062,6 +2193,7 @@ mod tests {
             lease_us: 0,
             service_us: 3,
             server_total_us: 6,
+            cache_hit: true,
         };
         let rsp = Response::Output {
             tensor: tensor.clone(),
@@ -2236,6 +2368,7 @@ mod tests {
                     lease_us: seed % 211,
                     service_us: seed % 4_001,
                     server_total_us: seed % 5_003,
+                    cache_hit: seed % 2 == 1,
                 },
             };
             let back = Response::decode(&rsp.encode().unwrap()).unwrap();
@@ -2418,6 +2551,7 @@ mod tests {
                     lease_us: 0,
                     service_us: 3,
                     server_total_us: 4,
+                    cache_hit: false,
                 },
             },
             Response::Error {

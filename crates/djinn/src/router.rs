@@ -1025,6 +1025,9 @@ mod tests {
             p99_wire_us: 10,
             p50_lease_wait_us: 0,
             p99_lease_wait_us: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
         }
     }
 

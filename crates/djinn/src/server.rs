@@ -33,6 +33,7 @@ use crate::{
     BatchConfig, CpuExecutor, DelayExecutor, DispatchPolicy, DjinnError, EngineConfig, Executor,
     InferenceEngine, ModelRegistry, Result, RoutedReply, SimGpuExecutor,
 };
+use dnn::cache::{CacheMode, InferenceCache};
 
 /// Which compute backend the server uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,6 +85,14 @@ pub struct ServerConfig {
     /// [`ColocationPolicy`]). Only meaningful with `batching` set;
     /// defaults to the classic always-batch coalescing loop.
     pub colocation: ColocationPolicy,
+    /// Content-keyed inference caching (see [`dnn::cache`]). `Off`
+    /// disables caching entirely — pre-cache behavior, no per-request
+    /// overhead beyond a `None` check.
+    pub cache_mode: CacheMode,
+    /// Total cache byte budget, split evenly across the registered
+    /// models (each engine gets a private cache; outputs never cross
+    /// model boundaries).
+    pub cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +108,8 @@ impl Default for ServerConfig {
             service_delay: None,
             device_capacity: None,
             colocation: ColocationPolicy::AlwaysBatch,
+            cache_mode: CacheMode::Off,
+            cache_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -201,6 +212,8 @@ impl DjinnServer {
         // mirroring DjiNN's load-everything-up-front design. Batched and
         // unbatched serving are just dispatch policies of the same engine.
         let mut engines = BTreeMap::new();
+        let model_count = registry.names().len().max(1);
+        let per_model_cache_bytes = (config.cache_bytes / model_count).max(1);
         for name in registry.names() {
             let net = registry.get(&name)?;
             let policy = match config.batching {
@@ -219,12 +232,14 @@ impl DjinnServer {
                 workers: config.engine_workers,
                 colocation: config.colocation,
             };
-            let engine = InferenceEngine::start_shared(
+            let cache = InferenceCache::new(config.cache_mode, per_model_cache_bytes).map(Arc::new);
+            let engine = InferenceEngine::start_cached(
                 name.clone(),
                 net,
                 Arc::clone(&executor),
                 engine_config,
                 Arc::clone(&scheduler),
+                cache,
             );
             engines.insert(name, engine);
         }
@@ -686,6 +701,9 @@ fn stats_response(shared: &Shared, request_id: u64) -> Response {
                     p99_wire_us: acc.map_or(0, |a| a.wire.quantile(0.99)),
                     p50_lease_wait_us: q.p50_lease_wait_us,
                     p99_lease_wait_us: q.p99_lease_wait_us,
+                    cache_hits: q.cache_hits,
+                    cache_misses: q.cache_misses,
+                    cache_evictions: q.cache_evictions,
                 }
             })
             .collect(),

@@ -59,6 +59,11 @@ pub struct EngineSpans {
     /// sim-GPU backend this is the *wall* time of the real math, not the
     /// modeled device latency — traces account real elapsed time.
     pub service_us: u64,
+    /// Whether the exact-match inference cache answered this request. A
+    /// hit short-circuits admission, so every span above is ~0: the
+    /// request never queued, never leased the device, never ran the
+    /// forward pass.
+    pub cache_hit: bool,
 }
 
 /// The server-side trace slice of one request, echoed in v3 responses.
@@ -79,6 +84,9 @@ pub struct ServerTrace {
     /// Server-read → response-encode, microseconds: everything the
     /// server's clock can attribute to this request.
     pub server_total_us: u64,
+    /// Whether the inference cache answered this request (v6; decodes
+    /// as `false` from a pre-v6 peer).
+    pub cache_hit: bool,
 }
 
 impl ServerTrace {
@@ -92,6 +100,7 @@ impl ServerTrace {
             lease_us: spans.lease_us,
             service_us: spans.service_us,
             server_total_us,
+            cache_hit: spans.cache_hit,
         }
     }
 }
@@ -124,6 +133,10 @@ pub struct TraceRecord {
     /// frame, length prefixes included (0 when the transport did not
     /// report sizes — e.g. records assembled outside `DjinnClient`).
     pub wire_bytes: u64,
+    /// Whether the server's inference cache answered this request — the
+    /// `cache` trace disposition. A hit legitimately reports ~zero
+    /// queue/lease/service.
+    pub cache_hit: bool,
 }
 
 impl TraceRecord {
@@ -141,6 +154,7 @@ impl TraceRecord {
             server_total_us: server.server_total_us,
             busy_retries: 0,
             wire_bytes: 0,
+            cache_hit: server.cache_hit,
         }
     }
 
@@ -164,8 +178,12 @@ impl TraceRecord {
     /// span) decodes as 0 — in that case `wire_us()` would equal the
     /// whole end-to-end latency and the queue/batch/service spans would
     /// be fake zeros, so reports render those columns as `n/a` instead.
+    ///
+    /// A cache hit is the one case where a *traced* request can report
+    /// `server_total_us == 0` (the whole server side can complete inside
+    /// one microsecond tick), so the hit flag counts as a server trace.
     pub fn has_server_trace(&self) -> bool {
-        self.server_total_us > 0
+        self.server_total_us > 0 || self.cache_hit
     }
 
     /// Server overhead outside the engine (decode, admission, batch
@@ -194,7 +212,8 @@ impl TraceRecord {
         format!(
             "{{\"request_id\":{},\"model\":\"{}\",\"e2e_us\":{},\"queue_us\":{},\
              \"batch_us\":{},\"lease_us\":{},\"service_us\":{},\"wire_us\":{},\
-             \"server_total_us\":{},\"busy_retries\":{},\"wire_bytes\":{}}}",
+             \"server_total_us\":{},\"busy_retries\":{},\"wire_bytes\":{},\
+             \"cache_hit\":{}}}",
             self.request_id,
             model,
             self.e2e_us,
@@ -206,6 +225,7 @@ impl TraceRecord {
             self.server_total_us,
             self.busy_retries,
             self.wire_bytes,
+            self.cache_hit,
         )
     }
 }
@@ -307,6 +327,7 @@ mod tests {
                 lease_us: 0,
                 service_us: service,
                 server_total_us: total,
+                cache_hit: false,
             },
         )
     }
@@ -351,6 +372,7 @@ mod tests {
             "\"server_total_us\":800",
             "\"busy_retries\":0",
             "\"wire_bytes\":0",
+            "\"cache_hit\":false",
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }
@@ -431,6 +453,38 @@ mod tests {
             .find(|l| l.starts_with("total"))
             .expect("total row");
         assert!(total_row.contains("ms"), "{rendered}");
+    }
+
+    /// A cache hit can land with every server span at 0 — the whole
+    /// server side fits inside one microsecond tick. The hit flag must
+    /// still count as a server trace, or hits would render as untraced
+    /// pre-v3 peers and vanish from the stage breakdown.
+    #[test]
+    fn cache_hits_are_traced_even_with_zero_spans() {
+        let spans = EngineSpans {
+            cache_hit: true,
+            ..EngineSpans::default()
+        };
+        let r = TraceRecord::new("pos", 120, ServerTrace::new(9, spans, 0));
+        assert!(r.cache_hit, "hit flag travels spans → wire trace → record");
+        assert!(r.has_server_trace());
+        assert_eq!(r.wire_us(), 120, "all e2e is wire when the server took ~0");
+        assert!(
+            r.to_json().contains("\"cache_hit\":true"),
+            "{}",
+            r.to_json()
+        );
+        let mut agg = TraceAggregator::new();
+        agg.record(&r);
+        let rendered = agg.table().render();
+        let queue_row = rendered
+            .lines()
+            .find(|l| l.starts_with("queue"))
+            .expect("queue row");
+        assert!(
+            queue_row.contains("0.00 ms"),
+            "a hit's zero queue is a real measurement, not n/a: {rendered}"
+        );
     }
 
     /// Regression test for the all-shed loadgen run: with zero successful

@@ -1,0 +1,685 @@
+//! Content-keyed inference caching: memoization at layer boundaries.
+//!
+//! WSC inference traffic is redundant in two ways the forward pass can
+//! exploit (ROADMAP item 4; see DESIGN.md §14):
+//!
+//! * **Exact duplicates** — IMC/DIG style services see the same input
+//!   tensor again and again (retries, hot content, identical thumbnails).
+//!   [`ExactCache`] memoizes the *full* network output keyed by the
+//!   input's content, so a repeat skips the forward pass entirely.
+//! * **Hot vocabulary** — the SENNA NLP services (POS/CHK/NER) re-embed
+//!   the same word-window rows on every request even when the full
+//!   input tensor is novel. [`EmbedCache`] memoizes the embedding-layer
+//!   (first fully-connected + activation) output *per input row*, so a
+//!   partially-hot input still hits on its hot rows.
+//!
+//! Both caches share one engine, [`ShardedLru`]: a hash-sharded map with
+//! strict byte-budget LRU eviction. Keys are the exact bit patterns of
+//! the input floats (shape included for the full-output memo), and every
+//! hit re-verifies the **full key** against the stored copy — a hash
+//! collision can never serve another input's output, only cost a miss.
+//! `-0.0` vs `0.0` and differing NaN payloads are distinct keys by
+//! construction, which is what makes a hit bitwise-equivalent to the
+//! compute it replaced.
+//!
+//! Consistency model: models are immutable after load (the registry is
+//! load-once, share-read-only), so a cached output can never go stale —
+//! eviction exists purely to bound memory, never for correctness.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tensor::Tensor;
+
+/// Hash function over canonical key words. Pluggable so tests can force
+/// collisions and prove hits compare the full key, not just the hash.
+pub type KeyHasher = fn(&[u32]) -> u64;
+
+/// FNV-1a over the little-endian bytes of each key word — the default
+/// [`KeyHasher`]. Deterministic across processes and platforms.
+pub fn fnv1a(words: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Point-in-time cache telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (full key verified).
+    pub hits: u64,
+    /// Lookups that found nothing (or only a colliding key).
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Bytes currently resident (keys + values).
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Field-wise sum, for reporting two cache layers as one line.
+    #[must_use]
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            insertions: self.insertions + other.insertions,
+            resident_bytes: self.resident_bytes + other.resident_bytes,
+            entries: self.entries + other.entries,
+        }
+    }
+}
+
+struct Entry<V> {
+    key: Box<[u32]>,
+    value: V,
+    bytes: usize,
+    tick: u64,
+}
+
+struct Shard<V> {
+    /// Hash → chain of entries with that hash. Chains hold every
+    /// colliding key; a lookup walks the chain comparing full keys.
+    chains: HashMap<u64, Vec<Entry<V>>>,
+    /// LRU index: recency tick → hash of the entry stamped with it.
+    /// Ticks are unique within a shard, so the map's first key is always
+    /// the least-recently-used entry.
+    lru: BTreeMap<u64, u64>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            chains: HashMap::new(),
+            lru: BTreeMap::new(),
+            bytes: 0,
+            tick: 0,
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// A hash-sharded, byte-budgeted LRU map from content keys to values —
+/// the storage engine behind [`ExactCache`] and [`EmbedCache`].
+///
+/// Keys are canonical `u32` words (float bit patterns, shape words).
+/// Every hit compares the stored key word-for-word before answering, so
+/// hash collisions degrade to misses, never to wrong answers. Each shard
+/// owns an equal slice of the byte budget and evicts least-recently-used
+/// entries whenever an insert would overflow it.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    shard_budget: usize,
+    hasher: KeyHasher,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+/// Shards per cache: enough to keep concurrent engine workers off each
+/// other's locks, few enough that tiny budgets still hold real entries.
+const SHARDS: usize = 8;
+
+impl<V: Clone> ShardedLru<V> {
+    /// A cache holding at most `budget_bytes` of keys + values, using
+    /// the default FNV-1a hasher.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self::with_hasher(budget_bytes, fnv1a)
+    }
+
+    /// Like [`ShardedLru::new`] with a caller-chosen hash function —
+    /// the hook collision-hardening tests use to force every key onto
+    /// one chain.
+    pub fn with_hasher(budget_bytes: usize, hasher: KeyHasher) -> Self {
+        ShardedLru {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_budget: (budget_bytes / SHARDS).max(1),
+            hasher,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, hash: u64) -> &Mutex<Shard<V>> {
+        // Take shard bits from the top of the hash so they stay
+        // independent of whatever low bits HashMap buckets by.
+        &self.shards[(hash >> 56) as usize % self.shards.len()]
+    }
+
+    /// Looks `key` up, returning a clone of the stored value on a
+    /// verified full-key match and refreshing the entry's recency.
+    pub fn get(&self, key: &[u32]) -> Option<V> {
+        let hash = (self.hasher)(key);
+        let mut shard = self
+            .shard_of(hash)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let tick = shard.next_tick();
+        if let Some(chain) = shard.chains.get_mut(&hash) {
+            if let Some(entry) = chain.iter_mut().find(|e| &*e.key == key) {
+                let old = entry.tick;
+                entry.tick = tick;
+                let value = entry.value.clone();
+                shard.lru.remove(&old);
+                shard.lru.insert(tick, hash);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(value);
+            }
+        }
+        drop(shard);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts (or refreshes) `key → value`, charging `bytes` against
+    /// the shard's budget and evicting LRU entries to make room. An
+    /// entry larger than a whole shard's budget is not admitted at all —
+    /// caching it would evict everything and still overflow.
+    pub fn insert(&self, key: Vec<u32>, value: V, bytes: usize) {
+        if bytes > self.shard_budget {
+            return;
+        }
+        let hash = (self.hasher)(&key);
+        let mut shard = self
+            .shard_of(hash)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let tick = shard.next_tick();
+        // Replace an existing entry for this exact key (concurrent
+        // misses race to insert the same computation; last write wins).
+        if let Some(chain) = shard.chains.get_mut(&hash) {
+            if let Some(entry) = chain.iter_mut().find(|e| *e.key == key[..]) {
+                let (old_tick, old_bytes) = (entry.tick, entry.bytes);
+                entry.value = value;
+                entry.bytes = bytes;
+                entry.tick = tick;
+                shard.lru.remove(&old_tick);
+                shard.lru.insert(tick, hash);
+                shard.bytes = shard.bytes - old_bytes + bytes;
+                self.evict_over_budget(&mut shard);
+                return;
+            }
+        }
+        shard.bytes += bytes;
+        shard.chains.entry(hash).or_default().push(Entry {
+            key: key.into_boxed_slice(),
+            value,
+            bytes,
+            tick,
+        });
+        shard.lru.insert(tick, hash);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evict_over_budget(&mut shard);
+    }
+
+    fn evict_over_budget(&self, shard: &mut Shard<V>) {
+        while shard.bytes > self.shard_budget {
+            let Some((&tick, &hash)) = shard.lru.iter().next() else {
+                break; // unreachable: bytes > 0 implies an entry exists
+            };
+            shard.lru.remove(&tick);
+            let mut freed = 0;
+            if let Some(chain) = shard.chains.get_mut(&hash) {
+                if let Some(pos) = chain.iter().position(|e| e.tick == tick) {
+                    freed = chain[pos].bytes;
+                    chain.swap_remove(pos);
+                }
+                if chain.is_empty() {
+                    shard.chains.remove(&hash);
+                }
+            }
+            shard.bytes -= freed;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes currently resident across all shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).bytes)
+            .sum()
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).lru.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The byte budget one shard enforces (total budget / shard count).
+    pub fn shard_budget(&self) -> usize {
+        self.shard_budget
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes() as u64,
+            entries: self.len() as u64,
+        }
+    }
+}
+
+/// Canonical key words for a whole tensor: rank, dims, then the bit
+/// pattern of every float. Two tensors map to the same key iff they are
+/// bitwise identical in shape and content.
+pub fn tensor_key(t: &Tensor) -> Vec<u32> {
+    let dims = t.shape().dims();
+    let mut key = Vec::with_capacity(1 + dims.len() + t.data().len());
+    key.push(dims.len() as u32);
+    key.extend(dims.iter().map(|&d| d as u32));
+    key.extend(t.data().iter().map(|v| v.to_bits()));
+    key
+}
+
+/// Canonical key words for one row: just the float bit patterns (the
+/// row length is implied by the model's input width).
+fn row_key(row: &[f32]) -> Vec<u32> {
+    row.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Full-output memo: input tensor content → network output. A hit is a
+/// request that never needs the forward pass (nor, in the serving
+/// engine, the queue or the device lease).
+pub struct ExactCache {
+    lru: ShardedLru<Tensor>,
+}
+
+impl ExactCache {
+    /// An exact-match cache bounded by `budget_bytes`.
+    pub fn new(budget_bytes: usize) -> Self {
+        ExactCache {
+            lru: ShardedLru::new(budget_bytes),
+        }
+    }
+
+    /// Like [`ExactCache::new`] with a custom hasher (collision tests).
+    pub fn with_hasher(budget_bytes: usize, hasher: KeyHasher) -> Self {
+        ExactCache {
+            lru: ShardedLru::with_hasher(budget_bytes, hasher),
+        }
+    }
+
+    /// The cached output for a bitwise-identical prior input, if any.
+    pub fn get(&self, input: &Tensor) -> Option<Tensor> {
+        self.lru.get(&tensor_key(input))
+    }
+
+    /// Memoizes `input → output`. The charge covers both the key (a
+    /// bitwise copy of the input) and the stored output.
+    pub fn insert(&self, input: &Tensor, output: &Tensor) {
+        let key = tensor_key(input);
+        let bytes = key.len() * 4 + output.byte_len();
+        self.lru.insert(key, output.clone(), bytes);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.lru.stats()
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.lru.resident_bytes()
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+}
+
+/// Embedding-layer row memo: one input row's content → the embedding
+/// prefix's output row (see [`crate::Network::forward_embed_cached`]).
+/// Keying per row is what lets a *partially* hot input — a SENNA window
+/// batch where only some word windows repeat — still hit on the hot
+/// rows while computing the cold ones.
+pub struct EmbedCache {
+    lru: ShardedLru<Arc<[f32]>>,
+}
+
+impl EmbedCache {
+    /// A per-row cache bounded by `budget_bytes`.
+    pub fn new(budget_bytes: usize) -> Self {
+        EmbedCache {
+            lru: ShardedLru::new(budget_bytes),
+        }
+    }
+
+    /// Like [`EmbedCache::new`] with a custom hasher (collision tests).
+    pub fn with_hasher(budget_bytes: usize, hasher: KeyHasher) -> Self {
+        EmbedCache {
+            lru: ShardedLru::with_hasher(budget_bytes, hasher),
+        }
+    }
+
+    /// The cached prefix output for a bitwise-identical prior row.
+    pub fn get_row(&self, row: &[f32]) -> Option<Arc<[f32]>> {
+        self.lru.get(&row_key(row))
+    }
+
+    /// Memoizes `row → prefix output row`.
+    pub fn insert_row(&self, row: &[f32], out: &[f32]) {
+        let key = row_key(row);
+        let bytes = (key.len() + out.len()) * 4;
+        self.lru.insert(key, Arc::from(out), bytes);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.lru.stats()
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.lru.resident_bytes()
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+}
+
+/// Which cache layers a service enables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// No caching (the pre-cache serving path, byte for byte).
+    #[default]
+    Off,
+    /// Full-output memoization only.
+    Exact,
+    /// Embedding-layer row memoization only.
+    Embed,
+    /// Both layers, splitting the byte budget evenly.
+    Both,
+}
+
+impl std::str::FromStr for CacheMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(CacheMode::Off),
+            "exact" => Ok(CacheMode::Exact),
+            "embed" => Ok(CacheMode::Embed),
+            "both" => Ok(CacheMode::Both),
+            other => Err(format!(
+                "unknown cache mode `{other}` (want off|exact|embed|both)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for CacheMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheMode::Off => "off",
+            CacheMode::Exact => "exact",
+            CacheMode::Embed => "embed",
+            CacheMode::Both => "both",
+        })
+    }
+}
+
+/// One model's cache configuration: the enabled layers under a shared
+/// byte budget. [`InferenceCache::new`] returns `None` for
+/// [`CacheMode::Off`] so a disabled cache costs the serving path nothing
+/// — not even a branch into this module.
+pub struct InferenceCache {
+    exact: Option<ExactCache>,
+    embed: Option<EmbedCache>,
+}
+
+impl InferenceCache {
+    /// Builds the caches `mode` enables under `budget_bytes` total
+    /// ([`CacheMode::Both`] splits the budget evenly); `None` for
+    /// [`CacheMode::Off`].
+    pub fn new(mode: CacheMode, budget_bytes: usize) -> Option<Self> {
+        match mode {
+            CacheMode::Off => None,
+            CacheMode::Exact => Some(InferenceCache {
+                exact: Some(ExactCache::new(budget_bytes)),
+                embed: None,
+            }),
+            CacheMode::Embed => Some(InferenceCache {
+                exact: None,
+                embed: Some(EmbedCache::new(budget_bytes)),
+            }),
+            CacheMode::Both => Some(InferenceCache {
+                exact: Some(ExactCache::new(budget_bytes / 2)),
+                embed: Some(EmbedCache::new(budget_bytes / 2)),
+            }),
+        }
+    }
+
+    /// The full-output memo, when enabled.
+    pub fn exact(&self) -> Option<&ExactCache> {
+        self.exact.as_ref()
+    }
+
+    /// The embedding-row memo, when enabled.
+    pub fn embed(&self) -> Option<&EmbedCache> {
+        self.embed.as_ref()
+    }
+
+    /// Combined counters across the enabled layers (embed counts rows,
+    /// exact counts whole requests).
+    pub fn stats(&self) -> CacheStats {
+        let exact = self
+            .exact
+            .as_ref()
+            .map(ExactCache::stats)
+            .unwrap_or_default();
+        let embed = self
+            .embed
+            .as_ref()
+            .map(EmbedCache::stats)
+            .unwrap_or_default();
+        exact.merged(&embed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Shape;
+
+    fn tens(seed: u64, n: usize) -> Tensor {
+        Tensor::random_uniform(Shape::mat(1, n), 1.0, seed)
+    }
+
+    #[test]
+    fn exact_cache_round_trips_bitwise() {
+        let cache = ExactCache::new(1 << 20);
+        let input = tens(1, 16);
+        let output = tens(2, 4);
+        assert!(cache.get(&input).is_none(), "cold cache misses");
+        cache.insert(&input, &output);
+        let hit = cache.get(&input).expect("warm cache hits");
+        assert_eq!(hit.shape(), output.shape());
+        let bitwise: Vec<u32> = hit.data().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = output.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bitwise, want, "hit must be bitwise-identical");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_shapes_with_same_bytes_are_different_keys() {
+        let cache = ExactCache::new(1 << 20);
+        let flat = Tensor::from_vec(Shape::mat(1, 4), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let tall = Tensor::from_vec(Shape::mat(4, 1), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        cache.insert(&flat, &tens(9, 2));
+        assert!(cache.get(&tall).is_none(), "shape is part of the key");
+    }
+
+    #[test]
+    fn negative_zero_and_nan_payloads_are_distinct_keys() {
+        let cache = ExactCache::new(1 << 20);
+        let pos = Tensor::from_vec(Shape::mat(1, 2), vec![0.0, 1.0]).unwrap();
+        let neg = Tensor::from_vec(Shape::mat(1, 2), vec![-0.0, 1.0]).unwrap();
+        cache.insert(&pos, &tens(5, 2));
+        assert!(
+            cache.get(&neg).is_none(),
+            "-0.0 == 0.0 numerically but must not alias in a bitwise cache"
+        );
+    }
+
+    #[test]
+    fn eviction_keeps_resident_bytes_under_budget() {
+        let budget = 64 << 10;
+        let cache = ExactCache::new(budget);
+        for seed in 0..200 {
+            cache.insert(&tens(seed, 256), &tens(seed + 1000, 64));
+            assert!(
+                cache.resident_bytes() <= budget,
+                "resident {} exceeds budget {budget}",
+                cache.resident_bytes()
+            );
+        }
+        let s = cache.stats();
+        assert!(
+            s.evictions > 0,
+            "200 x ~1.3KB entries must evict under 64KB"
+        );
+        assert!(!cache.is_empty(), "eviction must not empty a warm cache");
+    }
+
+    #[test]
+    fn eviction_is_lru_not_random() {
+        // One shard's worth of traffic: keys all collide onto one chain
+        // via a constant hasher, so recency alone decides who survives.
+        let cache = ExactCache::with_hasher(8 << 10, |_| 7);
+        let (a, b) = (tens(1, 64), tens(2, 64));
+        cache.insert(&a, &tens(10, 8));
+        cache.insert(&b, &tens(11, 8));
+        assert!(cache.get(&a).is_some(), "touch `a` so `b` is now LRU");
+        // Fill until something must go: the survivor set must favor `a`.
+        for seed in 100..103 {
+            cache.insert(&tens(seed, 64), &tens(seed + 1, 8));
+        }
+        let (a_alive, b_alive) = (cache.get(&a).is_some(), cache.get(&b).is_some());
+        assert!(
+            a_alive || !b_alive,
+            "b (LRU) survived while a (recently touched) was evicted"
+        );
+    }
+
+    #[test]
+    fn colliding_hashes_never_cross_answers() {
+        // Constant hasher: every key lands on one chain. Both inputs
+        // must still get their own outputs back.
+        let cache = ExactCache::with_hasher(1 << 20, |_| 42);
+        let (in_a, in_b) = (tens(1, 16), tens(2, 16));
+        let (out_a, out_b) = (tens(3, 4), tens(4, 4));
+        cache.insert(&in_a, &out_a);
+        cache.insert(&in_b, &out_b);
+        let hit_a = cache.get(&in_a).expect("a hits");
+        let hit_b = cache.get(&in_b).expect("b hits");
+        assert_eq!(hit_a.data(), out_a.data());
+        assert_eq!(hit_b.data(), out_b.data());
+    }
+
+    #[test]
+    fn oversized_entries_are_not_admitted() {
+        let cache = ExactCache::new(1 << 10); // 128 B per shard
+        let big = tens(1, 4096);
+        cache.insert(&big, &tens(2, 4096));
+        assert_eq!(cache.len(), 0, "an entry wider than a shard is skipped");
+        assert!(cache.get(&big).is_none());
+    }
+
+    #[test]
+    fn embed_cache_keys_per_row() {
+        let cache = EmbedCache::new(1 << 20);
+        let row_a = [1.0f32, 2.0, 3.0];
+        let row_b = [4.0f32, 5.0, 6.0];
+        cache.insert_row(&row_a, &[10.0, 20.0]);
+        assert_eq!(cache.get_row(&row_a).as_deref(), Some(&[10.0f32, 20.0][..]));
+        assert!(cache.get_row(&row_b).is_none(), "other rows miss");
+    }
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for mode in [
+            CacheMode::Off,
+            CacheMode::Exact,
+            CacheMode::Embed,
+            CacheMode::Both,
+        ] {
+            assert_eq!(mode.to_string().parse::<CacheMode>(), Ok(mode));
+        }
+        assert!("nonsense".parse::<CacheMode>().is_err());
+        assert!(InferenceCache::new(CacheMode::Off, 1 << 20).is_none());
+        let both = InferenceCache::new(CacheMode::Both, 1 << 20).unwrap();
+        assert!(both.exact().is_some() && both.embed().is_some());
+    }
+
+    #[test]
+    fn stats_merge_both_layers() {
+        let cache = InferenceCache::new(CacheMode::Both, 1 << 20).unwrap();
+        let input = tens(1, 8);
+        assert!(cache.exact().unwrap().get(&input).is_none());
+        cache.exact().unwrap().insert(&input, &tens(2, 4));
+        assert!(cache.exact().unwrap().get(&input).is_some());
+        cache.embed().unwrap().insert_row(input.data(), &[1.0]);
+        assert!(cache.embed().unwrap().get_row(input.data()).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (2, 1, 2));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -29,6 +29,7 @@
 //! # Ok::<(), dnn::DnnError>(())
 //! ```
 
+pub mod cache;
 mod error;
 mod layer;
 pub mod modelfile;

@@ -1,9 +1,10 @@
 //! A network definition paired with weights: the executable model.
 
 use serde::{Deserialize, Serialize};
-use tensor::{partition, Tensor, Threading};
+use tensor::{partition, Shape, Tensor, Threading};
 
-use crate::{DnnError, LayerWeights, NetDef, Result};
+use crate::cache::EmbedCache;
+use crate::{DnnError, LayerSpec, LayerWeights, NetDef, Result};
 
 /// An executable network: a [`NetDef`] plus one [`LayerWeights`] per layer.
 ///
@@ -179,6 +180,119 @@ impl Network {
         Ok(Tensor::stack_batch(&outs)?)
     }
 
+    /// The length of this network's *embedding prefix*: the leading
+    /// layer run (fully-connected lookup plus its activation) whose
+    /// output depends on each input row independently. This is the
+    /// memoizable region for SENNA-style NLP models, where the first
+    /// inner product is a vocabulary-embedding lookup and hot words
+    /// repeat across requests.
+    ///
+    /// Returns `None` for networks that don't open with an inner
+    /// product on row-vector input (the convolutional models), in which
+    /// case [`Network::forward_embed_cached`] degrades to an uncached
+    /// forward pass.
+    pub fn embed_prefix(&self) -> Option<usize> {
+        if self.def.input_shape().rank() != 2 {
+            return None;
+        }
+        let layers = self.def.layers();
+        match layers.first().map(|l| &l.spec) {
+            Some(LayerSpec::InnerProduct { .. }) => {}
+            _ => return None,
+        }
+        let prefix = match layers.get(1).map(|l| &l.spec) {
+            Some(LayerSpec::Activation(_)) => 2,
+            _ => 1,
+        };
+        // A prefix covering the whole network would duplicate what the
+        // exact-match cache already does, with per-row overhead on top.
+        (prefix < layers.len()).then_some(prefix)
+    }
+
+    /// [`Network::forward_with`] that memoizes the embedding prefix
+    /// per input row in `cache` (see [`EmbedCache`]).
+    ///
+    /// Rows whose bit pattern was seen before reuse the cached prefix
+    /// output; cold rows are computed **one row at a time** and
+    /// inserted. Row-at-a-time execution is what makes a later hit
+    /// bitwise-identical to the miss that populated it: each row's
+    /// prefix output is independent of its batch neighbors by
+    /// construction, and single-row GEMMs have one reduction order.
+    /// The layers after the prefix run batched under `threading` as
+    /// usual.
+    ///
+    /// For networks with no embedding prefix this is exactly
+    /// [`Network::forward_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::forward`].
+    pub fn forward_embed_cached(
+        &self,
+        input: &Tensor,
+        cache: &EmbedCache,
+        threading: Threading,
+    ) -> Result<Tensor> {
+        let Some(prefix) = self.embed_prefix() else {
+            return self.forward_with(input, threading);
+        };
+        let want = self.def.input_shape();
+        if input.shape().dims()[1..] != want.dims()[1..] || input.shape().rank() != want.rank() {
+            return Err(DnnError::BadInput {
+                expected: want.dims().to_vec(),
+                actual: input.shape().dims().to_vec(),
+            });
+        }
+        let (rows, width) = input.shape().as_matrix();
+        if rows == 0 {
+            return self.forward_with(input, threading);
+        }
+        let mut mid_data: Vec<f32> = Vec::new();
+        let mut out_width = 0usize;
+        for r in 0..rows {
+            let row = &input.data()[r * width..(r + 1) * width];
+            let out_row: std::sync::Arc<[f32]> = match cache.get_row(row) {
+                Some(hit) => hit,
+                None => {
+                    let one = Tensor::from_vec(Shape::mat(1, width), row.to_vec())?;
+                    let computed = self.run_layers(0..prefix, one, Threading::SINGLE)?;
+                    cache.insert_row(row, computed.data());
+                    std::sync::Arc::from(computed.data())
+                }
+            };
+            out_width = out_row.len();
+            mid_data.extend_from_slice(&out_row);
+        }
+        let mid = Tensor::from_vec(Shape::mat(rows, out_width), mid_data)?;
+        self.run_layers(prefix..self.def.depth(), mid, threading)
+    }
+
+    /// Runs the half-open layer range `span` on `cur`, remapping layer
+    /// errors to the failing layer's name like [`Network::forward_with`].
+    fn run_layers(
+        &self,
+        span: std::ops::Range<usize>,
+        mut cur: Tensor,
+        threading: Threading,
+    ) -> Result<Tensor> {
+        for (l, w) in self.def.layers()[span.clone()]
+            .iter()
+            .zip(&self.weights[span])
+        {
+            cur = l
+                .spec
+                .forward_with(&cur, w, threading)
+                .map_err(|e| match e {
+                    DnnError::BadLayer { reason, .. } => DnnError::BadLayer {
+                        layer: l.name.clone(),
+                        reason,
+                    },
+                    other => other,
+                })?;
+        }
+        Ok(cur)
+    }
+
     /// Runs the forward pass, returning every intermediate activation
     /// (index `i` holds layer `i`'s output). Exposes intermediate results
     /// per C-INTERMEDIATE for users that need feature maps.
@@ -298,6 +412,56 @@ mod tests {
         let net = Network::with_random_weights(def.clone(), 1).unwrap();
         let rebuilt = Network::with_weights(def, net.weights().to_vec()).unwrap();
         assert_eq!(rebuilt.param_count(), net.param_count());
+    }
+
+    #[test]
+    fn embed_prefix_detects_fc_plus_activation() {
+        let net = Network::with_random_weights(mlp(), 1).unwrap();
+        assert_eq!(net.embed_prefix(), Some(2), "fc1 + act1 form the prefix");
+    }
+
+    #[test]
+    fn embed_cached_forward_matches_uncached_bitwise() {
+        let net = Network::with_random_weights(mlp(), 21).unwrap();
+        let cache = EmbedCache::new(1 << 20);
+        let input = Tensor::random_uniform(Shape::mat(4, 8), 1.0, 22);
+        let plain = net.forward(&input).unwrap();
+        let cold = net
+            .forward_embed_cached(&input, &cache, Threading::SINGLE)
+            .unwrap();
+        let warm = net
+            .forward_embed_cached(&input, &cache, Threading::SINGLE)
+            .unwrap();
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&cold), bits(&warm), "hit must equal the miss bitwise");
+        assert_eq!(
+            bits(&cold),
+            bits(&plain),
+            "row-at-a-time prefix must match batched forward bitwise for fc layers"
+        );
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits), (4, 4), "4 cold rows then 4 warm rows");
+    }
+
+    #[test]
+    fn embed_cached_forward_hits_hot_rows_in_mixed_batches() {
+        let net = Network::with_random_weights(mlp(), 31).unwrap();
+        let cache = EmbedCache::new(1 << 20);
+        let hot = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 32);
+        net.forward_embed_cached(&hot, &cache, Threading::SINGLE)
+            .unwrap();
+        let cold = Tensor::random_uniform(Shape::mat(1, 8), 1.0, 33);
+        let mixed = Tensor::stack_batch(&[hot.clone(), cold.clone()]).unwrap();
+        let out = net
+            .forward_embed_cached(&mixed, &cache, Threading::SINGLE)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!(s.hits, 1, "the hot row hits even though the batch is novel");
+        assert_eq!(s.misses, 2, "one cold warm-up row + one cold mixed row");
+        let itemwise =
+            Tensor::stack_batch(&[net.forward(&hot).unwrap(), net.forward(&cold).unwrap()])
+                .unwrap();
+        assert!(out.max_abs_diff(&itemwise).unwrap() < 1e-6);
     }
 
     #[test]

@@ -227,10 +227,21 @@ mod golden_vectors {
     }
 
     #[test]
-    fn v5_infer_encoding_matches_the_golden_bytes() {
-        assert_eq!(VERSION, 5, "golden vectors pin wire version 5");
+    fn v6_infer_encoding_matches_the_golden_bytes() {
+        assert_eq!(VERSION, 6, "golden vectors pin wire version 6");
         let wire = infer_request().encode().unwrap();
-        assert_eq!(&wire[..], &infer_golden(5)[..]);
+        assert_eq!(&wire[..], &infer_golden(6)[..]);
+    }
+
+    #[test]
+    fn v5_infer_golden_still_decodes_with_its_id() {
+        let Request::Infer {
+            model, request_id, ..
+        } = Request::decode(&infer_golden(5)).unwrap()
+        else {
+            panic!("expected Infer");
+        };
+        assert_eq!((model.as_str(), request_id), ("m", 7));
     }
 
     #[test]
@@ -258,13 +269,13 @@ mod golden_vectors {
     /// Golden busy response, pinned byte-for-byte: the request ID the
     /// shed request carried comes right after the header — the field
     /// that makes `Busy` attributable under pipelining. The layout is
-    /// identical in v4 and v5 (only the version byte differs), so the
-    /// same bytes double as the v4 decode-compat check.
+    /// identical from v4 through v6 (only the version byte differs), so
+    /// the same bytes double as the v4/v5 decode-compat checks.
     #[test]
-    fn v5_busy_encoding_matches_the_golden_bytes() {
+    fn v6_busy_encoding_matches_the_golden_bytes() {
         let mut wire = Vec::new();
         wire.extend_from_slice(MAGIC);
-        wire.push(5); // version 5
+        wire.push(6); // version 6
         wire.push(7); // OP_BUSY
         wire.extend_from_slice(&512u64.to_le_bytes()); // request id
         wire.extend_from_slice(&3u16.to_le_bytes());
@@ -277,19 +288,21 @@ mod golden_vectors {
         };
         assert_eq!(&rsp.encode().unwrap()[..], &wire[..]);
         assert_eq!(Response::decode(&wire).unwrap(), rsp);
-        wire[4] = 4; // same bytes at version 4 still decode identically
-        assert_eq!(Response::decode(&wire).unwrap(), rsp);
+        for old in [5u8, 4] {
+            wire[4] = old; // same bytes at older versions decode identically
+            assert_eq!(Response::decode(&wire).unwrap(), rsp);
+        }
     }
 
     /// Golden error response, pinned byte-for-byte: the request ID
     /// follows the error status, so a pipelined client knows *which*
     /// request failed. Layout unchanged from v4 — the same bytes with
-    /// the old version byte double as the decode-compat check.
+    /// the old version bytes double as the decode-compat checks.
     #[test]
-    fn v5_error_encoding_matches_the_golden_bytes() {
+    fn v6_error_encoding_matches_the_golden_bytes() {
         let mut wire = Vec::new();
         wire.extend_from_slice(MAGIC);
-        wire.push(5); // version 5
+        wire.push(6); // version 6
         wire.push(2); // OP_RESULT
         wire.push(1); // STATUS_ERR
         wire.extend_from_slice(&9u64.to_le_bytes()); // request id
@@ -301,8 +314,10 @@ mod golden_vectors {
         };
         assert_eq!(&rsp.encode().unwrap()[..], &wire[..]);
         assert_eq!(Response::decode(&wire).unwrap(), rsp);
-        wire[4] = 4; // same bytes at version 4 still decode identically
-        assert_eq!(Response::decode(&wire).unwrap(), rsp);
+        for old in [5u8, 4] {
+            wire[4] = old; // same bytes at older versions decode identically
+            assert_eq!(Response::decode(&wire).unwrap(), rsp);
+        }
     }
 
     /// Golden v3 error response: no ID on the wire — decodes as the
@@ -435,6 +450,75 @@ mod golden_vectors {
         );
     }
 
+    /// Golden v5 output response: a 48-byte trace block with no cache
+    /// word. The v6 `cache_hit` flag must decode as `false` — the
+    /// documented zero-fill for frames from a pre-cache peer.
+    #[test]
+    fn v5_output_golden_decodes_with_zero_cache_flag() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(5); // version 5 — last version without the cache word
+        wire.push(2); // OP_RESULT
+        wire.push(0); // STATUS_OK
+        for word in [7u64, 10, 20, 30, 40, 100] {
+            // id, queue, batch, lease, service, server_total
+            wire.extend_from_slice(&word.to_le_bytes());
+        }
+        wire.push(2); // rank
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&2.0f32.to_le_bytes());
+        match Response::decode(&wire).unwrap() {
+            Response::Output { tensor, trace } => {
+                assert_eq!(tensor.data(), &[2.0]);
+                assert_eq!(
+                    trace,
+                    ServerTrace {
+                        request_id: 7,
+                        queue_us: 10,
+                        batch_us: 20,
+                        lease_us: 30,
+                        service_us: 40,
+                        server_total_us: 100,
+                        cache_hit: false,
+                    }
+                );
+            }
+            other => panic!("expected Output, got {other:?}"),
+        }
+    }
+
+    /// Golden v5 stats response: one 17-word entry (no cache counters).
+    /// The v6 cache fields must zero-fill.
+    #[test]
+    fn v5_stats_golden_zero_fills_cache_counters() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(5); // version 5
+        wire.push(6); // OP_STATS_RESULT
+        wire.extend_from_slice(&11u64.to_le_bytes()); // request id
+        wire.extend_from_slice(&9u64.to_le_bytes()); // unknown models
+        wire.extend_from_slice(&1u16.to_le_bytes()); // one entry
+        wire.extend_from_slice(&3u16.to_le_bytes()); // name length
+        wire.extend_from_slice(b"ner");
+        for word in [
+            42u64, 1, 10_000, 900, 3, 2, 7, 120, 4_500, 80, 1_900, 2_400, 3_100, 60, 700, 35, 880,
+        ] {
+            wire.extend_from_slice(&word.to_le_bytes());
+        }
+        let Response::Stats { stats, .. } = Response::decode(&wire).unwrap() else {
+            panic!("expected Stats");
+        };
+        let s = &stats[0];
+        assert_eq!((s.model.as_str(), s.requests), ("ner", 42));
+        assert_eq!((s.p50_lease_wait_us, s.p99_lease_wait_us), (35, 880));
+        assert_eq!(
+            (s.cache_hits, s.cache_misses, s.cache_evictions),
+            (0, 0, 0),
+            "v6 cache counters zero-fill from a v5 peer"
+        );
+    }
+
     #[test]
     fn v2_busy_golden_decodes() {
         let mut wire = Vec::new();
@@ -490,6 +574,9 @@ mod golden_vectors {
             p99_wire_us: 700,
             p50_lease_wait_us: 35,
             p99_lease_wait_us: 880,
+            cache_hits: 5,
+            cache_misses: 37,
+            cache_evictions: 1,
         };
         let requests = [
             infer_request(),
@@ -511,6 +598,7 @@ mod golden_vectors {
                     lease_us: 4,
                     service_us: 3,
                     server_total_us: 9,
+                    cache_hit: true,
                 },
             },
             Response::Error {

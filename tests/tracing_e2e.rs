@@ -169,3 +169,93 @@ fn tiny_zoo_roundtrip_is_fast() {
     );
     server.shutdown();
 }
+
+/// A caching server for the cache-trace tests: tiny zoo, the given
+/// cache mode, a budget far larger than the tiny outputs need.
+fn caching_server(mode: &str) -> DjinnServer {
+    let registry = ModelRegistry::with_tiny_test_zoo().expect("tiny zoo builds");
+    let config = ServerConfig {
+        cache_mode: mode.parse().expect("valid cache mode"),
+        cache_bytes: 4 * 1024 * 1024,
+        ..ServerConfig::default()
+    };
+    DjinnServer::start(registry, config).expect("server starts on an ephemeral port")
+}
+
+/// A cache hit answers at admission: it never queues, never waits for a
+/// lease, never runs the executor. Its trace must say so — near-zero
+/// queue + batch + lease + service — while still carrying the hit flag
+/// and the request ID, and the span accounting must keep holding.
+#[test]
+fn cache_hit_trace_reports_near_zero_server_stages() {
+    let server = caching_server("both");
+    let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+    let input = senna_input(2);
+
+    let (cold_out, cold) = client.infer_traced("tiny-senna", &input).unwrap();
+    assert!(!cold.cache_hit, "first sight of an input must miss");
+
+    let (hot_out, hot) = client.infer_traced("tiny-senna", &input).unwrap();
+    assert!(hot.cache_hit, "byte-identical replay must hit");
+    assert_eq!(
+        cold_out.data(),
+        hot_out.data(),
+        "cached bytes must be the computed bytes"
+    );
+    assert_spans_account_for_e2e(&hot);
+    // The hit path touches no engine stage; each span should be at most
+    // clock-quantization noise, far under any real queue/service time.
+    for (stage, us) in [
+        ("queue", hot.queue_us),
+        ("batch", hot.batch_us),
+        ("lease", hot.lease_us),
+        ("service", hot.service_us),
+    ] {
+        assert!(
+            us <= 1_000,
+            "cache hit spent {us}us in {stage}; hits must skip the engine"
+        );
+    }
+    server.shutdown();
+}
+
+/// Server-side cache counters must reconcile with what the client saw:
+/// hits + misses equals the successful exact-cache lookups, and the
+/// number of hit-flagged trace records equals the server's hit counter.
+#[test]
+fn cache_stats_reconcile_with_client_observed_hits() {
+    // Exact-only: every request makes exactly one cache lookup, so the
+    // counters reconcile 1:1 with the request stream. (`both` would add
+    // per-row embed-layer lookups for each miss on top.)
+    let server = caching_server("exact");
+    let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+    // 3 distinct inputs, each sent 4 times: 3 misses, 9 hits.
+    let inputs: Vec<Tensor> = (0..3)
+        .map(|i| Tensor::random_uniform(Shape::mat(1, 30), 1.0, 1000 + i))
+        .collect();
+    let mut client_hits = 0u64;
+    for round in 0..4 {
+        for input in &inputs {
+            let (_, record) = client.infer_traced("tiny-senna", input).unwrap();
+            assert_eq!(
+                record.cache_hit,
+                round > 0,
+                "every input must miss exactly once, then always hit"
+            );
+            client_hits += u64::from(record.cache_hit);
+        }
+    }
+    let stats = client.stats().unwrap();
+    let senna = stats
+        .iter()
+        .find(|s| s.model == "tiny-senna")
+        .expect("stats entry for tiny-senna");
+    assert_eq!(senna.cache_hits, client_hits, "server hits = client hits");
+    assert_eq!(
+        senna.cache_hits + senna.cache_misses,
+        12,
+        "every request probes the exact cache exactly once"
+    );
+    assert_eq!(senna.cache_evictions, 0, "budget was never exceeded");
+    server.shutdown();
+}
