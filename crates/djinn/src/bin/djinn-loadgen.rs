@@ -6,6 +6,7 @@
 //!               [--mix NAME=W,NAME=W] [--threads N] [--requests R]
 //!               [--queries Q] [--pipeline N] [--rate R] [--timeout-ms T]
 //!               [--vocab N] [--zipf S] [--trace-out PATH]
+//!               [--stream] [--tokens N]
 //! ```
 //!
 //! `--pipeline N` keeps up to N requests in flight per connection
@@ -59,6 +60,15 @@
 //! pool size. The default `--vocab 1` replays one input per target —
 //! the legacy behavior, a 100% duplicate stream.
 //!
+//! `--stream` switches the closed loop to generative streaming: each
+//! "request" is one protocol-v7 `StreamInfer` that decodes `--tokens`
+//! tokens (default 16), delivered as ordered chunks. The report moves
+//! to the per-token SLA class — aggregate tokens/s, time-to-first-token
+//! (TTFT) p50/p99, inter-token gap p50/p99, and whole-stream totals —
+//! all measured from the client's clock. Point it at a generative
+//! model: `textgen` (`djinn-server --lm`) or `tiny-lm`
+//! (`djinn-server --tiny-zoo`).
+//!
 //! Input shapes are discovered from the seven Tonic models (and the tiny
 //! test zoo) by name; for other models, pass nothing and the tool
 //! reports the server's model list.
@@ -69,7 +79,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use djinn::trace::{fmt_ms, percentile, TraceAggregator};
-use djinn::{DjinnClient, DjinnError, TraceRecord};
+use djinn::workload::{xorshift64, ZipfSampler};
+use djinn::{DjinnClient, DjinnError, StreamMode, TraceRecord};
 use dnn::zoo::App;
 use tensor::Tensor;
 
@@ -86,6 +97,8 @@ struct Args {
     vocab: usize,
     zipf: f64,
     trace_out: Option<String>,
+    stream: bool,
+    tokens: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -102,6 +115,8 @@ fn parse_args() -> Result<Args, String> {
         vocab: 1,
         zipf: 0.0,
         trace_out: None,
+        stream: false,
+        tokens: 16,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -150,11 +165,19 @@ fn parse_args() -> Result<Args, String> {
                 args.zipf = s;
             }
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--stream" => args.stream = true,
+            "--tokens" => {
+                args.tokens = value("--tokens")?.parse().map_err(|e| format!("{e}"))?;
+                if args.tokens == 0 {
+                    return Err("--tokens must be at least 1".into());
+                }
+            }
             "--help" | "-h" => {
                 return Err("usage: djinn-loadgen --addr HOST:PORT --model NAME \
                             [--mix NAME=W,NAME=W] [--threads N] [--requests R] \
                             [--queries Q] [--pipeline N] [--rate R] [--timeout-ms T] \
-                            [--vocab N] [--zipf S] [--trace-out PATH]"
+                            [--vocab N] [--zipf S] [--trace-out PATH] \
+                            [--stream] [--tokens N]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -199,6 +222,10 @@ fn inputs_for(model: &str, queries: usize, vocab: usize) -> Option<Vec<Tensor>> 
         let def = dnn::zoo::netdef(app);
         let items = app.service_meta().inputs_per_query * queries;
         def.input_shape().with_batch(items)
+    } else if model == "textgen" {
+        // The generative LM (`djinn-server --lm`): prompts are single
+        // rows — the decode loop feeds its own output back.
+        dnn::zoo::textgen().input_shape().clone()
     } else {
         let def = dnn::zoo::tiny_test_zoo()
             .into_iter()
@@ -220,24 +247,11 @@ struct Workload {
     targets: Vec<(String, Vec<Tensor>)>,
     /// Cumulative weights, parallel to `targets`.
     cum: Vec<u32>,
-    /// Cumulative Zipf mass over pool ranks, normalized to 1.0; length
-    /// is the pool size (`--vocab`). Rank r carries weight
-    /// 1/(r+1)^S — S=0 degenerates to uniform.
-    zipf_cum: Vec<f64>,
-}
-
-/// Builds the cumulative rank-selection table for `pick_slot`.
-fn zipf_table(vocab: usize, s: f64) -> Vec<f64> {
-    let mut cum = Vec::with_capacity(vocab);
-    let mut total = 0.0f64;
-    for rank in 0..vocab {
-        total += 1.0 / ((rank + 1) as f64).powf(s);
-        cum.push(total);
-    }
-    for c in &mut cum {
-        *c /= total;
-    }
-    cum
+    /// Zipf rank sampler over the pool (`--vocab` ranks, exponent
+    /// `--zipf`): the harmonic normalization is computed once here, and
+    /// every request's slot pick is a binary search. S=0 degenerates to
+    /// uniform.
+    zipf: ZipfSampler,
 }
 
 impl Workload {
@@ -246,7 +260,7 @@ impl Workload {
         Workload {
             targets: vec![(model, pool)],
             cum: vec![1],
-            zipf_cum: zipf_table(vocab, zipf),
+            zipf: ZipfSampler::new(vocab, zipf),
         }
     }
 
@@ -284,7 +298,7 @@ impl Workload {
         Ok(Workload {
             targets,
             cum,
-            zipf_cum: zipf_table(vocab, zipf),
+            zipf: ZipfSampler::new(vocab, zipf),
         })
     }
 
@@ -294,11 +308,7 @@ impl Workload {
         if self.targets.len() == 1 {
             return 0;
         }
-        *rng ^= *rng << 13;
-        *rng ^= *rng >> 7;
-        *rng ^= *rng << 17;
-        let total = *self.cum.last().expect("non-empty mix");
-        let draw = (*rng % total as u64) as u32;
+        let draw = (xorshift64(rng) % u64::from(*self.cum.last().expect("non-empty mix"))) as u32;
         self.cum.partition_point(|&c| c <= draw)
     }
 
@@ -306,17 +316,7 @@ impl Workload {
     /// state. With `--vocab 1` (or S=0 and a one-entry pool) this is
     /// always slot 0.
     fn pick_slot(&self, rng: &mut u64) -> usize {
-        if self.zipf_cum.len() == 1 {
-            return 0;
-        }
-        *rng ^= *rng << 13;
-        *rng ^= *rng >> 7;
-        *rng ^= *rng << 17;
-        // Map to [0, 1): 2^-64 scales the full u64 range.
-        let u = *rng as f64 * 5.421_010_862_427_522e-20;
-        self.zipf_cum
-            .partition_point(|&c| c <= u)
-            .min(self.zipf_cum.len() - 1)
+        self.zipf.sample(rng)
     }
 }
 
@@ -454,11 +454,8 @@ fn run_pipelined(
 /// from the caller's xorshift state — the gap sequence is the Poisson
 /// arrival process of the open loop, deterministic per thread.
 fn exp_gap(rng: &mut u64, rate: f64) -> Duration {
-    *rng ^= *rng << 13;
-    *rng ^= *rng >> 7;
-    *rng ^= *rng << 17;
     // Map to (0, 1]: never ln(0). 2^-64 scales the full u64 range.
-    let u = (*rng as f64 + 1.0) * 5.421_010_862_427_522e-20;
+    let u = (xorshift64(rng) as f64 + 1.0) * 5.421_010_862_427_522e-20;
     Duration::from_secs_f64(-u.ln() / rate)
 }
 
@@ -575,6 +572,95 @@ fn run_open_loop(
     }
 }
 
+/// Client-observed timings for one completed generative stream.
+struct StreamRecord {
+    /// Submission → first chunk (time-to-first-token), milliseconds.
+    ttft_ms: f64,
+    /// Submission → final chunk, milliseconds.
+    total_ms: f64,
+    /// Chunks (tokens) received.
+    tokens: u64,
+    /// Gaps between consecutive chunks, milliseconds.
+    gaps_ms: Vec<f64>,
+}
+
+/// The streaming closed loop (`--stream`): each "request" is one
+/// generative stream of `--tokens` chunks, consumed to completion.
+/// TTFT, inter-token gaps, and total stream time are all measured from
+/// the client's clock — the numbers a user-facing token stream would
+/// feel. `Busy` sheds and remote errors leave the connection usable;
+/// transport breaks reconnect with backoff like the one-shot loops.
+#[allow(clippy::too_many_arguments)]
+fn run_stream_loop(
+    client: &mut DjinnClient,
+    addr: std::net::SocketAddr,
+    timeout: Duration,
+    workload: &Workload,
+    rng: &mut u64,
+    requests: usize,
+    max_tokens: u32,
+    local: &mut Vec<StreamRecord>,
+    errors: &AtomicU64,
+    sheds: &AtomicU64,
+    reconnects: &AtomicU64,
+) {
+    for done in 0..requests {
+        let (model, pool) = &workload.targets[workload.pick(rng)];
+        let input = &pool[workload.pick_slot(rng)];
+        let started = Instant::now();
+        let outcome = (|| {
+            let id = client.stream_infer(model, input, StreamMode::Generative { max_tokens })?;
+            let mut record = StreamRecord {
+                ttft_ms: 0.0,
+                total_ms: 0.0,
+                tokens: 0,
+                gaps_ms: Vec::new(),
+            };
+            let mut prev = started;
+            loop {
+                let chunk = client.recv_chunk(id)?;
+                let now = Instant::now();
+                let gap_ms = now.duration_since(prev).as_secs_f64() * 1e3;
+                if record.tokens == 0 {
+                    record.ttft_ms = gap_ms;
+                } else {
+                    record.gaps_ms.push(gap_ms);
+                }
+                prev = now;
+                record.tokens += 1;
+                if chunk.last {
+                    break;
+                }
+            }
+            record.total_ms = started.elapsed().as_secs_f64() * 1e3;
+            Ok::<_, DjinnError>(record)
+        })();
+        match outcome {
+            Ok(record) => local.push(record),
+            Err(DjinnError::Busy { .. }) => {
+                sheds.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(DjinnError::Remote { .. }) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+                match connect_with_backoff(addr, timeout) {
+                    Some(c) => {
+                        reconnects.fetch_add(1, Ordering::Relaxed);
+                        *client = c;
+                    }
+                    None => {
+                        let remaining = (requests - done - 1) as u64;
+                        errors.fetch_add(remaining, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -597,6 +683,10 @@ fn main() -> ExitCode {
     }
     if args.rate.is_some() && args.pipeline > 1 {
         eprintln!("--rate (open loop) and --pipeline (closed-loop window) are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    if args.stream && (args.rate.is_some() || args.pipeline > 1) {
+        eprintln!("--stream is a closed loop of whole streams; it excludes --rate and --pipeline");
         return ExitCode::FAILURE;
     }
     let (workload, label) = match (&args.model, &args.mix) {
@@ -635,6 +725,7 @@ fn main() -> ExitCode {
     let workload = Arc::new(workload);
 
     let records = Arc::new(Mutex::new(Vec::<TraceRecord>::new()));
+    let streams = Arc::new(Mutex::new(Vec::<StreamRecord>::new()));
     let errors = Arc::new(AtomicU64::new(0));
     let sheds = Arc::new(AtomicU64::new(0));
     let reconnects = Arc::new(AtomicU64::new(0));
@@ -644,12 +735,14 @@ fn main() -> ExitCode {
     for thread_idx in 0..args.threads {
         let workload = Arc::clone(&workload);
         let records = Arc::clone(&records);
+        let streams = Arc::clone(&streams);
         let errors = Arc::clone(&errors);
         let sheds = Arc::clone(&sheds);
         let reconnects = Arc::clone(&reconnects);
         let requests = args.requests;
         let window = args.pipeline;
         let thread_rate = args.rate.map(|r| r / args.threads as f64);
+        let stream_tokens = args.stream.then_some(args.tokens);
         handles.push(std::thread::spawn(move || {
             let mut client = match connect_with_backoff(addr, timeout) {
                 Some(c) => c,
@@ -665,6 +758,27 @@ fn main() -> ExitCode {
             let mut rng =
                 0x9E37_79B9_7F4A_7C15u64 ^ ((thread_idx as u64 + 1) * 0x2545_F491_4F6C_DD1D);
             let mut local = Vec::with_capacity(requests);
+            if let Some(max_tokens) = stream_tokens {
+                let mut stream_local = Vec::with_capacity(requests);
+                run_stream_loop(
+                    &mut client,
+                    addr,
+                    timeout,
+                    &workload,
+                    &mut rng,
+                    requests,
+                    max_tokens,
+                    &mut stream_local,
+                    &errors,
+                    &sheds,
+                    &reconnects,
+                );
+                streams
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(stream_local);
+                return;
+            }
             if let Some(rate) = thread_rate {
                 run_open_loop(
                     &mut client,
@@ -718,6 +832,41 @@ fn main() -> ExitCode {
     }
     let elapsed = started.elapsed().as_secs_f64();
     let sent = (args.threads * args.requests) as u64;
+
+    if args.stream {
+        // Streaming report: token throughput and the per-token latency
+        // class (TTFT + inter-token gaps), all client-observed.
+        let recs = std::mem::take(&mut *streams.lock().unwrap_or_else(|e| e.into_inner()));
+        let ok = recs.len() as u64;
+        let total_tokens: u64 = recs.iter().map(|r| r.tokens).sum();
+        let mut ttft_ms: Vec<f64> = recs.iter().map(|r| r.ttft_ms).collect();
+        let mut total_ms: Vec<f64> = recs.iter().map(|r| r.total_ms).collect();
+        let mut gaps_ms: Vec<f64> = recs
+            .iter()
+            .flat_map(|r| r.gaps_ms.iter().copied())
+            .collect();
+        ttft_ms.sort_by(f64::total_cmp);
+        total_ms.sort_by(f64::total_cmp);
+        gaps_ms.sort_by(f64::total_cmp);
+        println!(
+            "{label} [stream x{} tokens]: {ok}/{sent} streams ok in {elapsed:.2}s  ->  \
+             {:.1} tokens/s, TTFT p50 {} p99 {}, inter-token p50 {} p99 {}, \
+             stream total p50 {} p99 {}, {} shed (busy), {} errors, {} reconnects",
+            args.tokens,
+            total_tokens as f64 / elapsed,
+            fmt_ms(percentile(&ttft_ms, 0.50)),
+            fmt_ms(percentile(&ttft_ms, 0.99)),
+            fmt_ms(percentile(&gaps_ms, 0.50)),
+            fmt_ms(percentile(&gaps_ms, 0.99)),
+            fmt_ms(percentile(&total_ms, 0.50)),
+            fmt_ms(percentile(&total_ms, 0.99)),
+            sheds.load(Ordering::Relaxed),
+            errors.load(Ordering::Relaxed),
+            reconnects.load(Ordering::Relaxed),
+        );
+        return ExitCode::SUCCESS;
+    }
+
     let records = std::mem::take(&mut *records.lock().unwrap_or_else(|e| e.into_inner()));
     let mut lat_ms: Vec<f64> = records.iter().map(|r| r.e2e_us as f64 / 1e3).collect();
     lat_ms.sort_by(f64::total_cmp);
@@ -726,11 +875,16 @@ fn main() -> ExitCode {
     // shed or failed): the report says `n/a` instead of panicking on an
     // empty index or printing a fake 0 ms.
     let mean = (ok > 0).then(|| lat_ms.iter().sum::<f64>() / ok as f64);
+    // Whole requests answered by the server's *exact* cache layer (the
+    // trace flag is per request). Embed-layer row hits are a different
+    // unit — rows, not requests — and live in the server's stats
+    // (`cache_hits` there counts rows under `--cache embed`); they are
+    // deliberately not folded into this per-request count.
     let cache_hits = records.iter().filter(|r| r.cache_hit).count();
     println!(
         "{label}: {ok}/{sent} ok in {elapsed:.2}s  ->  {:.1} req/s ({:.1} q/s), \
          mean {}, p50 {}, p95 {}, p99 {}, \
-         max {}, {} shed (busy), {} errors, {} reconnects, {} cache hits",
+         max {}, {} shed (busy), {} errors, {} reconnects, {} cache-hit requests",
         ok as f64 / elapsed,
         ok as f64 * args.queries as f64 / elapsed,
         fmt_ms(mean),

@@ -4,7 +4,7 @@
 //! djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu]
 //!              [--batch N] [--threads N] [--queue N] [--workers N]
 //!              [--device-threads N] [--policy batch|colocate|dynamic]
-//!              [--sla-ms N] [--models DIR] [--tiny-zoo] [--only NAME,NAME]
+//!              [--sla-ms N] [--models DIR] [--tiny-zoo] [--lm] [--only NAME,NAME]
 //!              [--service-delay-us N] [--cache off|exact|embed|both]
 //!              [--cache-mb N] [--export DIR]
 //! ```
@@ -19,7 +19,10 @@
 //! the harness for protocol benchmarks (e.g. measuring `--pipeline`
 //! speedups with djinn-loadgen) where model compute should not dominate.
 //! `--export DIR` writes the built-in models as `.djnm` files and exits
-//! (a way to bootstrap a model repository).
+//! (a way to bootstrap a model repository). `--lm` additionally serves
+//! the `textgen` generative LM (a small MLP language model decoded
+//! token-at-a-time over protocol-v7 streams — pair with
+//! `djinn-loadgen --stream`).
 //!
 //! `--only a,b` restricts the loaded registry to the named models — how
 //! a replica in a sharded, router-fronted deployment serves its slice.
@@ -60,6 +63,7 @@ struct Args {
     workers: usize,
     models: Option<PathBuf>,
     tiny_zoo: bool,
+    lm: bool,
     only: Vec<String>,
     service_delay: Option<Duration>,
     device_threads: Option<usize>,
@@ -81,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         workers: defaults.engine_workers,
         models: None,
         tiny_zoo: false,
+        lm: false,
         only: Vec::new(),
         service_delay: None,
         device_threads: None,
@@ -135,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--models" => args.models = Some(PathBuf::from(value("--models")?)),
             "--tiny-zoo" => args.tiny_zoo = true,
+            "--lm" => args.lm = true,
             "--only" => {
                 args.only.extend(
                     value("--only")?
@@ -196,7 +202,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: djinn-server [--addr HOST:PORT] [--backend cpu|sim-gpu] \
                             [--batch N] [--threads N] [--queue N] [--workers N] \
                             [--device-threads N] [--policy batch|colocate|dynamic] \
-                            [--sla-ms N] [--models DIR] [--tiny-zoo] [--only NAME,NAME] \
+                            [--sla-ms N] [--models DIR] [--tiny-zoo] [--lm] [--only NAME,NAME] \
                             [--service-delay-us N] [--cache off|exact|embed|both] \
                             [--cache-mb N] [--export DIR]"
                         .into(),
@@ -256,6 +262,18 @@ fn main() -> ExitCode {
         if let Err(e) = registry.retain_only(&args.only) {
             eprintln!("bad --only: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    if args.lm {
+        // The generative LM rides alongside whichever zoo was chosen;
+        // the fixed seed makes every `--lm` server serve the same
+        // weights, so routed replicas stay interchangeable.
+        match dnn::Network::with_random_weights(dnn::zoo::textgen(), 0x7E47) {
+            Ok(net) => registry.register("textgen", net),
+            Err(e) => {
+                eprintln!("failed to build textgen LM: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     eprintln!(

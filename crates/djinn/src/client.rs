@@ -8,14 +8,16 @@ use std::time::{Duration, Instant};
 use bytes::BytesMut;
 use tensor::Tensor;
 
-use crate::protocol::{encode_infer_framed_into, FrameReader, ModelStats, Request, Response};
-use crate::trace::{self, TraceRecord};
+use crate::protocol::{
+    encode_infer_framed_into, FrameReader, ModelStats, Request, Response, StreamMode,
+};
+use crate::trace::{self, ServerTrace, TraceRecord};
 use crate::{DjinnError, Result};
 
-/// Abandoned request IDs remembered for stale-response draining. A
-/// response whose ID fell off this window poisons the connection — that
-/// takes more consecutive timeouts on one connection than any sane
-/// client survives without reconnecting.
+/// Abandoned request IDs remembered for exact stale-response draining.
+/// A response whose ID fell off this window is still drained as long as
+/// it is at or below the connection's issued high-water mark — only an
+/// ID this client *never issued* poisons the connection.
 const ABANDONED_CAP: usize = 64;
 
 /// A completion demultiplexed from a pipelined connection: which request
@@ -41,6 +43,40 @@ struct PendingInfer {
     /// combined with the response frame's size into the trace record's
     /// bytes-per-request accounting.
     sent_bytes: u64,
+}
+
+/// One partial response of a streaming inference (protocol v7): the
+/// chunk's tensor, its position in the stream, and the server's span
+/// breakdown (whose `first_token_us`/`tokens` fields carry the
+/// per-token telemetry).
+#[derive(Debug)]
+pub struct StreamChunk {
+    /// Zero-based position of this chunk within its stream.
+    pub seq: u32,
+    /// Whether this is the stream's final chunk.
+    pub last: bool,
+    /// The partial output (one generated token's scores, or one
+    /// window's rows).
+    pub tensor: Tensor,
+    /// The server's span breakdown for this chunk.
+    pub trace: ServerTrace,
+}
+
+/// What the client remembers about an in-flight stream.
+#[derive(Debug)]
+struct PendingStream {
+    /// The next chunk sequence number this stream must deliver;
+    /// anything else means frames were lost or reordered, which poisons
+    /// the connection.
+    next_seq: u32,
+}
+
+/// One routed inbound frame: a completed one-shot infer, or a chunk
+/// (`Err` = terminal failure) of an in-flight stream.
+#[derive(Debug)]
+enum Routed {
+    Infer(PipelinedResponse),
+    Stream(u64, Result<StreamChunk>),
 }
 
 /// A synchronous client holding one TCP connection to a DjiNN server.
@@ -103,8 +139,18 @@ pub struct DjinnClient {
     /// IDs whose responses were abandoned (a timeout fired while waiting
     /// for them); their late responses are drained and discarded.
     abandoned: VecDeque<u64>,
+    /// The highest request ID this connection has ever sent. An unknown
+    /// response ID at or below this mark is a stale answer to some
+    /// abandoned request (possibly evicted from `abandoned`) and is
+    /// drained; an ID above it was never ours and poisons.
+    issued_high: u64,
     /// Completions that arrived while waiting for a different request.
     stash: VecDeque<PipelinedResponse>,
+    /// In-flight streams by ID.
+    streams: HashMap<u64, PendingStream>,
+    /// Stream chunks that arrived while waiting for a different request
+    /// or stream.
+    chunk_stash: VecDeque<(u64, Result<StreamChunk>)>,
 }
 
 impl DjinnClient {
@@ -142,7 +188,10 @@ impl DjinnClient {
             pending: HashMap::new(),
             order: VecDeque::new(),
             abandoned: VecDeque::new(),
+            issued_high: 0,
             stash: VecDeque::new(),
+            streams: HashMap::new(),
+            chunk_stash: VecDeque::new(),
         })
     }
 
@@ -241,6 +290,7 @@ impl DjinnClient {
         // this thread is rescheduled, so stamping after the write would
         // yield e2e readings smaller than the server's own span sum.
         let sent = Instant::now();
+        self.issued_high = self.issued_high.max(request_id);
         self.write_send_buf()?;
         self.pending.insert(
             request_id,
@@ -281,8 +331,10 @@ impl DjinnClient {
         self.check_poisoned()?;
         loop {
             let (rsp, frame_len) = self.read_response()?;
-            if let Some(done) = self.route(rsp, frame_len)? {
-                return Ok(done);
+            match self.route(rsp, frame_len)? {
+                Some(Routed::Infer(done)) => return Ok(done),
+                Some(Routed::Stream(id, chunk)) => self.chunk_stash.push_back((id, chunk)),
+                None => {}
             }
         }
     }
@@ -388,6 +440,99 @@ impl DjinnClient {
         }
     }
 
+    /// Starts a streaming inference (protocol v7) and returns its
+    /// stream ID; chunks are claimed with [`DjinnClient::recv_chunk`].
+    /// Any number of streams and one-shot infers may share the
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// [`DjinnError::ConnectionPoisoned`] on an untrusted connection or
+    /// after the write fails mid-frame; encoding errors otherwise.
+    pub fn stream_infer(&mut self, model: &str, input: &Tensor, mode: StreamMode) -> Result<u64> {
+        self.check_poisoned()?;
+        let request_id = trace::next_request_id();
+        self.send(&Request::StreamInfer {
+            model: model.to_string(),
+            input: input.clone(),
+            request_id,
+            mode,
+        })?;
+        self.streams
+            .insert(request_id, PendingStream { next_seq: 0 });
+        Ok(request_id)
+    }
+
+    /// Blocks until the next chunk of `stream_id` arrives and returns
+    /// it. Chunks arrive in strict sequence order; the one flagged
+    /// [`StreamChunk::last`] ends the stream. Completions for other
+    /// in-flight requests arriving meanwhile are stashed, not lost.
+    ///
+    /// # Errors
+    ///
+    /// [`DjinnError::Protocol`] when `stream_id` is not an in-flight
+    /// stream; the stream's own terminal failure ([`DjinnError::Busy`]
+    /// when shed, [`DjinnError::Remote`] for server-side errors) ends
+    /// it; a `TimedOut` I/O error abandons the stream (late chunks are
+    /// drained, never misattributed).
+    pub fn recv_chunk(&mut self, stream_id: u64) -> Result<StreamChunk> {
+        if let Some(pos) = self.chunk_stash.iter().position(|(id, _)| *id == stream_id) {
+            return self
+                .chunk_stash
+                .remove(pos)
+                .expect("position came from the stash")
+                .1;
+        }
+        if !self.streams.contains_key(&stream_id) {
+            return Err(DjinnError::Protocol {
+                reason: format!("stream {stream_id} is not in flight"),
+            });
+        }
+        self.check_poisoned()?;
+        loop {
+            let (rsp, frame_len) = match self.read_response() {
+                Ok(r) => r,
+                Err(e) => {
+                    if is_timeout(&e) {
+                        // A stalled stream cannot be resumed safely:
+                        // abandon it so its late chunks are drained.
+                        self.streams.remove(&stream_id);
+                        self.abandon(stream_id);
+                    }
+                    return Err(e);
+                }
+            };
+            match self.route(rsp, frame_len)? {
+                Some(Routed::Stream(id, chunk)) if id == stream_id => return chunk,
+                Some(Routed::Stream(id, chunk)) => self.chunk_stash.push_back((id, chunk)),
+                Some(Routed::Infer(done)) => self.stash.push_back(done),
+                None => {}
+            }
+        }
+    }
+
+    /// Runs one whole streaming inference as an iterator of chunks: ends
+    /// after the final chunk or the first error. The convenience wrapper
+    /// over [`DjinnClient::stream_infer`] + [`DjinnClient::recv_chunk`]
+    /// most callers want.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DjinnClient::stream_infer`].
+    pub fn stream(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        mode: StreamMode,
+    ) -> Result<StreamIter<'_>> {
+        let stream_id = self.stream_infer(model, input, mode)?;
+        Ok(StreamIter {
+            client: self,
+            stream_id,
+            done: false,
+        })
+    }
+
     fn check_poisoned(&self) -> Result<()> {
         match &self.poisoned {
             Some(reason) => Err(DjinnError::ConnectionPoisoned {
@@ -408,6 +553,7 @@ impl DjinnClient {
     fn send(&mut self, req: &Request) -> Result<()> {
         self.check_poisoned()?;
         req.encode_framed_into(&mut self.send_buf)?; // nothing written yet: not poisoning
+        self.issued_high = self.issued_high.max(req.request_id());
         self.write_send_buf()
     }
 
@@ -445,14 +591,15 @@ impl DjinnClient {
         }
     }
 
-    /// Correlates one response with an in-flight infer request.
+    /// Correlates one response with an in-flight infer or stream.
     ///
-    /// Returns `Ok(Some(_))` when a pending request completed,
-    /// `Ok(None)` for a stale response that was drained (its request was
-    /// abandoned after a timeout — the exact frame that used to be
-    /// misattributed to the next call). A response correlating with
-    /// nothing poisons the connection rather than guessing.
-    fn route(&mut self, rsp: Response, frame_len: usize) -> Result<Option<PipelinedResponse>> {
+    /// Returns `Ok(Some(_))` when a pending request produced something
+    /// (a completion or a stream chunk), `Ok(None)` for a stale response
+    /// that was drained (its request was abandoned after a timeout — the
+    /// exact frame that used to be misattributed to the next call). A
+    /// response correlating with nothing this connection ever issued
+    /// poisons the connection rather than guessing.
+    fn route(&mut self, rsp: Response, frame_len: usize) -> Result<Option<Routed>> {
         let wire_id = rsp.request_id();
         if let Some(pos) = self.abandoned.iter().position(|&a| a == wire_id) {
             self.abandoned.remove(pos);
@@ -474,9 +621,18 @@ impl DjinnClient {
         } else {
             wire_id
         };
+        if self.streams.contains_key(&id) {
+            return self.route_stream_frame(id, rsp);
+        }
         let Some(p) = self.pending.remove(&id) else {
+            if id <= self.issued_high {
+                // A late response to some request this connection once
+                // sent — abandoned long enough ago to have been evicted
+                // from the exact window. Stale, not hostile: drain it.
+                return Ok(None);
+            }
             return Err(self.poison(format!(
-                "response correlates with no in-flight request (id {id})"
+                "response correlates with no request this client ever issued (id {id})"
             )));
         };
         self.order.retain(|&o| o != id);
@@ -507,10 +663,70 @@ impl DjinnClient {
                 reason: format!("unexpected response {other:?} to an infer request"),
             }),
         };
-        Ok(Some(PipelinedResponse {
+        Ok(Some(Routed::Infer(PipelinedResponse {
             request_id: id,
             result,
-        }))
+        })))
+    }
+
+    /// Correlates one response with the in-flight stream `id`: chunks
+    /// advance the stream (in strict sequence order — a gap means frames
+    /// were lost, which poisons), `Busy`/`Error` terminate it.
+    fn route_stream_frame(&mut self, id: u64, rsp: Response) -> Result<Option<Routed>> {
+        match rsp {
+            Response::Chunk {
+                tensor,
+                trace,
+                seq,
+                last,
+            } => {
+                let stream = self
+                    .streams
+                    .get_mut(&id)
+                    .expect("caller checked the stream is in flight");
+                if seq != stream.next_seq {
+                    let want = stream.next_seq;
+                    return Err(self.poison(format!(
+                        "stream {id} chunk out of order: got seq {seq}, want {want}"
+                    )));
+                }
+                stream.next_seq += 1;
+                if last {
+                    self.streams.remove(&id);
+                }
+                Ok(Some(Routed::Stream(
+                    id,
+                    Ok(StreamChunk {
+                        seq,
+                        last,
+                        tensor,
+                        trace,
+                    }),
+                )))
+            }
+            Response::Busy {
+                model, queue_depth, ..
+            } => {
+                self.streams.remove(&id);
+                Ok(Some(Routed::Stream(
+                    id,
+                    Err(DjinnError::Busy {
+                        model,
+                        queue_depth: queue_depth as usize,
+                    }),
+                )))
+            }
+            Response::Error { message, .. } => {
+                self.streams.remove(&id);
+                Ok(Some(Routed::Stream(
+                    id,
+                    Err(DjinnError::Remote { message }),
+                )))
+            }
+            other => Err(self.poison(format!(
+                "unexpected response {other:?} to streaming request {id}"
+            ))),
+        }
     }
 
     /// Blocks until the infer with `want_id` completes. Completions for
@@ -535,11 +751,15 @@ impl DjinnClient {
                     return Err(e);
                 }
             };
-            if let Some(done) = self.route(rsp, frame_len)? {
-                if done.request_id == want_id {
-                    return done.result;
+            match self.route(rsp, frame_len)? {
+                Some(Routed::Infer(done)) => {
+                    if done.request_id == want_id {
+                        return done.result;
+                    }
+                    self.stash.push_back(done);
                 }
-                self.stash.push_back(done);
+                Some(Routed::Stream(id, chunk)) => self.chunk_stash.push_back((id, chunk)),
+                None => {}
             }
         }
     }
@@ -588,8 +808,10 @@ impl DjinnClient {
                 }
                 _ => {}
             }
-            if let Some(done) = self.route(rsp, frame_len)? {
-                self.stash.push_back(done);
+            match self.route(rsp, frame_len)? {
+                Some(Routed::Infer(done)) => self.stash.push_back(done),
+                Some(Routed::Stream(id, chunk)) => self.chunk_stash.push_back((id, chunk)),
+                None => {}
             }
         }
     }
@@ -610,6 +832,43 @@ impl DjinnClient {
         self.abandoned.push_back(id);
         while self.abandoned.len() > ABANDONED_CAP {
             self.abandoned.pop_front();
+        }
+    }
+}
+
+/// Iterator over one stream's chunks, from [`DjinnClient::stream`]:
+/// yields each [`StreamChunk`] in order and stops after the final chunk
+/// or the first error (errors are terminal — the stream is gone).
+#[derive(Debug)]
+pub struct StreamIter<'a> {
+    client: &'a mut DjinnClient,
+    stream_id: u64,
+    done: bool,
+}
+
+impl StreamIter<'_> {
+    /// The underlying stream's correlation ID.
+    pub fn stream_id(&self) -> u64 {
+        self.stream_id
+    }
+}
+
+impl Iterator for StreamIter<'_> {
+    type Item = Result<StreamChunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.client.recv_chunk(self.stream_id) {
+            Ok(chunk) => {
+                self.done = chunk.last;
+                Some(Ok(chunk))
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
         }
     }
 }

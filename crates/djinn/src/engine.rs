@@ -33,6 +33,7 @@ use gpusim::queueing::{BoundedQueue, LatencyHistogram};
 use tensor::Tensor;
 
 use crate::device::{ColocationPolicy, DeviceScheduler};
+use crate::protocol::StreamMode;
 use crate::trace::EngineSpans;
 use crate::{DjinnError, Executor, Result};
 
@@ -137,6 +138,15 @@ pub struct EngineStats {
     pub cache_misses: u64,
     /// Cache entries evicted under the byte budget. 0 with caching off.
     pub cache_evictions: u64,
+    /// Chunks emitted by streaming jobs (one per partial response). 0
+    /// with no streaming traffic.
+    pub tokens_out: u64,
+    /// Median gap between consecutive chunk emissions of a stream (the
+    /// first gap is admission → first chunk, i.e. time-to-first-token),
+    /// microseconds.
+    pub p50_token_gap_us: u64,
+    /// 99th-percentile chunk emission gap, microseconds.
+    pub p99_token_gap_us: u64,
 }
 
 /// A finished job: the output plus the engine's span measurements.
@@ -154,6 +164,14 @@ pub struct RoutedReply {
     /// The submitter's opaque token, echoed verbatim so the receiver can
     /// look up what the completion belongs to.
     pub token: u64,
+    /// Position of this reply within its job's stream, starting at 0.
+    /// Always 0 for one-shot ([`InferenceEngine::submit_routed`]) jobs.
+    pub seq: u32,
+    /// `true` on a job's final reply. One-shot jobs complete in exactly
+    /// one reply, so theirs is always final; a streaming job emits
+    /// `last: false` for every chunk but its terminal one. An `Err`
+    /// reply is always terminal.
+    pub last: bool,
     /// The job's outcome: output and engine spans, or its typed error.
     pub result: Result<(Tensor, EngineSpans)>,
 }
@@ -176,6 +194,8 @@ impl ReplySlot {
             ReplySlot::Routed { token, tx } => {
                 let _ = tx.send(RoutedReply {
                     token,
+                    seq: 0,
+                    last: true,
                     result: result.map(|c| (c.output, c.spans)),
                 });
             }
@@ -215,6 +235,15 @@ struct Inner {
     batch_wait: Mutex<LatencyHistogram>,
     lease_wait: Mutex<LatencyHistogram>,
     service: Mutex<LatencyHistogram>,
+    /// Chunks emitted by streaming jobs.
+    tokens_out: AtomicU64,
+    /// Gap between consecutive chunk emissions of a stream; the first
+    /// sample of each stream is admission → first chunk (TTFT).
+    token_gap: Mutex<LatencyHistogram>,
+    /// Streaming jobs currently running on their dedicated threads.
+    /// Streams bypass the admission queue, so shutdown's drain waits on
+    /// this counter instead of the queue.
+    active_streams: AtomicUsize,
     /// The device this engine leases compute from. Engines started
     /// without an explicit scheduler get a dedicated (unbounded) one, so
     /// acquisition never blocks and grants never shrink.
@@ -276,6 +305,11 @@ impl Ticket {
 pub struct InferenceEngine {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    /// Kept for streaming jobs, which run on their own threads rather
+    /// than the queue workers (see
+    /// [`InferenceEngine::submit_stream_routed`]).
+    network: Arc<Network>,
+    executor: Arc<dyn Executor>,
 }
 
 impl std::fmt::Debug for InferenceEngine {
@@ -350,6 +384,9 @@ impl InferenceEngine {
             batch_wait: Mutex::new(LatencyHistogram::new()),
             lease_wait: Mutex::new(LatencyHistogram::new()),
             service: Mutex::new(LatencyHistogram::new()),
+            tokens_out: AtomicU64::new(0),
+            token_gap: Mutex::new(LatencyHistogram::new()),
+            active_streams: AtomicUsize::new(0),
             scheduler,
             colocation: config.colocation,
             cache,
@@ -375,7 +412,12 @@ impl InferenceEngine {
                     .expect("spawning engine worker")
             })
             .collect();
-        InferenceEngine { inner, workers }
+        InferenceEngine {
+            inner,
+            workers,
+            network,
+            executor,
+        }
     }
 
     /// The model this engine serves.
@@ -415,6 +457,87 @@ impl InferenceEngine {
     /// no reply will arrive for `token`.
     pub fn submit_routed(&self, input: Tensor, token: u64, tx: Sender<RoutedReply>) -> Result<()> {
         self.enqueue(input, ReplySlot::Routed { token, tx })
+    }
+
+    /// Admits one *streaming* job: instead of a single completion, the
+    /// engine sends N ordered [`RoutedReply`] chunks (seq 0, 1, …; the
+    /// terminal one flagged `last`) to `tx`, all echoing `token`.
+    ///
+    /// Streams run on a dedicated thread, never co-batched with one-shot
+    /// jobs: each chunk's forward pass acquires its own device lease, so
+    /// long streams interleave fairly with regular traffic instead of
+    /// monopolizing a batch slot. [`StreamMode::Windowed`] feeds the
+    /// input's rows through the model `window_rows` at a time and emits
+    /// every window's scores as one chunk; [`StreamMode::Generative`]
+    /// runs an autoregressive decode loop — the output distribution's
+    /// argmax is fed back as a one-hot next input — emitting one chunk
+    /// per generated token. Streams bypass the inference cache in both
+    /// directions (partial outputs are not cacheable one-shot answers).
+    ///
+    /// If the engine shuts down mid-stream the decode stops and the
+    /// terminal reply is `Err(DjinnError::Shutdown)`; a failed forward
+    /// pass likewise ends the stream with its typed error. An `Err`
+    /// reply is always the stream's last.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DjinnError::Shutdown`] after shutdown has begun and
+    /// [`DjinnError::Protocol`] for an invalid mode (zero window/token
+    /// budget, or a generative request whose input is not a single row)
+    /// — in both cases nothing was admitted and no reply will arrive for
+    /// `token`.
+    pub fn submit_stream_routed(
+        &self,
+        input: Tensor,
+        token: u64,
+        mode: StreamMode,
+        tx: Sender<RoutedReply>,
+    ) -> Result<()> {
+        match mode {
+            StreamMode::Windowed { window_rows: 0 } => {
+                return Err(DjinnError::Protocol {
+                    reason: "streaming window must be at least one row".into(),
+                });
+            }
+            StreamMode::Generative { max_tokens: 0 } => {
+                return Err(DjinnError::Protocol {
+                    reason: "generative stream must request at least one token".into(),
+                });
+            }
+            StreamMode::Generative { .. } if input.shape().batch() != 1 => {
+                return Err(DjinnError::Protocol {
+                    reason: format!(
+                        "generative stream takes a single seed row, got batch {}",
+                        input.shape().batch()
+                    ),
+                });
+            }
+            _ => {}
+        }
+        {
+            let st = self.inner.lock();
+            if !st.open {
+                return Err(DjinnError::Shutdown);
+            }
+            // Registered under the state lock so a concurrent shutdown
+            // either sees the stream and waits for it, or closed first
+            // and this admission was refused.
+            self.inner.active_streams.fetch_add(1, Ordering::SeqCst);
+        }
+        let inner = Arc::clone(&self.inner);
+        let network = Arc::clone(&self.network);
+        let executor = Arc::clone(&self.executor);
+        let spawned = std::thread::Builder::new()
+            .name(format!("djinn-stream-{}", self.inner.model))
+            .spawn(move || {
+                stream_loop(&inner, &network, &*executor, input, mode, token, &tx);
+                inner.active_streams.fetch_sub(1, Ordering::SeqCst);
+            });
+        if let Err(e) = spawned {
+            self.inner.active_streams.fetch_sub(1, Ordering::SeqCst);
+            return Err(DjinnError::Io(e));
+        }
+        Ok(())
     }
 
     fn enqueue(&self, input: Tensor, reply: ReplySlot) -> Result<()> {
@@ -514,6 +637,14 @@ impl InferenceEngine {
             let h = self.inner.service.lock().unwrap_or_else(|e| e.into_inner());
             (h.quantile(0.50), h.quantile(0.99))
         };
+        let (p50_token_gap_us, p99_token_gap_us) = {
+            let h = self
+                .inner
+                .token_gap
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            (h.quantile(0.50), h.quantile(0.99))
+        };
         let cache = self
             .inner
             .cache
@@ -537,6 +668,9 @@ impl InferenceEngine {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
+            tokens_out: self.inner.tokens_out.load(Ordering::Relaxed),
+            p50_token_gap_us,
+            p99_token_gap_us,
         }
     }
 
@@ -554,6 +688,11 @@ impl InferenceEngine {
         self.inner.cv.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // Streams poll the open flag once per chunk and wind down with a
+        // terminal reply, so this wait is bounded by one chunk's compute.
+        while self.inner.active_streams.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
         }
         self.inner.scheduler.unregister_sharer();
     }
@@ -640,7 +779,197 @@ fn spans_for(
         lease_us: lease_wait.min(dequeue_to_exec).as_micros() as u64,
         service_us: service.as_micros() as u64,
         cache_hit: false,
+        first_token_us: 0,
+        tokens: 0,
     }
+}
+
+/// Chunk-emission bookkeeping for one streaming job: sequence numbers,
+/// the first-token stamp, and the per-model token telemetry.
+struct StreamEmitter<'a> {
+    inner: &'a Inner,
+    token: u64,
+    tx: &'a Sender<RoutedReply>,
+    admitted: Instant,
+    last_emit: Option<Instant>,
+    first_token_us: u64,
+    seq: u32,
+}
+
+impl StreamEmitter<'_> {
+    fn emit(&mut self, tensor: Tensor, lease_us: u64, service_us: u64, last: bool) {
+        let now = Instant::now();
+        let gap = now
+            .duration_since(self.last_emit.unwrap_or(self.admitted))
+            .as_micros() as u64;
+        if self.last_emit.is_none() {
+            self.first_token_us = gap;
+        }
+        self.last_emit = Some(now);
+        self.inner
+            .token_gap
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(gap);
+        self.inner.tokens_out.fetch_add(1, Ordering::Relaxed);
+        let _ = self.tx.send(RoutedReply {
+            token: self.token,
+            seq: self.seq,
+            last,
+            result: Ok((
+                tensor,
+                EngineSpans {
+                    queue_us: 0,
+                    batch_us: 0,
+                    lease_us,
+                    service_us,
+                    cache_hit: false,
+                    first_token_us: self.first_token_us,
+                    tokens: u64::from(self.seq) + 1,
+                },
+            )),
+        });
+        self.seq += 1;
+    }
+}
+
+/// One forward pass of a stream under its own device lease. Returns the
+/// output plus the (lease wait, service) span measurements in
+/// microseconds.
+fn stream_step(
+    inner: &Inner,
+    network: &Arc<Network>,
+    executor: &dyn Executor,
+    input: &Tensor,
+) -> Result<(Tensor, u64, u64)> {
+    let lease = inner
+        .scheduler
+        .acquire(executor.preferred_threads(input.shape().batch()));
+    let lease_waited = lease.waited();
+    record_lease_wait(inner, lease_waited, 1);
+    let start = Instant::now();
+    let outcome = executor.infer_budgeted_cached(network, input, lease.threading(), None)?;
+    drop(lease);
+    record_service(inner, outcome.device_latency);
+    Ok((
+        outcome.output,
+        lease_waited.as_micros() as u64,
+        start.elapsed().as_micros() as u64,
+    ))
+}
+
+/// Whether the engine still accepts work; streams poll this once per
+/// chunk so shutdown is never blocked behind a long decode.
+fn stream_open(inner: &Inner) -> bool {
+    inner.lock().open
+}
+
+/// Feeds the decoded distribution back as the next input: argmax over
+/// the row, re-encoded one-hot. This is greedy decoding — deterministic,
+/// which the correctness tests rely on.
+fn one_hot_like(row: &Tensor) -> Tensor {
+    let data = row.data();
+    let mut best = 0usize;
+    for (i, &v) in data.iter().enumerate() {
+        if v > data[best] {
+            best = i;
+        }
+    }
+    let mut next = vec![0.0f32; data.len()];
+    next[best] = 1.0;
+    Tensor::from_vec(row.shape().clone(), next).expect("one-hot row matches the source shape")
+}
+
+/// Runs one streaming job to completion on its dedicated thread; any
+/// failure becomes the stream's terminal `Err` reply.
+fn stream_loop(
+    inner: &Inner,
+    network: &Arc<Network>,
+    executor: &dyn Executor,
+    input: Tensor,
+    mode: StreamMode,
+    token: u64,
+    tx: &Sender<RoutedReply>,
+) {
+    let admitted = Instant::now();
+    inner.in_flight.fetch_add(1, Ordering::Relaxed);
+    let mut em = StreamEmitter {
+        inner,
+        token,
+        tx,
+        admitted,
+        last_emit: None,
+        first_token_us: 0,
+        seq: 0,
+    };
+    if let Err(e) = run_stream(inner, network, executor, input, mode, &mut em) {
+        let _ = tx.send(RoutedReply {
+            token,
+            seq: em.seq,
+            last: true,
+            result: Err(e),
+        });
+    }
+    inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+    inner.completed.fetch_add(1, Ordering::Relaxed);
+}
+
+fn run_stream(
+    inner: &Inner,
+    network: &Arc<Network>,
+    executor: &dyn Executor,
+    input: Tensor,
+    mode: StreamMode,
+    em: &mut StreamEmitter<'_>,
+) -> Result<()> {
+    match mode {
+        StreamMode::Windowed { window_rows } => {
+            // Partition the rows into windows of `window_rows` (the tail
+            // window may be short); each window is one chunk.
+            let w = window_rows as usize;
+            let mut counts = Vec::new();
+            let mut left = input.shape().batch();
+            while left > 0 {
+                let c = left.min(w);
+                counts.push(c);
+                left -= c;
+            }
+            let parts = input
+                .split_batch(&counts)
+                .map_err(dnn::DnnError::from)
+                .map_err(DjinnError::from)?;
+            let total = parts.len();
+            for (i, part) in parts.into_iter().enumerate() {
+                if !stream_open(inner) {
+                    return Err(DjinnError::Shutdown);
+                }
+                let (out, lease_us, service_us) = stream_step(inner, network, executor, &part)?;
+                em.emit(out, lease_us, service_us, i + 1 == total);
+            }
+        }
+        StreamMode::Generative { max_tokens } => {
+            let mut cur = input;
+            for i in 0..max_tokens {
+                if !stream_open(inner) {
+                    return Err(DjinnError::Shutdown);
+                }
+                let (out, lease_us, service_us) = stream_step(inner, network, executor, &cur)?;
+                if out.shape() != cur.shape() {
+                    return Err(DjinnError::Protocol {
+                        reason: format!(
+                            "generative stream needs output shape == input shape to feed \
+                             back, got {:?} from {:?}",
+                            out.shape(),
+                            cur.shape()
+                        ),
+                    });
+                }
+                cur = one_hot_like(&out);
+                em.emit(out, lease_us, service_us, i + 1 == max_tokens);
+            }
+        }
+    }
+    Ok(())
 }
 
 fn immediate_loop(inner: &Inner, network: &Arc<Network>, executor: &dyn Executor) {
@@ -1193,9 +1522,16 @@ mod tests {
         // must show up exactly once with its own output.
         let mut seen = std::collections::BTreeMap::new();
         for _ in 0..8 {
-            let RoutedReply { token, result } = rx
+            let RoutedReply {
+                token,
+                seq,
+                last,
+                result,
+            } = rx
                 .recv_timeout(Duration::from_secs(10))
                 .expect("routed reply");
+            assert_eq!(seq, 0, "one-shot jobs complete in a single reply");
+            assert!(last, "a one-shot job's only reply is final");
             let (output, _spans) = result.unwrap();
             assert!(
                 seen.insert(token, output).is_none(),
@@ -1468,5 +1804,216 @@ mod tests {
         assert_eq!(got.shape().dims(), &[3, 10]);
         let want = net.forward(&input).unwrap();
         assert!(got.max_abs_diff(&want).unwrap() < 1e-5);
+    }
+
+    fn lm_net() -> Arc<Network> {
+        Arc::new(Network::with_random_weights(dnn::zoo::tiny_lm(), 3).unwrap())
+    }
+
+    fn lm_engine() -> InferenceEngine {
+        InferenceEngine::start(
+            "tiny-lm",
+            lm_net(),
+            Arc::new(CpuExecutor::default()),
+            EngineConfig {
+                policy: DispatchPolicy::Immediate,
+                queue_capacity: 16,
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// Greedy reference decode: what the generative stream must emit,
+    /// computed with plain forward passes.
+    fn greedy_reference(net: &Network, mut cur: Tensor, steps: usize) -> Vec<Tensor> {
+        let mut outs = Vec::new();
+        for _ in 0..steps {
+            let out = net.forward(&cur).unwrap();
+            let data = out.data();
+            let best = (0..data.len())
+                .max_by(|&a, &b| data[a].total_cmp(&data[b]))
+                .unwrap();
+            let mut next = vec![0.0f32; data.len()];
+            next[best] = 1.0;
+            cur = Tensor::from_vec(out.shape().clone(), next).unwrap();
+            outs.push(out);
+        }
+        outs
+    }
+
+    #[test]
+    fn generative_stream_emits_ordered_greedy_chunks() {
+        let net = lm_net();
+        let eng = lm_engine();
+        let mut prompt = vec![0.0f32; 16];
+        prompt[3] = 1.0;
+        let input = Tensor::from_vec(Shape::mat(1, 16), prompt).unwrap();
+        let want = greedy_reference(&net, input.clone(), 5);
+
+        let (tx, rx) = bounded(16);
+        eng.submit_stream_routed(input, 9, StreamMode::Generative { max_tokens: 5 }, tx)
+            .unwrap();
+        for (i, expect) in want.iter().enumerate() {
+            let reply = rx.recv_timeout(Duration::from_secs(10)).expect("chunk");
+            assert_eq!(reply.token, 9);
+            assert_eq!(reply.seq as usize, i, "chunks must arrive in order");
+            assert_eq!(reply.last, i == 4, "only the 5th chunk is final");
+            let (out, spans) = reply.result.unwrap();
+            assert!(
+                out.max_abs_diff(expect).unwrap() < 1e-5,
+                "chunk {i} diverged from greedy reference"
+            );
+            assert_eq!(spans.tokens, i as u64 + 1);
+            assert!(spans.first_token_us > 0 || i == 0 || spans.first_token_us == 0);
+        }
+        assert!(
+            rx.recv_timeout(Duration::from_millis(200)).is_err(),
+            "no chunks may follow the final one"
+        );
+        let stats = eng.stats();
+        assert_eq!(stats.tokens_out, 5, "one tokens_out tick per chunk");
+        assert_eq!(stats.completed, 1, "a whole stream counts as one request");
+        eng.shutdown();
+    }
+
+    #[test]
+    fn windowed_stream_chunks_the_batch_in_order() {
+        let net = tiny_net();
+        let eng = engine(
+            Arc::clone(&net),
+            EngineConfig {
+                policy: DispatchPolicy::Immediate,
+                queue_capacity: 16,
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let input = Tensor::random_uniform(Shape::mat(5, 8), 1.0, 21);
+        let want = net.forward(&input).unwrap();
+        let (tx, rx) = bounded(16);
+        eng.submit_stream_routed(input, 4, StreamMode::Windowed { window_rows: 2 }, tx)
+            .unwrap();
+        // 5 rows at 2 per window: chunks of 2, 2, and 1 rows.
+        let mut rows_seen = 0usize;
+        for (i, want_rows) in [2usize, 2, 1].into_iter().enumerate() {
+            let reply = rx.recv_timeout(Duration::from_secs(10)).expect("chunk");
+            assert_eq!(reply.seq as usize, i);
+            assert_eq!(reply.last, i == 2);
+            let (out, _) = reply.result.unwrap();
+            assert_eq!(out.shape().batch(), want_rows, "chunk {i} row count");
+            for r in 0..want_rows {
+                let full_row = rows_seen + r;
+                for c in 0..4 {
+                    let got = out.data()[r * 4 + c];
+                    let exp = want.data()[full_row * 4 + c];
+                    assert!((got - exp).abs() < 1e-5, "row {full_row} col {c}");
+                }
+            }
+            rows_seen += want_rows;
+        }
+        eng.shutdown();
+    }
+
+    #[test]
+    fn generative_stream_rejects_bad_submissions() {
+        let eng = lm_engine();
+        let (tx, _rx) = bounded::<RoutedReply>(4);
+        // Multi-row prompts cannot feed back through greedy decode.
+        let wide = Tensor::zeros(Shape::mat(2, 16));
+        assert!(matches!(
+            eng.submit_stream_routed(
+                wide,
+                1,
+                StreamMode::Generative { max_tokens: 2 },
+                tx.clone()
+            ),
+            Err(DjinnError::Protocol { .. })
+        ));
+        // Zero-length streams are protocol errors, not silent no-ops.
+        let one = Tensor::zeros(Shape::mat(1, 16));
+        assert!(matches!(
+            eng.submit_stream_routed(
+                one.clone(),
+                2,
+                StreamMode::Generative { max_tokens: 0 },
+                tx.clone()
+            ),
+            Err(DjinnError::Protocol { .. })
+        ));
+        assert!(matches!(
+            eng.submit_stream_routed(one, 3, StreamMode::Windowed { window_rows: 0 }, tx),
+            Err(DjinnError::Protocol { .. })
+        ));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn generative_stream_needs_feedback_compatible_output() {
+        // tiny_net maps 8 -> 4: its output cannot be fed back, so the
+        // stream must fail terminally instead of crashing the engine.
+        let eng = engine(
+            tiny_net(),
+            EngineConfig {
+                policy: DispatchPolicy::Immediate,
+                queue_capacity: 8,
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let (tx, rx) = bounded(8);
+        let input = Tensor::zeros(Shape::mat(1, 8));
+        eng.submit_stream_routed(input, 7, StreamMode::Generative { max_tokens: 3 }, tx)
+            .unwrap();
+        let reply = rx.recv_timeout(Duration::from_secs(10)).expect("reply");
+        assert!(reply.last, "an error reply is terminal");
+        assert!(matches!(reply.result, Err(DjinnError::Protocol { .. })));
+        // The engine survives for ordinary traffic.
+        assert!(eng.infer(Tensor::zeros(Shape::mat(1, 8))).is_ok());
+        eng.shutdown();
+    }
+
+    #[test]
+    fn shutdown_waits_for_active_streams() {
+        let eng = InferenceEngine::start(
+            "tiny-lm",
+            lm_net(),
+            Arc::new(SlowExecutor {
+                inner: CpuExecutor::default(),
+                delay: Duration::from_millis(10),
+            }),
+            EngineConfig {
+                policy: DispatchPolicy::Immediate,
+                queue_capacity: 8,
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let (tx, rx) = bounded(64);
+        let mut prompt = vec![0.0f32; 16];
+        prompt[0] = 1.0;
+        let input = Tensor::from_vec(Shape::mat(1, 16), prompt).unwrap();
+        eng.submit_stream_routed(input, 11, StreamMode::Generative { max_tokens: 30 }, tx)
+            .unwrap();
+        // Let the stream emit at least one chunk, then shut down mid-way.
+        let first = rx.recv_timeout(Duration::from_secs(10)).expect("chunk 0");
+        assert_eq!(first.seq, 0);
+        eng.shutdown();
+        // After shutdown returns the stream has fully resolved: either it
+        // raced to completion or it ended with a terminal Shutdown error.
+        let mut last_seen = false;
+        while let Ok(reply) = rx.try_recv() {
+            assert!(!last_seen, "no reply may follow a terminal one");
+            if reply.last {
+                last_seen = true;
+                if let Err(e) = reply.result {
+                    assert!(matches!(e, DjinnError::Shutdown), "got {e}");
+                }
+            }
+        }
+        assert!(
+            last_seen,
+            "shutdown must terminate the stream with a final reply"
+        );
     }
 }

@@ -50,8 +50,9 @@ mod registry;
 mod router;
 mod server;
 pub mod trace;
+pub mod workload;
 
-pub use client::{DjinnClient, PipelinedResponse};
+pub use client::{DjinnClient, PipelinedResponse, StreamChunk, StreamIter};
 pub use device::{ColocationPolicy, ComputeLease, Device, DeviceScheduler};
 pub use dnn::cache::{CacheMode, CacheStats, InferenceCache};
 pub use engine::{
@@ -59,7 +60,7 @@ pub use engine::{
 };
 pub use error::DjinnError;
 pub use executor::{CpuExecutor, DelayExecutor, Executor, InferenceOutcome, SimGpuExecutor};
-pub use protocol::ModelStats;
+pub use protocol::{ModelStats, StreamMode};
 pub use registry::ModelRegistry;
 pub use router::{DjinnRouter, RoutePolicy, RouterConfig};
 pub use server::{Backend, DjinnServer, ServerConfig};

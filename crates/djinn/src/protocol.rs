@@ -13,6 +13,8 @@
 //! stats_req := magic version opcode=5 id:u64
 //! stats_rsp := magic version opcode=6 id:u64 unknown:u64 count:u16 entry*
 //! busy      := magic version opcode=7 id:u64 name:str depth:u32
+//! stream_req:= magic version opcode=8 name:str id:u64 mode:u8 param:u32 tensor
+//! chunk     := magic version opcode=9 status=0 trace seq:u32 flags:u8 tensor
 //! str       := u16 len, utf-8 bytes
 //! tensor    := u8 rank, u32 dim*, f32 data* (little endian)
 //! trace     := id:u64 queue_us:u64 batch_us:u64 [lease_us:u64] service_us:u64 total_us:u64
@@ -40,7 +42,14 @@
 //! telemetry: the trace block grows to 48 bytes with a `lease_us:u64`
 //! (time the dispatch blocked acquiring its compute lease) between
 //! `batch_us` and `service_us`, and each stats entry appends two lease
-//! quantiles (p50/p99 lease wait). Decoders accept every version from 1 up to
+//! quantiles (p50/p99 lease wait). Version 7 opens the streaming regime:
+//! a `stream_req` asks for one request to be answered by N ordered
+//! `chunk` frames (each seq-numbered, the last carrying the `final` flag
+//! bit 0), the trace block grows to 72 bytes with trailing
+//! `first_token_us`/`tokens` words (time from admission to the first
+//! emitted chunk, and total chunks emitted), and each stats entry
+//! appends three per-token words (`tokens_out`, p50/p99 inter-token
+//! gap). Decoders accept every version from 1 up to
 //! [`VERSION`]: fields a version predates decode as zero (request ID 0
 //! means "untraced"/"uncorrelated"; an all-zero trace means "the peer
 //! reported none"), so a v4 client still understands a v1 server's reply
@@ -72,7 +81,7 @@ use crate::{DjinnError, Result};
 pub const MAGIC: &[u8; 4] = b"DJNN";
 /// Protocol version this implementation speaks. Decoding accepts any
 /// version in `1..=VERSION`.
-pub const VERSION: u8 = 6;
+pub const VERSION: u8 = 7;
 /// Upper bound on a frame, to reject hostile lengths (64 MiB holds the
 /// largest Tonic batch comfortably).
 pub const MAX_FRAME: usize = 64 << 20;
@@ -86,9 +95,58 @@ const OP_LIST_RESULT: u8 = 4;
 const OP_STATS: u8 = 5;
 const OP_STATS_RESULT: u8 = 6;
 const OP_BUSY: u8 = 7;
+const OP_STREAM_INFER: u8 = 8;
+const OP_OUTPUT_CHUNK: u8 = 9;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
+
+/// `chunk` frame flag bit: this is the stream's last chunk.
+const CHUNK_FLAG_FINAL: u8 = 1;
+
+/// How a v7 `stream_req` wants its N partial responses produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// Sliding-window evaluation (streaming ASR): the input's rows are
+    /// fed through the model `window_rows` at a time and every window's
+    /// scores are emitted as one chunk.
+    Windowed {
+        /// Rows per window (must be ≥ 1).
+        window_rows: u32,
+    },
+    /// Autoregressive decode (text generation): the model's output
+    /// feeds back as its next input, one chunk per generated token.
+    Generative {
+        /// Tokens to generate (must be ≥ 1).
+        max_tokens: u32,
+    },
+}
+
+impl StreamMode {
+    /// Wire mode byte.
+    fn opbyte(self) -> u8 {
+        match self {
+            StreamMode::Windowed { .. } => 0,
+            StreamMode::Generative { .. } => 1,
+        }
+    }
+
+    /// Wire parameter word (window rows or token budget).
+    fn param(self) -> u32 {
+        match self {
+            StreamMode::Windowed { window_rows } => window_rows,
+            StreamMode::Generative { max_tokens } => max_tokens,
+        }
+    }
+
+    fn from_wire(mode: u8, param: u32) -> Result<Self> {
+        match mode {
+            0 => Ok(StreamMode::Windowed { window_rows: param }),
+            1 => Ok(StreamMode::Generative { max_tokens: param }),
+            other => Err(err(&format!("unknown stream mode {other}"))),
+        }
+    }
+}
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +174,34 @@ pub enum Request {
         /// from a pre-v4 frame, which carried none).
         request_id: u64,
     },
+    /// Run streaming inference on `model`: the server answers with N
+    /// ordered [`Response::Chunk`] frames (the last flagged final)
+    /// instead of one `Output`. v7+.
+    StreamInfer {
+        /// Registered model name.
+        model: String,
+        /// Seed input: the feature-frame matrix for windowed mode, the
+        /// one-hot prompt token for generative mode.
+        input: Tensor,
+        /// Client-assigned trace ID, echoed by every chunk of the
+        /// stream. Unlike one-shot infer, 0 is not meaningful here —
+        /// chunks are only correlatable by ID.
+        request_id: u64,
+        /// How to produce the partial responses.
+        mode: StreamMode,
+    },
+}
+
+impl Request {
+    /// The client-assigned correlation ID this request carries.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Request::Infer { request_id, .. }
+            | Request::ListModels { request_id }
+            | Request::Stats { request_id }
+            | Request::StreamInfer { request_id, .. } => *request_id,
+        }
+    }
 }
 
 /// Service statistics for one model, as reported by the `Stats` request.
@@ -177,6 +263,15 @@ pub struct ModelStats {
     /// Cache entries evicted to stay under the byte budget (0 from a
     /// pre-v6 peer).
     pub cache_evictions: u64,
+    /// Stream chunks (tokens / partial hypotheses) emitted by streaming
+    /// requests against this model (0 from a pre-v7 peer).
+    pub tokens_out: u64,
+    /// Median gap between consecutive chunks of a stream, microseconds
+    /// (0 from a pre-v7 peer or with no streaming traffic).
+    pub p50_token_gap_us: u64,
+    /// 99th-percentile inter-chunk gap, microseconds (0 from a pre-v7
+    /// peer).
+    pub p99_token_gap_us: u64,
 }
 
 impl ModelStats {
@@ -252,6 +347,22 @@ pub enum Response {
         /// Queue depth observed at admission (the configured bound).
         queue_depth: u32,
     },
+    /// One partial response of a streaming request (v7+). A
+    /// [`Request::StreamInfer`] is answered by a run of these, ordered
+    /// by `seq` and closed by the one with `last` set; each carries the
+    /// stream's request ID in its trace block.
+    Chunk {
+        /// The partial output (one window's scores, one token's
+        /// distribution).
+        tensor: Tensor,
+        /// Server-side spans as of this chunk; the final chunk carries
+        /// the stream totals (`first_token_us`, `tokens`).
+        trace: ServerTrace,
+        /// Position in the stream, starting at 0.
+        seq: u32,
+        /// Whether this is the stream's last chunk.
+        last: bool,
+    },
 }
 
 impl Response {
@@ -260,7 +371,7 @@ impl Response {
     /// answering an undecodable frame.
     pub fn request_id(&self) -> u64 {
         match self {
-            Response::Output { trace, .. } => trace.request_id,
+            Response::Output { trace, .. } | Response::Chunk { trace, .. } => trace.request_id,
             Response::Error { request_id, .. }
             | Response::Models { request_id, .. }
             | Response::Stats { request_id, .. }
@@ -409,8 +520,10 @@ fn get_request_id(buf: &mut &[u8], version: u8) -> Result<u64> {
 /// a v3/v4 peer, 48 from v5 (which inserts `lease_us` between the batch
 /// and service spans), 56 from v6 (which appends a cache-hit word — at
 /// the *end*, so the request ID keeps its fixed offset for in-place
-/// rewriting; see [`response_id_slot`]). A pre-v3 response has none and
-/// decodes as the all-zero "peer reported none" trace.
+/// rewriting; see [`response_id_slot`]), 72 from v7 (which appends the
+/// per-token words `first_token_us` and `tokens`, again trailing). A
+/// pre-v3 response has none and decodes as the all-zero "peer reported
+/// none" trace.
 fn get_trace(buf: &mut &[u8], version: u8) -> Result<ServerTrace> {
     if version < 3 {
         return Ok(ServerTrace::default());
@@ -418,7 +531,8 @@ fn get_trace(buf: &mut &[u8], version: u8) -> Result<ServerTrace> {
     let len = match version {
         3 | 4 => 40,
         5 => 48,
-        _ => 56,
+        6 => 56,
+        _ => 72,
     };
     if buf.remaining() < len {
         return Err(err("truncated trace block"));
@@ -430,6 +544,11 @@ fn get_trace(buf: &mut &[u8], version: u8) -> Result<ServerTrace> {
     let service_us = buf.get_u64_le();
     let server_total_us = buf.get_u64_le();
     let cache_hit = version >= 6 && buf.get_u64_le() != 0;
+    let (first_token_us, tokens) = if version >= 7 {
+        (buf.get_u64_le(), buf.get_u64_le())
+    } else {
+        (0, 0)
+    };
     Ok(ServerTrace {
         request_id,
         queue_us,
@@ -438,7 +557,23 @@ fn get_trace(buf: &mut &[u8], version: u8) -> Result<ServerTrace> {
         service_us,
         server_total_us,
         cache_hit,
+        first_token_us,
+        tokens,
     })
+}
+
+/// Writes the 72-byte v7 trace block — shared by the `Output` and
+/// `Chunk` encoders so both stay byte-identical in layout.
+fn put_trace(buf: &mut BytesMut, trace: &ServerTrace) {
+    buf.put_u64_le(trace.request_id);
+    buf.put_u64_le(trace.queue_us);
+    buf.put_u64_le(trace.batch_us);
+    buf.put_u64_le(trace.lease_us);
+    buf.put_u64_le(trace.service_us);
+    buf.put_u64_le(trace.server_total_us);
+    buf.put_u64_le(trace.cache_hit as u64);
+    buf.put_u64_le(trace.first_token_us);
+    buf.put_u64_le(trace.tokens);
 }
 
 fn header(buf: &mut BytesMut, opcode: u8) {
@@ -550,6 +685,19 @@ impl Request {
                 header(buf, OP_STATS);
                 buf.put_u64_le(*request_id);
             }
+            Request::StreamInfer {
+                model,
+                input,
+                request_id,
+                mode,
+            } => {
+                header(buf, OP_STREAM_INFER);
+                put_str(buf, model)?;
+                buf.put_u64_le(*request_id);
+                buf.put_u8(mode.opbyte());
+                buf.put_u32_le(mode.param());
+                put_tensor(buf, input);
+            }
         }
         Ok(())
     }
@@ -599,6 +747,26 @@ impl Request {
             OP_STATS => Ok(Request::Stats {
                 request_id: get_request_id(buf, version)?,
             }),
+            OP_STREAM_INFER => {
+                if version < 7 {
+                    return Err(err("stream_req frames require protocol v7"));
+                }
+                let model = get_str(buf)?;
+                if buf.remaining() < 8 + 1 + 4 {
+                    return Err(err("truncated stream request"));
+                }
+                let request_id = buf.get_u64_le();
+                let mode_byte = buf.get_u8();
+                let param = buf.get_u32_le();
+                let mode = StreamMode::from_wire(mode_byte, param)?;
+                let input = get_tensor(buf)?;
+                Ok(Request::StreamInfer {
+                    model,
+                    input,
+                    request_id,
+                    mode,
+                })
+            }
             other => Err(err(&format!("unexpected request opcode {other}"))),
         }
     }
@@ -632,13 +800,20 @@ impl Response {
             Response::Output { tensor, trace } => {
                 header(buf, OP_RESULT);
                 buf.put_u8(STATUS_OK);
-                buf.put_u64_le(trace.request_id);
-                buf.put_u64_le(trace.queue_us);
-                buf.put_u64_le(trace.batch_us);
-                buf.put_u64_le(trace.lease_us);
-                buf.put_u64_le(trace.service_us);
-                buf.put_u64_le(trace.server_total_us);
-                buf.put_u64_le(trace.cache_hit as u64);
+                put_trace(buf, trace);
+                put_tensor(buf, tensor);
+            }
+            Response::Chunk {
+                tensor,
+                trace,
+                seq,
+                last,
+            } => {
+                header(buf, OP_OUTPUT_CHUNK);
+                buf.put_u8(STATUS_OK);
+                put_trace(buf, trace);
+                buf.put_u32_le(*seq);
+                buf.put_u8(if *last { CHUNK_FLAG_FINAL } else { 0 });
                 put_tensor(buf, tensor);
             }
             Response::Error {
@@ -689,6 +864,9 @@ impl Response {
                     buf.put_u64_le(s.cache_hits);
                     buf.put_u64_le(s.cache_misses);
                     buf.put_u64_le(s.cache_evictions);
+                    buf.put_u64_le(s.tokens_out);
+                    buf.put_u64_le(s.p50_token_gap_us);
+                    buf.put_u64_le(s.p99_token_gap_us);
                 }
             }
             Response::Busy {
@@ -780,6 +958,30 @@ impl Response {
                     s => Err(err(&format!("unknown status {s}"))),
                 }
             }
+            OP_OUTPUT_CHUNK => {
+                if version < 7 {
+                    return Err(err("chunk frames require protocol v7"));
+                }
+                if buf.remaining() < 1 {
+                    return Err(err("truncated status"));
+                }
+                let status = buf.get_u8();
+                if status != STATUS_OK {
+                    return Err(err(&format!("unknown chunk status {status}")));
+                }
+                let trace = get_trace(buf, version)?;
+                if buf.remaining() < 5 {
+                    return Err(err("truncated chunk sequence"));
+                }
+                let seq = buf.get_u32_le();
+                let flags = buf.get_u8();
+                Ok(Response::Chunk {
+                    tensor: get_tensor(buf)?,
+                    trace,
+                    seq,
+                    last: flags & CHUNK_FLAG_FINAL != 0,
+                })
+            }
             OP_LIST_RESULT => {
                 let request_id = get_request_id(buf, version)?;
                 if buf.remaining() < 2 {
@@ -809,13 +1011,15 @@ impl Response {
                 // v1 entries carry 4 u64 counters; v2 appends 5 more for
                 // queue telemetry; v3 appends 6 breakdown quantiles; v5
                 // appends 2 lease-wait quantiles; v6 appends 3 cache
-                // counters. Fields a version predates decode as 0.
+                // counters; v7 appends 3 per-token words. Fields a
+                // version predates decode as 0.
                 let words = match version {
                     1 => 4,
                     2 => 9,
                     3 | 4 => 15,
                     5 => 17,
-                    _ => 20,
+                    6 => 20,
+                    _ => 23,
                 };
                 let mut stats = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -845,6 +1049,9 @@ impl Response {
                         cache_hits: 0,
                         cache_misses: 0,
                         cache_evictions: 0,
+                        tokens_out: 0,
+                        p50_token_gap_us: 0,
+                        p99_token_gap_us: 0,
                     };
                     if version >= 2 {
                         entry.queue_depth = buf.get_u64_le();
@@ -869,6 +1076,11 @@ impl Response {
                         entry.cache_hits = buf.get_u64_le();
                         entry.cache_misses = buf.get_u64_le();
                         entry.cache_evictions = buf.get_u64_le();
+                    }
+                    if version >= 7 {
+                        entry.tokens_out = buf.get_u64_le();
+                        entry.p50_token_gap_us = buf.get_u64_le();
+                        entry.p99_token_gap_us = buf.get_u64_le();
                     }
                     stats.push(entry);
                 }
@@ -1168,6 +1380,17 @@ pub enum RequestPeek<'a> {
         /// Offset of the ID field, `None` on a pre-v4 frame.
         id_at: Option<usize>,
     },
+    /// A v7 `StreamInfer` frame for `model`; routed like an `Infer` (the
+    /// name and ID sit at the same offsets) but answered by a run of
+    /// chunk frames that must all return through the same upstream.
+    StreamInfer {
+        /// Model name, borrowed from the frame.
+        model: &'a str,
+        /// Client-assigned stream ID.
+        request_id: u64,
+        /// Offset of the ID field (always present: the frame is v7+).
+        id_at: Option<usize>,
+    },
 }
 
 impl RequestPeek<'_> {
@@ -1175,6 +1398,7 @@ impl RequestPeek<'_> {
     pub fn request_id(&self) -> u64 {
         match self {
             RequestPeek::Infer { request_id, .. }
+            | RequestPeek::StreamInfer { request_id, .. }
             | RequestPeek::ListModels { request_id, .. }
             | RequestPeek::Stats { request_id, .. } => *request_id,
         }
@@ -1185,6 +1409,7 @@ impl RequestPeek<'_> {
     pub fn id_at(&self) -> Option<usize> {
         match self {
             RequestPeek::Infer { id_at, .. }
+            | RequestPeek::StreamInfer { id_at, .. }
             | RequestPeek::ListModels { id_at, .. }
             | RequestPeek::Stats { id_at, .. } => *id_at,
         }
@@ -1204,7 +1429,10 @@ pub fn peek_request(payload: &[u8]) -> Result<RequestPeek<'_>> {
     let mut hdr = payload;
     let (version, opcode) = check_header(&mut hdr)?;
     match opcode {
-        OP_INFER => {
+        OP_INFER | OP_STREAM_INFER => {
+            if opcode == OP_STREAM_INFER && version < 7 {
+                return Err(err("stream_req frames require protocol v7"));
+            }
             if payload.len() < 8 {
                 return Err(err("truncated string length"));
             }
@@ -1215,6 +1443,19 @@ pub fn peek_request(payload: &[u8]) -> Result<RequestPeek<'_>> {
             }
             let model = std::str::from_utf8(&payload[8..name_end])
                 .map_err(|_| err("string is not utf-8"))?;
+            if opcode == OP_STREAM_INFER {
+                if payload.len() < name_end + 8 {
+                    return Err(err("truncated request id"));
+                }
+                let request_id = u64::from_le_bytes(
+                    payload[name_end..name_end + 8].try_into().expect("8 bytes"),
+                );
+                return Ok(RequestPeek::StreamInfer {
+                    model,
+                    request_id,
+                    id_at: Some(name_end),
+                });
+            }
             if version >= 3 {
                 if payload.len() < name_end + 8 {
                     return Err(err("truncated request id"));
@@ -1274,6 +1515,24 @@ pub fn is_busy_response(payload: &[u8]) -> bool {
     payload.len() > 5 && payload[..4] == *MAGIC && payload[5] == OP_BUSY
 }
 
+/// Whether `payload` is a *non-final* `chunk` frame, judged from the
+/// fixed-offset header bytes alone (no tensor decode). A router uses
+/// this to keep a stream's in-flight entry registered — every chunk of
+/// a stream must flow back through the replica that owns it — until the
+/// final chunk retires the request. Anything that is not a well-formed
+/// v7 chunk (including a truncated one) answers `false`, so malformed
+/// frames fall through to the normal retire-on-reply path.
+pub fn is_partial_chunk(payload: &[u8]) -> bool {
+    // magic(4) version(1) opcode(1) status(1) trace(72) seq(4) flags(1):
+    // the flags byte sits at offset 83. Chunks exist only from v7 on,
+    // where the trace block is always the full 72 bytes.
+    payload.len() > 83
+        && payload[..4] == *MAGIC
+        && payload[4] >= 7
+        && payload[5] == OP_OUTPUT_CHUNK
+        && payload[83] & CHUNK_FLAG_FINAL == 0
+}
+
 pub fn response_id_slot(payload: &[u8]) -> Result<Option<(u64, usize)>> {
     let mut hdr = payload;
     let (version, opcode) = check_header(&mut hdr)?;
@@ -1291,6 +1550,18 @@ pub fn response_id_slot(payload: &[u8]) -> Result<Option<(u64, usize)>> {
                 STATUS_OK | STATUS_ERR => None,
                 s => return Err(err(&format!("unknown status {s}"))),
             }
+        }
+        OP_OUTPUT_CHUNK => {
+            // Chunks only exist from v7 on; like a successful result,
+            // the trace block (whose first word is the echoed ID)
+            // follows the status byte.
+            if version < 7 {
+                return Err(err("chunk frames require protocol v7"));
+            }
+            if payload.len() < 7 {
+                return Err(err("truncated status"));
+            }
+            Some(7)
         }
         OP_LIST_RESULT | OP_STATS_RESULT | OP_BUSY => {
             if version >= 4 {
@@ -1394,6 +1665,9 @@ mod tests {
             cache_hits: 18,
             cache_misses: 24,
             cache_evictions: 2,
+            tokens_out: 640,
+            p50_token_gap_us: 210,
+            p99_token_gap_us: 2_900,
         }
     }
 
@@ -1419,11 +1693,11 @@ mod tests {
 
     #[test]
     fn version_constant_matches_the_correlated_protocol() {
-        // v6 added inference-cache telemetry (56-byte trace block with a
-        // trailing hit flag, three extra stats counters) on top of v5's
-        // lease telemetry; bump this test alongside any future wire
-        // change.
-        assert_eq!(VERSION, 6);
+        // v7 added streaming inference (stream_req/chunk frames, 72-byte
+        // trace block with trailing first-token/token-count words, three
+        // extra per-token stats words) on top of v6's cache telemetry;
+        // bump this test alongside any future wire change.
+        assert_eq!(VERSION, 7);
         let wire = Request::ListModels { request_id: 1 }.encode().unwrap();
         assert_eq!(wire[4], VERSION, "encoders must stamp VERSION");
     }
@@ -1466,12 +1740,124 @@ mod tests {
                 model: "imc".into(),
                 queue_depth: 1,
             },
+            Response::Chunk {
+                tensor: Tensor::zeros(Shape::mat(1, 1)),
+                trace: ServerTrace {
+                    request_id: 7,
+                    ..ServerTrace::default()
+                },
+                seq: 3,
+                last: false,
+            },
         ];
         for rsp in variants {
             assert_eq!(rsp.request_id(), 7, "{rsp:?}");
             let back = Response::decode(&rsp.encode().unwrap()).unwrap();
             assert_eq!(back.request_id(), 7, "id lost on the wire: {back:?}");
         }
+    }
+
+    #[test]
+    fn stream_request_roundtrips_both_modes() {
+        for mode in [
+            StreamMode::Windowed { window_rows: 4 },
+            StreamMode::Generative { max_tokens: 32 },
+        ] {
+            let req = Request::StreamInfer {
+                model: "asr".into(),
+                input: Tensor::random_uniform(Shape::mat(8, 5), 1.0, 3),
+                request_id: 0xFACE,
+                mode,
+            };
+            let back = Request::decode(&req.encode().unwrap()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn stream_request_rejects_unknown_mode_byte() {
+        let mut wire = Request::StreamInfer {
+            model: "m".into(),
+            input: Tensor::zeros(Shape::mat(1, 1)),
+            request_id: 5,
+            mode: StreamMode::Windowed { window_rows: 1 },
+        }
+        .encode()
+        .unwrap()
+        .to_vec();
+        // mode byte sits after magic+ver+op (6) + name (2+1) + id (8)
+        wire[17] = 9;
+        assert!(matches!(
+            Request::decode(&wire),
+            Err(DjinnError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_response_roundtrips_with_seq_and_final_flag() {
+        for (seq, last) in [(0u32, false), (7, true)] {
+            let rsp = Response::Chunk {
+                tensor: Tensor::random_uniform(Shape::mat(1, 6), 1.0, 9),
+                trace: ServerTrace {
+                    request_id: 41,
+                    queue_us: 5,
+                    lease_us: 2,
+                    service_us: 11,
+                    server_total_us: 30,
+                    first_token_us: 9,
+                    tokens: u64::from(seq) + 1,
+                    ..ServerTrace::default()
+                },
+                seq,
+                last,
+            };
+            let back = Response::decode(&rsp.encode().unwrap()).unwrap();
+            assert_eq!(back, rsp);
+        }
+    }
+
+    #[test]
+    fn peek_reads_stream_request_kind_and_id() {
+        let req = Request::StreamInfer {
+            model: "lm".into(),
+            input: Tensor::zeros(Shape::mat(1, 4)),
+            request_id: 0xBEEF,
+            mode: StreamMode::Generative { max_tokens: 8 },
+        };
+        let wire = req.encode().unwrap();
+        assert_eq!(
+            peek_request(&wire).unwrap(),
+            RequestPeek::StreamInfer {
+                model: "lm",
+                request_id: 0xBEEF,
+                // Same slot as Infer: after magic+ver+op and the name.
+                id_at: Some(4 + 1 + 1 + 2 + 2),
+            }
+        );
+    }
+
+    #[test]
+    fn is_partial_chunk_spots_only_nonfinal_chunks() {
+        let chunk = |last| Response::Chunk {
+            tensor: Tensor::zeros(Shape::mat(1, 1)),
+            trace: ServerTrace::default(),
+            seq: 0,
+            last,
+        };
+        let partial = chunk(false).encode().unwrap();
+        assert!(is_partial_chunk(&partial));
+        let terminal = chunk(true).encode().unwrap();
+        assert!(!is_partial_chunk(&terminal));
+        // Non-chunk frames and junk are never partial.
+        let output = Response::Output {
+            tensor: Tensor::zeros(Shape::mat(1, 1)),
+            trace: ServerTrace::default(),
+        }
+        .encode()
+        .unwrap();
+        assert!(!is_partial_chunk(&output));
+        assert!(!is_partial_chunk(b"DJNN"));
+        assert!(!is_partial_chunk(&[]));
     }
 
     #[test]
@@ -1536,15 +1922,18 @@ mod tests {
         .to_vec();
         stats.drain(6..22); // id + unknown counter
         stats[4] = 3;
-        // A v3 entry has no lease quantiles or cache counters: they
-        // decode as zero (the five extra encoded words trail the entry
-        // and are ignored).
+        // A v3 entry has no lease quantiles, cache counters, or token
+        // words: they decode as zero (the eight extra encoded words
+        // trail the entry and are ignored).
         let mut v3_entry = stats_entry("dig");
         v3_entry.p50_lease_wait_us = 0;
         v3_entry.p99_lease_wait_us = 0;
         v3_entry.cache_hits = 0;
         v3_entry.cache_misses = 0;
         v3_entry.cache_evictions = 0;
+        v3_entry.tokens_out = 0;
+        v3_entry.p50_token_gap_us = 0;
+        v3_entry.p99_token_gap_us = 0;
         assert_eq!(
             Response::decode(&stats).unwrap(),
             Response::Stats {
@@ -1557,10 +1946,10 @@ mod tests {
 
     #[test]
     fn v5_frames_decode_with_zero_cache_fields() {
-        // v5 → v6 compat: splice the trailing cache word out of an
-        // Output trace block (and the three cache counters out of a
+        // v5 → v7 compat: splice the trailing cache + token words out of
+        // an Output trace block (and the six trailing counters out of a
         // stats entry), rewrite the version byte, and everything must
-        // decode with the cache fields zero-filled.
+        // decode with the cache and token fields zero-filled.
         let tensor = Tensor::random_uniform(Shape::mat(1, 3), 1.0, 6);
         let rsp = Response::Output {
             tensor: tensor.clone(),
@@ -1572,10 +1961,12 @@ mod tests {
                 service_us: 4,
                 server_total_us: 10,
                 cache_hit: true,
+                first_token_us: 5,
+                tokens: 8,
             },
         };
         let mut wire = rsp.encode().unwrap().to_vec();
-        wire.drain(7 + 48..7 + 56); // the v6 cache-hit word
+        wire.drain(7 + 48..7 + 72); // the v6 cache word + v7 token words
         wire[4] = 5;
         let decoded = Response::decode(&wire).unwrap();
         assert_eq!(
@@ -1590,9 +1981,11 @@ mod tests {
                     service_us: 4,
                     server_total_us: 10,
                     cache_hit: false,
+                    first_token_us: 0,
+                    tokens: 0,
                 },
             },
-            "v5 peers report no cache disposition"
+            "v5 peers report no cache disposition and no token telemetry"
         );
 
         let mut stats = Response::Stats {
@@ -1603,12 +1996,15 @@ mod tests {
         .encode()
         .unwrap()
         .to_vec();
-        stats.drain(stats.len() - 24..); // the 3 trailing cache counters
+        stats.drain(stats.len() - 48..); // 3 cache counters + 3 token words
         stats[4] = 5;
         let mut v5_entry = stats_entry("pos");
         v5_entry.cache_hits = 0;
         v5_entry.cache_misses = 0;
         v5_entry.cache_evictions = 0;
+        v5_entry.tokens_out = 0;
+        v5_entry.p50_token_gap_us = 0;
+        v5_entry.p99_token_gap_us = 0;
         assert_eq!(v5_entry.cache_hit_rate(), 0.0);
         assert_eq!(
             Response::decode(&stats).unwrap(),
@@ -1616,6 +2012,74 @@ mod tests {
                 request_id: 9,
                 unknown_model_requests: 0,
                 stats: vec![v5_entry],
+            }
+        );
+    }
+
+    #[test]
+    fn v6_frames_decode_with_zero_token_fields() {
+        // v6 → v7 compat: a v6 Output trace block stops after the
+        // cache-hit word and a v6 stats entry after the cache counters;
+        // splice the v7 tails off and everything must decode with the
+        // token fields zero-filled.
+        let tensor = Tensor::random_uniform(Shape::mat(2, 2), 1.0, 13);
+        let rsp = Response::Output {
+            tensor: tensor.clone(),
+            trace: ServerTrace {
+                request_id: 21,
+                queue_us: 7,
+                batch_us: 8,
+                lease_us: 9,
+                service_us: 10,
+                server_total_us: 40,
+                cache_hit: true,
+                first_token_us: 11,
+                tokens: 12,
+            },
+        };
+        let mut wire = rsp.encode().unwrap().to_vec();
+        wire.drain(7 + 56..7 + 72); // the two trailing v7 token words
+        wire[4] = 6;
+        let decoded = Response::decode(&wire).unwrap();
+        assert_eq!(
+            decoded,
+            Response::Output {
+                tensor,
+                trace: ServerTrace {
+                    request_id: 21,
+                    queue_us: 7,
+                    batch_us: 8,
+                    lease_us: 9,
+                    service_us: 10,
+                    server_total_us: 40,
+                    cache_hit: true,
+                    first_token_us: 0,
+                    tokens: 0,
+                },
+            },
+            "v6 peers keep their cache flag but report no token telemetry"
+        );
+
+        let mut stats = Response::Stats {
+            request_id: 3,
+            unknown_model_requests: 0,
+            stats: vec![stats_entry("asr")],
+        }
+        .encode()
+        .unwrap()
+        .to_vec();
+        stats.drain(stats.len() - 24..); // the 3 trailing token words
+        stats[4] = 6;
+        let mut v6_entry = stats_entry("asr");
+        v6_entry.tokens_out = 0;
+        v6_entry.p50_token_gap_us = 0;
+        v6_entry.p99_token_gap_us = 0;
+        assert_eq!(
+            Response::decode(&stats).unwrap(),
+            Response::Stats {
+                request_id: 3,
+                unknown_model_requests: 0,
+                stats: vec![v6_entry],
             }
         );
     }
@@ -1718,12 +2182,14 @@ mod tests {
                 service_us: 4,
                 server_total_us: 5,
                 cache_hit: true,
+                first_token_us: 6,
+                tokens: 7,
             },
         };
-        // A v2 frame has no trace block: splice out the 56 bytes that
+        // A v2 frame has no trace block: splice out the 72 bytes that
         // follow the status byte and rewrite the version.
         let mut wire = rsp.encode().unwrap().to_vec();
-        wire.drain(7..63);
+        wire.drain(7..79);
         wire[4] = 2;
         let decoded = Response::decode(&wire).unwrap();
         assert_eq!(
@@ -1749,14 +2215,16 @@ mod tests {
                 service_us: 40,
                 server_total_us: 100,
                 cache_hit: true,
+                first_token_us: 50,
+                tokens: 3,
             },
         };
-        // A v4 frame has a 40-byte trace block without the lease word or
-        // the v6 cache word: splice the trailing cache flag out, then
-        // lease_us (it sits after id+queue+batch), and rewrite the
-        // version byte.
+        // A v4 frame has a 40-byte trace block without the lease word,
+        // the v6 cache word, or the v7 token words: splice the trailing
+        // three words out, then lease_us (it sits after id+queue+batch),
+        // and rewrite the version byte.
         let mut wire = rsp.encode().unwrap().to_vec();
-        wire.drain(7 + 48..7 + 56);
+        wire.drain(7 + 48..7 + 72);
         wire.drain(7 + 24..7 + 32);
         wire[4] = 4;
         let decoded = Response::decode(&wire).unwrap();
@@ -1772,6 +2240,8 @@ mod tests {
                     service_us: 40,
                     server_total_us: 100,
                     cache_hit: false,
+                    first_token_us: 0,
+                    tokens: 0,
                 },
             },
             "v4 peers report no lease wait and no cache flag"
@@ -1791,6 +2261,8 @@ mod tests {
                     service_us: 2_000,
                     server_total_us: 2_300,
                     cache_hit: true,
+                    first_token_us: 88,
+                    tokens: 16,
                 },
             },
             Response::Error {
@@ -1900,7 +2372,7 @@ mod tests {
         let mut buf = BytesMut::new();
         header(&mut buf, OP_RESULT);
         buf.put_u8(STATUS_OK);
-        buf.put_slice(&[0u8; 56]);
+        buf.put_slice(&[0u8; 72]);
         buf.put_u8(0);
         assert!(Response::decode(&buf).is_err());
     }
@@ -2137,6 +2609,8 @@ mod tests {
                     service_us: 2_000,
                     server_total_us: 2_300,
                     cache_hit: false,
+                    first_token_us: 75,
+                    tokens: 2,
                 },
             },
             Response::Error {
@@ -2194,6 +2668,8 @@ mod tests {
             service_us: 3,
             server_total_us: 6,
             cache_hit: true,
+            first_token_us: 4,
+            tokens: 5,
         };
         let rsp = Response::Output {
             tensor: tensor.clone(),
@@ -2369,6 +2845,8 @@ mod tests {
                     service_us: seed % 4_001,
                     server_total_us: seed % 5_003,
                     cache_hit: seed % 2 == 1,
+                    first_token_us: seed % 13,
+                    tokens: seed % 7,
                 },
             };
             let back = Response::decode(&rsp.encode().unwrap()).unwrap();
@@ -2516,6 +2994,12 @@ mod tests {
             },
             Request::ListModels { request_id: 41 },
             Request::Stats { request_id: 41 },
+            Request::StreamInfer {
+                model: "dig".into(),
+                input: input.clone(),
+                request_id: 41,
+                mode: StreamMode::Windowed { window_rows: 2 },
+            },
         ] {
             let mut wire = req.encode().unwrap().to_vec();
             let old = rewrite_request_id(&mut wire, 0x1234_5678_9ABC).unwrap();
@@ -2532,6 +3016,14 @@ mod tests {
                     request_id: 0x1234_5678_9ABC,
                 },
                 Request::Stats { .. } => Request::Stats {
+                    request_id: 0x1234_5678_9ABC,
+                },
+                Request::StreamInfer {
+                    model, input, mode, ..
+                } => Request::StreamInfer {
+                    model,
+                    input,
+                    mode,
                     request_id: 0x1234_5678_9ABC,
                 },
             };
@@ -2552,6 +3044,8 @@ mod tests {
                     service_us: 3,
                     server_total_us: 4,
                     cache_hit: false,
+                    first_token_us: 0,
+                    tokens: 0,
                 },
             },
             Response::Error {
@@ -2571,6 +3065,17 @@ mod tests {
                 request_id: 55,
                 model: "dig".into(),
                 queue_depth: 16,
+            },
+            Response::Chunk {
+                tensor: Tensor::random_uniform(Shape::mat(1, 4), 1.0, 2),
+                trace: ServerTrace {
+                    request_id: 55,
+                    first_token_us: 12,
+                    tokens: 2,
+                    ..ServerTrace::default()
+                },
+                seq: 1,
+                last: false,
             },
         ];
         for rsp in variants {

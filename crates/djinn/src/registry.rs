@@ -42,7 +42,8 @@ impl ModelRegistry {
     }
 
     /// A registry pre-loaded with the miniature test models from
-    /// [`dnn::zoo::tiny_test_zoo`] (`tiny-mnist`, `tiny-senna`), keyed by
+    /// [`dnn::zoo::tiny_test_zoo`] (`tiny-mnist`, `tiny-senna`,
+    /// `tiny-lm`), keyed by
     /// their definition names. Integration tests use this instead of
     /// [`ModelRegistry::with_tonic_models`] so server startup and each
     /// request cost microseconds, not seconds.
@@ -176,7 +177,11 @@ mod tests {
         let a = ModelRegistry::with_tiny_test_zoo().unwrap();
         assert_eq!(
             a.names(),
-            vec!["tiny-mnist".to_string(), "tiny-senna".to_string()]
+            vec![
+                "tiny-lm".to_string(),
+                "tiny-mnist".to_string(),
+                "tiny-senna".to_string()
+            ]
         );
         // A few KB resident, not the Tonic zoo's ~0.8 GB.
         assert!(a.resident_bytes() < 64 * 1024, "{}", a.resident_bytes());
@@ -223,7 +228,7 @@ mod tests {
             Err(DjinnError::UnknownModel { .. })
         ));
         // A failed retain must not have dropped anything.
-        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.len(), 3);
         reg.retain_only(&["tiny-mnist"]).unwrap();
         assert_eq!(reg.names(), vec!["tiny-mnist".to_string()]);
     }

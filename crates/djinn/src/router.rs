@@ -84,8 +84,8 @@ use std::time::{Duration, Instant};
 use bytes::BytesMut;
 
 use crate::protocol::{
-    is_busy_response, peek_request, read_frame, response_id_slot, FrameReader, ModelStats, Request,
-    RequestPeek, Response, MAX_FRAME,
+    is_busy_response, is_partial_chunk, peek_request, read_frame, response_id_slot, FrameReader,
+    ModelStats, Request, RequestPeek, Response, MAX_FRAME,
 };
 use crate::{DjinnError, Result};
 
@@ -583,6 +583,14 @@ fn merged_stats(request_id: u64, upstreams: &[Upstream]) -> Response {
                     acc.p99_service_us = acc.p99_service_us.max(m.p99_service_us);
                     acc.p50_wire_us = acc.p50_wire_us.max(m.p50_wire_us);
                     acc.p99_wire_us = acc.p99_wire_us.max(m.p99_wire_us);
+                    acc.p50_lease_wait_us = acc.p50_lease_wait_us.max(m.p50_lease_wait_us);
+                    acc.p99_lease_wait_us = acc.p99_lease_wait_us.max(m.p99_lease_wait_us);
+                    acc.cache_hits += m.cache_hits;
+                    acc.cache_misses += m.cache_misses;
+                    acc.cache_evictions += m.cache_evictions;
+                    acc.tokens_out += m.tokens_out;
+                    acc.p50_token_gap_us = acc.p50_token_gap_us.max(m.p50_token_gap_us);
+                    acc.p99_token_gap_us = acc.p99_token_gap_us.max(m.p99_token_gap_us);
                 }
             }
         }
@@ -643,6 +651,10 @@ enum UpstreamPost {
     /// A reply was matched (and delivered if its client still exists);
     /// the flag says whether it was a `Busy` (shed) frame.
     Done { busy: bool },
+    /// A non-final stream chunk was matched and delivered; the request
+    /// stays in flight (its replica pin and `done_total` accounting
+    /// settle on the final chunk).
+    Partial,
     /// A stats-poll reply (with the upstream's `sent_total` recorded at
     /// poll-send time); apply to the upstream's telemetry.
     Control(u64, Option<Response>),
@@ -674,14 +686,32 @@ fn pump_upstreams(
                         any = true;
                         match response_id_slot(frame) {
                             Ok(Some((rid, id_at))) => {
-                                if let Some(f) = core.in_flight.remove(&rid) {
-                                    if let Some(Some(cc)) = clients.get_mut(f.slot) {
-                                        if cc.gen == f.gen && cc.out.pending() <= OUT_BUF_CAP {
-                                            cc.out.push_frame_with_id(frame, id_at, f.orig_id);
+                                // A non-final chunk leaves the stream
+                                // registered: later chunks of the same
+                                // stream must keep resolving to this
+                                // client, and the request only retires
+                                // (for load accounting) on its final
+                                // chunk.
+                                let partial = is_partial_chunk(frame);
+                                let routed = if partial {
+                                    core.in_flight.get(&rid).map(|f| (f.slot, f.gen, f.orig_id))
+                                } else {
+                                    core.in_flight
+                                        .remove(&rid)
+                                        .map(|f| (f.slot, f.gen, f.orig_id))
+                                };
+                                if let Some((slot, gen, orig_id)) = routed {
+                                    if let Some(Some(cc)) = clients.get_mut(slot) {
+                                        if cc.gen == gen && cc.out.pending() <= OUT_BUF_CAP {
+                                            cc.out.push_frame_with_id(frame, id_at, orig_id);
                                         }
                                     }
-                                    UpstreamPost::Done {
-                                        busy: is_busy_response(frame),
+                                    if partial {
+                                        UpstreamPost::Partial
+                                    } else {
+                                        UpstreamPost::Done {
+                                            busy: is_busy_response(frame),
+                                        }
                                     }
                                 } else if let Some((_, sent_at_send)) = core.control.remove(&rid) {
                                     UpstreamPost::Control(
@@ -727,7 +757,7 @@ fn pump_upstreams(
                     up.last_stats = stats;
                     up.last_unknown = unknown_model_requests;
                 }
-                UpstreamPost::Control(_, _) | UpstreamPost::Ignored => {}
+                UpstreamPost::Control(_, _) | UpstreamPost::Partial | UpstreamPost::Ignored => {}
             }
         }
         if let Some(reason) = dead {
@@ -771,11 +801,22 @@ fn pump_clients(
                     Ok(Some(frame)) => {
                         any = true;
                         match peek_request(frame) {
-                            Ok(RequestPeek::Infer {
-                                model,
-                                request_id,
-                                id_at: Some(id_at),
-                            }) => match pick_replica(core, upstreams, model) {
+                            // StreamInfer forwards exactly like Infer:
+                            // same ID rewrite, same replica pin — the
+                            // in-flight entry then routes every chunk of
+                            // the stream back to this client.
+                            Ok(
+                                RequestPeek::Infer {
+                                    model,
+                                    request_id,
+                                    id_at: Some(id_at),
+                                }
+                                | RequestPeek::StreamInfer {
+                                    model,
+                                    request_id,
+                                    id_at: Some(id_at),
+                                },
+                            ) => match pick_replica(core, upstreams, model) {
                                 Some(r) => {
                                     let rid = core.alloc_id();
                                     let conn = upstreams[r]
@@ -810,14 +851,15 @@ fn pump_clients(
                             // cannot correlate its reply back, so it is
                             // refused up front (id 0 → the legacy
                             // client's order-front rule attributes it).
-                            Ok(RequestPeek::Infer { id_at: None, .. }) => {
-                                ClientAct::Reply(Response::Error {
-                                    request_id: 0,
-                                    message: "router requires protocol v3+ infer frames \
+                            Ok(
+                                RequestPeek::Infer { id_at: None, .. }
+                                | RequestPeek::StreamInfer { id_at: None, .. },
+                            ) => ClientAct::Reply(Response::Error {
+                                request_id: 0,
+                                message: "router requires protocol v3+ infer frames \
                                               (no correlation ID to remap)"
-                                        .into(),
-                                })
-                            }
+                                    .into(),
+                            }),
                             Ok(RequestPeek::ListModels { request_id, .. }) => {
                                 ClientAct::Reply(Response::Models {
                                     request_id,
@@ -1028,6 +1070,9 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
+            tokens_out: 0,
+            p50_token_gap_us: 0,
+            p99_token_gap_us: 0,
         }
     }
 

@@ -27,7 +27,7 @@ use tensor::{Tensor, Threading};
 use bytes::BytesMut;
 
 use crate::device::{ColocationPolicy, Device, DeviceScheduler};
-use crate::protocol::{FrameReader, ModelStats, Request, Response};
+use crate::protocol::{FrameReader, ModelStats, Request, Response, StreamMode};
 use crate::trace::ServerTrace;
 use crate::{
     BatchConfig, CpuExecutor, DelayExecutor, DispatchPolicy, DjinnError, EngineConfig, Executor,
@@ -384,12 +384,16 @@ const PUMP_CHANNEL: usize = 1024;
 /// its completion comes back through the reply pump. Keyed by a
 /// per-connection token (not the client's request ID, which may be 0 or
 /// reused), allocated before admission.
+#[derive(Clone)]
 struct PendingInfer {
     request_id: u64,
     model: String,
     /// The server-read span mark: everything from here to response
     /// encoding is the server's view of the request, in its own clock.
     received: Instant,
+    /// `true` for a StreamInfer: completions become `Chunk` frames, and
+    /// the entry stays registered until the terminal reply arrives.
+    streaming: bool,
 }
 
 /// The write half of a connection, shared by the worker (control and
@@ -507,7 +511,29 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 let token = next_token;
                 next_token += 1;
                 admit_infer(
-                    shared, &pending, &pump_tx, token, model, input, request_id, received,
+                    shared, &pending, &pump_tx, token, model, input, request_id, received, None,
+                )
+            }
+            // StreamInfer admits the same way; the engine answers with N
+            // routed chunks and the pump writes each as a Chunk frame.
+            Ok(Request::StreamInfer {
+                model,
+                input,
+                request_id,
+                mode,
+            }) => {
+                let token = next_token;
+                next_token += 1;
+                admit_infer(
+                    shared,
+                    &pending,
+                    &pump_tx,
+                    token,
+                    model,
+                    input,
+                    request_id,
+                    received,
+                    Some(mode),
                 )
             }
             Ok(Request::ListModels { request_id }) => Some(Response::Models {
@@ -535,10 +561,12 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = pump.join();
 }
 
-/// Admits one decoded Infer. `Some(response)` means the request was
-/// answered synchronously (unknown model, shed, shutdown) and nothing
-/// was admitted; `None` means the job is in flight and the reply pump
-/// will answer under `token` when it completes.
+/// Admits one decoded Infer or StreamInfer (`stream: Some(mode)`).
+/// `Some(response)` means the request was answered synchronously
+/// (unknown model, shed, shutdown, invalid stream mode) and nothing was
+/// admitted; `None` means the job is in flight and the reply pump will
+/// answer under `token` when it completes — once for an Infer, once per
+/// chunk for a stream.
 #[allow(clippy::too_many_arguments)]
 fn admit_infer(
     shared: &Shared,
@@ -549,6 +577,7 @@ fn admit_infer(
     input: Tensor,
     request_id: u64,
     received: Instant,
+    stream: Option<StreamMode>,
 ) -> Option<Response> {
     let Some(engine) = shared.engines.get(&model) else {
         // Reject before touching the stats map: unknown names bump one
@@ -568,9 +597,14 @@ fn admit_infer(
             request_id,
             model,
             received,
+            streaming: stream.is_some(),
         },
     );
-    match engine.submit_routed(input, token, pump_tx.clone()) {
+    let admitted = match stream {
+        Some(mode) => engine.submit_stream_routed(input, token, mode, pump_tx.clone()),
+        None => engine.submit_routed(input, token, pump_tx.clone()),
+    };
+    match admitted {
         Ok(()) => None,
         Err(e) => {
             // Nothing was admitted; no reply will arrive for the token.
@@ -601,12 +635,27 @@ fn reply_pump(
     writer: &Mutex<ConnWriter>,
     shared: &Shared,
 ) {
-    while let Ok(RoutedReply { token, result }) = rx.recv() {
-        let Some(p) = pending.lock().remove(&token) else {
+    while let Ok(RoutedReply {
+        token,
+        seq,
+        last,
+        result,
+    }) = rx.recv()
+    {
+        // A streaming job completes many times under one token: the
+        // entry stays registered until its terminal reply.
+        let looked_up = if last {
+            pending.lock().remove(&token)
+        } else {
+            pending.lock().get(&token).cloned()
+        };
+        let Some(p) = looked_up else {
             continue; // unreachable: tokens are registered before admission
         };
         let elapsed_us = p.received.elapsed().as_micros() as u64;
-        {
+        // Stats count requests, not chunks: a stream accumulates on its
+        // terminal reply only, with the full admission→final latency.
+        if last {
             let mut stats = shared.stats.lock();
             let acc = stats.entry(p.model.clone()).or_default();
             match &result {
@@ -622,15 +671,24 @@ fn reply_pump(
             }
         }
         let response = match result {
-            Ok((tensor, spans)) => Response::Output {
-                tensor,
+            Ok((tensor, spans)) => {
                 // server_total reuses the single measurement taken above:
                 // server-read → completion, the server's whole view of
                 // the request in its own clock domain. Stamping the clock
                 // a second time here would let `Stats` and the trace
                 // block disagree about the same request.
-                trace: ServerTrace::new(p.request_id, spans, elapsed_us),
-            },
+                let trace = ServerTrace::new(p.request_id, spans, elapsed_us);
+                if p.streaming {
+                    Response::Chunk {
+                        tensor,
+                        trace,
+                        seq,
+                        last,
+                    }
+                } else {
+                    Response::Output { tensor, trace }
+                }
+            }
             Err(DjinnError::Busy { model, queue_depth }) => Response::Busy {
                 request_id: p.request_id,
                 model,
@@ -642,7 +700,7 @@ fn reply_pump(
                 message: e.to_string(),
             },
         };
-        let is_output = matches!(response, Response::Output { .. });
+        let is_output = matches!(response, Response::Output { .. } | Response::Chunk { .. });
         let write_start = Instant::now();
         // A poisoned writer refuses silently; the pump keeps draining so
         // engine workers are never blocked on a dead connection.
@@ -704,6 +762,9 @@ fn stats_response(shared: &Shared, request_id: u64) -> Response {
                     cache_hits: q.cache_hits,
                     cache_misses: q.cache_misses,
                     cache_evictions: q.cache_evictions,
+                    tokens_out: q.tokens_out,
+                    p50_token_gap_us: q.p50_token_gap_us,
+                    p99_token_gap_us: q.p99_token_gap_us,
                 }
             })
             .collect(),
@@ -1000,6 +1061,7 @@ mod tests {
             input.clone(),
             99,
             Instant::now(),
+            None,
         )
         .expect("a shed request is answered synchronously");
         assert!(

@@ -64,6 +64,13 @@ pub struct EngineSpans {
     /// request never queued, never leased the device, never ran the
     /// forward pass.
     pub cache_hit: bool,
+    /// Admission → first emitted chunk, microseconds. 0 for one-shot
+    /// requests (which have no "first token" distinct from the whole
+    /// response).
+    pub first_token_us: u64,
+    /// Chunks (tokens / partial hypotheses) this job emitted. 0 for
+    /// one-shot requests.
+    pub tokens: u64,
 }
 
 /// The server-side trace slice of one request, echoed in v3 responses.
@@ -87,6 +94,12 @@ pub struct ServerTrace {
     /// Whether the inference cache answered this request (v6; decodes
     /// as `false` from a pre-v6 peer).
     pub cache_hit: bool,
+    /// Admission → first emitted chunk of a streaming request,
+    /// microseconds (v7; 0 for one-shot requests or a pre-v7 peer).
+    pub first_token_us: u64,
+    /// Chunks the stream emitted so far — on the final chunk, the
+    /// stream's total (v7; 0 for one-shot requests or a pre-v7 peer).
+    pub tokens: u64,
 }
 
 impl ServerTrace {
@@ -101,6 +114,8 @@ impl ServerTrace {
             service_us: spans.service_us,
             server_total_us,
             cache_hit: spans.cache_hit,
+            first_token_us: spans.first_token_us,
+            tokens: spans.tokens,
         }
     }
 }
@@ -137,6 +152,11 @@ pub struct TraceRecord {
     /// `cache` trace disposition. A hit legitimately reports ~zero
     /// queue/lease/service.
     pub cache_hit: bool,
+    /// Admission → first chunk for streaming requests, microseconds
+    /// (server clock; 0 for one-shot requests).
+    pub first_token_us: u64,
+    /// Chunks the stream delivered (0 for one-shot requests).
+    pub tokens: u64,
 }
 
 impl TraceRecord {
@@ -155,6 +175,8 @@ impl TraceRecord {
             busy_retries: 0,
             wire_bytes: 0,
             cache_hit: server.cache_hit,
+            first_token_us: server.first_token_us,
+            tokens: server.tokens,
         }
     }
 
@@ -213,7 +235,7 @@ impl TraceRecord {
             "{{\"request_id\":{},\"model\":\"{}\",\"e2e_us\":{},\"queue_us\":{},\
              \"batch_us\":{},\"lease_us\":{},\"service_us\":{},\"wire_us\":{},\
              \"server_total_us\":{},\"busy_retries\":{},\"wire_bytes\":{},\
-             \"cache_hit\":{}}}",
+             \"cache_hit\":{},\"first_token_us\":{},\"tokens\":{}}}",
             self.request_id,
             model,
             self.e2e_us,
@@ -226,6 +248,8 @@ impl TraceRecord {
             self.busy_retries,
             self.wire_bytes,
             self.cache_hit,
+            self.first_token_us,
+            self.tokens,
         )
     }
 }
@@ -328,6 +352,8 @@ mod tests {
                 service_us: service,
                 server_total_us: total,
                 cache_hit: false,
+                first_token_us: 0,
+                tokens: 0,
             },
         )
     }
@@ -373,6 +399,8 @@ mod tests {
             "\"busy_retries\":0",
             "\"wire_bytes\":0",
             "\"cache_hit\":false",
+            "\"first_token_us\":0",
+            "\"tokens\":0",
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }

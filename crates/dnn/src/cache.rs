@@ -516,19 +516,34 @@ impl InferenceCache {
         self.embed.as_ref()
     }
 
-    /// Combined counters across the enabled layers (embed counts rows,
-    /// exact counts whole requests).
+    /// Exact-layer counters, when that layer is enabled. **Unit:
+    /// whole requests** — one lookup per inference, so
+    /// [`CacheStats::hit_rate`] here is the fraction of *requests*
+    /// answered from cache, directly comparable to the client-observed
+    /// `cache_hit` trace flag.
+    pub fn exact_stats(&self) -> Option<CacheStats> {
+        self.exact.as_ref().map(ExactCache::stats)
+    }
+
+    /// Embed-layer counters, when that layer is enabled. **Unit: input
+    /// rows** — one lookup per row of every forwarded batch, so
+    /// [`CacheStats::hit_rate`] here is the fraction of *rows* that
+    /// reused a cached embedding. Dividing these hits by a request
+    /// count mixes units and overstates the hit rate by the batch size;
+    /// reconcile against rows sent, not requests sent.
+    pub fn embed_stats(&self) -> Option<CacheStats> {
+        self.embed.as_ref().map(EmbedCache::stats)
+    }
+
+    /// Combined counters across the enabled layers. Byte/entry fields
+    /// add cleanly; the hit/miss counters keep their *layer-local*
+    /// units (exact counts whole requests, embed counts rows), so a
+    /// [`CacheStats::hit_rate`] over this merged snapshot is a lookup
+    /// rate, not a request rate — use [`InferenceCache::exact_stats`] /
+    /// [`InferenceCache::embed_stats`] when the unit matters.
     pub fn stats(&self) -> CacheStats {
-        let exact = self
-            .exact
-            .as_ref()
-            .map(ExactCache::stats)
-            .unwrap_or_default();
-        let embed = self
-            .embed
-            .as_ref()
-            .map(EmbedCache::stats)
-            .unwrap_or_default();
+        let exact = self.exact_stats().unwrap_or_default();
+        let embed = self.embed_stats().unwrap_or_default();
         exact.merged(&embed)
     }
 }
@@ -619,6 +634,37 @@ mod tests {
         );
     }
 
+    /// The strict true-LRU contract: a key that is *read* on every
+    /// round of churn must never be evicted, no matter how many cold
+    /// keys stream past it. A FIFO cache — one whose `get` does not
+    /// refresh recency — fails this within the first few rounds, because
+    /// the hot key keeps its original insertion tick and becomes the
+    /// eviction victim as soon as the budget fills. (The weaker
+    /// `eviction_is_lru_not_random` check above can pass under FIFO when
+    /// both probed keys die; this one cannot.)
+    #[test]
+    fn hot_key_survives_sustained_churn() {
+        // Constant hasher pins everything to one shard so its budget —
+        // which fits only a handful of entries — is the whole cache.
+        let cache = ExactCache::with_hasher(8 << 10, |_| 3);
+        let hot = tens(777, 64);
+        cache.insert(&hot, &tens(778, 8));
+        for seed in 0..64 {
+            assert!(
+                cache.get(&hot).is_some(),
+                "hot key evicted after {seed} churn inserts despite being \
+                 read every round — `get` is not refreshing recency"
+            );
+            cache.insert(&tens(seed, 64), &tens(seed + 1, 8));
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits, 64, "every hot-key read must hit");
+        assert!(
+            s.evictions > 0,
+            "the churn must actually overflow the shard"
+        );
+    }
+
     #[test]
     fn colliding_hashes_never_cross_answers() {
         // Constant hasher: every key lands on one chain. Both inputs
@@ -681,5 +727,55 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (2, 1, 2));
         assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    /// Per-layer snapshots keep their units apart: exact counts whole
+    /// requests, embed counts rows. A 4-row batch replayed once gives an
+    /// exact request-hit-rate of 1/2 and an embed row-hit-rate of 1/2 —
+    /// but 4 row hits against 2 requests, which a merged/naive division
+    /// would misreport as a 200% "request" hit rate.
+    #[test]
+    fn layer_stats_keep_request_and_row_units_apart() {
+        let cache = InferenceCache::new(CacheMode::Both, 1 << 20).unwrap();
+        let batch = Tensor::random_uniform(Shape::mat(4, 8), 1.0, 42);
+        let rows: Vec<&[f32]> = batch.data().chunks(8).collect();
+
+        // Request 1 (cold): one exact miss, then per-row embed misses +
+        // inserts, then the exact insert — the engine's miss path.
+        assert!(cache.exact().unwrap().get(&batch).is_none());
+        for row in &rows {
+            assert!(cache.embed().unwrap().get_row(row).is_none());
+            cache.embed().unwrap().insert_row(row, &[1.0, 2.0]);
+        }
+        cache.exact().unwrap().insert(&batch, &tens(9, 4));
+
+        // Request 2 (replay): exact hits at admission; embed untouched.
+        assert!(cache.exact().unwrap().get(&batch).is_some());
+
+        let exact = cache.exact_stats().unwrap();
+        let embed = cache.embed_stats().unwrap();
+        assert_eq!(
+            (exact.hits, exact.misses),
+            (1, 1),
+            "exact layer: one lookup per request"
+        );
+        assert_eq!(
+            (embed.hits, embed.misses),
+            (0, 4),
+            "embed layer: one lookup per row"
+        );
+        // The trap this split exists to prevent: embed row hits after a
+        // row-level replay divided by the request count.
+        for row in &rows {
+            assert!(cache.embed().unwrap().get_row(row).is_some());
+        }
+        let embed = cache.embed_stats().unwrap();
+        assert_eq!(embed.hits, 4, "4 row hits...");
+        let requests = 3.0; // ...across 3 requests
+        assert!(
+            embed.hits as f64 / requests > 1.0,
+            "row hits exceed requests — per-request division is meaningless"
+        );
+        assert!((embed.hit_rate() - 0.5).abs() < 1e-9, "row hit rate is 4/8");
     }
 }

@@ -436,13 +436,53 @@ pub fn tiny_senna() -> NetDef {
     .expect("tiny-senna definition is statically valid")
 }
 
-/// The tiny test zoo: miniature stand-ins for the two Tonic model shapes
-/// (convolutional image net, fully-connected NLP net), each a few KB.
-/// Serving-stack integration tests load these instead of the real zoo so
-/// an end-to-end request costs microseconds of compute, keeping the whole
-/// test deterministic and under a second.
+/// A small autoregressive text-generation language model: next-token
+/// scores over a 256-entry vocabulary from a one-hot current token.
+/// Because the output row has the same width as the input row, the
+/// serving engine can feed the argmax of each step straight back in as
+/// the next one-hot input — the token-at-a-time decode loop behind the
+/// streaming (`--stream`) workload. ~0.5M parameters.
+pub fn textgen() -> NetDef {
+    NetDef::new(
+        "textgen",
+        Shape::mat(1, 256),
+        vec![
+            fc("embed", 512),
+            act("tanh1", ActivationKind::Tanh),
+            fc("hidden", 512),
+            act("tanh2", ActivationKind::Tanh),
+            fc("logits", 256),
+            softmax("prob"),
+        ],
+    )
+    .expect("textgen definition is statically valid")
+}
+
+/// A sub-KB autoregressive LM shaped like [`textgen`] (vocab 16, one
+/// hidden layer) for fast streaming integration tests: the output row
+/// width equals the input row width so greedy decode can feed back, and
+/// a full multi-token generation costs microseconds.
+pub fn tiny_lm() -> NetDef {
+    NetDef::new(
+        "tiny-lm",
+        Shape::mat(1, 16),
+        vec![
+            fc("embed", 24),
+            act("htanh1", ActivationKind::HardTanh),
+            fc("logits", 16),
+            softmax("prob"),
+        ],
+    )
+    .expect("tiny-lm definition is statically valid")
+}
+
+/// The tiny test zoo: miniature stand-ins for the served model shapes
+/// (convolutional image net, fully-connected NLP net, autoregressive
+/// LM), each a few KB. Serving-stack integration tests load these
+/// instead of the real zoo so an end-to-end request costs microseconds
+/// of compute, keeping the whole test deterministic and under a second.
 pub fn tiny_test_zoo() -> Vec<NetDef> {
-    vec![tiny_mnist(), tiny_senna()]
+    vec![tiny_mnist(), tiny_senna(), tiny_lm()]
 }
 
 #[cfg(test)]
@@ -557,7 +597,7 @@ mod tests {
     #[test]
     fn tiny_test_zoo_is_actually_tiny() {
         let defs = tiny_test_zoo();
-        assert_eq!(defs.len(), 2);
+        assert_eq!(defs.len(), 3);
         for def in &defs {
             assert!(
                 def.param_count() < 4_000,
@@ -572,6 +612,24 @@ mod tests {
         }
         assert_eq!(tiny_mnist().output_shape(1).unwrap().dims(), &[1, 10]);
         assert_eq!(tiny_senna().output_shape(1).unwrap().dims(), &[1, 9]);
+        assert_eq!(tiny_lm().output_shape(1).unwrap().dims(), &[1, 16]);
+    }
+
+    /// Autoregressive decode requires the LM output row to be the same
+    /// width as its one-hot input row, at every batch size — otherwise
+    /// the engine cannot feed a step's argmax back in as the next input.
+    #[test]
+    fn lm_output_width_matches_input_for_feedback() {
+        for def in [textgen(), tiny_lm()] {
+            let width = def.input_shape().dims()[1];
+            assert_eq!(
+                def.output_shape(1).unwrap().dims(),
+                &[1, width],
+                "{}: output row must match input row",
+                def.name()
+            );
+        }
+        assert!(textgen().param_count() < 1_000_000);
     }
 
     #[test]

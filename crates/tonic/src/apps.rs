@@ -6,7 +6,7 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use djinn::{trace, DjinnClient, DjinnError, TraceRecord};
+use djinn::{trace, DjinnClient, DjinnError, StreamMode, TraceRecord};
 use dnn::zoo::App;
 use dnn::Network;
 use tensor::Tensor;
@@ -77,6 +77,49 @@ impl Backend {
                             delay *= 2;
                         }
                         Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `input` through the backend as row-windows of `window_rows`,
+    /// returning one output tensor per window in order. Local backends
+    /// window the forward pass in-process; remote backends issue one
+    /// protocol-v7 windowed stream request and collect its chunks. As
+    /// with one-shot inference, a `Busy` shed reply is retried with
+    /// backoff — a stream that was shed at admission has produced no
+    /// chunks, so resending it is safe.
+    fn stream_windows(&mut self, input: &Tensor, window_rows: u32) -> djinn::Result<Vec<Tensor>> {
+        match self {
+            Backend::Local(net) => {
+                let rows = input.shape().batch();
+                let step = window_rows as usize;
+                let mut counts: Vec<usize> = Vec::new();
+                let mut left = rows;
+                while left > 0 {
+                    let take = left.min(step);
+                    counts.push(take);
+                    left -= take;
+                }
+                let windows = input.split_batch(&counts).map_err(dnn::DnnError::from)?;
+                windows.iter().map(|w| Ok(net.forward(w)?)).collect()
+            }
+            Backend::Remote { client, model, .. } => {
+                let mut delay = BUSY_BACKOFF;
+                let mut attempts = 0;
+                loop {
+                    let outcome: djinn::Result<Vec<Tensor>> = client
+                        .stream(model, input, StreamMode::Windowed { window_rows })?
+                        .map(|chunk| Ok(chunk?.tensor))
+                        .collect();
+                    match outcome {
+                        Err(DjinnError::Busy { .. }) if attempts < BUSY_RETRIES => {
+                            attempts += 1;
+                            std::thread::sleep(delay);
+                            delay *= 2;
+                        }
+                        other => return other,
                     }
                 }
             }
@@ -229,6 +272,61 @@ impl TonicApp {
         Ok(speech::PhoneHmm::new().decode(&posteriors))
     }
 
+    /// Streaming speech recognition: the utterance's spliced feature
+    /// rows flow through the backend `window_rows` frames at a time, and
+    /// each arriving window of posteriors extends the Viterbi decode —
+    /// yielding one partial hypothesis per window, the way an ASR
+    /// front-end refines its transcript while the speaker is still
+    /// talking. The last hypothesis equals the one-shot [`run_asr`]
+    /// answer for the same audio.
+    ///
+    /// Remote backends issue a single protocol-v7 windowed stream
+    /// request; local backends window the forward pass in-process.
+    ///
+    /// [`run_asr`]: TonicApp::run_asr
+    ///
+    /// # Errors
+    ///
+    /// Fails if this driver is not ASR, the audio is shorter than one
+    /// analysis frame, `window_rows` is zero, or inference fails.
+    pub fn run_asr_streaming(
+        &mut self,
+        waveform: &[f32],
+        window_rows: u32,
+    ) -> djinn::Result<Vec<Vec<usize>>> {
+        self.expect(App::Asr)?;
+        let frames = speech::filterbank(waveform);
+        if frames.is_empty() {
+            return Err(DjinnError::Remote {
+                message: "utterance shorter than one analysis frame".into(),
+            });
+        }
+        if window_rows == 0 {
+            return Err(DjinnError::Protocol {
+                reason: "streaming ASR needs at least one frame per window".into(),
+            });
+        }
+        let features = speech::splice(&frames);
+        let windows = self.backend.stream_windows(&features, window_rows)?;
+
+        // Re-decode the growing posterior prefix after every window. The
+        // HMM pass is cheap next to the DNN, so the partials stay honest:
+        // each one is exactly what a decoder knowing only the audio so
+        // far would output.
+        let hmm = speech::PhoneHmm::new();
+        let (_, width) = windows[0].shape().as_matrix();
+        let mut rows: Vec<f32> = Vec::new();
+        let mut hypotheses = Vec::with_capacity(windows.len());
+        for window in &windows {
+            rows.extend_from_slice(window.data());
+            let prefix =
+                Tensor::from_vec(tensor::Shape::mat(rows.len() / width, width), rows.clone())
+                    .map_err(dnn::DnnError::from)?;
+            hypotheses.push(hmm.decode(&prefix));
+        }
+        Ok(hypotheses)
+    }
+
     /// Part-of-speech tagging: words → tag indices.
     ///
     /// # Errors
@@ -324,6 +422,53 @@ mod tests {
     fn asr_rejects_too_short_audio() {
         let mut asr = TonicApp::local(App::Asr).unwrap();
         assert!(asr.run_asr(&[0.0; 64]).is_err());
+    }
+
+    /// Streaming ASR refines toward the one-shot answer: one partial
+    /// hypothesis per feature window, each a decode of exactly the audio
+    /// seen so far, with the final partial equal to `run_asr`'s output.
+    #[test]
+    fn asr_streaming_partials_converge_to_the_oneshot_decode() {
+        let mut asr = TonicApp::local(App::Asr).unwrap();
+        let wav = speech::synth_utterance(0.25, 5);
+        let full = asr.run_asr(&wav).unwrap();
+        let partials = asr.run_asr_streaming(&wav, 3).unwrap();
+
+        let frames = speech::filterbank(&wav).len();
+        assert_eq!(partials.len(), frames.div_ceil(3), "one partial per window");
+        // Decodes are run-collapsed, so a partial over k frames holds
+        // between 1 and k phones — what grows is the audio covered, not
+        // necessarily the hypothesis length.
+        for (i, partial) in partials.iter().enumerate() {
+            let heard = ((i + 1) * 3).min(frames);
+            assert!(
+                !partial.is_empty() && partial.len() <= heard,
+                "partial {i} must decode the {heard} frames heard so far"
+            );
+            assert!(partial.iter().all(|&p| p < speech::PHONES));
+        }
+        assert_eq!(partials.last().unwrap(), &full, "final partial == one-shot");
+        assert!(asr.run_asr_streaming(&wav, 0).is_err(), "zero-row windows");
+    }
+
+    /// The same streaming contract holds against a remote DjiNN server:
+    /// the windowed stream request comes back as ordered chunks and the
+    /// partial hypotheses match the local backend's bit-for-bit (both
+    /// sides build the ASR network from the same fixed seed).
+    #[test]
+    fn asr_streaming_remote_matches_local() {
+        let mut registry = djinn::ModelRegistry::new();
+        registry.register("asr", dnn::zoo::network(App::Asr).unwrap());
+        let server = djinn::DjinnServer::start(registry, djinn::ServerConfig::default()).unwrap();
+
+        let wav = speech::synth_utterance(0.2, 9);
+        let mut local = TonicApp::local(App::Asr).unwrap();
+        let mut remote = TonicApp::remote(App::Asr, server.local_addr()).unwrap();
+        assert_eq!(
+            remote.run_asr_streaming(&wav, 4).unwrap(),
+            local.run_asr_streaming(&wav, 4).unwrap()
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -14,7 +14,9 @@ use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
-use djinn_tonic::djinn::protocol::{read_frame, write_frame, Request, Response, VERSION};
+use djinn_tonic::djinn::protocol::{
+    read_frame, write_frame, Request, Response, StreamMode, VERSION,
+};
 use djinn_tonic::djinn::{
     DjinnClient, DjinnError, DjinnServer, ModelRegistry, ServerConfig, ServerTrace,
 };
@@ -227,10 +229,21 @@ mod golden_vectors {
     }
 
     #[test]
-    fn v6_infer_encoding_matches_the_golden_bytes() {
-        assert_eq!(VERSION, 6, "golden vectors pin wire version 6");
+    fn v7_infer_encoding_matches_the_golden_bytes() {
+        assert_eq!(VERSION, 7, "golden vectors pin wire version 7");
         let wire = infer_request().encode().unwrap();
-        assert_eq!(&wire[..], &infer_golden(6)[..]);
+        assert_eq!(&wire[..], &infer_golden(7)[..]);
+    }
+
+    #[test]
+    fn v6_infer_golden_still_decodes_with_its_id() {
+        let Request::Infer {
+            model, request_id, ..
+        } = Request::decode(&infer_golden(6)).unwrap()
+        else {
+            panic!("expected Infer");
+        };
+        assert_eq!((model.as_str(), request_id), ("m", 7));
     }
 
     #[test]
@@ -269,13 +282,13 @@ mod golden_vectors {
     /// Golden busy response, pinned byte-for-byte: the request ID the
     /// shed request carried comes right after the header — the field
     /// that makes `Busy` attributable under pipelining. The layout is
-    /// identical from v4 through v6 (only the version byte differs), so
-    /// the same bytes double as the v4/v5 decode-compat checks.
+    /// identical from v4 through v7 (only the version byte differs), so
+    /// the same bytes double as the v4/v5/v6 decode-compat checks.
     #[test]
-    fn v6_busy_encoding_matches_the_golden_bytes() {
+    fn v7_busy_encoding_matches_the_golden_bytes() {
         let mut wire = Vec::new();
         wire.extend_from_slice(MAGIC);
-        wire.push(6); // version 6
+        wire.push(7); // version 7
         wire.push(7); // OP_BUSY
         wire.extend_from_slice(&512u64.to_le_bytes()); // request id
         wire.extend_from_slice(&3u16.to_le_bytes());
@@ -288,7 +301,7 @@ mod golden_vectors {
         };
         assert_eq!(&rsp.encode().unwrap()[..], &wire[..]);
         assert_eq!(Response::decode(&wire).unwrap(), rsp);
-        for old in [5u8, 4] {
+        for old in [6u8, 5, 4] {
             wire[4] = old; // same bytes at older versions decode identically
             assert_eq!(Response::decode(&wire).unwrap(), rsp);
         }
@@ -299,10 +312,10 @@ mod golden_vectors {
     /// request failed. Layout unchanged from v4 — the same bytes with
     /// the old version bytes double as the decode-compat checks.
     #[test]
-    fn v6_error_encoding_matches_the_golden_bytes() {
+    fn v7_error_encoding_matches_the_golden_bytes() {
         let mut wire = Vec::new();
         wire.extend_from_slice(MAGIC);
-        wire.push(6); // version 6
+        wire.push(7); // version 7
         wire.push(2); // OP_RESULT
         wire.push(1); // STATUS_ERR
         wire.extend_from_slice(&9u64.to_le_bytes()); // request id
@@ -314,7 +327,7 @@ mod golden_vectors {
         };
         assert_eq!(&rsp.encode().unwrap()[..], &wire[..]);
         assert_eq!(Response::decode(&wire).unwrap(), rsp);
-        for old in [5u8, 4] {
+        for old in [6u8, 5, 4] {
             wire[4] = old; // same bytes at older versions decode identically
             assert_eq!(Response::decode(&wire).unwrap(), rsp);
         }
@@ -481,6 +494,8 @@ mod golden_vectors {
                         service_us: 40,
                         server_total_us: 100,
                         cache_hit: false,
+                        first_token_us: 0,
+                        tokens: 0,
                     }
                 );
             }
@@ -538,6 +553,126 @@ mod golden_vectors {
         );
     }
 
+    /// Golden v7 stream request: model `"m"`, request ID 7, generative
+    /// mode with a 3-token budget, a 1x1 tensor holding 2.0. The mode
+    /// byte and `u32` parameter sit between the request ID and the
+    /// tensor, so the ID keeps the same offset as a plain infer frame
+    /// (the router rewrites both through one code path).
+    #[test]
+    fn v7_stream_infer_encoding_matches_the_golden_bytes() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(7); // version 7
+        wire.push(8); // OP_STREAM_INFER
+        wire.extend_from_slice(&1u16.to_le_bytes()); // name length
+        wire.push(b'm');
+        wire.extend_from_slice(&7u64.to_le_bytes()); // request id
+        wire.push(1); // mode byte: generative
+        wire.extend_from_slice(&3u32.to_le_bytes()); // max_tokens
+        wire.push(2); // rank
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&2.0f32.to_le_bytes());
+        let req = Request::StreamInfer {
+            model: "m".into(),
+            input: Tensor::from_vec(Shape::mat(1, 1), vec![2.0]).unwrap(),
+            request_id: 7,
+            mode: StreamMode::Generative { max_tokens: 3 },
+        };
+        assert_eq!(&req.encode().unwrap()[..], &wire[..]);
+        assert_eq!(Request::decode(&wire).unwrap(), req);
+        // Stream frames are a v7 construct: the same bytes stamped with
+        // an older version byte must be rejected, not misparsed.
+        wire[4] = 6;
+        assert!(Request::decode(&wire).is_err());
+    }
+
+    /// Golden v7 output chunk: the full 72-byte trace block, then the
+    /// chunk sequence number and the final flag, then the tensor. The
+    /// request ID stays at payload offset 7 — same as `Output` — so the
+    /// router's in-place ID rewrite covers chunks for free.
+    #[test]
+    fn v7_chunk_encoding_matches_the_golden_bytes() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(7); // version 7
+        wire.push(9); // OP_OUTPUT_CHUNK
+        wire.push(0); // STATUS_OK
+        for word in [7u64, 10, 0, 30, 40, 100, 0, 55, 3] {
+            // id, queue, batch, lease, service, total, cache,
+            // first_token_us, tokens
+            wire.extend_from_slice(&word.to_le_bytes());
+        }
+        wire.extend_from_slice(&2u32.to_le_bytes()); // seq
+        wire.push(1); // CHUNK_FLAG_FINAL
+        wire.push(2); // rank
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&2.0f32.to_le_bytes());
+        let rsp = Response::Chunk {
+            tensor: Tensor::from_vec(Shape::mat(1, 1), vec![2.0]).unwrap(),
+            trace: ServerTrace {
+                request_id: 7,
+                queue_us: 10,
+                batch_us: 0,
+                lease_us: 30,
+                service_us: 40,
+                server_total_us: 100,
+                cache_hit: false,
+                first_token_us: 55,
+                tokens: 3,
+            },
+            seq: 2,
+            last: true,
+        };
+        assert_eq!(&rsp.encode().unwrap()[..], &wire[..]);
+        assert_eq!(Response::decode(&wire).unwrap(), rsp);
+        // Chunks are likewise v7-only on the wire.
+        wire[4] = 6;
+        assert!(Response::decode(&wire).is_err());
+    }
+
+    /// Golden v6 output response: a 56-byte trace block with no
+    /// per-token words. The v7 `first_token_us`/`tokens` fields must
+    /// decode as zero — the documented zero-fill for frames from a
+    /// pre-streaming peer.
+    #[test]
+    fn v6_output_golden_decodes_with_zero_token_fields() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(6); // version 6 — last version without token words
+        wire.push(2); // OP_RESULT
+        wire.push(0); // STATUS_OK
+        for word in [7u64, 10, 20, 30, 40, 100, 1] {
+            // id, queue, batch, lease, service, server_total, cache_hit
+            wire.extend_from_slice(&word.to_le_bytes());
+        }
+        wire.push(2); // rank
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&2.0f32.to_le_bytes());
+        match Response::decode(&wire).unwrap() {
+            Response::Output { tensor, trace } => {
+                assert_eq!(tensor.data(), &[2.0]);
+                assert_eq!(
+                    trace,
+                    ServerTrace {
+                        request_id: 7,
+                        queue_us: 10,
+                        batch_us: 20,
+                        lease_us: 30,
+                        service_us: 40,
+                        server_total_us: 100,
+                        cache_hit: true,
+                        first_token_us: 0,
+                        tokens: 0,
+                    }
+                );
+            }
+            other => panic!("expected Output, got {other:?}"),
+        }
+    }
+
     #[test]
     fn decoders_reject_versions_beyond_ours() {
         let mut wire = infer_golden(4);
@@ -577,6 +712,9 @@ mod golden_vectors {
             cache_hits: 5,
             cache_misses: 37,
             cache_evictions: 1,
+            tokens_out: 640,
+            p50_token_gap_us: 210,
+            p99_token_gap_us: 2_900,
         };
         let requests = [
             infer_request(),
@@ -599,6 +737,8 @@ mod golden_vectors {
                     service_us: 3,
                     server_total_us: 9,
                     cache_hit: true,
+                    first_token_us: 0,
+                    tokens: 0,
                 },
             },
             Response::Error {
@@ -791,6 +931,49 @@ mod stale_responses {
             &[222.0],
             "the pending infer must keep its own answer"
         );
+        peer.join().unwrap();
+    }
+
+    /// Regression for the abandoned-ID window: the client remembers only
+    /// the last 64 abandoned request IDs, so after 65 timeouts the
+    /// *oldest* abandoned ID has been evicted — and its late response
+    /// used to fall through the stale-drain into the poison path, killing
+    /// a connection that had done nothing wrong. Any unknown response ID
+    /// at or below the connection's issued high-water mark is now drained
+    /// as stale; only IDs the client never issued poison.
+    #[test]
+    fn evicted_abandoned_ids_late_response_is_still_drained() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let mut stream = accept_one(&listener);
+            // Swallow 65 requests without answering: every one of them
+            // times out client-side and lands in the abandoned window,
+            // evicting the first.
+            let ids: Vec<u64> = (0..65).map(|_| read_infer(&mut stream)).collect();
+            // The 66th request gets real service — but its answer is
+            // preceded by the *evicted* oldest ID's late response.
+            let live = read_infer(&mut stream);
+            write_output(&mut stream, ids[0], 111.0);
+            write_output(&mut stream, live, 222.0);
+        });
+
+        let mut client =
+            DjinnClient::connect_with_timeout(addr, Duration::from_millis(40)).unwrap();
+        let input = Tensor::from_vec(Shape::mat(1, 1), vec![1.0]).unwrap();
+        for i in 0..65 {
+            let err = client.infer("m", &input).unwrap_err();
+            assert!(
+                matches!(&err, DjinnError::Io(e) if e.kind() == std::io::ErrorKind::TimedOut),
+                "call {i} must time out, got: {err}"
+            );
+        }
+        // Give the pending answers time to arrive for this final call.
+        client.set_io_timeout(Some(Duration::from_secs(2))).unwrap();
+        let out = client.infer("m", &input).expect(
+            "a late response to an evicted abandoned ID must be drained, not poison the connection",
+        );
+        assert_eq!(out.data(), &[222.0]);
         peer.join().unwrap();
     }
 

@@ -1,0 +1,303 @@
+//! End-to-end tests for streaming inference (protocol v7): one
+//! `stream_req` in, N ordered `chunk` frames out — through a server
+//! directly and through the router tier, interleaved with one-shot
+//! traffic on the same connection.
+//!
+//! Every test name is prefixed `streaming_` so CI can run exactly this
+//! suite by name (`cargo test --test streaming streaming_`).
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use djinn_tonic::djinn::{
+    DjinnClient, DjinnError, DjinnRouter, DjinnServer, ModelRegistry, RoutePolicy, RouterConfig,
+    ServerConfig, StreamChunk, StreamMode,
+};
+use djinn_tonic::dnn::{zoo, Network};
+use djinn_tonic::tensor::{Shape, Tensor};
+
+fn start_server() -> DjinnServer {
+    let registry = ModelRegistry::with_tiny_test_zoo().expect("tiny zoo");
+    DjinnServer::start(registry, ServerConfig::default()).expect("server start")
+}
+
+fn connect(addr: SocketAddr) -> DjinnClient {
+    DjinnClient::connect_with_timeout(addr, Duration::from_secs(10)).expect("connect")
+}
+
+/// The same `tiny-lm` network the tiny-zoo registry builds (same
+/// definition, same position-derived seed), for computing expected
+/// outputs locally.
+fn reference_lm() -> Network {
+    let defs = zoo::tiny_test_zoo();
+    let pos = defs
+        .iter()
+        .position(|d| d.name() == "tiny-lm")
+        .expect("tiny-lm in the tiny zoo");
+    Network::with_random_weights(defs[pos].clone(), 0x717E + pos as u64).unwrap()
+}
+
+/// A one-hot prompt over tiny-lm's 16-token vocabulary.
+fn prompt(token: usize) -> Tensor {
+    let mut row = vec![0.0f32; 16];
+    row[token] = 1.0;
+    Tensor::from_vec(Shape::mat(1, 16), row).unwrap()
+}
+
+/// Greedy reference decode: forward, emit, feed the argmax back one-hot.
+fn greedy_reference(net: &Network, mut cur: Tensor, steps: usize) -> Vec<Tensor> {
+    let mut outs = Vec::new();
+    for _ in 0..steps {
+        let out = net.forward(&cur).unwrap();
+        let data = out.data();
+        let best = (0..data.len())
+            .max_by(|&a, &b| data[a].total_cmp(&data[b]))
+            .unwrap();
+        let mut next = vec![0.0f32; data.len()];
+        next[best] = 1.0;
+        cur = Tensor::from_vec(out.shape().clone(), next).unwrap();
+        outs.push(out);
+    }
+    outs
+}
+
+fn collect_chunks(
+    client: &mut DjinnClient,
+    model: &str,
+    input: &Tensor,
+    mode: StreamMode,
+) -> Vec<StreamChunk> {
+    client
+        .stream(model, input, mode)
+        .expect("stream start")
+        .map(|c| c.expect("chunk"))
+        .collect()
+}
+
+/// The headline scenario: a generative stream delivers one chunk per
+/// decoded token, in order, each matching the local greedy reference —
+/// and the per-token telemetry (seq, token count, first-token stamp,
+/// engine stats) is all present.
+#[test]
+fn streaming_generative_chunks_match_direct_decode() {
+    let server = start_server();
+    let mut client = connect(server.local_addr());
+    let net = reference_lm();
+    let want = greedy_reference(&net, prompt(3), 8);
+
+    let chunks = collect_chunks(
+        &mut client,
+        "tiny-lm",
+        &prompt(3),
+        StreamMode::Generative { max_tokens: 8 },
+    );
+    assert_eq!(chunks.len(), 8, "one chunk per generated token");
+    for (i, (chunk, expect)) in chunks.iter().zip(&want).enumerate() {
+        assert_eq!(chunk.seq as usize, i, "chunks must arrive in order");
+        assert_eq!(chunk.last, i == 7, "only the final chunk is flagged");
+        assert!(
+            chunk.tensor.max_abs_diff(expect).unwrap() < 1e-5,
+            "chunk {i} diverged from the greedy reference"
+        );
+        assert_eq!(chunk.trace.tokens, i as u64 + 1, "token count in trace");
+    }
+
+    // The per-token SLA class shows up in server stats: chunks counted,
+    // gap quantiles populated, but the whole stream is ONE request.
+    let stats = client.stats().expect("stats");
+    let lm = stats
+        .iter()
+        .find(|s| s.model == "tiny-lm")
+        .expect("tiny-lm");
+    assert_eq!(lm.tokens_out, 8);
+    assert_eq!(lm.requests, 1, "a stream counts as one request");
+
+    server.shutdown();
+}
+
+/// Windowed streaming (the ASR shape): a multi-row input comes back as
+/// row-windows whose concatenation equals the one-shot answer.
+#[test]
+fn streaming_windowed_rows_reassemble_the_full_output() {
+    let server = start_server();
+    let mut client = connect(server.local_addr());
+    let input = Tensor::random_uniform(Shape::mat(8, 30), 1.0, 13);
+    let full = client.infer("tiny-senna", &input).expect("direct infer");
+
+    let chunks = collect_chunks(
+        &mut client,
+        "tiny-senna",
+        &input,
+        StreamMode::Windowed { window_rows: 3 },
+    );
+    // 8 rows at 3 per window: 3 + 3 + 2.
+    assert_eq!(
+        chunks
+            .iter()
+            .map(|c| c.tensor.shape().batch())
+            .collect::<Vec<_>>(),
+        vec![3, 3, 2]
+    );
+    let mut rows = Vec::new();
+    for c in &chunks {
+        rows.extend_from_slice(c.tensor.data());
+    }
+    assert_eq!(rows.len(), full.data().len());
+    for (i, (got, want)) in rows.iter().zip(full.data()).enumerate() {
+        assert!(
+            (got - want).abs() < 1e-5,
+            "reassembled value {i} diverged from the one-shot answer"
+        );
+    }
+    server.shutdown();
+}
+
+/// A stream and one-shot infers interleave on one connection without
+/// stealing each other's frames.
+#[test]
+fn streaming_interleaves_with_oneshot_traffic() {
+    let server = start_server();
+    let mut client = connect(server.local_addr());
+    let net = reference_lm();
+    let want = greedy_reference(&net, prompt(5), 4);
+    let oneshot_in = Tensor::random_uniform(Shape::mat(1, 30), 1.0, 3);
+
+    let stream_id = client
+        .stream_infer(
+            "tiny-lm",
+            &prompt(5),
+            StreamMode::Generative { max_tokens: 4 },
+        )
+        .expect("stream submit");
+    // One-shot requests issued while the stream is mid-flight.
+    let a = client.submit("tiny-senna", &oneshot_in).expect("submit");
+    let first = client.recv_chunk(stream_id).expect("chunk 0");
+    assert_eq!(first.seq, 0);
+    let done = client.recv_next().expect("one-shot");
+    assert_eq!(done.request_id, a);
+    done.result.expect("one-shot result");
+    for i in 1..4u32 {
+        let chunk = client.recv_chunk(stream_id).expect("chunk");
+        assert_eq!(chunk.seq, i);
+        assert!(
+            chunk.tensor.max_abs_diff(&want[i as usize]).unwrap() < 1e-5,
+            "interleaved chunk {i} diverged"
+        );
+    }
+    server.shutdown();
+}
+
+/// Streaming an unknown model fails with a correlated terminal error —
+/// the connection survives.
+#[test]
+fn streaming_unknown_model_is_a_terminal_correlated_error() {
+    let server = start_server();
+    let mut client = connect(server.local_addr());
+    let mut iter = client
+        .stream(
+            "ghost",
+            &prompt(0),
+            StreamMode::Generative { max_tokens: 4 },
+        )
+        .expect("stream send");
+    match iter.next() {
+        Some(Err(DjinnError::Remote { message })) => {
+            assert!(message.contains("unknown model"), "{message}");
+        }
+        other => panic!("expected a terminal Remote error, got {other:?}"),
+    }
+    assert!(iter.next().is_none(), "errors end the stream");
+    // The connection is still usable.
+    let out = client.infer("tiny-lm", &prompt(0)).expect("still usable");
+    assert_eq!(out.shape().dims(), &[1, 16]);
+    server.shutdown();
+}
+
+/// The router acceptance criterion: a streamed request through the
+/// router delivers ordered, ID-correlated chunks end-to-end, with every
+/// chunk carrying the client's original request ID.
+#[test]
+fn streaming_through_router_stays_ordered_and_correlated() {
+    let replica_a = start_server();
+    let replica_b = start_server();
+    let router = DjinnRouter::start(RouterConfig {
+        replicas: vec![replica_a.local_addr(), replica_b.local_addr()],
+        policy: RoutePolicy::LoadAware,
+        stats_interval: Duration::from_millis(10),
+        ..RouterConfig::default()
+    })
+    .expect("router start");
+
+    let mut client = connect(router.local_addr());
+    let net = reference_lm();
+    let want = greedy_reference(&net, prompt(9), 6);
+    // Several streams back-to-back so both replicas see stream traffic.
+    for round in 0..4 {
+        let chunks = collect_chunks(
+            &mut client,
+            "tiny-lm",
+            &prompt(9),
+            StreamMode::Generative { max_tokens: 6 },
+        );
+        assert_eq!(chunks.len(), 6, "round {round}");
+        for (i, (chunk, expect)) in chunks.iter().zip(&want).enumerate() {
+            assert_eq!(chunk.seq as usize, i, "round {round} order");
+            assert!(
+                chunk.tensor.max_abs_diff(expect).unwrap() < 1e-5,
+                "round {round} chunk {i} diverged through the router"
+            );
+        }
+        assert!(chunks[5].last);
+    }
+    // One-shot traffic still flows on the same routed connection.
+    let input = Tensor::random_uniform(Shape::mat(1, 30), 1.0, 2);
+    client
+        .infer("tiny-senna", &input)
+        .expect("one-shot via router");
+
+    router.shutdown();
+    replica_a.shutdown();
+    replica_b.shutdown();
+}
+
+/// Time-to-first-token must beat waiting for the whole stream: the
+/// first chunk of a long generation arrives well before the final one.
+#[test]
+fn streaming_first_token_arrives_before_the_stream_ends() {
+    let server = start_server();
+    let mut client = connect(server.local_addr());
+    let started = std::time::Instant::now();
+    let stream_id = client
+        .stream_infer(
+            "tiny-lm",
+            &prompt(1),
+            StreamMode::Generative { max_tokens: 32 },
+        )
+        .expect("stream submit");
+    let first = client.recv_chunk(stream_id).expect("first chunk");
+    let ttft = started.elapsed();
+    assert_eq!(first.seq, 0);
+    let mut count = 1;
+    let mut final_trace = None;
+    while count < 32 {
+        let chunk = client.recv_chunk(stream_id).expect("chunk");
+        count += 1;
+        if chunk.last {
+            final_trace = Some(chunk.trace);
+        }
+    }
+    let total = started.elapsed();
+    let trace = final_trace.expect("final chunk seen");
+    assert_eq!(trace.tokens, 32);
+    assert!(
+        trace.first_token_us <= trace.server_total_us,
+        "first-token stamp ({}) cannot exceed the stream total ({})",
+        trace.first_token_us,
+        trace.server_total_us
+    );
+    assert!(
+        ttft < total,
+        "first chunk ({ttft:?}) must precede stream completion ({total:?})"
+    );
+    server.shutdown();
+}

@@ -259,3 +259,56 @@ fn cache_stats_reconcile_with_client_observed_hits() {
     assert_eq!(senna.cache_evictions, 0, "budget was never exceeded");
     server.shutdown();
 }
+
+/// The embed layer counts **rows**, not requests — and the two units
+/// must never be conflated when reconciling server counters against
+/// client-observed hits. A 5-row SENNA batch replayed 3 times makes 4
+/// requests but 20 row lookups; the client-observed `cache_hit` flag
+/// (an *exact-layer, whole-request* signal) stays false throughout,
+/// while the server's embed counters advance 5 per request. Hit rates
+/// therefore reconcile per row (15/20), not per request — dividing the
+/// 15 row hits by 4 requests would claim a nonsensical 375%.
+#[test]
+fn embed_cache_stats_count_rows_not_requests() {
+    let server = caching_server("embed");
+    let mut client = DjinnClient::connect(server.local_addr()).unwrap();
+    let batch = senna_input(5); // multi-row: 5 embed lookups per request
+
+    let mut client_hit_requests = 0u64;
+    let requests = 4u64;
+    for _ in 0..requests {
+        let (_, record) = client.infer_traced("tiny-senna", &batch).unwrap();
+        // Embed hits accelerate the prefix but the request still runs
+        // the engine: the whole-request hit flag must stay false.
+        assert!(
+            !record.cache_hit,
+            "embed row hits must not masquerade as whole-request hits"
+        );
+        client_hit_requests += u64::from(record.cache_hit);
+    }
+
+    let stats = client.stats().unwrap();
+    let senna = stats
+        .iter()
+        .find(|s| s.model == "tiny-senna")
+        .expect("stats entry for tiny-senna");
+    let rows_sent = requests * 5;
+    assert_eq!(
+        senna.cache_hits + senna.cache_misses,
+        rows_sent,
+        "embed lookups tally rows sent, not requests sent"
+    );
+    // Cold batch: 5 row misses. Replays: 5 row hits each.
+    assert_eq!(senna.cache_misses, 5);
+    assert_eq!(senna.cache_hits, rows_sent - 5);
+    assert_eq!(
+        client_hit_requests, 0,
+        "no request-level hits in embed mode"
+    );
+    assert!(
+        senna.cache_hits > requests,
+        "row hits exceed the request count — the only correct denominator \
+         for the server's embed counters is rows, never requests"
+    );
+    server.shutdown();
+}
